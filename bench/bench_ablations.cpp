@@ -1,0 +1,112 @@
+// Ablations of IRIS's design decisions (DESIGN.md §4).
+//
+//   1. Preemption-timer loop vs root-mode handler loop (§IV-B): the
+//      handler loop skips VM-entry checks and trips the hang watchdog.
+//   2. Read-only vmread interposition (§V-B): without it the dispatcher
+//      never sees the recorded exit reasons, so replay coverage collapses.
+//   3. Seed batching (§IX future work): amortizing the seed hand-off
+//      raises replay throughput toward the ideal bound.
+//
+//   $ ./bench_ablations [exits] [seed]
+#include "bench_util.h"
+#include "iris/replayer.h"
+
+int main(int argc, char** argv) {
+  using namespace iris;
+  const auto args = bench::Args::parse(argc, argv);
+
+  bench::print_header("Ablations: IRIS design decisions");
+
+  // Shared recording.
+  bench::Experiment record_exp(args.seed, 0.0);
+  const VmBehavior recorded = record_exp.manager.record_workload(
+      guest::Workload::kCpuBound, args.exits, args.seed);
+
+  // --- Ablation 1: handler loop without VM entries.
+  {
+    bench::Experiment exp(args.seed, 0.0);
+    exp.hypervisor.set_hang_threshold(1000);
+    Replayer::Config config;
+    config.use_preemption_timer = false;
+    if (!exp.manager.enable_replay(config)) return 1;
+    std::size_t submitted = 0;
+    hv::FailureKind failure = hv::FailureKind::kNone;
+    for (const auto& rec : recorded) {
+      const auto outcome = exp.manager.submit_seed(rec.seed);
+      ++submitted;
+      if (outcome.failure != hv::FailureKind::kNone) {
+        failure = outcome.failure;
+        break;
+      }
+    }
+    std::printf("1. root-mode handler loop (no VM entry):\n");
+    std::printf("   submitted %zu/%zu seeds before failure: %s\n", submitted,
+                recorded.size(), hv::to_string(failure).data());
+    std::printf("   (paper §IV-B: a root-mode loop is detected as a hang)\n\n");
+  }
+
+  // --- Ablation 2: no read-only interposition.
+  {
+    Replayer::Config with, without;
+    without.interpose_read_only = false;
+    double with_fit = 0.0, without_fit = 0.0;
+    for (const auto* config : {&with, &without}) {
+      bench::Experiment exp(args.seed, 0.0);
+      const VmBehavior rec2 = exp.manager.record_workload(guest::Workload::kCpuBound,
+                                                          args.exits, args.seed);
+      const auto replayed = exp.manager.replay_and_record(rec2, *config);
+      const auto report =
+          analyze_accuracy(exp.hypervisor.coverage(), rec2, replayed.behavior);
+      (config == &with ? with_fit : without_fit) = report.coverage_fit_pct;
+    }
+    std::printf("2. read-only vmread interposition:\n");
+    std::printf("   coverage fit with interposition:    %.1f%%\n", with_fit);
+    std::printf("   coverage fit without interposition: %.1f%%\n", without_fit);
+    std::printf("   (without it, every replayed exit dispatches as the raw\n"
+                "   preemption-timer exit: accuracy collapses)\n\n");
+  }
+
+  // --- Ablation 3: seed batching.
+  {
+    std::printf("3. seed-submission batching (§IX):\n");
+    std::printf("   %10s %14s\n", "batch", "exits/s");
+    for (const std::size_t batch : {1u, 4u, 16u, 64u}) {
+      bench::Experiment exp(args.seed, 0.0);
+      const VmBehavior rec2 = exp.manager.record_workload(guest::Workload::kCpuBound,
+                                                          args.exits, args.seed);
+      Replayer::Config config;
+      config.batch_size = batch;
+      const auto t0 = exp.hypervisor.clock().rdtsc();
+      exp.manager.replay(rec2, config);
+      const double secs =
+          sim::Clock::cycles_to_s(exp.hypervisor.clock().rdtsc() - t0);
+      std::printf("   %10zu %14.0f\n", batch,
+                  static_cast<double>(rec2.size()) / secs);
+    }
+    std::printf("   (batching amortizes the one-by-one hand-off that keeps\n"
+                "   achieved throughput at ~half the ideal bound)\n\n");
+  }
+
+  // --- Ablation 4: the §IX guest-memory-recording extension.
+  {
+    std::printf("4. guest-memory recording (§IX future work, implemented):\n");
+    for (const bool with_memory : {false, true}) {
+      bench::Experiment exp(args.seed, 0.0);
+      Recorder::Config rec_config;
+      rec_config.record_guest_memory = with_memory;
+      const VmBehavior rec2 = exp.manager.record_workload(
+          guest::Workload::kCpuBound, args.exits, args.seed, rec_config);
+      const auto replayed = exp.manager.replay_and_record(rec2);
+      const auto report =
+          analyze_accuracy(exp.hypervisor.coverage(), rec2, replayed.behavior);
+      std::size_t seed_bytes = 0;
+      for (const auto& r : rec2) seed_bytes += r.seed.byte_size();
+      std::printf("   %s memory: coverage fit %.1f%%, corpus %zu bytes\n",
+                  with_memory ? "with   " : "without", report.coverage_fit_pct,
+                  seed_bytes);
+    }
+    std::printf("   (recording dereferenced guest pages closes the Fig 7\n"
+                "   emulator divergences at a seed-size cost)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Fig 7 — record-vs-replay coverage differences by exit reason.
+//
+// For each workload, aligns recorded and replayed exits, computes the
+// per-exit LOC difference (symmetric difference of block sets), clusters
+// by exit reason, and attributes the differing LOC to hypervisor
+// components. Paper: 1-30 LOC noise in vlapic.c/irq.c/vpt.c; >30 LOC
+// cases (0.36% / 0.18% / 1.16% of distinct seeds) in emulate.c, intr.c
+// and vmx.c.
+//
+//   $ ./bench_fig7_coverage_diff [exits] [seed]
+#include <map>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace iris;
+  const auto args = bench::Args::parse(argc, argv);
+
+  bench::print_header("Fig 7: coverage differences by exit reason");
+
+  const guest::Workload targets[] = {guest::Workload::kOsBoot,
+                                     guest::Workload::kCpuBound,
+                                     guest::Workload::kIdle};
+  const double paper_large_pct[] = {0.36, 0.18, 1.16};
+
+  int idx = 0;
+  for (const auto workload : targets) {
+    bench::Experiment exp(args.seed);
+    const VmBehavior& recorded =
+        exp.manager.record_workload(workload, args.exits, args.seed);
+    const auto replayed = exp.manager.replay_and_record(recorded);
+    const auto report = analyze_accuracy(exp.hypervisor.coverage(), recorded,
+                                         replayed.behavior);
+
+    // Cluster diffs by reason: min/max and component attribution.
+    struct Cluster {
+      std::uint32_t min = ~0u, max = 0;
+      std::size_t count = 0;
+      std::map<hv::Component, std::uint32_t> components;
+    };
+    std::map<vtx::ExitReason, Cluster> clusters;
+    for (const auto& diff : report.diffs) {
+      auto& c = clusters[diff.reason];
+      c.min = std::min(c.min, diff.loc_diff);
+      c.max = std::max(c.max, diff.loc_diff);
+      ++c.count;
+      for (const auto& [component, loc] : diff.by_component) {
+        c.components[component] += loc;
+      }
+    }
+
+    std::printf("\n--- %s\n", guest::to_string(workload).data());
+    std::printf("%-12s %6s %8s %8s  %s\n", "reason", "diffs", "min LOC", "max LOC",
+                "components (diff LOC)");
+    for (const auto& [reason, c] : clusters) {
+      std::printf("%-12s %6zu %8u %8u  ", bench::reason_label(reason), c.count,
+                  c.min, c.max);
+      for (const auto& [component, loc] : c.components) {
+        std::printf("%s=%u ", hv::to_string(component).data(), loc);
+      }
+      std::printf("\n");
+    }
+    std::printf("exits with diff > %u LOC: %.2f%%   (paper: %.2f%%)\n",
+                report.noise_threshold_loc, report.large_diff_pct,
+                paper_large_pct[idx]);
+    ++idx;
+  }
+
+  std::printf("\npaper claim: small diffs (<=30 LOC) cluster in "
+              "vlapic.c/irq.c/vpt.c (async noise);\nlarge diffs trace to "
+              "emulate.c/intr.c/vmx.c (guest-memory-dependent paths)\n");
+  return 0;
+}

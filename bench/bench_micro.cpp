@@ -1,0 +1,120 @@
+// Wall-clock microbenchmarks of the framework itself (google-benchmark):
+// how fast the model handles exits, replays seeds, and mutates them on
+// the host machine. These measure the simulator, not the paper's
+// testbed — simulated-time results live in the bench_fig* binaries.
+#include <benchmark/benchmark.h>
+
+#include "fuzz/mutator.h"
+#include "guest/workload.h"
+#include "iris/manager.h"
+
+namespace {
+
+using namespace iris;
+
+void BM_ProcessExit(benchmark::State& state) {
+  const auto reason = static_cast<vtx::ExitReason>(state.range(0));
+  hv::Hypervisor hv(1, 0.0);
+  hv::Domain& dom = hv.create_domain(hv::DomainRole::kTest);
+  if (!hv.launch(dom)) {
+    state.SkipWithError("launch failed");
+    return;
+  }
+  guest::GuestProgram program(guest::Workload::kCpuBound, 1, 1u << 20);
+  for (auto _ : state) {
+    hv::PendingExit exit = program.next(hv, dom, dom.vcpu());
+    exit.reason = reason == vtx::ExitReason::kPreemptionTimer ? exit.reason : reason;
+    // Use RDTSC-compatible setup for simple reasons; the generator's GPR
+    // state is close enough for dispatch-cost measurement.
+    if (reason == vtx::ExitReason::kRdtsc || reason == vtx::ExitReason::kCpuid) {
+      exit.qualification = 0;
+      exit.instruction_len = 2;
+    }
+    benchmark::DoNotOptimize(hv.process_exit(dom, dom.vcpu(), exit));
+    if (hv.failures().host_is_down()) {
+      state.SkipWithError("host down");
+      return;
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProcessExit)
+    ->Arg(static_cast<int>(vtx::ExitReason::kRdtsc))
+    ->Arg(static_cast<int>(vtx::ExitReason::kCpuid))
+    ->Arg(static_cast<int>(vtx::ExitReason::kPreemptionTimer));
+
+void BM_RecordWorkloadExit(benchmark::State& state) {
+  hv::Hypervisor hv(1, 0.0);
+  Manager manager(hv);
+  hv::Domain& test_vm = manager.test_vm();
+  guest::GuestProgram program(guest::Workload::kOsBoot, 1, 1u << 20);
+  Recorder recorder(hv);
+  recorder.attach();
+  for (auto _ : state) {
+    const auto exit = program.next(hv, test_vm, test_vm.vcpu());
+    recorder.finish_exit(hv.process_exit(test_vm, test_vm.vcpu(), exit));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordWorkloadExit);
+
+void BM_ReplaySubmit(benchmark::State& state) {
+  hv::Hypervisor hv(1, 0.0);
+  Manager manager(hv);
+  const VmBehavior& behavior =
+      manager.record_workload(guest::Workload::kCpuBound, 512, 1);
+  if (!manager.enable_replay()) {
+    state.SkipWithError("arm failed");
+    return;
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(manager.submit_seed(behavior[i % behavior.size()].seed));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplaySubmit);
+
+void BM_MutateSeed(benchmark::State& state) {
+  hv::Hypervisor hv(1, 0.0);
+  Manager manager(hv);
+  const VmBehavior& behavior =
+      manager.record_workload(guest::Workload::kCpuBound, 16, 1);
+  fuzz::Mutator mutator(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mutator.mutate(behavior[0].seed, fuzz::MutationArea::kVmcs));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MutateSeed);
+
+void BM_SeedSerializeRoundTrip(benchmark::State& state) {
+  hv::Hypervisor hv(1, 0.0);
+  Manager manager(hv);
+  const VmBehavior& behavior =
+      manager.record_workload(guest::Workload::kOsBoot, 16, 1);
+  for (auto _ : state) {
+    ByteWriter w;
+    behavior[0].seed.serialize(w);
+    ByteReader r(w.data());
+    benchmark::DoNotOptimize(VmSeed::deserialize(r));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeedSerializeRoundTrip);
+
+void BM_EptTranslate(benchmark::State& state) {
+  mem::Ept ept;
+  ept.identity_map(4096);
+  std::uint64_t gpa = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ept.translate(gpa, mem::EptAccess::kRead));
+    gpa = (gpa + 0x1000) & 0xFFFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EptTranslate);
+
+}  // namespace

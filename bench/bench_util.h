@@ -1,0 +1,54 @@
+// Shared helpers for the evaluation harness binaries.
+//
+// Each bench_* executable regenerates one table or figure of the paper
+// (see DESIGN.md §3). The helpers here cover the common loop: build a
+// hypervisor + manager, record a workload, replay it with metrics, and
+// print aligned table rows.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "iris/analysis.h"
+#include "iris/manager.h"
+
+namespace iris::bench {
+
+/// Standard experiment knobs, overridable from argv: exits-per-trace,
+/// RNG seed, repetition count.
+struct Args {
+  std::uint64_t exits = 5000;  ///< the paper's per-workload trace length
+  std::uint64_t seed = 42;
+  int runs = 1;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    if (argc > 1) args.exits = std::strtoull(argv[1], nullptr, 10);
+    if (argc > 2) args.seed = std::strtoull(argv[2], nullptr, 10);
+    if (argc > 3) args.runs = std::atoi(argv[3]);
+    return args;
+  }
+};
+
+/// A fresh hypervisor + manager pair for one experiment run.
+struct Experiment {
+  explicit Experiment(std::uint64_t seed, double noise = 0.02)
+      : hypervisor(seed, noise), manager(hypervisor) {}
+
+  hv::Hypervisor hypervisor;
+  Manager manager;
+};
+
+inline void print_header(const char* title) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline const char* reason_label(vtx::ExitReason reason) {
+  return vtx::to_string(reason).data();
+}
+
+}  // namespace iris::bench

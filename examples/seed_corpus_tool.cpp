@@ -1,0 +1,114 @@
+// Seed-corpus tool: record workloads into a seed DB file, inspect it,
+// and replay a stored behavior — the CLI face of the Fig 3 "VM seed DB".
+//
+//   $ ./seed_corpus_tool record <file> <workload> <exits> [seed]
+//   $ ./seed_corpus_tool info   <file>
+//   $ ./seed_corpus_tool replay <file> <workload>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+
+#include "iris/manager.h"
+
+namespace {
+
+int cmd_record(const char* path, const char* workload_name, std::uint64_t exits,
+               std::uint64_t seed) {
+  using namespace iris;
+  const auto workload = guest::workload_from_string(workload_name);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name);
+    return 1;
+  }
+  hv::Hypervisor hypervisor(seed, 0.02);
+  Manager manager(hypervisor);
+  // Merge into an existing corpus when present.
+  if (auto existing = SeedDb::load_file(path); existing.ok()) {
+    manager.db() = std::move(existing).take();
+  }
+  manager.record_workload(*workload, exits, seed);
+  if (const auto status = manager.db().save_file(path); !status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::printf("recorded %llu exits of %s into %s\n",
+              static_cast<unsigned long long>(exits), workload_name, path);
+  return 0;
+}
+
+int cmd_info(const char* path) {
+  using namespace iris;
+  auto db = SeedDb::load_file(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.error().message.c_str());
+    return 1;
+  }
+  std::printf("%s: %zu behaviors, %zu unique seeds, %zu seed bytes\n", path,
+              db.value().size(), db.value().unique_seed_count(),
+              db.value().total_seed_bytes());
+  for (const auto& name : db.value().names()) {
+    const VmBehavior* b = db.value().behavior(name);
+    std::map<std::string, int> reasons;
+    for (const auto& rec : *b) {
+      ++reasons[std::string(vtx::to_string(rec.seed.reason))];
+    }
+    std::printf("  %-12s %6zu exits:", name.c_str(), b->size());
+    for (const auto& [reason, count] : reasons) {
+      std::printf(" %s=%d", reason.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_replay(const char* path, const char* name) {
+  using namespace iris;
+  auto db = SeedDb::load_file(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.error().message.c_str());
+    return 1;
+  }
+  const VmBehavior* behavior = db.value().behavior(name);
+  if (behavior == nullptr) {
+    std::fprintf(stderr, "no behavior named '%s'\n", name);
+    return 1;
+  }
+  hv::Hypervisor hypervisor(1, 0.02);
+  Manager manager(hypervisor);
+  const auto t0 = hypervisor.clock().rdtsc();
+  const auto outcomes = manager.replay(*behavior);
+  const double secs = sim::Clock::cycles_to_s(hypervisor.clock().rdtsc() - t0);
+  std::size_t ok = 0;
+  for (const auto& o : outcomes) ok += o.failure == hv::FailureKind::kNone ? 1 : 0;
+  std::printf("replayed %zu/%zu seeds OK in %.3f simulated seconds", ok,
+              behavior->size(), secs);
+  if (ok < behavior->size() && !outcomes.empty()) {
+    std::printf(" (stopped: %s)",
+                std::string(hv::to_string(outcomes.back().failure)).c_str());
+  }
+  std::printf("\n");
+  return ok == behavior->size() ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "info") == 0) {
+    return cmd_info(argv[2]);
+  }
+  if (argc >= 5 && std::strcmp(argv[1], "record") == 0) {
+    return cmd_record(argv[2], argv[3], std::strtoull(argv[4], nullptr, 10),
+                      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "replay") == 0) {
+    return cmd_replay(argv[2], argv[3]);
+  }
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s record <file> <workload> <exits> [seed]\n"
+               "  %s info   <file>\n"
+               "  %s replay <file> <workload>\n",
+               argv[0], argv[0], argv[0]);
+  return 1;
+}

@@ -1,0 +1,189 @@
+#include "fuzz/coverage_guided.h"
+
+#include <algorithm>
+#include <array>
+
+namespace iris::fuzz {
+namespace {
+
+constexpr std::array<std::uint64_t, 8> kInterestingValues = {
+    0ULL,
+    ~0ULL,
+    1ULL,
+    0x8000000000000000ULL,
+    0x7FFFFFFFFFFFFFFFULL,
+    0xFFFFFFFFULL,
+    0x80000000ULL,
+    0xFFFFULL,
+};
+
+}  // namespace
+
+std::string_view to_string(MutationOp op) noexcept {
+  switch (op) {
+    case MutationOp::kBitFlip:
+      return "bit-flip";
+    case MutationOp::kByteFlip:
+      return "byte-flip";
+    case MutationOp::kInteresting:
+      return "interesting-value";
+    case MutationOp::kArith:
+      return "arith";
+    case MutationOp::kFieldSwap:
+      return "field-swap";
+  }
+  return "?";
+}
+
+CoverageGuidedFuzzer::CoverageGuidedFuzzer(Manager& manager)
+    : CoverageGuidedFuzzer(manager, Config{}) {}
+
+CoverageGuidedFuzzer::CoverageGuidedFuzzer(Manager& manager, Config config)
+    : manager_(&manager), config_(config) {}
+
+VmSeed CoverageGuidedFuzzer::apply(const VmSeed& seed, MutationArea area,
+                                   MutationOp op, Rng& rng,
+                                   AppliedMutation* applied) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < seed.items.size(); ++i) {
+    if ((area == MutationArea::kGpr) == seed.items[i].is_gpr()) {
+      candidates.push_back(i);
+    }
+  }
+  VmSeed mutant = seed;
+  if (candidates.empty()) return mutant;
+  const std::size_t index = candidates[rng.below(candidates.size())];
+  const std::uint64_t old_value = mutant.items[index].value;
+  std::uint64_t value = old_value;
+  switch (op) {
+    case MutationOp::kBitFlip:
+      value ^= 1ULL << rng.below(64);
+      break;
+    case MutationOp::kByteFlip:
+      value ^= 0xFFULL << (8 * rng.below(8));
+      break;
+    case MutationOp::kInteresting:
+      value = kInterestingValues[rng.below(kInterestingValues.size())];
+      break;
+    case MutationOp::kArith: {
+      const std::uint64_t delta = 1 + rng.below(32);
+      value = rng.chance(0.5) ? value + delta : value - delta;
+      break;
+    }
+    case MutationOp::kFieldSwap: {
+      const std::size_t other = candidates[rng.below(candidates.size())];
+      value = seed.items[other].value;
+      break;
+    }
+  }
+  mutant.items[index].value = value;
+  if (applied != nullptr) {
+    applied->item_index = index;
+    applied->old_value = old_value;
+    applied->new_value = value;
+    applied->bit = 0;
+  }
+  return mutant;
+}
+
+CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
+                                        std::size_t target_index, MutationArea area,
+                                        std::uint64_t rng_seed) {
+  CampaignStats stats;
+  if (target_index >= behavior.size()) return stats;
+  Rng rng(rng_seed);
+
+  // Reach the target state s1 via replay (Fig 11).
+  manager_->hv().failures().reset();
+  manager_->reset_dummy_vm();
+  if (!manager_->enable_replay(config_.replay)) return stats;
+  for (std::size_t i = 0; i < target_index; ++i) {
+    if (manager_->submit_seed(behavior[i].seed).failure != hv::FailureKind::kNone) {
+      return stats;
+    }
+  }
+
+  hv::CoverageAccumulator covered(manager_->hv().coverage());
+  const auto baseline = manager_->submit_seed(behavior[target_index].seed);
+  covered.add(baseline.coverage);
+  stats.initial_loc = covered.total_loc();
+
+  hv::Domain& dummy = manager_->dummy_vm();
+  const auto s1 = dummy.snapshot();
+
+  std::vector<CorpusEntry> corpus;
+  corpus.push_back(CorpusEntry{behavior[target_index].seed, 16, 0, 0,
+                               MutationOp::kBitFlip});
+
+  const std::array<MutationOp, 5> ops = {MutationOp::kBitFlip, MutationOp::kByteFlip,
+                                         MutationOp::kInteresting, MutationOp::kArith,
+                                         MutationOp::kFieldSwap};
+
+  std::size_t next = 0;
+  while (stats.executed < config_.max_executions) {
+    // Index-based access throughout: promotions push into `corpus` and
+    // would invalidate references.
+    const std::size_t entry_index = next % corpus.size();
+    ++next;
+
+    const std::uint32_t energy = corpus[entry_index].energy;
+    for (std::uint32_t e = 0;
+         e < energy && stats.executed < config_.max_executions; ++e) {
+      const MutationOp op =
+          config_.bitflip_only ? MutationOp::kBitFlip : ops[rng.below(ops.size())];
+      AppliedMutation applied;
+      VmSeed mutant = apply(corpus[entry_index].seed, area, op, rng, &applied);
+      ++stats.executed;
+
+      const auto outcome = manager_->submit_seed(mutant);
+      const std::uint32_t gained = covered.add(outcome.coverage);
+      stats.coverage_curve.push_back(covered.total_loc());
+
+      switch (outcome.failure) {
+        case hv::FailureKind::kNone:
+          break;
+        case hv::FailureKind::kVmCrash:
+          ++stats.vm_crashes;
+          break;
+        case hv::FailureKind::kHypervisorCrash:
+          ++stats.hv_crashes;
+          break;
+        default:
+          ++stats.hangs;
+          break;
+      }
+      if (outcome.failure != hv::FailureKind::kNone) {
+        if (stats.crashes.size() < config_.max_archived_crashes) {
+          stats.crashes.push_back(CrashRecord{mutant, applied, outcome.failure,
+                                              outcome.failure_reason,
+                                              stats.executed - 1});
+        }
+        manager_->hv().failures().reset();
+        dummy.restore(s1);
+        if (!manager_->enable_replay(config_.replay)) {
+          stats.corpus_size = corpus.size();
+          stats.total_loc = covered.total_loc();
+          return stats;
+        }
+        continue;  // crashing inputs are archived, not evolved
+      }
+
+      if (gained > 0 && corpus.size() < config_.max_corpus) {
+        // New coverage: promote the mutant and reward its lineage.
+        corpus.push_back(CorpusEntry{std::move(mutant), 16, 0, entry_index, op});
+        ++corpus[entry_index].discoveries;
+        corpus[entry_index].energy =
+            std::min<std::uint32_t>(corpus[entry_index].energy * 2, 128);
+        ++stats.corpus_size;
+      }
+    }
+    // Decay energy so stale entries yield the scheduler.
+    if (corpus[entry_index].energy > 4) corpus[entry_index].energy -= 2;
+  }
+
+  stats.corpus_size = corpus.size();
+  stats.total_loc = covered.total_loc();
+  return stats;
+}
+
+}  // namespace iris::fuzz

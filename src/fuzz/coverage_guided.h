@@ -1,0 +1,84 @@
+// Coverage-guided fuzzing loop (paper §IX "Fuzzing" — the planned
+// evolution of the PoC).
+//
+// The PoC fuzzer mutates one fixed VMseed_R with single bit-flips. This
+// extension closes the loop the way greybox fuzzers do: mutants that
+// discover new hypervisor coverage join the corpus and are themselves
+// mutated, with energy proportional to how recently they paid off. The
+// mutation menu also grows beyond single bit-flips (multi-bit, byte
+// rewrites, interesting values), while still targeting the VM-seed
+// areas (VMCS fields / GPRs) the paper defines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/mutator.h"
+#include "iris/manager.h"
+
+namespace iris::fuzz {
+
+/// Extended mutation operators (§IX: "the simpler mutation rules adopted
+/// do not cover the complex fuzzing logic of state-of-the-art fuzzers").
+enum class MutationOp : std::uint8_t {
+  kBitFlip = 0,       ///< the PoC's single bit-flip
+  kByteFlip = 1,      ///< flip one whole byte
+  kInteresting = 2,   ///< overwrite with an interesting value (0, ~0, MSB...)
+  kArith = 3,         ///< +/- small delta
+  kFieldSwap = 4,     ///< copy another item's value over this one
+};
+
+[[nodiscard]] std::string_view to_string(MutationOp op) noexcept;
+
+/// One corpus entry: a seed plus scheduling metadata.
+struct CorpusEntry {
+  VmSeed seed;
+  std::uint32_t energy = 8;        ///< mutations to spend per schedule
+  std::uint32_t discoveries = 0;   ///< times a mutant of this entry paid off
+  std::size_t parent = 0;          ///< corpus index this evolved from
+  MutationOp born_of = MutationOp::kBitFlip;
+};
+
+struct CampaignStats {
+  std::size_t executed = 0;
+  std::size_t corpus_size = 0;
+  std::uint32_t initial_loc = 0;  ///< coverage of the initial seed alone
+  std::uint32_t total_loc = 0;    ///< cumulative coverage at the end
+  std::size_t vm_crashes = 0;
+  std::size_t hv_crashes = 0;
+  std::size_t hangs = 0;
+  std::vector<CrashRecord> crashes;
+  /// total_loc after each executed mutant (discovery curve).
+  std::vector<std::uint32_t> coverage_curve;
+};
+
+class CoverageGuidedFuzzer {
+ public:
+  struct Config {
+    std::size_t max_executions = 10'000;
+    std::size_t max_corpus = 256;
+    std::size_t max_archived_crashes = 64;
+    /// Use only bit-flips (the PoC rule) — for A/B comparisons.
+    bool bitflip_only = false;
+    Replayer::Config replay;
+  };
+
+  explicit CoverageGuidedFuzzer(Manager& manager);
+  CoverageGuidedFuzzer(Manager& manager, Config config);
+
+  /// Run a campaign against one target seed reached by replaying
+  /// `behavior` up to `target_index` (the Fig 11 structure, evolved).
+  CampaignStats run(const VmBehavior& behavior, std::size_t target_index,
+                    MutationArea area, std::uint64_t rng_seed);
+
+ private:
+  VmSeed apply(const VmSeed& seed, MutationArea area, MutationOp op, Rng& rng,
+               AppliedMutation* applied);
+
+  Manager* manager_;
+  Config config_;
+};
+
+}  // namespace iris::fuzz

@@ -1,0 +1,115 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+
+namespace iris::fuzz {
+
+Fuzzer::Fuzzer(Manager& manager) : Fuzzer(manager, Config{}) {}
+
+Fuzzer::Fuzzer(Manager& manager, Config config)
+    : manager_(&manager), config_(config) {}
+
+bool Fuzzer::walk_to_target(const VmBehavior& w, std::size_t target) {
+  manager_->hv().failures().reset();
+  manager_->reset_dummy_vm();
+  if (!manager_->enable_replay(config_.replay)) return false;
+  for (std::size_t i = 0; i < target; ++i) {
+    const auto outcome = manager_->submit_seed(w[i].seed);
+    if (outcome.failure != hv::FailureKind::kNone) return false;
+  }
+  return true;
+}
+
+TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior& w) {
+  TestCaseResult result;
+  result.spec = spec;
+
+  Mutator mutator(spec.rng_seed);
+
+  // --- Pick VMseed_R at random among the seeds with the target reason.
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i].seed.reason == spec.reason) candidates.push_back(i);
+  }
+  if (candidates.empty()) return result;  // '-' cell in Table I
+  result.target_index = candidates[mutator.rng().below(candidates.size())];
+  const VmSeed& target_seed = w[result.target_index].seed;
+
+  // --- Reach the linked VM state s1 via IRIS replay (Fig 11).
+  if (!walk_to_target(w, result.target_index)) return result;
+  result.ran = true;
+
+  // Baseline: the coverage of the unmutated VMseed_R from s1.
+  hv::CoverageAccumulator covered(manager_->hv().coverage());
+  const auto baseline = manager_->submit_seed(target_seed);
+  covered.add(baseline.coverage);
+  result.baseline_loc = covered.total_loc();
+
+  // Snapshot s1 so crashing mutants don't force a full re-walk.
+  hv::Domain& dummy = manager_->dummy_vm();
+  const auto s1 = dummy.snapshot();
+
+  for (std::size_t m = 0; m < spec.mutants; ++m) {
+    AppliedMutation applied;
+    const auto mutant = mutator.mutate(target_seed, spec.area, &applied);
+    if (!mutant) break;  // no items in this area (cannot happen for GPR)
+    ++result.executed;
+
+    const auto outcome = manager_->submit_seed(*mutant);
+    result.new_loc += covered.add(outcome.coverage);
+
+    switch (outcome.failure) {
+      case hv::FailureKind::kNone:
+        continue;
+      case hv::FailureKind::kVmCrash:
+        ++result.vm_crashes;
+        if (outcome.failure_reason.find("VM entry failed") != std::string::npos) {
+          ++result.entry_check_rejections;
+        }
+        break;
+      case hv::FailureKind::kHypervisorCrash:
+        ++result.hv_crashes;
+        break;
+      case hv::FailureKind::kVmHang:
+      case hv::FailureKind::kHypervisorHang:
+        ++result.hangs;
+        break;
+    }
+    if (result.crashes.size() < config_.max_archived_crashes) {
+      result.crashes.push_back(CrashRecord{*mutant, applied, outcome.failure,
+                                           outcome.failure_reason, m});
+    }
+    // Recover: clear failure state and restore the dummy VM to s1.
+    manager_->hv().failures().reset();
+    dummy.restore(s1);
+    if (!manager_->enable_replay(config_.replay)) break;
+  }
+
+  result.coverage_increase_pct =
+      result.baseline_loc == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(result.new_loc) /
+                static_cast<double>(result.baseline_loc);
+  return result;
+}
+
+std::vector<TestCaseResult> Fuzzer::run_grid(guest::Workload workload,
+                                             const VmBehavior& w, std::size_t mutants,
+                                             std::uint64_t rng_seed) {
+  std::vector<TestCaseResult> results;
+  for (const auto reason : vtx::kClusterReasons) {
+    for (const auto area : {MutationArea::kVmcs, MutationArea::kGpr}) {
+      TestCaseSpec spec;
+      spec.workload = workload;
+      spec.reason = reason;
+      spec.area = area;
+      spec.mutants = mutants;
+      spec.rng_seed = rng_seed ^ (static_cast<std::uint64_t>(reason) << 8) ^
+                      static_cast<std::uint64_t>(area);
+      results.push_back(run_test_case(spec, w));
+    }
+  }
+  return results;
+}
+
+}  // namespace iris::fuzz

@@ -1,0 +1,86 @@
+// IRIS-based proof-of-concept fuzzer (paper §VII, Fig 11).
+//
+// Test-case structure: a target workload behavior W, a target seed
+// VMseed_R chosen among W's exits with the test's exit reason, and a
+// seed area A in {VMCS, GPR}. Execution: start the dummy VM from the
+// initial state s0, use IRIS replay to walk W up to VMseed_R (reaching
+// the linked VM state s1), then submit M single-bit-flip mutants of
+// VMseed_R. New hypervisor coverage relative to the unmutated VMseed_R
+// is the Table I metric; hypervisor/VM crashes and hangs are detected by
+// inspecting the failure manager and the hypervisor log, and crashing
+// seeds are archived for triage.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fuzz/mutator.h"
+#include "iris/manager.h"
+
+namespace iris::fuzz {
+
+/// One Table I cell: workload x exit reason x mutated area.
+struct TestCaseSpec {
+  guest::Workload workload = guest::Workload::kCpuBound;
+  vtx::ExitReason reason = vtx::ExitReason::kRdtsc;
+  MutationArea area = MutationArea::kVmcs;
+  std::size_t mutants = 10'000;  ///< the paper's M
+  std::uint64_t rng_seed = 1;
+};
+
+/// A crashing (or hanging) mutant, archived for triage (paper §VII-3).
+struct CrashRecord {
+  VmSeed mutant;
+  AppliedMutation mutation;
+  hv::FailureKind kind = hv::FailureKind::kNone;
+  std::string log_line;       ///< matching hypervisor log entry
+  std::size_t mutant_index = 0;
+};
+
+struct TestCaseResult {
+  TestCaseSpec spec;
+  bool ran = false;             ///< false if W has no seed with the reason
+  std::size_t target_index = 0; ///< index of VMseed_R within W
+  std::uint32_t baseline_loc = 0;  ///< coverage of the unmutated VMseed_R
+  std::uint32_t new_loc = 0;       ///< additional LOC found by the sequence
+  double coverage_increase_pct = 0.0;  ///< the Table I cell value
+  std::size_t executed = 0;
+  std::size_t vm_crashes = 0;
+  std::size_t hv_crashes = 0;
+  std::size_t hangs = 0;
+  std::size_t entry_check_rejections = 0;  ///< mutants stopped by SDM 26.3
+  std::vector<CrashRecord> crashes;
+};
+
+class Fuzzer {
+ public:
+  struct Config {
+    /// Cap archived crash records per test case (triage storage bound).
+    std::size_t max_archived_crashes = 32;
+    Replayer::Config replay;
+  };
+
+  explicit Fuzzer(Manager& manager);
+  Fuzzer(Manager& manager, Config config);
+
+  /// Run one test case against a recorded behavior `w` (which must be
+  /// the recording of spec.workload).
+  TestCaseResult run_test_case(const TestCaseSpec& spec, const VmBehavior& w);
+
+  /// Run the full Table I grid for one workload: every exit reason
+  /// present in `w`, both areas.
+  std::vector<TestCaseResult> run_grid(guest::Workload workload, const VmBehavior& w,
+                                       std::size_t mutants, std::uint64_t rng_seed);
+
+ private:
+  /// Replay w[0..target] onto a fresh dummy VM; returns false if the
+  /// walk itself failed (cannot reach s1).
+  bool walk_to_target(const VmBehavior& w, std::size_t target);
+
+  Manager* manager_;
+  Config config_;
+};
+
+}  // namespace iris::fuzz

@@ -1,0 +1,32 @@
+#include "fuzz/mutator.h"
+
+#include <vector>
+
+namespace iris::fuzz {
+
+std::string_view to_string(MutationArea area) noexcept {
+  return area == MutationArea::kVmcs ? "VMCS" : "GPR";
+}
+
+std::optional<VmSeed> Mutator::mutate(const VmSeed& seed, MutationArea area,
+                                      AppliedMutation* applied) {
+  std::vector<std::size_t> candidates;
+  candidates.reserve(seed.items.size());
+  for (std::size_t i = 0; i < seed.items.size(); ++i) {
+    const bool is_gpr = seed.items[i].is_gpr();
+    if ((area == MutationArea::kGpr) == is_gpr) candidates.push_back(i);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  VmSeed mutant = seed;
+  const std::size_t index = candidates[rng_.below(candidates.size())];
+  const auto bit = static_cast<std::uint8_t>(rng_.below(64));
+  const std::uint64_t old_value = mutant.items[index].value;
+  mutant.items[index].value = old_value ^ (1ULL << bit);
+  if (applied != nullptr) {
+    *applied = AppliedMutation{index, bit, old_value, mutant.items[index].value};
+  }
+  return mutant;
+}
+
+}  // namespace iris::fuzz

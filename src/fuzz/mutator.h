@@ -1,0 +1,47 @@
+// Seed mutation rules (paper §VII-2).
+//
+// The PoC fuzzer's rule is deliberately naive: pick one item from the
+// chosen VM-seed area (VMCS fields or GPRs) and flip a single bit of its
+// value. The point of the paper — and of this module — is that even this
+// rule finds new coverage and crashes once IRIS can put the hypervisor
+// into deep valid states first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "iris/seed.h"
+#include "support/rng.h"
+
+namespace iris::fuzz {
+
+/// Which seed area a test case mutates (Table I columns).
+enum class MutationArea : std::uint8_t { kVmcs = 0, kGpr = 1 };
+
+[[nodiscard]] std::string_view to_string(MutationArea area) noexcept;
+
+/// Description of one applied mutation (crash-triage metadata).
+struct AppliedMutation {
+  std::size_t item_index = 0;
+  std::uint8_t bit = 0;
+  std::uint64_t old_value = 0;
+  std::uint64_t new_value = 0;
+};
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t rng_seed) : rng_(rng_seed) {}
+
+  /// Return a copy of `seed` with a single bit flipped in a random item
+  /// of `area`. Returns nullopt if the seed has no item in that area.
+  std::optional<VmSeed> mutate(const VmSeed& seed, MutationArea area,
+                               AppliedMutation* applied = nullptr);
+
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace iris::fuzz

@@ -1,0 +1,96 @@
+// Synthetic guest workloads.
+//
+// The paper characterizes workloads purely by the VM-exit traces they
+// induce (Fig 4/5): OS_BOOT (Linux boot: BIOS dialog, the protected-mode
+// switch protocol of §III, device probing), CPU-/MEM-/IO-bound stress,
+// and IDLE. GuestProgram reproduces those traces architecturally: each
+// emitted event sets up the vCPU and guest memory the way the real
+// instruction sequence would, advances simulated guest-side time, and
+// yields the PendingExit for the hypervisor to handle.
+//
+// Mix targets (Fig 5): OS_BOOT is dominated by I/O-instruction and
+// CR-access exits; the steady workloads are ~80% RDTSC (timekeeping and
+// scheduler clocks) with workload-specific seasoning; IDLE adds HLT.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "guest/guest_ops.h"
+#include "support/rng.h"
+
+namespace iris::guest {
+
+enum class Workload : std::uint8_t {
+  kOsBoot = 0,
+  kCpuBound = 1,
+  kMemBound = 2,
+  kIoBound = 3,
+  kIdle = 4,
+};
+
+inline constexpr int kNumWorkloads = 5;
+
+[[nodiscard]] std::string_view to_string(Workload w) noexcept;
+[[nodiscard]] std::optional<Workload> workload_from_string(std::string_view name) noexcept;
+
+/// Number of exits a full Linux boot produces in the paper (§VI-A).
+inline constexpr std::uint64_t kFullBootExits = 520'000;
+/// BIOS prefix of the full boot (the first ~10K exits, Fig 4).
+inline constexpr std::uint64_t kFullBootBiosExits = 10'000;
+
+class GuestProgram {
+ public:
+  /// `planned_length` scales the OS_BOOT stage boundaries so a 5000-exit
+  /// trace and the full 520K-exit boot have the same shape.
+  GuestProgram(Workload workload, std::uint64_t seed,
+               std::uint64_t planned_length = 5000);
+
+  /// Produce the next guest event: mutates guest registers/memory and
+  /// simulated time, returns the exit for Hypervisor::process_exit.
+  hv::PendingExit next(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu);
+
+  [[nodiscard]] Workload workload() const noexcept { return workload_; }
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+
+  /// True while the OS_BOOT program is still in its BIOS stage (the
+  /// paper excludes these exits from the recorded trace).
+  [[nodiscard]] bool in_bios_stage() const noexcept;
+
+ private:
+  hv::PendingExit next_boot(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu);
+  hv::PendingExit next_steady(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu);
+  hv::PendingExit bios_event(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu);
+  hv::PendingExit mode_switch_event(hv::Hypervisor& hv, hv::Domain& dom,
+                                    hv::HvVcpu& vcpu);
+  void advance_guest_time(hv::Hypervisor& hv);
+
+  Workload workload_;
+  Rng rng_;
+  std::uint64_t planned_length_;
+  std::uint64_t emitted_ = 0;
+
+  // OS_BOOT staging.
+  std::uint64_t bios_end_;
+  std::uint64_t mode_switch_step_ = 0;
+  bool mode_switch_done_ = false;
+  std::uint64_t next_cr3_ = 0x01000000;
+  std::uint32_t io_dialog_step_ = 0;
+  std::uint64_t next_fault_gpa_ = 0x02000000;
+};
+
+/// One handled exit of a recorded/driven trace.
+struct TraceRecord {
+  vtx::ExitReason reason;
+  hv::HandleOutcome outcome;
+};
+
+/// Drive `program` for `n` exits through the hypervisor (the "real guest
+/// execution" loop). Stops early if the domain or host dies.
+std::vector<TraceRecord> run_workload(hv::Hypervisor& hv, hv::Domain& dom,
+                                      hv::HvVcpu& vcpu, GuestProgram& program,
+                                      std::uint64_t n);
+
+}  // namespace iris::guest

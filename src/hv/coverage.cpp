@@ -1,0 +1,102 @@
+#include "hv/coverage.h"
+
+#include <algorithm>
+
+namespace iris::hv {
+
+std::string_view to_string(Component c) noexcept {
+  switch (c) {
+    case Component::kVmx:
+      return "vmx.c";
+    case Component::kIntr:
+      return "intr.c";
+    case Component::kEmulate:
+      return "emulate.c";
+    case Component::kVlapic:
+      return "vlapic.c";
+    case Component::kIrq:
+      return "irq.c";
+    case Component::kVpt:
+      return "vpt.c";
+    case Component::kIo:
+      return "io.c";
+    case Component::kHvm:
+      return "hvm.c";
+    case Component::kVmcsWrap:
+      return "vmcs.c";
+    case Component::kHypercall:
+      return "hypercall.c";
+    case Component::kIris:
+      return "iris.c";
+  }
+  return "?";
+}
+
+std::uint32_t ExitCoverage::loc_in(const CoverageMap& map, Component component) const {
+  std::uint32_t total = 0;
+  for (BlockKey key : blocks) {
+    if (block_component(key) == component) total += map.loc_of(key);
+  }
+  return total;
+}
+
+void CoverageMap::hit(Component component, std::uint16_t id, std::uint8_t loc) {
+  const BlockKey key = pack_block(component, id);
+  loc_.try_emplace(key, loc);
+  if (current_set_.insert(key).second) {
+    current_exit_.push_back(key);
+  }
+}
+
+void CoverageMap::begin_exit() {
+  current_exit_.clear();
+  current_set_.clear();
+}
+
+ExitCoverage CoverageMap::end_exit(bool filter_iris) {
+  ExitCoverage cov;
+  cov.blocks.reserve(current_exit_.size());
+  for (BlockKey key : current_exit_) {
+    if (filter_iris && block_component(key) == Component::kIris) continue;
+    cov.blocks.push_back(key);
+  }
+  std::sort(cov.blocks.begin(), cov.blocks.end());
+  for (BlockKey key : cov.blocks) {
+    cov.loc += loc_of(key);
+  }
+  current_exit_.clear();
+  current_set_.clear();
+  return cov;
+}
+
+std::uint8_t CoverageMap::loc_of(BlockKey key) const noexcept {
+  const auto it = loc_.find(key);
+  return it == loc_.end() ? 0 : it->second;
+}
+
+void CoverageMap::reset() {
+  loc_.clear();
+  current_exit_.clear();
+  current_set_.clear();
+}
+
+std::uint32_t CoverageAccumulator::add(const ExitCoverage& exit_cov) {
+  std::uint32_t gained = 0;
+  for (BlockKey key : exit_cov.blocks) {
+    if (seen_.insert(key).second) {
+      gained += map_->loc_of(key);
+    }
+  }
+  total_loc_ += gained;
+  return gained;
+}
+
+std::uint32_t CoverageAccumulator::loc_not_in(const CoverageAccumulator& other) const {
+  std::uint32_t total = 0;
+  for (BlockKey key : seen_) {
+    if (!other.seen_.contains(key)) total += map_->loc_of(key);
+  }
+  return total;
+}
+
+}  // namespace iris::hv

@@ -1,0 +1,120 @@
+// Basic-block coverage instrumentation of the hypervisor.
+//
+// Stands in for the paper's selective gcov instrumentation (§V-A): only
+// components crucial to VM-exit handling are instrumented, each basic
+// block carries a line-of-code weight, and the per-exit block set is
+// exported so IRIS can attribute coverage to individual VM seeds. The
+// record/replay components instrument themselves under Component::kIris
+// so their hits can be "cleaned up" exactly as the paper does.
+//
+// Fig 6 plots cumulative unique LOC; Fig 7 clusters record-vs-replay LOC
+// differences by exit reason and attributes them to components
+// (vlapic/irq/vpt noise vs emulate/intr/vmx structural divergence).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace iris::hv {
+
+/// Instrumented hypervisor components, named after the Xen source files
+/// the paper cites ("vmx.c", "intr.c", "emulate.c", "vlapic.c", "irq.c",
+/// "vpt.c").
+enum class Component : std::uint8_t {
+  kVmx = 0,        ///< vmx.c — exit dispatcher + VMX handlers
+  kIntr = 1,       ///< intr.c — interrupt delivery on the exit path
+  kEmulate = 2,    ///< emulate.c — HVM instruction emulator
+  kVlapic = 3,     ///< vlapic.c — virtual local APIC
+  kIrq = 4,        ///< irq.c — IRQ chip / vector bookkeeping
+  kVpt = 5,        ///< vpt.c — virtual platform timer
+  kIo = 6,         ///< io.c — port/MMIO dispatch
+  kHvm = 7,        ///< hvm.c — domain-level HVM helpers
+  kVmcsWrap = 8,   ///< vmcs.c — vmread/vmwrite wrappers
+  kHypercall = 9,  ///< hypercall.c — hypercall table
+  kIris = 10,      ///< IRIS record/replay callbacks (filtered out)
+};
+
+inline constexpr int kNumComponents = 11;
+
+[[nodiscard]] std::string_view to_string(Component c) noexcept;
+
+/// Packed block identity: component in the top byte, block id below.
+using BlockKey = std::uint32_t;
+
+[[nodiscard]] constexpr BlockKey pack_block(Component c, std::uint16_t id) noexcept {
+  return (static_cast<BlockKey>(c) << 16) | id;
+}
+[[nodiscard]] constexpr Component block_component(BlockKey key) noexcept {
+  return static_cast<Component>(key >> 16);
+}
+
+/// Per-exit coverage record: the unique blocks hit while handling one VM
+/// exit, with their total LOC weight (the paper's "code coverage" unit).
+struct ExitCoverage {
+  std::vector<BlockKey> blocks;  ///< sorted, unique
+  std::uint32_t loc = 0;         ///< sum of the blocks' LOC weights
+
+  /// LOC restricted to a component subset (Fig 7 clustering).
+  [[nodiscard]] std::uint32_t loc_in(const class CoverageMap& map,
+                                     Component component) const;
+};
+
+/// The shared-memory coverage bitmap of the instrumented hypervisor.
+class CoverageMap {
+ public:
+  /// Mark `(<component>, id)` as executed; `loc` is the block's
+  /// line-of-code weight, fixed at the first hit (call sites are static).
+  void hit(Component component, std::uint16_t id, std::uint8_t loc);
+
+  /// Begin attributing hits to a new VM exit.
+  void begin_exit();
+
+  /// Finish the current exit; returns its unique block set. When
+  /// `filter_iris` is set, Component::kIris hits are removed (the
+  /// paper's cleanup of record/replay-component coverage).
+  ExitCoverage end_exit(bool filter_iris = true);
+
+  /// LOC weight of a block (0 if never seen anywhere).
+  [[nodiscard]] std::uint8_t loc_of(BlockKey key) const noexcept;
+
+  /// All blocks ever seen with their weights (registry view).
+  [[nodiscard]] const std::unordered_map<BlockKey, std::uint8_t>& registry()
+      const noexcept {
+    return loc_;
+  }
+
+  void reset();
+
+ private:
+  std::unordered_map<BlockKey, std::uint8_t> loc_;
+  std::vector<BlockKey> current_exit_;
+  std::unordered_set<BlockKey> current_set_;
+};
+
+/// Cumulative unique-coverage accumulator (the Fig 6 curves).
+class CoverageAccumulator {
+ public:
+  explicit CoverageAccumulator(const CoverageMap& map) : map_(&map) {}
+
+  /// Merge one exit's coverage; returns the LOC newly discovered.
+  std::uint32_t add(const ExitCoverage& exit_cov);
+
+  [[nodiscard]] std::uint32_t total_loc() const noexcept { return total_loc_; }
+  [[nodiscard]] std::size_t unique_blocks() const noexcept { return seen_.size(); }
+  [[nodiscard]] const std::unordered_set<BlockKey>& blocks() const noexcept {
+    return seen_;
+  }
+
+  /// LOC covered here but not in `other` (one side of a Fig 7 diff).
+  [[nodiscard]] std::uint32_t loc_not_in(const CoverageAccumulator& other) const;
+
+ private:
+  const CoverageMap* map_;
+  std::unordered_set<BlockKey> seen_;
+  std::uint32_t total_loc_ = 0;
+};
+
+}  // namespace iris::hv

@@ -1,0 +1,243 @@
+#include "hv/devices.h"
+
+#include <array>
+#include <memory>
+
+namespace iris::hv {
+namespace {
+
+using mem::IoResult;
+constexpr Component kC = Component::kIo;
+
+/// 8259 programmable interrupt controller pair (init sequence dialog).
+struct PicState {
+  std::uint8_t imr = 0xFF;
+  std::uint8_t icw_step = 0;
+};
+
+/// 8254 programmable interval timer.
+struct PitState {
+  std::uint16_t reload = 0xFFFF;
+  std::uint8_t access_low_next = 1;
+};
+
+/// MC146818 CMOS/RTC.
+struct CmosState {
+  std::uint8_t index = 0;
+  std::array<std::uint8_t, 128> ram{};
+};
+
+/// Minimal IDE status machine (always-ready disk).
+struct IdeState {
+  std::uint8_t last_cmd = 0;
+};
+
+struct SerialState {
+  std::uint8_t lcr = 0;
+  std::uint8_t divisor_latch = 0;
+};
+
+struct PciState {
+  std::uint32_t config_addr = 0;
+};
+
+}  // namespace
+
+std::size_t register_pc_platform(mem::PioSpace& pio, CoverageMap& cov) {
+  std::size_t count = 0;
+  CoverageMap* covp = &cov;
+
+  // --- 8259 PICs. ---
+  auto pic1 = std::make_shared<PicState>();
+  auto pic2 = std::make_shared<PicState>();
+  auto pic_handler = [covp](std::shared_ptr<PicState> pic) {
+    return [covp, pic](std::uint16_t port, bool is_write, std::uint8_t,
+                       std::uint64_t value) -> IoResult {
+      covp->hit(kC, 10, 4);  // vpic dispatch
+      const bool cmd_port = (port & 1) == 0;
+      if (is_write) {
+        if (cmd_port && (value & 0x10)) {
+          covp->hit(kC, 11, 3);  // ICW1 restarts init sequence
+          pic->icw_step = 1;
+        } else if (!cmd_port && pic->icw_step > 0 && pic->icw_step < 4) {
+          covp->hit(kC, 12, 3);  // ICW2..ICW4
+          ++pic->icw_step;
+        } else if (!cmd_port) {
+          covp->hit(kC, 13, 2);  // OCW1: mask register
+          pic->imr = static_cast<std::uint8_t>(value);
+        } else {
+          covp->hit(kC, 14, 2);  // OCW2/OCW3 (EOI etc.)
+        }
+        return {true, 0};
+      }
+      covp->hit(kC, 15, 2);
+      return {true, cmd_port ? 0u : pic->imr};
+    };
+  };
+  pio.register_range(mem::kPortPic1Cmd, 2, "vpic0", pic_handler(pic1));
+  pio.register_range(mem::kPortPic2Cmd, 2, "vpic1", pic_handler(pic2));
+  count += 2;
+
+  // --- 8254 PIT. ---
+  auto pit = std::make_shared<PitState>();
+  pio.register_range(
+      mem::kPortPit, 4, "vpit",
+      [covp, pit](std::uint16_t port, bool is_write, std::uint8_t,
+                  std::uint64_t value) -> IoResult {
+        covp->hit(kC, 20, 4);
+        if (port == mem::kPortPitCmd) {
+          covp->hit(kC, 21, 3);  // control word
+          pit->access_low_next = 1;
+          return {true, 0};
+        }
+        if (is_write) {
+          if (pit->access_low_next) {
+            covp->hit(kC, 22, 2);
+            pit->reload = static_cast<std::uint16_t>((pit->reload & 0xFF00) |
+                                                     (value & 0xFF));
+          } else {
+            covp->hit(kC, 23, 2);
+            pit->reload = static_cast<std::uint16_t>((pit->reload & 0x00FF) |
+                                                     ((value & 0xFF) << 8));
+          }
+          pit->access_low_next ^= 1;
+          return {true, 0};
+        }
+        covp->hit(kC, 24, 2);
+        return {true, static_cast<std::uint64_t>(pit->reload & 0xFF)};
+      });
+  ++count;
+
+  // --- Keyboard controller (status reads during boot probes). ---
+  pio.register_range(
+      mem::kPortKbd, 1, "vkbd-data",
+      [covp](std::uint16_t, bool is_write, std::uint8_t, std::uint64_t) -> IoResult {
+        covp->hit(kC, 30, 3);
+        return {true, is_write ? 0u : 0xFAu};  // ACK
+      });
+  pio.register_range(
+      mem::kPortKbdStatus, 1, "vkbd-status",
+      [covp](std::uint16_t, bool is_write, std::uint8_t, std::uint64_t) -> IoResult {
+        covp->hit(kC, 31, 2);
+        return {true, is_write ? 0u : 0x1Cu};  // ready, self-test OK
+      });
+  count += 2;
+
+  // --- CMOS / RTC. ---
+  auto cmos = std::make_shared<CmosState>();
+  cmos->ram[0x0A] = 0x26;  // status A: oscillator on
+  cmos->ram[0x0B] = 0x02;  // status B: 24-hour mode
+  cmos->ram[0x0D] = 0x80;  // status D: battery good
+  pio.register_range(
+      mem::kPortCmosIndex, 2, "vrtc",
+      [covp, cmos](std::uint16_t port, bool is_write, std::uint8_t,
+                   std::uint64_t value) -> IoResult {
+        covp->hit(kC, 40, 4);
+        if (port == mem::kPortCmosIndex) {
+          if (is_write) {
+            covp->hit(kC, 41, 2);
+            cmos->index = static_cast<std::uint8_t>(value & 0x7F);
+          }
+          return {true, 0};
+        }
+        // The RTC handler dispatches per register: each CMOS index has
+        // its own handling block (alarm, status, NVRAM...). A boot scans
+        // the index space over time, so these blocks accumulate across
+        // the trace — the gradual discovery of the paper's Fig 6 curve.
+        covp->hit(kC, static_cast<std::uint16_t>(100 + cmos->index), 2);
+        if (is_write) {
+          covp->hit(kC, 42, 2);
+          cmos->ram[cmos->index] = static_cast<std::uint8_t>(value);
+          return {true, 0};
+        }
+        covp->hit(kC, 43, 2);
+        return {true, cmos->ram[cmos->index]};
+      });
+  ++count;
+
+  // --- IDE primary channel. ---
+  auto ide = std::make_shared<IdeState>();
+  pio.register_range(
+      mem::kPortIdeData, 8, "vide",
+      [covp, ide](std::uint16_t port, bool is_write, std::uint8_t,
+                  std::uint64_t value) -> IoResult {
+        covp->hit(kC, 50, 4);
+        if (port == mem::kPortIdeStatus) {
+          if (is_write) {
+            covp->hit(kC, 51, 3);  // command register
+            ide->last_cmd = static_cast<std::uint8_t>(value);
+            return {true, 0};
+          }
+          covp->hit(kC, 52, 2);
+          return {true, 0x50};  // DRDY | DSC, never busy
+        }
+        covp->hit(kC, 53, 2);
+        return {true, is_write ? 0u : 0u};
+      });
+  ++count;
+
+  // --- Serial COM1 (guest console). ---
+  auto serial = std::make_shared<SerialState>();
+  pio.register_range(
+      mem::kPortSerialCom1, 8, "vuart",
+      [covp, serial](std::uint16_t port, bool is_write, std::uint8_t,
+                     std::uint64_t value) -> IoResult {
+        covp->hit(kC, 60, 4);
+        const std::uint16_t reg = port - mem::kPortSerialCom1;
+        if (reg == 3 && is_write) {
+          covp->hit(kC, 61, 2);  // LCR (divisor latch toggle)
+          serial->lcr = static_cast<std::uint8_t>(value);
+          return {true, 0};
+        }
+        if (reg == 5 && !is_write) {
+          covp->hit(kC, 62, 2);  // LSR: TX empty
+          return {true, 0x60};
+        }
+        covp->hit(kC, 63, 2);
+        return {true, is_write ? 0u : 0u};
+      });
+  ++count;
+
+  // --- PCI configuration mechanism #1. ---
+  auto pci = std::make_shared<PciState>();
+  pio.register_range(
+      mem::kPortPciConfigAddr, 8, "vpci",
+      [covp, pci](std::uint16_t port, bool is_write, std::uint8_t,
+                  std::uint64_t value) -> IoResult {
+        covp->hit(kC, 70, 4);
+        if (port < mem::kPortPciConfigData) {
+          if (is_write) {
+            covp->hit(kC, 71, 2);
+            pci->config_addr = static_cast<std::uint32_t>(value);
+          }
+          return {true, pci->config_addr};
+        }
+        if (!is_write) {
+          // Bus 0 / device 0 answers as a synthetic host bridge;
+          // everything else reads as absent (all-ones).
+          const std::uint32_t dev = (pci->config_addr >> 11) & 0x1F;
+          if (dev == 0) {
+            covp->hit(kC, 72, 3);
+            return {true, 0x12378086};  // vendor 8086, synthetic device
+          }
+          covp->hit(kC, 73, 2);
+          return {true, 0xFFFFFFFF};
+        }
+        covp->hit(kC, 74, 2);
+        return {true, 0};
+      });
+  ++count;
+
+  // --- Xen debug port 0xE9 (hvmloader logging). ---
+  pio.register_range(
+      mem::kPortXenDebug, 1, "xen-dbg",
+      [covp](std::uint16_t, bool, std::uint8_t, std::uint64_t) -> IoResult {
+        covp->hit(kC, 80, 2);
+        return {true, 0xE9};
+      });
+  ++count;
+
+  return count;
+}
+
+}  // namespace iris::hv

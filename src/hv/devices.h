@@ -1,0 +1,23 @@
+// Emulated PC platform devices behind the PIO space.
+//
+// The OS_BOOT workload is dominated by I/O-instruction exits (paper
+// Fig 5): the guest programs the PIC, PIT, CMOS/RTC, keyboard controller,
+// IDE, serial console, and PCI configuration space. These small device
+// models answer those dialogs so the I/O handler (io.c) takes the same
+// kinds of paths Xen's does — including per-device branching that shows
+// up as coverage.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/coverage.h"
+#include "mem/io_space.h"
+
+namespace iris::hv {
+
+/// Register the standard PC device set into `pio`. Device state lives
+/// inside the handlers (per-domain, owned by the closures); `cov` must
+/// outlive the PioSpace. Returns the number of ranges registered.
+std::size_t register_pc_platform(mem::PioSpace& pio, CoverageMap& cov);
+
+}  // namespace iris::hv

@@ -1,0 +1,57 @@
+#include "hv/domain.h"
+
+namespace iris::hv {
+
+std::string_view to_string(DomainRole role) noexcept {
+  switch (role) {
+    case DomainRole::kControl:
+      return "Dom0";
+    case DomainRole::kTest:
+      return "test DomU";
+    case DomainRole::kDummy:
+      return "dummy DomU";
+  }
+  return "?";
+}
+
+Domain::Domain(std::uint32_t id, DomainRole role, std::uint64_t ram_bytes)
+    : id_(id), role_(role), ram_(ram_bytes) {
+  add_vcpu();
+  // Identity-map the first 16 MiB eagerly (BIOS/boot range); the rest of
+  // RAM populates on demand through EPT-violation handling.
+  ept_.identity_map(16ULL * 1024 * 1024 / mem::kPageSize);
+}
+
+HvVcpu& Domain::add_vcpu() {
+  vcpus_.push_back(std::make_unique<HvVcpu>(id_));
+  return *vcpus_.back();
+}
+
+DomainSnapshot Domain::snapshot(std::size_t vcpu_index) const {
+  const HvVcpu& v = vcpu(vcpu_index);
+  DomainSnapshot snap;
+  snap.regs = v.regs;
+  snap.saved_gprs = v.saved_gprs;
+  snap.vmcs_fields = v.vmcs.snapshot_fields();
+  snap.launch_state = v.vmcs.launch_state();
+  snap.mode_cache = v.mode_cache;
+  snap.ram_pages = ram_.snapshot_pages();
+  return snap;
+}
+
+void Domain::restore(const DomainSnapshot& snap, std::size_t vcpu_index) {
+  HvVcpu& v = vcpu(vcpu_index);
+  v.regs = snap.regs;
+  v.saved_gprs = snap.saved_gprs;
+  v.vmcs.restore_fields(snap.vmcs_fields);
+  v.vmcs.set_launch_state(snap.launch_state);
+  v.mode_cache = snap.mode_cache;
+  v.in_guest = false;
+  v.root_mode_streak = 0;
+  v.lapic.reset();
+  ram_.restore_pages(snap.ram_pages);
+  vpt_.reset();
+  irq_.reset();
+}
+
+}  // namespace iris::hv

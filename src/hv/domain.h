@@ -1,0 +1,132 @@
+// Domains and hypervisor-side vCPU state (Xen's struct domain / vcpu).
+//
+// A Domain bundles a guest's RAM, EPT, I/O spaces, and interrupt
+// machinery. HvVcpu is the hypervisor's per-vCPU bookkeeping: the saved
+// guest GPR block (Xen's cpu_user_regs — the part of guest state NOT in
+// the VMCS, paper §II), the VMCS itself, the 1:1-pinned VMX logical CPU,
+// and cached abstractions such as the current guest operating mode that
+// the paper's Fig 2 walkthrough shows being updated during CR-access
+// handling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "hv/irq.h"
+#include "hv/vlapic.h"
+#include "hv/vpt.h"
+#include "mem/address_space.h"
+#include "mem/ept.h"
+#include "mem/io_space.h"
+#include "vcpu/cpu_mode.h"
+#include "vcpu/regs.h"
+#include "vtx/vmcs.h"
+#include "vtx/vmx.h"
+
+namespace iris::hv {
+
+enum class DomainRole : std::uint8_t {
+  kControl,  ///< Dom0: runs the IRIS CLI, no HVM exits of its own
+  kTest,     ///< test DomU: executes recorded workloads
+  kDummy,    ///< dummy DomU: the IRIS replay target
+};
+
+[[nodiscard]] std::string_view to_string(DomainRole role) noexcept;
+
+/// Hypervisor-side vCPU (Xen's struct vcpu).
+struct HvVcpu {
+  explicit HvVcpu(std::uint32_t domain) : domain_id(domain) {}
+
+  std::uint32_t domain_id;
+
+  /// Architectural state while the guest runs (the "physical CPU" the
+  /// 1:1 pinning dedicates to this vCPU).
+  vcpu::RegisterFile regs;
+
+  /// Saved guest GPRs in hypervisor memory (cpu_user_regs): written at
+  /// VM exit, reloaded at VM entry; the GPR half of every IRIS seed.
+  std::array<std::uint64_t, vcpu::kNumGprs> saved_gprs{};
+
+  vtx::Vmcs vmcs;
+  vtx::VmxCpu vmx;
+
+  /// Hypervisor's cached abstraction of the guest operating mode,
+  /// updated during CR-access handling (paper Fig 2 step 3).
+  vcpu::CpuMode mode_cache = vcpu::CpuMode::kMode1;
+
+  /// Per-vCPU virtual local APIC.
+  Vlapic lapic;
+
+  /// True between VM entry and the next VM exit.
+  bool in_guest = false;
+
+  /// Consecutive root-mode iterations without a VM entry (hang watchdog;
+  /// the reason a naive replay loop inside the exit handler trips the
+  /// hypervisor's hang detection, paper §IV-B).
+  std::uint32_t root_mode_streak = 0;
+
+  // Bounds-checked defensively: register indices originate in exit
+  // qualifications, which fuzzing corrupts (handlers BUG() on invalid
+  // indices first — see decode_gpr — this is the second line).
+  [[nodiscard]] std::uint64_t gpr(vcpu::Gpr r) const noexcept {
+    const auto i = static_cast<std::size_t>(r);
+    return i < saved_gprs.size() ? saved_gprs[i] : 0;
+  }
+  void set_gpr(vcpu::Gpr r, std::uint64_t v) noexcept {
+    const auto i = static_cast<std::size_t>(r);
+    if (i < saved_gprs.size()) saved_gprs[i] = v;
+  }
+};
+
+/// Full snapshot of one domain (paper §IV-B: the replayer can revert the
+/// test VM snapshot saved at the start of recording).
+struct DomainSnapshot {
+  vcpu::RegisterFile regs;
+  std::array<std::uint64_t, vcpu::kNumGprs> saved_gprs{};
+  std::unordered_map<std::uint16_t, std::uint64_t> vmcs_fields;
+  vtx::VmcsLaunchState launch_state = vtx::VmcsLaunchState::kInactiveNotCurrentClear;
+  vcpu::CpuMode mode_cache = vcpu::CpuMode::kMode1;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> ram_pages;
+};
+
+class Domain {
+ public:
+  Domain(std::uint32_t id, DomainRole role, std::uint64_t ram_bytes = 1ULL << 30);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] DomainRole role() const noexcept { return role_; }
+
+  [[nodiscard]] HvVcpu& vcpu(std::size_t i = 0) { return *vcpus_.at(i); }
+  [[nodiscard]] const HvVcpu& vcpu(std::size_t i = 0) const { return *vcpus_.at(i); }
+  [[nodiscard]] std::size_t vcpu_count() const noexcept { return vcpus_.size(); }
+  HvVcpu& add_vcpu();
+
+  [[nodiscard]] mem::AddressSpace& ram() noexcept { return ram_; }
+  [[nodiscard]] mem::Ept& ept() noexcept { return ept_; }
+  [[nodiscard]] mem::PioSpace& pio() noexcept { return pio_; }
+  [[nodiscard]] mem::MmioSpace& mmio() noexcept { return mmio_; }
+  [[nodiscard]] Vpt& vpt() noexcept { return vpt_; }
+  [[nodiscard]] IrqChip& irq() noexcept { return irq_; }
+
+  /// Capture / restore the snapshot used to unbias record-vs-replay
+  /// accuracy comparisons (paper §VI-B).
+  [[nodiscard]] DomainSnapshot snapshot(std::size_t vcpu_index = 0) const;
+  void restore(const DomainSnapshot& snap, std::size_t vcpu_index = 0);
+
+ private:
+  std::uint32_t id_;
+  DomainRole role_;
+  mem::AddressSpace ram_;
+  mem::Ept ept_;
+  mem::PioSpace pio_;
+  mem::MmioSpace mmio_;
+  Vpt vpt_;
+  IrqChip irq_;
+  std::vector<std::unique_ptr<HvVcpu>> vcpus_;
+};
+
+}  // namespace iris::hv

@@ -1,0 +1,191 @@
+#include "hv/emulate.h"
+
+#include <algorithm>
+
+namespace iris::hv {
+namespace {
+constexpr Component kC = Component::kEmulate;
+}
+
+EmulateOutcome emulate_insn_fetch(HandlerContext& ctx) {
+  EmulateOutcome out;
+  ctx.cov(kC, 1, 6);  // hvm_emulate_one entry: map guest RIP
+  const std::uint64_t rip = ctx.vmread(vtx::VmcsField::kGuestRip);
+  const std::uint64_t cs_base = ctx.vmread(vtx::VmcsField::kGuestCsBase);
+  const std::uint64_t linear = cs_base + rip;
+
+  std::uint8_t opcode[3] = {};
+  ctx.hv().copy_from_guest(ctx.dom(), linear, opcode);
+  ++out.steps;
+
+  // Decode classes mirror x86_emulate's dispatch. Which class executes
+  // depends on live guest memory — the replay-divergence seam.
+  const std::uint8_t op = opcode[0];
+  if (op == 0x00) {
+    // Zero bytes — the short "add r/m8, r8" degenerate decode. This is
+    // what the emulator sees when replaying without guest memory: far
+    // fewer lines than any live decode path (the Fig 6/7 coverage loss).
+    ctx.cov(kC, 2, 3);
+    out.note = "null-byte decode";
+  } else if (op == 0x0F && opcode[1] == 0x01) {
+    ctx.cov(kC, 3, 4);  // system-instruction group (LGDT/LIDT/SMSW...)
+    out.note = "system insn group";
+    ++out.steps;
+  } else if (op == 0x0F && opcode[1] == 0x00) {
+    // Descriptor-register group: SLDT/STR/LLDT/LTR/VERR/VERW selected by
+    // the ModRM reg field. Each variant validates a different descriptor
+    // in guest memory — six live-only paths the replay's zero memory can
+    // never reach (a large share of the paper's CPU-bound coverage loss).
+    ctx.cov(kC, 10, 4);
+    const std::uint8_t reg = (opcode[2] >> 3) & 0x7;
+    switch (reg) {
+      case 0:
+        ctx.cov(kC, 11, 4);  // SLDT: store LDTR selector
+        break;
+      case 1:
+        ctx.cov(kC, 12, 4);  // STR: store task register
+        break;
+      case 2:
+        ctx.cov(kC, 13, 5);  // LLDT: load + validate LDT descriptor
+        ++out.steps;
+        break;
+      case 3:
+        ctx.cov(kC, 14, 5);  // LTR: load + mark TSS busy
+        ++out.steps;
+        break;
+      case 4:
+        ctx.cov(kC, 15, 4);  // VERR: read-access verification walk
+        break;
+      case 5:
+        ctx.cov(kC, 16, 4);  // VERW: write-access verification walk
+        break;
+      default:
+        ctx.cov(kC, 17, 4);  // reserved encodings: #UD path
+        break;
+    }
+    out.note = "descriptor group";
+    ++out.steps;
+  } else if (op >= 0x88 && op <= 0x8B) {
+    ctx.cov(kC, 4, 11);  // MOV r/m group, needs ModRM fetch
+    std::uint8_t modrm = 0;
+    ctx.hv().copy_from_guest(ctx.dom(), linear + 1, {&modrm, 1});
+    if ((modrm >> 6) == 3) {
+      ctx.cov(kC, 5, 4);  // register-direct form
+    } else {
+      ctx.cov(kC, 6, 8);  // memory operand: effective-address walk
+      ++out.steps;
+    }
+    out.note = "mov group";
+  } else if (op >= 0xE4 && op <= 0xEF) {
+    ctx.cov(kC, 7, 10);  // IN/OUT family
+    out.note = "in/out family";
+  } else if (op == 0xF3 || op == 0xF2) {
+    ctx.cov(kC, 8, 3);  // REP prefix re-dispatch
+    out.note = "rep prefix";
+    ++out.steps;
+  } else {
+    ctx.cov(kC, 9, 12);  // generic one-byte table
+    out.note = "generic decode";
+  }
+  return out;
+}
+
+EmulateOutcome emulate_string_io(HandlerContext& ctx, const IoQual& qual) {
+  EmulateOutcome out;
+  ctx.cov(kC, 20, 8);  // hvmemul_rep_ins/outs entry
+  const std::uint64_t rcx = ctx.vmread(vtx::VmcsField::kIoRcx);
+  const std::uint64_t buf_ptr =
+      qual.in ? ctx.vmread(vtx::VmcsField::kIoRdi) : ctx.vmread(vtx::VmcsField::kIoRsi);
+  // Xen clamps a rep burst to one page worth of iterations per exit.
+  const std::uint64_t reps =
+      std::min<std::uint64_t>(qual.rep ? std::max<std::uint64_t>(rcx, 1) : 1, 64);
+
+  for (std::uint64_t i = 0; i < reps; ++i) {
+    ++out.steps;
+    if (qual.in) {
+      ctx.cov(kC, 21, 6);  // device -> guest memory
+      const auto io = ctx.dom().pio().access(qual.port, false, qual.size, 0);
+      std::uint8_t byte = static_cast<std::uint8_t>(io.value);
+      if (!ctx.hv().copy_to_guest(ctx.dom(), buf_ptr + i, {&byte, 1})) {
+        ctx.cov(kC, 22, 5);  // copy fault path
+        out.ok = false;
+        out.note = "ins: guest buffer fault";
+        return out;
+      }
+    } else {
+      ctx.cov(kC, 23, 6);  // guest memory -> device
+      std::uint8_t byte = 0;
+      if (!ctx.hv().copy_from_guest(ctx.dom(), buf_ptr + i, {&byte, 1})) {
+        ctx.cov(kC, 24, 5);
+        out.ok = false;
+        out.note = "outs: guest buffer fault";
+        return out;
+      }
+      if (byte == 0) {
+        // Zero-filled source: replay-path degenerate transfer.
+        ctx.cov(kC, 25, 2);
+      } else {
+        ctx.cov(kC, 26, 3);  // live bytes: escape/flow-control handling
+      }
+      ctx.dom().pio().access(qual.port, true, qual.size, byte);
+    }
+  }
+  out.note = "string io x" + std::to_string(reps);
+  return out;
+}
+
+EmulateOutcome emulate_mmio(HandlerContext& ctx, std::uint64_t gpa,
+                            const EptQual& qual) {
+  EmulateOutcome out = emulate_insn_fetch(ctx);
+  ctx.cov(kC, 30, 7);  // hvmemul_do_mmio
+  const bool is_write = qual.write;
+  auto& mmio = ctx.dom().mmio();
+  if (!mmio.covers(gpa)) {
+    ctx.cov(kC, 31, 5);  // unclaimed MMIO: read-as-ones / drop writes
+    if (!is_write) ctx.set_gpr(vcpu::Gpr::kRax, ~0ULL);
+    out.note = "unclaimed mmio";
+    return out;
+  }
+  if (is_write) {
+    ctx.cov(kC, 32, 5);
+    mmio.access(gpa, true, 4, ctx.gpr(vcpu::Gpr::kRax));
+  } else {
+    ctx.cov(kC, 33, 5);
+    const auto io = mmio.access(gpa, false, 4, 0);
+    ctx.set_gpr(vcpu::Gpr::kRax, io.value);
+  }
+  ++out.steps;
+  return out;
+}
+
+EmulateOutcome emulate_validate_gdt(HandlerContext& ctx) {
+  EmulateOutcome out;
+  ctx.cov(kC, 40, 6);  // descriptor re-shadow entry
+  const std::uint64_t gdtr_base = ctx.vmread(vtx::VmcsField::kGuestGdtrBase);
+  const std::uint64_t gdtr_limit = ctx.vmread(vtx::VmcsField::kGuestGdtrLimit);
+
+  // Read the first code descriptor (selector 0x08).
+  std::uint8_t desc[8] = {};
+  const bool in_range = gdtr_limit >= 15;
+  if (!in_range || !ctx.hv().copy_from_guest(ctx.dom(), gdtr_base + 8, desc)) {
+    ctx.cov(kC, 41, 5);  // unreadable GDT
+    out.ok = false;
+    out.note = "gdt unreadable";
+    return out;
+  }
+  ++out.steps;
+  const std::uint8_t access = desc[5];
+  if ((access & 0x80) == 0) {
+    ctx.cov(kC, 42, 3);  // not-present descriptor: replay's zero memory
+    out.note = "descriptor not present";
+  } else if (access & 0x08) {
+    ctx.cov(kC, 43, 4);  // code descriptor: the live-boot shadow path
+    out.note = "code descriptor ok";
+  } else {
+    ctx.cov(kC, 44, 6);  // data descriptor where code expected
+    out.note = "data descriptor";
+  }
+  return out;
+}
+
+}  // namespace iris::hv

@@ -1,0 +1,45 @@
+// HVM instruction emulator (Xen's emulate.c).
+//
+// Invoked when handling an exit requires interpreting the guest's
+// instruction or dereferencing guest memory: string I/O, MMIO accesses,
+// and descriptor-table validation during mode switches. This component
+// is the paper's main source of record-vs-replay divergence (Fig 7,
+// >30-LOC cases): IRIS seeds deliberately exclude guest memory (§IV-A),
+// so during replay the dummy VM's empty RAM makes the emulator take
+// different paths than it did against the test VM's live memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "hv/exit_qual.h"
+#include "hv/hypervisor.h"
+
+namespace iris::hv {
+
+struct EmulateOutcome {
+  bool ok = true;
+  std::uint32_t steps = 0;  ///< emulated micro-steps (cycle accounting)
+  std::string note;         ///< diagnostic for logs
+};
+
+/// Fetch and classify the instruction byte(s) at the guest RIP. The
+/// decode branches on guest memory contents — live bytes during record,
+/// zeros during replay.
+EmulateOutcome emulate_insn_fetch(HandlerContext& ctx);
+
+/// REP INS/OUTS emulation: iterates guest memory <-> port transfers
+/// using the IO_RCX/IO_RSI/IO_RDI exit-information fields.
+EmulateOutcome emulate_string_io(HandlerContext& ctx, const IoQual& qual);
+
+/// MMIO access emulation (APIC window or EPT-mapped device): fetches the
+/// instruction, then performs the device access.
+EmulateOutcome emulate_mmio(HandlerContext& ctx, std::uint64_t gpa,
+                            const EptQual& qual);
+
+/// Validate the GDT the guest installed before a protected-mode switch
+/// (dereferences GDTR base in guest memory; Xen does this when it has to
+/// re-shadow descriptor state).
+EmulateOutcome emulate_validate_gdt(HandlerContext& ctx);
+
+}  // namespace iris::hv

@@ -1,0 +1,93 @@
+// Exit-qualification encode/decode, SDM Vol. 3, §27.2.1.
+//
+// VM seeds carry qualifications opaquely (they are VMCS exit-info
+// values); these codecs are used by the handlers to interpret them and
+// by the guest workload generators to fabricate architecturally correct
+// ones.
+#pragma once
+
+#include <cstdint>
+
+#include "vcpu/regs.h"
+
+namespace iris::hv {
+
+/// Control-register access qualification (SDM Table 27-3).
+struct CrAccessQual {
+  std::uint8_t cr = 0;           ///< bits 3:0 — control register number
+  std::uint8_t access_type = 0;  ///< bits 5:4 — 0 MOV to CR, 1 MOV from CR, 2 CLTS, 3 LMSW
+  vcpu::Gpr gpr = vcpu::Gpr::kRax;  ///< bits 11:8 — source/dest GPR
+  std::uint16_t lmsw_source = 0;    ///< bits 31:16 — LMSW source data
+
+  static constexpr std::uint8_t kMovToCr = 0;
+  static constexpr std::uint8_t kMovFromCr = 1;
+  static constexpr std::uint8_t kClts = 2;
+  static constexpr std::uint8_t kLmsw = 3;
+
+  [[nodiscard]] std::uint64_t encode() const noexcept {
+    return (static_cast<std::uint64_t>(cr) & 0xF) |
+           ((static_cast<std::uint64_t>(access_type) & 0x3) << 4) |
+           ((static_cast<std::uint64_t>(gpr) & 0xF) << 8) |
+           (static_cast<std::uint64_t>(lmsw_source) << 16);
+  }
+  static CrAccessQual decode(std::uint64_t q) noexcept {
+    CrAccessQual d;
+    d.cr = q & 0xF;
+    d.access_type = (q >> 4) & 0x3;
+    d.gpr = static_cast<vcpu::Gpr>((q >> 8) & 0xF);
+    d.lmsw_source = static_cast<std::uint16_t>(q >> 16);
+    return d;
+  }
+};
+
+/// I/O-instruction qualification (SDM Table 27-5).
+struct IoQual {
+  std::uint8_t size = 1;     ///< bits 2:0 — access size minus one (0/1/3)
+  bool in = false;           ///< bit 3 — direction (1 = IN)
+  bool string = false;       ///< bit 4 — string instruction (INS/OUTS)
+  bool rep = false;          ///< bit 5 — REP prefixed
+  bool imm = false;          ///< bit 6 — operand encoding (1 = immediate)
+  std::uint16_t port = 0;    ///< bits 31:16
+
+  [[nodiscard]] std::uint64_t encode() const noexcept {
+    return (static_cast<std::uint64_t>(size - 1) & 0x7) |
+           (in ? 1ULL << 3 : 0) | (string ? 1ULL << 4 : 0) | (rep ? 1ULL << 5 : 0) |
+           (imm ? 1ULL << 6 : 0) | (static_cast<std::uint64_t>(port) << 16);
+  }
+  static IoQual decode(std::uint64_t q) noexcept {
+    IoQual d;
+    d.size = static_cast<std::uint8_t>((q & 0x7) + 1);
+    d.in = (q >> 3) & 1;
+    d.string = (q >> 4) & 1;
+    d.rep = (q >> 5) & 1;
+    d.imm = (q >> 6) & 1;
+    d.port = static_cast<std::uint16_t>(q >> 16);
+    return d;
+  }
+};
+
+/// EPT-violation qualification (SDM Table 27-7, access/permission bits).
+struct EptQual {
+  bool read = false;        ///< bit 0
+  bool write = false;       ///< bit 1
+  bool fetch = false;       ///< bit 2
+  std::uint8_t perms = 0;   ///< bits 5:3 — entry's R/W/X
+  bool gla_valid = true;    ///< bit 7 — guest linear address valid
+
+  [[nodiscard]] std::uint64_t encode() const noexcept {
+    return (read ? 1ULL : 0) | (write ? 2ULL : 0) | (fetch ? 4ULL : 0) |
+           ((static_cast<std::uint64_t>(perms) & 0x7) << 3) |
+           (gla_valid ? 1ULL << 7 : 0);
+  }
+  static EptQual decode(std::uint64_t q) noexcept {
+    EptQual d;
+    d.read = q & 1;
+    d.write = (q >> 1) & 1;
+    d.fetch = (q >> 2) & 1;
+    d.perms = (q >> 3) & 0x7;
+    d.gla_valid = (q >> 7) & 1;
+    return d;
+  }
+};
+
+}  // namespace iris::hv

@@ -1,0 +1,61 @@
+#include "hv/failure.h"
+
+#include <algorithm>
+
+namespace iris::hv {
+
+std::string_view to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kVmCrash:
+      return "VM crash";
+    case FailureKind::kHypervisorCrash:
+      return "hypervisor crash";
+    case FailureKind::kVmHang:
+      return "VM hang";
+    case FailureKind::kHypervisorHang:
+      return "hypervisor hang";
+  }
+  return "?";
+}
+
+void FailureManager::vm_crash(std::uint32_t domain_id, std::uint64_t tsc,
+                              std::string reason) {
+  log_->append(LogLevel::kError, tsc,
+               "domain_crash called from d" + std::to_string(domain_id) + ": " + reason);
+  if (!domain_is_dead(domain_id)) dead_domains_.push_back(domain_id);
+  events_.push_back({FailureKind::kVmCrash, domain_id, tsc, std::move(reason)});
+}
+
+void FailureManager::hypervisor_crash(std::uint64_t tsc, std::string reason) {
+  log_->append(LogLevel::kPanic, tsc, "Xen BUG / FATAL TRAP: " + reason);
+  host_down_ = true;
+  events_.push_back({FailureKind::kHypervisorCrash, 0, tsc, std::move(reason)});
+}
+
+void FailureManager::vm_hang(std::uint32_t domain_id, std::uint64_t tsc,
+                             std::string reason) {
+  log_->append(LogLevel::kWarn, tsc,
+               "watchdog: d" + std::to_string(domain_id) + " stalled: " + reason);
+  events_.push_back({FailureKind::kVmHang, domain_id, tsc, std::move(reason)});
+}
+
+void FailureManager::hypervisor_hang(std::uint64_t tsc, std::string reason) {
+  log_->append(LogLevel::kPanic, tsc, "watchdog: CPU stuck in VMX root: " + reason);
+  host_down_ = true;
+  events_.push_back({FailureKind::kHypervisorHang, 0, tsc, std::move(reason)});
+}
+
+bool FailureManager::domain_is_dead(std::uint32_t domain_id) const noexcept {
+  return std::find(dead_domains_.begin(), dead_domains_.end(), domain_id) !=
+         dead_domains_.end();
+}
+
+void FailureManager::reset() {
+  events_.clear();
+  dead_domains_.clear();
+  host_down_ = false;
+}
+
+}  // namespace iris::hv

@@ -1,0 +1,72 @@
+// Failure taxonomy and detection, modeling Xen's crash/log behavior.
+//
+// The PoC fuzzer classifies test outcomes by scraping hypervisor logs and
+// state (paper §VII-3): hypervisor crashes (double fault, invalid op,
+// page fault in root mode), VM crashes (triple fault, "bad RIP for mode
+// 0", entry-check failures), and hangs. The FailureManager is the single
+// sink for these events; it writes the same style of log lines Xen does
+// so the fuzzer's triage scripts have something faithful to grep.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/ring_log.h"
+
+namespace iris::hv {
+
+enum class FailureKind : std::uint8_t {
+  kNone = 0,
+  kVmCrash,          ///< guest killed (triple fault, invalid guest state…)
+  kHypervisorCrash,  ///< root-mode fault: the host (and all VMs) go down
+  kVmHang,           ///< watchdog: guest made no progress
+  kHypervisorHang,   ///< watchdog: root-mode loop detected
+};
+
+[[nodiscard]] std::string_view to_string(FailureKind kind) noexcept;
+
+struct FailureEvent {
+  FailureKind kind = FailureKind::kNone;
+  std::uint32_t domain_id = 0;
+  std::uint64_t tsc = 0;
+  std::string reason;  ///< Xen-style message, e.g. "bad RIP for mode 0"
+};
+
+class FailureManager {
+ public:
+  explicit FailureManager(RingLog& log) : log_(&log) {}
+
+  /// Record a guest-fatal event (domain_kill in Xen terms).
+  void vm_crash(std::uint32_t domain_id, std::uint64_t tsc, std::string reason);
+
+  /// Record a host-fatal event (panic in Xen terms).
+  void hypervisor_crash(std::uint64_t tsc, std::string reason);
+
+  void vm_hang(std::uint32_t domain_id, std::uint64_t tsc, std::string reason);
+  void hypervisor_hang(std::uint64_t tsc, std::string reason);
+
+  [[nodiscard]] bool host_is_down() const noexcept { return host_down_; }
+  [[nodiscard]] bool domain_is_dead(std::uint32_t domain_id) const noexcept;
+
+  [[nodiscard]] const std::vector<FailureEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::optional<FailureEvent> first_event() const noexcept {
+    if (events_.empty()) return std::nullopt;
+    return events_.front();
+  }
+
+  /// Revive everything (snapshot revert between fuzzing test cases).
+  void reset();
+
+ private:
+  RingLog* log_;
+  std::vector<FailureEvent> events_;
+  std::vector<std::uint32_t> dead_domains_;
+  bool host_down_ = false;
+};
+
+}  // namespace iris::hv

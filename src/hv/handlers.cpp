@@ -1,0 +1,827 @@
+#include "hv/handlers.h"
+
+#include <string>
+
+#include "hv/emulate.h"
+#include "vcpu/cpu_mode.h"
+#include "vtx/entry_checks.h"
+
+namespace iris::hv::handlers {
+namespace {
+
+using vcpu::Gpr;
+using vtx::VmcsField;
+constexpr Component kC = Component::kVmx;
+
+/// Inject an event at the next VM entry (Xen's __vmx_inject_exception).
+void inject_event(HandlerContext& ctx, std::uint8_t vector, std::uint8_t type,
+                  bool has_error_code = false, std::uint32_t error_code = 0) {
+  ctx.cov(kC, 5, 5);
+  std::uint64_t info = (1ULL << 31) | (static_cast<std::uint64_t>(type) << 8) | vector;
+  if (has_error_code) {
+    info |= 1ULL << 11;
+    ctx.vmwrite(VmcsField::kVmEntryExceptionErrCode, error_code);
+  }
+  ctx.vmwrite(VmcsField::kVmEntryIntrInfoField, info);
+}
+
+constexpr std::uint8_t kEventHwException = 3;
+
+void inject_gp(HandlerContext& ctx) { inject_event(ctx, 13, kEventHwException, true, 0); }
+void inject_ud(HandlerContext& ctx) { inject_event(ctx, 6, kEventHwException); }
+
+/// Xen's decode_gpr(): map a register index from an exit qualification
+/// to the saved-GPR block. The index field is 4 bits wide but only 15
+/// registers live in hypervisor memory; an out-of-range index can only
+/// come from a corrupted qualification, and Xen BUG()s on it. (Found by
+/// our own fuzzer: without this check a mutated qualification indexes
+/// one past the GPR array.)
+bool decode_gpr(HandlerContext& ctx, std::uint64_t qual_bits, Gpr& out) {
+  const auto index = static_cast<std::uint8_t>(qual_bits & 0xF);
+  if (index >= vcpu::kNumGprs) {
+    ctx.cov(kC, 8, 2);
+    ctx.hv().failures().hypervisor_crash(
+        ctx.hv().clock().rdtsc(),
+        "decode_gpr: bad register index " + std::to_string(index));
+    return false;
+  }
+  out = static_cast<Gpr>(index);
+  return true;
+}
+
+}  // namespace
+
+void exception_nmi(HandlerContext& ctx) {
+  ctx.cov(kC, 10, 7);
+  const std::uint64_t info = ctx.vmread(VmcsField::kVmExitIntrInfo);
+  const std::uint8_t vector = info & 0xFF;
+  const std::uint8_t type = (info >> 8) & 0x7;
+  if (type == 2) {
+    ctx.cov(kC, 11, 5);  // NMI: hand to the host NMI path
+    return;
+  }
+  switch (vector) {
+    case 14: {  // #PF
+      ctx.cov(kC, 12, 9);
+      const std::uint64_t cr2 = ctx.vmread(VmcsField::kExitQualification);
+      ctx.vcpu().regs.cr2 = cr2;
+      // Re-inject into the guest with the original error code.
+      const std::uint64_t err = ctx.vmread(VmcsField::kVmExitIntrErrorCode);
+      inject_event(ctx, 14, kEventHwException, true, static_cast<std::uint32_t>(err));
+      return;
+    }
+    case 6:  // #UD: Xen tries emulation first (vmx.c -> emulate.c)
+      ctx.cov(kC, 13, 6);
+      emulate_insn_fetch(ctx);
+      inject_ud(ctx);
+      return;
+    case 13:  // #GP
+      ctx.cov(kC, 14, 5);
+      inject_gp(ctx);
+      return;
+    case 8:  // #DF escaping to the hypervisor is guest-fatal
+      ctx.cov(kC, 15, 4);
+      ctx.hv().failures().vm_crash(ctx.dom().id(), ctx.hv().clock().rdtsc(),
+                                   "double fault in guest");
+      return;
+    default:
+      ctx.cov(kC, 16, 4);  // pass-through re-injection
+      inject_event(ctx, vector, kEventHwException);
+      return;
+  }
+}
+
+void external_interrupt(HandlerContext& ctx) {
+  ctx.cov(kC, 20, 6);  // host interrupt arrived in non-root mode
+  const std::uint64_t info = ctx.vmread(VmcsField::kVmExitIntrInfo);
+  const std::uint8_t vector = info & 0xFF;
+  if (!(info >> 31)) {
+    ctx.cov(kC, 21, 3);  // spurious: no valid info latched
+    return;
+  }
+  if (vector < 32) {
+    ctx.cov(kC, 22, 3);  // exception vector on the external path: ignore
+    return;
+  }
+  // Device vectors routed to this guest get queued for injection.
+  if (vector >= 0xE0) {
+    ctx.cov(kC, 23, 4);  // host-reserved vectors (IPIs, timer)
+    return;
+  }
+  ctx.cov(kC, 24, 4);
+  ctx.dom().irq().assert_vector(vector, ctx.hv().coverage());
+}
+
+void triple_fault(HandlerContext& ctx) {
+  ctx.cov(kC, 28, 3);
+  ctx.hv().failures().vm_crash(ctx.dom().id(), ctx.hv().clock().rdtsc(),
+                               "triple fault");
+}
+
+void interrupt_window(HandlerContext& ctx) {
+  ctx.cov(kC, 30, 5);  // guest became interruptible
+  ctx.dom().irq().clear_window();
+  // Disarm interrupt-window exiting (bit 2 of the primary controls).
+  const std::uint64_t cpu_ctl = ctx.vmread(VmcsField::kCpuBasedVmExecControl);
+  ctx.vmwrite(VmcsField::kCpuBasedVmExecControl, cpu_ctl & ~(1ULL << 2));
+}
+
+void cpuid(HandlerContext& ctx) {
+  ctx.cov(kC, 40, 6);
+  const std::uint64_t leaf = ctx.gpr(Gpr::kRax);
+  const std::uint64_t subleaf = ctx.gpr(Gpr::kRcx);
+  std::uint64_t a = 0, b = 0, c = 0, d = 0;
+  switch (leaf) {
+    case 0x0:
+      ctx.cov(kC, 41, 4);
+      a = 0x16;                     // max leaf
+      b = 0x756E6547;               // "Genu"
+      d = 0x49656E69;               // "ineI"
+      c = 0x6C65746E;               // "ntel"
+      break;
+    case 0x1:
+      ctx.cov(kC, 42, 8);
+      a = 0x306C3;                                 // family/model/stepping
+      c = (1ULL << 31) | (1ULL << 21) | (1ULL << 5);  // hypervisor, x2APIC, VMX masked
+      d = (1ULL << 25) | (1ULL << 4) | (1ULL << 0);   // SSE, TSC, FPU
+      break;
+    case 0x2:
+      ctx.cov(kC, 43, 3);  // cache descriptors
+      a = 0x76036301;
+      break;
+    case 0x4:
+      ctx.cov(kC, 44, 6);  // deterministic cache parameters, per subleaf
+      if (subleaf == 0) {
+        a = 0x121;  // L1D
+      } else if (subleaf == 1) {
+        a = 0x122;  // L1I
+      } else if (subleaf == 2) {
+        a = 0x143;  // L2
+      } else {
+        ctx.cov(kC, 45, 2);
+        a = 0;  // no more cache levels
+      }
+      break;
+    case 0xB:
+      ctx.cov(kC, 46, 5);  // extended topology: single vCPU (1:1 pinning)
+      a = 0;
+      b = (subleaf == 0) ? 1 : 0;
+      c = subleaf;
+      break;
+    case 0x40000000:
+      ctx.cov(kC, 47, 5);  // Xen hypervisor leaf
+      a = 0x40000002;
+      b = 0x566E6558;  // "XenV"
+      c = 0x65584D4D;  // "MMXe"
+      d = 0x4D4D566E;  // "nVMM"
+      break;
+    case 0x40000001:
+      ctx.cov(kC, 48, 3);  // Xen version 4.16
+      a = (4ULL << 16) | 16;
+      break;
+    case 0x80000000:
+      ctx.cov(kC, 49, 3);
+      a = 0x80000004;
+      break;
+    case 0x80000001:
+      ctx.cov(kC, 50, 4);
+      d = (1ULL << 29) | (1ULL << 20);  // LM, NX
+      break;
+    default:
+      ctx.cov(kC, 51, 3);  // out-of-range leaf: zeros
+      break;
+  }
+  ctx.set_gpr(Gpr::kRax, a);
+  ctx.set_gpr(Gpr::kRbx, b);
+  ctx.set_gpr(Gpr::kRcx, c);
+  ctx.set_gpr(Gpr::kRdx, d);
+  ctx.advance_rip();
+}
+
+void hlt(HandlerContext& ctx) {
+  ctx.cov(kC, 60, 6);
+  const std::uint64_t rflags = ctx.vmread(VmcsField::kGuestRflags);
+  const bool interruptible = (rflags & vtx::kRflagsIf) != 0;
+  if (interruptible &&
+      (ctx.dom().irq().has_queued() || ctx.vcpu().lapic.has_pending())) {
+    ctx.cov(kC, 61, 4);  // wake immediately: pending interrupt
+    ctx.advance_rip();
+    return;
+  }
+  ctx.cov(kC, 62, 5);  // block the vCPU
+  ctx.vmwrite(VmcsField::kGuestActivityState, vtx::kActivityHlt);
+  ctx.advance_rip();
+}
+
+void invd(HandlerContext& ctx) {
+  ctx.cov(kC, 64, 3);
+  ctx.advance_rip();
+}
+
+void invlpg(HandlerContext& ctx) {
+  ctx.cov(kC, 66, 4);
+  (void)ctx.vmread(VmcsField::kExitQualification);  // the invalidated VA
+  ctx.advance_rip();
+}
+
+void rdpmc(HandlerContext& ctx) {
+  ctx.cov(kC, 68, 3);
+  ctx.set_gpr(Gpr::kRax, 0);
+  ctx.set_gpr(Gpr::kRdx, 0);
+  ctx.advance_rip();
+}
+
+void rdtsc(HandlerContext& ctx) {
+  ctx.cov(kC, 70, 5);
+  const std::uint64_t offset = ctx.vmread(VmcsField::kTscOffset);
+  const std::uint64_t tsc = ctx.hv().clock().rdtsc() + offset;
+  ctx.set_gpr(Gpr::kRax, tsc & 0xFFFFFFFF);
+  ctx.set_gpr(Gpr::kRdx, tsc >> 32);
+  ctx.advance_rip();
+}
+
+void rdtscp(HandlerContext& ctx) {
+  ctx.cov(kC, 72, 4);
+  rdtsc(ctx);  // shares the offset path; RCX gets the processor id
+  ctx.set_gpr(Gpr::kRcx, ctx.vcpu().domain_id);
+}
+
+void vmcall(HandlerContext& ctx) {
+  ctx.cov(kC, 80, 6);
+  const std::uint64_t nr = ctx.gpr(Gpr::kRax);
+  const std::uint64_t args[3] = {ctx.gpr(Gpr::kRdi), ctx.gpr(Gpr::kRsi),
+                                 ctx.gpr(Gpr::kRdx)};
+  const std::uint64_t ret = ctx.hv().dispatch_hypercall(nr, ctx.dom(), ctx.vcpu(), args);
+  ctx.set_gpr(Gpr::kRax, ret);
+  ctx.advance_rip();
+}
+
+void vmx_instruction(HandlerContext& ctx) {
+  ctx.cov(kC, 84, 4);  // no nested VMX: inject #UD
+  inject_ud(ctx);
+  ctx.advance_rip();
+}
+
+void cr_access(HandlerContext& ctx) {
+  ctx.cov(kC, 100, 8);
+  const std::uint64_t raw_qual = ctx.vmread(VmcsField::kExitQualification);
+  const auto qual = CrAccessQual::decode(raw_qual);
+
+  switch (qual.access_type) {
+    case CrAccessQual::kMovToCr: {
+      Gpr source;
+      if (!decode_gpr(ctx, raw_qual >> 8, source)) return;
+      const std::uint64_t value = ctx.gpr(source);
+      switch (qual.cr) {
+        case 0: {
+          ctx.cov(kC, 101, 10);  // hvm_set_cr0
+          const std::uint64_t old_cr0 = ctx.vmread(VmcsField::kGuestCr0);
+          (void)ctx.vmread(VmcsField::kCr0GuestHostMask);
+          // The guest sees its requested value through the read shadow.
+          ctx.vmwrite(VmcsField::kCr0ReadShadow, value);
+
+          const bool pe_set = (value & vtx::kCr0Pe) && !(old_cr0 & vtx::kCr0Pe);
+          const bool pe_cleared = !(value & vtx::kCr0Pe) && (old_cr0 & vtx::kCr0Pe);
+          const bool pg_flipped = (value ^ old_cr0) & vtx::kCr0Pg;
+          const bool cache_flipped = (value ^ old_cr0) & (vtx::kCr0Cd | vtx::kCr0Nw);
+
+          if (pe_set) {
+            ctx.cov(kC, 102, 12);  // real -> protected: descriptor re-shadow
+            emulate_validate_gdt(ctx);
+          }
+          if (pe_cleared) {
+            ctx.cov(kC, 103, 8);  // protected -> real (firmware paths)
+          }
+          if (pg_flipped) {
+            ctx.cov(kC, 104, 10);  // paging toggle: reload CR3 context
+            (void)ctx.vmread(VmcsField::kGuestCr3);
+            if (value & vtx::kCr0Pg) {
+              ctx.cov(kC, 105, 5);  // enabling: check PAE/LME interaction
+              (void)ctx.vmread(VmcsField::kGuestCr4);
+              (void)ctx.vmread(VmcsField::kGuestIa32Efer);
+            }
+          }
+          if (cache_flipped) {
+            ctx.cov(kC, 106, 6);  // CD/NW changes: cache-control sync
+          }
+
+          // Hardware-required fixed bits (NE, ET) are forced on.
+          const std::uint64_t real = value | vtx::kCr0Ne | vtx::kCr0Et;
+          ctx.vmwrite(VmcsField::kGuestCr0, real);
+
+          const auto new_mode = vcpu::classify_cr0(real);
+          if (new_mode != ctx.vcpu().mode_cache) {
+            ctx.cov(kC, 107, 4);  // update cached operating mode (Fig 2.3)
+            ctx.vcpu().mode_cache = new_mode;
+          }
+          break;
+        }
+        case 3:
+          ctx.cov(kC, 108, 6);  // hvm_set_cr3: TLB context switch
+          ctx.vmwrite(VmcsField::kGuestCr3, value);
+          break;
+        case 4: {
+          ctx.cov(kC, 109, 8);  // hvm_set_cr4
+          const std::uint64_t old_cr4 = ctx.vmread(VmcsField::kGuestCr4);
+          if ((value ^ old_cr4) & vtx::kCr4Pae) {
+            ctx.cov(kC, 110, 5);  // PAE flip: PDPTE reload path
+          }
+          if ((value ^ old_cr4) & vtx::kCr4Pge) {
+            ctx.cov(kC, 111, 3);  // global-page flush
+          }
+          ctx.vmwrite(VmcsField::kCr4ReadShadow, value);
+          ctx.vmwrite(VmcsField::kGuestCr4, value | vtx::kCr4Vmxe);
+          break;
+        }
+        case 8:
+          ctx.cov(kC, 112, 4);  // virtual TPR via CR8
+          ctx.vcpu().lapic.write(kApicRegTpr,
+                                 static_cast<std::uint32_t>(value & 0xF) << 4,
+                                 ctx.hv().coverage());
+          break;
+        default:
+          // Architecturally impossible CR number: Xen BUG()s here —
+          // reachable only through corrupted exit qualifications.
+          ctx.cov(kC, 113, 2);
+          ctx.hv().failures().hypervisor_crash(
+              ctx.hv().clock().rdtsc(),
+              "unexpected CR" + std::to_string(qual.cr) + " access");
+          return;
+      }
+      break;
+    }
+    case CrAccessQual::kMovFromCr: {
+      Gpr dest;
+      if (!decode_gpr(ctx, raw_qual >> 8, dest)) return;
+      switch (qual.cr) {
+        case 3:
+          ctx.cov(kC, 114, 4);
+          ctx.set_gpr(dest, ctx.vmread(VmcsField::kGuestCr3));
+          break;
+        case 8:
+          ctx.cov(kC, 115, 3);
+          ctx.set_gpr(dest, ctx.vcpu().lapic.tpr() >> 4);
+          break;
+        default: {
+          ctx.cov(kC, 116, 6);  // CR0/CR4 reads compose shadow + real
+          const bool is_cr0 = qual.cr == 0;
+          const std::uint64_t mask = ctx.vmread(
+              is_cr0 ? VmcsField::kCr0GuestHostMask : VmcsField::kCr4GuestHostMask);
+          const std::uint64_t shadow = ctx.vmread(
+              is_cr0 ? VmcsField::kCr0ReadShadow : VmcsField::kCr4ReadShadow);
+          const std::uint64_t real =
+              ctx.vmread(is_cr0 ? VmcsField::kGuestCr0 : VmcsField::kGuestCr4);
+          ctx.set_gpr(dest, (real & ~mask) | (shadow & mask));
+          break;
+        }
+      }
+      break;
+    }
+    case CrAccessQual::kClts: {
+      ctx.cov(kC, 117, 5);
+      const std::uint64_t cr0 = ctx.vmread(VmcsField::kGuestCr0);
+      ctx.vmwrite(VmcsField::kGuestCr0, cr0 & ~vtx::kCr0Ts);
+      const std::uint64_t shadow = ctx.vmread(VmcsField::kCr0ReadShadow);
+      ctx.vmwrite(VmcsField::kCr0ReadShadow, shadow & ~vtx::kCr0Ts);
+      ctx.vcpu().mode_cache = vcpu::classify_cr0(cr0 & ~vtx::kCr0Ts);
+      break;
+    }
+    case CrAccessQual::kLmsw: {
+      ctx.cov(kC, 118, 6);  // LMSW writes CR0 bits 3:0 only
+      const std::uint64_t cr0 = ctx.vmread(VmcsField::kGuestCr0);
+      const std::uint64_t merged = (cr0 & ~0xEULL) | (qual.lmsw_source & 0xF) |
+                                   (cr0 & vtx::kCr0Pe);  // LMSW cannot clear PE
+      ctx.vmwrite(VmcsField::kGuestCr0, merged | (qual.lmsw_source & vtx::kCr0Pe));
+      break;
+    }
+    default:
+      break;
+  }
+  ctx.advance_rip();
+}
+
+void dr_access(HandlerContext& ctx) {
+  ctx.cov(kC, 130, 5);
+  const std::uint64_t qual = ctx.vmread(VmcsField::kExitQualification);
+  const std::uint8_t dr = qual & 0x7;
+  const bool is_read = (qual >> 4) & 1;
+  Gpr reg;
+  if (!decode_gpr(ctx, qual >> 8, reg)) return;
+  if (dr == 4 || dr == 5) {
+    ctx.cov(kC, 131, 3);  // DR4/5 alias #UD without CR4.DE
+    inject_ud(ctx);
+    ctx.advance_rip();
+    return;
+  }
+  if (is_read) {
+    ctx.cov(kC, 132, 3);
+    ctx.set_gpr(reg, dr == 7 ? ctx.vmread(VmcsField::kGuestDr7) : 0);
+  } else {
+    ctx.cov(kC, 133, 4);
+    if (dr == 7) ctx.vmwrite(VmcsField::kGuestDr7, ctx.gpr(reg));
+  }
+  ctx.advance_rip();
+}
+
+void io_instruction(HandlerContext& ctx) {
+  ctx.cov(kC, 140, 7);
+  const auto qual = IoQual::decode(ctx.vmread(VmcsField::kExitQualification));
+
+  if (qual.string) {
+    ctx.cov(kC, 141, 5);  // INS/OUTS: full emulation
+    emulate_string_io(ctx, qual);
+    ctx.advance_rip();
+    return;
+  }
+
+  if (qual.in) {
+    ctx.cov(kC, 142, 6);
+    const auto io = ctx.dom().pio().access(qual.port, false, qual.size, 0);
+    const std::uint64_t rax = ctx.gpr(Gpr::kRax);
+    std::uint64_t merged = 0;
+    switch (qual.size) {
+      case 1:
+        ctx.cov(kC, 143, 3);
+        merged = (rax & ~0xFFULL) | (io.value & 0xFF);
+        break;
+      case 2:
+        ctx.cov(kC, 144, 3);
+        merged = (rax & ~0xFFFFULL) | (io.value & 0xFFFF);
+        break;
+      default:
+        ctx.cov(kC, 145, 3);  // 4-byte IN zero-extends
+        merged = io.value & 0xFFFFFFFF;
+        break;
+    }
+    ctx.set_gpr(Gpr::kRax, merged);
+  } else {
+    ctx.cov(kC, 146, 5);
+    const std::uint64_t value = ctx.gpr(Gpr::kRax);
+    if (qual.port == mem::kPortXenDebug) {
+      ctx.cov(kC, 147, 3);  // guest debug output port
+      ctx.hv().log().append(LogLevel::kDebug, ctx.hv().clock().rdtsc(),
+                            "guest dbg: " + std::to_string(value & 0xFF));
+    }
+    ctx.dom().pio().access(qual.port, true, qual.size, value);
+  }
+  ctx.advance_rip();
+}
+
+void msr_read(HandlerContext& ctx) {
+  ctx.cov(kC, 160, 6);
+  const std::uint32_t msr = static_cast<std::uint32_t>(ctx.gpr(Gpr::kRcx));
+  std::uint64_t value = 0;
+  switch (msr) {
+    case vcpu::kMsrIa32Efer:
+      ctx.cov(kC, 161, 3);
+      value = ctx.vmread(VmcsField::kGuestIa32Efer);
+      break;
+    case vcpu::kMsrIa32ApicBase:
+      ctx.cov(kC, 162, 3);
+      value = mem::kApicMmioBase | (1ULL << 11) | (1ULL << 8);  // enabled, BSP
+      break;
+    case vcpu::kMsrIa32Pat:
+      ctx.cov(kC, 163, 3);
+      value = ctx.vmread(VmcsField::kGuestIa32Pat);
+      break;
+    case vcpu::kMsrIa32SysenterCs:
+      ctx.cov(kC, 164, 2);
+      value = ctx.vmread(VmcsField::kGuestSysenterCs);
+      break;
+    case vcpu::kMsrIa32SysenterEsp:
+      ctx.cov(kC, 165, 2);
+      value = ctx.vmread(VmcsField::kGuestSysenterEsp);
+      break;
+    case vcpu::kMsrIa32SysenterEip:
+      ctx.cov(kC, 166, 2);
+      value = ctx.vmread(VmcsField::kGuestSysenterEip);
+      break;
+    case vcpu::kMsrIa32Tsc:
+      ctx.cov(kC, 167, 3);
+      value = ctx.hv().clock().rdtsc() + ctx.vmread(VmcsField::kTscOffset);
+      break;
+    case vcpu::kMsrIa32MiscEnable:
+      ctx.cov(kC, 168, 3);
+      value = 1;  // fast-strings
+      break;
+    case vcpu::kMsrIa32FsBase:
+      ctx.cov(kC, 169, 2);
+      value = ctx.vmread(VmcsField::kGuestFsBase);
+      break;
+    case vcpu::kMsrIa32GsBase:
+      ctx.cov(kC, 170, 2);
+      value = ctx.vmread(VmcsField::kGuestGsBase);
+      break;
+    case vcpu::kMsrIa32Star:
+    case vcpu::kMsrIa32Lstar:
+    case vcpu::kMsrIa32Cstar:
+    case vcpu::kMsrIa32Fmask:
+    case vcpu::kMsrIa32KernelGsBase:
+      ctx.cov(kC, 171, 3);  // syscall MSR bank, per-vCPU storage
+      value = ctx.vcpu().regs.read_msr(msr);
+      break;
+    default:
+      ctx.cov(kC, 172, 5);  // unknown MSR: #GP into the guest
+      inject_gp(ctx);
+      ctx.advance_rip();
+      return;
+  }
+  ctx.set_gpr(Gpr::kRax, value & 0xFFFFFFFF);
+  ctx.set_gpr(Gpr::kRdx, value >> 32);
+  ctx.advance_rip();
+}
+
+void msr_write(HandlerContext& ctx) {
+  ctx.cov(kC, 180, 6);
+  const std::uint32_t msr = static_cast<std::uint32_t>(ctx.gpr(Gpr::kRcx));
+  const std::uint64_t value =
+      (ctx.gpr(Gpr::kRdx) << 32) | (ctx.gpr(Gpr::kRax) & 0xFFFFFFFF);
+  switch (msr) {
+    case vcpu::kMsrIa32Efer: {
+      ctx.cov(kC, 181, 6);
+      const std::uint64_t old = ctx.vmread(VmcsField::kGuestIa32Efer);
+      if ((value ^ old) & vtx::kEferLme) {
+        ctx.cov(kC, 182, 4);  // long-mode enable toggled
+      }
+      constexpr std::uint64_t kEferKnown = 0xD01;  // SCE, LME, LMA, NXE
+      if (value & ~kEferKnown) {
+        ctx.cov(kC, 183, 3);  // reserved EFER bit: #GP
+        inject_gp(ctx);
+        ctx.advance_rip();
+        return;
+      }
+      ctx.vmwrite(VmcsField::kGuestIa32Efer, value);
+      break;
+    }
+    case vcpu::kMsrIa32ApicBase:
+      ctx.cov(kC, 184, 4);  // APIC relocation not supported: sticky base
+      break;
+    case vcpu::kMsrIa32Pat:
+      ctx.cov(kC, 185, 3);
+      ctx.vmwrite(VmcsField::kGuestIa32Pat, value);
+      break;
+    case vcpu::kMsrIa32SysenterCs:
+      ctx.cov(kC, 186, 2);
+      ctx.vmwrite(VmcsField::kGuestSysenterCs, value);
+      break;
+    case vcpu::kMsrIa32SysenterEsp:
+      ctx.cov(kC, 187, 2);
+      ctx.vmwrite(VmcsField::kGuestSysenterEsp, value);
+      break;
+    case vcpu::kMsrIa32SysenterEip:
+      ctx.cov(kC, 188, 2);
+      ctx.vmwrite(VmcsField::kGuestSysenterEip, value);
+      break;
+    case vcpu::kMsrIa32Tsc:
+      ctx.cov(kC, 189, 4);  // guest TSC write folds into the offset
+      ctx.vmwrite(VmcsField::kTscOffset, value - ctx.hv().clock().rdtsc());
+      break;
+    case vcpu::kMsrIa32FsBase:
+      ctx.cov(kC, 190, 2);
+      ctx.vmwrite(VmcsField::kGuestFsBase, value);
+      break;
+    case vcpu::kMsrIa32GsBase:
+      ctx.cov(kC, 191, 2);
+      ctx.vmwrite(VmcsField::kGuestGsBase, value);
+      break;
+    case vcpu::kMsrIa32Star:
+    case vcpu::kMsrIa32Lstar:
+    case vcpu::kMsrIa32Cstar:
+    case vcpu::kMsrIa32Fmask:
+    case vcpu::kMsrIa32KernelGsBase:
+      ctx.cov(kC, 192, 3);
+      ctx.vcpu().regs.write_msr(msr, value);
+      break;
+    default:
+      ctx.cov(kC, 193, 4);  // Xen silently drops writes to unknown MSRs
+      ctx.hv().log().append(LogLevel::kDebug, ctx.hv().clock().rdtsc(),
+                            "ignoring WRMSR to 0x" + std::to_string(msr));
+      break;
+  }
+  ctx.advance_rip();
+}
+
+void invalid_guest_state(HandlerContext& ctx) {
+  ctx.cov(kC, 200, 4);
+  const auto violations = vtx::check_guest_state(ctx.vcpu().vmcs);
+  ctx.hv().failures().vm_crash(ctx.dom().id(), ctx.hv().clock().rdtsc(),
+                               "VM entry failed: " + vtx::describe(violations));
+}
+
+void mwait(HandlerContext& ctx) {
+  ctx.cov(kC, 204, 3);  // MWAIT without MONITOR support: #UD
+  inject_ud(ctx);
+  ctx.advance_rip();
+}
+
+void monitor(HandlerContext& ctx) {
+  ctx.cov(kC, 206, 3);
+  inject_ud(ctx);
+  ctx.advance_rip();
+}
+
+void pause(HandlerContext& ctx) {
+  ctx.cov(kC, 208, 3);  // PLE: just yield
+  ctx.advance_rip();
+}
+
+void tpr_below_threshold(HandlerContext& ctx) {
+  ctx.cov(kC, 210, 4);
+  (void)ctx.vmread(VmcsField::kTprThreshold);
+}
+
+void apic_access(HandlerContext& ctx) {
+  ctx.cov(kC, 220, 7);
+  const std::uint64_t qual = ctx.vmread(VmcsField::kExitQualification);
+  const std::uint32_t offset = qual & 0xFFF;
+  const std::uint32_t access_type = (qual >> 12) & 0xF;
+  auto& cov_map = ctx.hv().coverage();
+  switch (access_type) {
+    case 0:  // linear read
+      ctx.cov(kC, 221, 4);
+      ctx.set_gpr(Gpr::kRax, ctx.vcpu().lapic.read(offset, cov_map));
+      break;
+    case 1:  // linear write
+      ctx.cov(kC, 222, 4);
+      ctx.vcpu().lapic.write(offset, static_cast<std::uint32_t>(ctx.gpr(Gpr::kRax)),
+                             cov_map);
+      break;
+    default:
+      ctx.cov(kC, 223, 5);  // guest-physical access during walk: emulate
+      emulate_mmio(ctx, mem::kApicMmioBase + offset, EptQual{});
+      break;
+  }
+  ctx.advance_rip();
+}
+
+void gdtr_idtr_access(HandlerContext& ctx) {
+  ctx.cov(kC, 230, 5);  // LGDT/SGDT/LIDT/SIDT intercept
+  emulate_insn_fetch(ctx);
+  (void)ctx.vmread(VmcsField::kVmxInstructionInfo);
+  ctx.advance_rip();
+}
+
+void ldtr_tr_access(HandlerContext& ctx) {
+  ctx.cov(kC, 232, 5);  // LLDT/SLDT/LTR/STR intercept
+  emulate_insn_fetch(ctx);
+  (void)ctx.vmread(VmcsField::kVmxInstructionInfo);
+  ctx.advance_rip();
+}
+
+void ept_violation(HandlerContext& ctx) {
+  ctx.cov(kC, 240, 8);
+  const auto qual = EptQual::decode(ctx.vmread(VmcsField::kExitQualification));
+  const std::uint64_t gpa = ctx.vmread(VmcsField::kGuestPhysicalAddress);
+
+  if (gpa >= mem::kApicMmioBase && gpa < mem::kApicMmioBase + mem::kApicMmioSize) {
+    ctx.cov(kC, 241, 5);  // APIC window without virtualize-APIC: emulate
+    emulate_mmio(ctx, gpa, qual);
+    ctx.advance_rip();
+    return;
+  }
+  if (ctx.dom().mmio().covers(gpa)) {
+    ctx.cov(kC, 242, 5);  // device MMIO
+    emulate_mmio(ctx, gpa, qual);
+    ctx.advance_rip();
+    return;
+  }
+  if (qual.perms != 0) {
+    ctx.cov(kC, 243, 6);  // present but permission-violating: log & fix up
+    ctx.dom().ept().protect(gpa >> 12, mem::EptPerms{});
+    return;  // fault-like: re-execute the instruction
+  }
+  if (!ctx.dom().ram().contains(gpa)) {
+    ctx.cov(kC, 244, 5);  // beyond guest RAM: guest-fatal
+    ctx.hv().failures().vm_crash(ctx.dom().id(), ctx.hv().clock().rdtsc(),
+                                 "EPT violation outside RAM");
+    return;
+  }
+  ctx.cov(kC, 245, 6);  // populate-on-demand: map the frame
+  // The p2m allocator takes a different path per 2 MiB superpage region
+  // (shattering, contiguity checks): distinct blocks as the guest's
+  // working set spreads across RAM.
+  ctx.cov(kC, static_cast<std::uint16_t>(260 + ((gpa >> 21) & 0x1F)), 3);
+  ctx.dom().ept().map(gpa >> 12, gpa >> 12, mem::EptPerms{});
+  // Fault-like exit: no RIP advance, the access retries.
+}
+
+void ept_misconfig(HandlerContext& ctx) {
+  ctx.cov(kC, 248, 4);
+  const std::uint64_t gpa = ctx.vmread(VmcsField::kGuestPhysicalAddress);
+  ctx.hv().failures().vm_crash(
+      ctx.dom().id(), ctx.hv().clock().rdtsc(),
+      "EPT misconfiguration at gpa 0x" + std::to_string(gpa));
+}
+
+void preemption_timer(HandlerContext& ctx) {
+  ctx.cov(kC, 250, 4);
+  // Reload the timer. The replay loop keeps it at zero so the dummy VM
+  // exits again before retiring a single guest instruction (§V-B).
+  const std::uint64_t pin = ctx.vmread(VmcsField::kPinBasedVmExecControl);
+  if (pin & vtx::kPinActivatePreemptionTimer) {
+    ctx.cov(kC, 251, 3);
+    ctx.vmwrite(VmcsField::kPreemptionTimerValue,
+                ctx.vmread(VmcsField::kPreemptionTimerValue));
+  }
+}
+
+void wbinvd(HandlerContext& ctx) {
+  ctx.cov(kC, 254, 3);
+  ctx.advance_rip();
+}
+
+void xsetbv(HandlerContext& ctx) {
+  ctx.cov(kC, 256, 5);
+  const std::uint64_t xcr0 =
+      (ctx.gpr(Gpr::kRdx) << 32) | (ctx.gpr(Gpr::kRax) & 0xFFFFFFFF);
+  if (ctx.gpr(Gpr::kRcx) != 0 || !(xcr0 & 1)) {
+    ctx.cov(kC, 257, 3);  // invalid XCR index or x87 bit clear: #GP
+    inject_gp(ctx);
+  }
+  ctx.advance_rip();
+}
+
+ExitHandler lookup(vtx::ExitReason reason) noexcept {
+  using vtx::ExitReason;
+  switch (reason) {
+    case ExitReason::kExceptionNmi:
+      return &exception_nmi;
+    case ExitReason::kExternalInterrupt:
+      return &external_interrupt;
+    case ExitReason::kTripleFault:
+      return &triple_fault;
+    case ExitReason::kInterruptWindow:
+      return &interrupt_window;
+    case ExitReason::kCpuid:
+      return &cpuid;
+    case ExitReason::kHlt:
+      return &hlt;
+    case ExitReason::kInvd:
+      return &invd;
+    case ExitReason::kInvlpg:
+      return &invlpg;
+    case ExitReason::kRdpmc:
+      return &rdpmc;
+    case ExitReason::kRdtsc:
+      return &rdtsc;
+    case ExitReason::kRdtscp:
+      return &rdtscp;
+    case ExitReason::kVmcall:
+      return &vmcall;
+    case ExitReason::kVmclear:
+    case ExitReason::kVmlaunch:
+    case ExitReason::kVmptrld:
+    case ExitReason::kVmptrst:
+    case ExitReason::kVmread:
+    case ExitReason::kVmresume:
+    case ExitReason::kVmwrite:
+    case ExitReason::kVmxoff:
+    case ExitReason::kVmxon:
+    case ExitReason::kInvept:
+    case ExitReason::kInvvpid:
+      return &vmx_instruction;
+    case ExitReason::kCrAccess:
+      return &cr_access;
+    case ExitReason::kDrAccess:
+      return &dr_access;
+    case ExitReason::kIoInstruction:
+      return &io_instruction;
+    case ExitReason::kMsrRead:
+      return &msr_read;
+    case ExitReason::kMsrWrite:
+      return &msr_write;
+    case ExitReason::kInvalidGuestState:
+      return &invalid_guest_state;
+    case ExitReason::kMwait:
+      return &mwait;
+    case ExitReason::kMonitor:
+      return &monitor;
+    case ExitReason::kPause:
+      return &pause;
+    case ExitReason::kTprBelowThreshold:
+      return &tpr_below_threshold;
+    case ExitReason::kApicAccess:
+      return &apic_access;
+    case ExitReason::kGdtrIdtrAccess:
+      return &gdtr_idtr_access;
+    case ExitReason::kLdtrTrAccess:
+      return &ldtr_tr_access;
+    case ExitReason::kEptViolation:
+      return &ept_violation;
+    case ExitReason::kEptMisconfig:
+      return &ept_misconfig;
+    case ExitReason::kPreemptionTimer:
+      return &preemption_timer;
+    case ExitReason::kWbinvd:
+      return &wbinvd;
+    case ExitReason::kXsetbv:
+      return &xsetbv;
+    default:
+      // Reasons the modeled Xen build never programs exiting for
+      // (GETSEC, SMIs, PML, SGX...): reaching the dispatcher with one of
+      // these means corrupted state -> BUG() in the caller.
+      return nullptr;
+  }
+}
+
+}  // namespace iris::hv::handlers

@@ -1,0 +1,50 @@
+// Per-reason VM-exit handlers (the arms of Xen's vmx_vmexit_handler).
+//
+// Each handler follows the paper's Fig 2 shape: VMREAD the exit
+// information and relevant guest state, branch on those values plus
+// guest GPRs (so coverage is a function of the VM seed), update
+// hypervisor-internal abstractions (e.g. the cached operating mode), and
+// VMWRITE guest-state changes. Handlers mark Component::kVmx (and
+// friends) coverage blocks with per-block LOC weights.
+#pragma once
+
+#include "hv/hypervisor.h"
+
+namespace iris::hv::handlers {
+
+void exception_nmi(HandlerContext& ctx);
+void external_interrupt(HandlerContext& ctx);
+void triple_fault(HandlerContext& ctx);
+void interrupt_window(HandlerContext& ctx);
+void cpuid(HandlerContext& ctx);
+void hlt(HandlerContext& ctx);
+void invd(HandlerContext& ctx);
+void invlpg(HandlerContext& ctx);
+void rdpmc(HandlerContext& ctx);
+void rdtsc(HandlerContext& ctx);
+void rdtscp(HandlerContext& ctx);
+void vmcall(HandlerContext& ctx);
+void vmx_instruction(HandlerContext& ctx);  ///< nested-VMX attempt -> #UD
+void cr_access(HandlerContext& ctx);
+void dr_access(HandlerContext& ctx);
+void io_instruction(HandlerContext& ctx);
+void msr_read(HandlerContext& ctx);
+void msr_write(HandlerContext& ctx);
+void invalid_guest_state(HandlerContext& ctx);
+void mwait(HandlerContext& ctx);
+void monitor(HandlerContext& ctx);
+void pause(HandlerContext& ctx);
+void tpr_below_threshold(HandlerContext& ctx);
+void apic_access(HandlerContext& ctx);
+void gdtr_idtr_access(HandlerContext& ctx);
+void ldtr_tr_access(HandlerContext& ctx);
+void ept_violation(HandlerContext& ctx);
+void ept_misconfig(HandlerContext& ctx);
+void preemption_timer(HandlerContext& ctx);
+void wbinvd(HandlerContext& ctx);
+void xsetbv(HandlerContext& ctx);
+
+/// Handler-table lookup; nullptr for reasons Xen would BUG() on.
+[[nodiscard]] ExitHandler lookup(vtx::ExitReason reason) noexcept;
+
+}  // namespace iris::hv::handlers

@@ -1,0 +1,43 @@
+#include "hv/irq.h"
+
+namespace iris::hv {
+namespace {
+constexpr Component kC = Component::kIrq;
+}
+
+void IrqChip::assert_vector(std::uint8_t vector, CoverageMap& cov) {
+  cov.hit(kC, 1, 3);  // hvm_isa_irq_assert
+  queue_.push_back(vector);
+}
+
+std::optional<std::uint8_t> IrqChip::intr_assist(Vlapic& lapic,
+                                                 bool guest_interruptible,
+                                                 CoverageMap& cov) {
+  cov.hit(kC, 2, 6);  // hvm_intr_assist entry
+  while (!queue_.empty()) {
+    cov.hit(kC, 3, 3);
+    lapic.inject(queue_.front(), cov);
+    queue_.pop_front();
+  }
+  const auto vector = lapic.highest_pending();
+  if (!vector) {
+    cov.hit(kC, 4, 2);  // nothing deliverable
+    return std::nullopt;
+  }
+  if (!guest_interruptible) {
+    cov.hit(kC, 5, 4);  // blocked: arm interrupt-window exiting
+    want_window_ = true;
+    return std::nullopt;
+  }
+  cov.hit(kC, 6, 4);  // deliver
+  want_window_ = false;
+  lapic.accept(*vector, cov);
+  return vector;
+}
+
+void IrqChip::reset() {
+  queue_.clear();
+  want_window_ = false;
+}
+
+}  // namespace iris::hv

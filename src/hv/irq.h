@@ -1,0 +1,46 @@
+// IRQ bookkeeping on the VM-exit path (Xen's irq.c + intr.c assist).
+//
+// Tracks externally asserted lines/vectors waiting for a delivery
+// opportunity and decides, at each VM exit, whether to inject through the
+// vLAPIC or to request an interrupt-window exit (reason 7) when the
+// guest is uninterruptible. Part of the paper's Fig 7 noise cluster.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "hv/coverage.h"
+#include "hv/vlapic.h"
+
+namespace iris::hv {
+
+class IrqChip {
+ public:
+  /// Assert an external interrupt vector (device/timer origin).
+  void assert_vector(std::uint8_t vector, CoverageMap& cov);
+
+  /// Vectors queued but not yet pushed into the vLAPIC.
+  [[nodiscard]] bool has_queued() const noexcept { return !queue_.empty(); }
+  [[nodiscard]] std::size_t queued_count() const noexcept { return queue_.size(); }
+
+  /// Exit-path assist (Xen hvm_intr_assist): push queued vectors into the
+  /// vLAPIC, then pick the highest deliverable one. Returns the vector to
+  /// inject at the next entry, or nullopt (possibly requesting an
+  /// interrupt-window exit via `want_window`).
+  std::optional<std::uint8_t> intr_assist(Vlapic& lapic, bool guest_interruptible,
+                                          CoverageMap& cov);
+
+  /// True when delivery is blocked and an interrupt-window exit should be
+  /// armed.
+  [[nodiscard]] bool want_window() const noexcept { return want_window_; }
+  void clear_window() noexcept { want_window_ = false; }
+
+  void reset();
+
+ private:
+  std::deque<std::uint8_t> queue_;
+  bool want_window_ = false;
+};
+
+}  // namespace iris::hv

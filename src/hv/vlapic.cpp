@@ -1,0 +1,187 @@
+#include "hv/vlapic.h"
+
+namespace iris::hv {
+namespace {
+constexpr Component kC = Component::kVlapic;
+}
+
+std::uint32_t Vlapic::read(std::uint32_t offset, CoverageMap& cov) {
+  cov.hit(kC, 1, 4);  // vlapic_read dispatch
+  switch (offset) {
+    case kApicRegId:
+      cov.hit(kC, 2, 2);
+      return id_ << 24;
+    case kApicRegVersion:
+      cov.hit(kC, 3, 2);
+      return 0x50014;  // version 0x14, 5 LVT entries
+    case kApicRegTpr:
+      cov.hit(kC, 4, 2);
+      return tpr_;
+    case kApicRegSvr:
+      cov.hit(kC, 5, 2);
+      return svr_;
+    case kApicRegEsr:
+      cov.hit(kC, 6, 2);
+      return esr_;
+    case kApicRegIcrLow:
+      cov.hit(kC, 7, 2);
+      return icr_low_;
+    case kApicRegIcrHigh:
+      cov.hit(kC, 8, 2);
+      return icr_high_;
+    case kApicRegLvtTimer:
+      cov.hit(kC, 9, 2);
+      return lvt_timer_;
+    case kApicRegLvtLint0:
+      cov.hit(kC, 10, 2);
+      return lvt_lint0_;
+    case kApicRegLvtLint1:
+      cov.hit(kC, 11, 2);
+      return lvt_lint1_;
+    case kApicRegLvtError:
+      cov.hit(kC, 12, 2);
+      return lvt_error_;
+    case kApicRegTimerInit:
+      cov.hit(kC, 13, 2);
+      return timer_init_;
+    case kApicRegTimerCurrent:
+      cov.hit(kC, 14, 3);
+      return timer_init_ / 2;  // synthetic mid-count
+    case kApicRegTimerDivide:
+      cov.hit(kC, 15, 2);
+      return timer_divide_;
+    default:
+      break;
+  }
+  if (offset >= kApicRegIsrBase && offset < kApicRegIsrBase + 0x80) {
+    cov.hit(kC, 16, 5);
+    return isr_[(offset - kApicRegIsrBase) / 0x10];
+  }
+  if (offset >= kApicRegIrrBase && offset < kApicRegIrrBase + 0x80) {
+    cov.hit(kC, 17, 5);
+    return irr_[(offset - kApicRegIrrBase) / 0x10];
+  }
+  cov.hit(kC, 18, 2);  // reserved-register read
+  return 0;
+}
+
+void Vlapic::write(std::uint32_t offset, std::uint32_t value, CoverageMap& cov) {
+  cov.hit(kC, 20, 4);  // vlapic_write dispatch
+  switch (offset) {
+    case kApicRegTpr:
+      cov.hit(kC, 21, 3);
+      tpr_ = static_cast<std::uint8_t>(value);
+      return;
+    case kApicRegEoi:
+      cov.hit(kC, 22, 3);
+      eoi(cov);
+      return;
+    case kApicRegSvr:
+      cov.hit(kC, 23, 3);
+      svr_ = value;
+      return;
+    case kApicRegIcrLow:
+      cov.hit(kC, 24, 8);  // IPI send path
+      icr_low_ = value;
+      // Self-IPI with fixed delivery mode queues the vector locally.
+      if (((value >> 8) & 0x7) == 0 && ((value >> 18) & 0x3) != 0) {
+        cov.hit(kC, 25, 4);
+        inject(static_cast<std::uint8_t>(value & 0xFF), cov);
+      }
+      return;
+    case kApicRegIcrHigh:
+      cov.hit(kC, 26, 2);
+      icr_high_ = value;
+      return;
+    case kApicRegLvtTimer:
+      cov.hit(kC, 27, 3);
+      lvt_timer_ = value;
+      return;
+    case kApicRegLvtLint0:
+      cov.hit(kC, 28, 2);
+      lvt_lint0_ = value;
+      return;
+    case kApicRegLvtLint1:
+      cov.hit(kC, 29, 2);
+      lvt_lint1_ = value;
+      return;
+    case kApicRegLvtError:
+      cov.hit(kC, 30, 2);
+      lvt_error_ = value;
+      return;
+    case kApicRegTimerInit:
+      cov.hit(kC, 31, 4);
+      timer_init_ = value;
+      return;
+    case kApicRegTimerDivide:
+      cov.hit(kC, 32, 2);
+      timer_divide_ = value;
+      return;
+    default:
+      cov.hit(kC, 33, 3);  // write to read-only/reserved -> ESR bit
+      esr_ |= 1U << 6;
+      return;
+  }
+}
+
+void Vlapic::inject(std::uint8_t vector, CoverageMap& cov) {
+  cov.hit(kC, 40, 3);
+  if (vector < 16) {
+    cov.hit(kC, 41, 2);  // illegal vector -> ESR
+    esr_ |= 1U << 6;
+    return;
+  }
+  // Priority-class bookkeeping branches per vector class (vector >> 4).
+  cov.hit(kC, static_cast<std::uint16_t>(60 + (vector >> 4)), 3);
+  set_bit(irr_, vector);
+}
+
+std::optional<std::uint8_t> Vlapic::highest_pending() const noexcept {
+  const auto v = highest_bit(irr_);
+  if (!v) return std::nullopt;
+  // TPR gates delivery by priority class (vector >> 4).
+  if ((*v >> 4) <= (tpr_ >> 4)) return std::nullopt;
+  return v;
+}
+
+void Vlapic::accept(std::uint8_t vector, CoverageMap& cov) {
+  cov.hit(kC, 42, 4);
+  clear_bit(irr_, vector);
+  set_bit(isr_, vector);
+}
+
+void Vlapic::eoi(CoverageMap& cov) {
+  cov.hit(kC, 43, 3);
+  if (const auto v = highest_bit(isr_)) {
+    cov.hit(kC, 44, 2);
+    clear_bit(isr_, *v);
+  }
+}
+
+bool Vlapic::has_pending() const noexcept { return highest_bit(irr_).has_value(); }
+
+std::optional<std::uint8_t> Vlapic::highest_bit(const VectorBitmap& bm) noexcept {
+  for (int word = kVectorWords - 1; word >= 0; --word) {
+    if (bm[static_cast<std::size_t>(word)] == 0) continue;
+    const std::uint32_t w = bm[static_cast<std::size_t>(word)];
+    for (int bit = 31; bit >= 0; --bit) {
+      if ((w >> bit) & 1U) {
+        return static_cast<std::uint8_t>(word * 32 + bit);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void Vlapic::reset() {
+  tpr_ = 0;
+  svr_ = 0xFF;
+  esr_ = 0;
+  icr_low_ = icr_high_ = 0;
+  lvt_timer_ = lvt_lint0_ = lvt_lint1_ = lvt_error_ = 0x10000;
+  timer_init_ = timer_divide_ = 0;
+  irr_.fill(0);
+  isr_.fill(0);
+}
+
+}  // namespace iris::hv

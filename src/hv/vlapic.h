@@ -1,0 +1,98 @@
+// Virtual local APIC (Xen's vlapic.c).
+//
+// Models the register window guests drive via MMIO at 0xFEE00000: TPR,
+// EOI, ICR, LVT entries, and the IRR/ISR vector bitmaps that feed
+// interrupt delivery. The paper's Fig 7 attributes the small (≤30 LOC)
+// record-vs-replay coverage differences to this component plus irq.c and
+// vpt.c — asynchronous interrupt arrival hits different vlapic paths on
+// each run, which is exactly the behavior the model reproduces when the
+// hypervisor's async-noise knob is enabled.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "hv/coverage.h"
+
+namespace iris::hv {
+
+/// APIC register offsets within the 4 KiB MMIO page (SDM Table 10-1).
+inline constexpr std::uint32_t kApicRegId = 0x20;
+inline constexpr std::uint32_t kApicRegVersion = 0x30;
+inline constexpr std::uint32_t kApicRegTpr = 0x80;
+inline constexpr std::uint32_t kApicRegEoi = 0xB0;
+inline constexpr std::uint32_t kApicRegLdr = 0xD0;
+inline constexpr std::uint32_t kApicRegSvr = 0xF0;
+inline constexpr std::uint32_t kApicRegIsrBase = 0x100;
+inline constexpr std::uint32_t kApicRegIrrBase = 0x200;
+inline constexpr std::uint32_t kApicRegEsr = 0x280;
+inline constexpr std::uint32_t kApicRegIcrLow = 0x300;
+inline constexpr std::uint32_t kApicRegIcrHigh = 0x310;
+inline constexpr std::uint32_t kApicRegLvtTimer = 0x320;
+inline constexpr std::uint32_t kApicRegLvtLint0 = 0x350;
+inline constexpr std::uint32_t kApicRegLvtLint1 = 0x360;
+inline constexpr std::uint32_t kApicRegLvtError = 0x370;
+inline constexpr std::uint32_t kApicRegTimerInit = 0x380;
+inline constexpr std::uint32_t kApicRegTimerCurrent = 0x390;
+inline constexpr std::uint32_t kApicRegTimerDivide = 0x3E0;
+
+class Vlapic {
+ public:
+  explicit Vlapic(std::uint32_t apic_id = 0) : id_(apic_id) {}
+
+  /// MMIO-window register read; instruments Component::kVlapic blocks.
+  [[nodiscard]] std::uint32_t read(std::uint32_t offset, CoverageMap& cov);
+
+  /// MMIO-window register write.
+  void write(std::uint32_t offset, std::uint32_t value, CoverageMap& cov);
+
+  /// Queue `vector` for delivery (sets the IRR bit).
+  void inject(std::uint8_t vector, CoverageMap& cov);
+
+  /// Highest-priority pending vector above the current TPR, if any.
+  [[nodiscard]] std::optional<std::uint8_t> highest_pending() const noexcept;
+
+  /// Move `vector` IRR -> ISR (delivery to the guest).
+  void accept(std::uint8_t vector, CoverageMap& cov);
+
+  /// Guest EOI: clear the highest ISR bit.
+  void eoi(CoverageMap& cov);
+
+  [[nodiscard]] std::uint8_t tpr() const noexcept { return tpr_; }
+  [[nodiscard]] bool has_pending() const noexcept;
+
+  void reset();
+
+ private:
+  static constexpr int kVectorWords = 8;  // 256 bits
+  using VectorBitmap = std::array<std::uint32_t, kVectorWords>;
+
+  static void set_bit(VectorBitmap& bm, std::uint8_t v) noexcept {
+    bm[v / 32] |= (1U << (v % 32));
+  }
+  static void clear_bit(VectorBitmap& bm, std::uint8_t v) noexcept {
+    bm[v / 32] &= ~(1U << (v % 32));
+  }
+  static bool test_bit(const VectorBitmap& bm, std::uint8_t v) noexcept {
+    return (bm[v / 32] >> (v % 32)) & 1U;
+  }
+  static std::optional<std::uint8_t> highest_bit(const VectorBitmap& bm) noexcept;
+
+  std::uint32_t id_;
+  std::uint8_t tpr_ = 0;
+  std::uint32_t svr_ = 0xFF;  // spurious vector; bit 8 = software enable
+  std::uint32_t esr_ = 0;
+  std::uint32_t icr_low_ = 0;
+  std::uint32_t icr_high_ = 0;
+  std::uint32_t lvt_timer_ = 0x10000;  // masked at reset
+  std::uint32_t lvt_lint0_ = 0x10000;
+  std::uint32_t lvt_lint1_ = 0x10000;
+  std::uint32_t lvt_error_ = 0x10000;
+  std::uint32_t timer_init_ = 0;
+  std::uint32_t timer_divide_ = 0;
+  VectorBitmap irr_{};
+  VectorBitmap isr_{};
+};
+
+}  // namespace iris::hv

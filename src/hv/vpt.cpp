@@ -1,0 +1,34 @@
+#include "hv/vpt.h"
+
+namespace iris::hv {
+namespace {
+constexpr Component kC = Component::kVpt;
+}
+
+void Vpt::tick_to(std::uint64_t tsc, CoverageMap& cov) {
+  if (tsc <= last_tick_tsc_ || period_ == 0) return;
+  const std::uint64_t elapsed = tsc - last_tick_tsc_;
+  const std::uint64_t ticks = elapsed / period_;
+  if (ticks == 0) return;
+  cov.hit(kC, 1, 5);  // pt_process_missed_ticks
+  last_tick_tsc_ += ticks * period_;
+  // Xen's "no_missed_ticks_pending" policy: collapse a burst into one
+  // pending tick and account the rest as missed.
+  if (pending_ticks_ == 0) {
+    pending_ticks_ = 1;
+  } else {
+    cov.hit(kC, 2, 3);
+  }
+  if (ticks > 1) {
+    cov.hit(kC, 3, 3);
+    missed_ += ticks - 1;
+  }
+}
+
+std::uint8_t Vpt::consume(CoverageMap& cov) {
+  cov.hit(kC, 4, 4);  // pt_intr_post
+  if (pending_ticks_ > 0) --pending_ticks_;
+  return vector_;
+}
+
+}  // namespace iris::hv

@@ -1,0 +1,50 @@
+// Virtual platform timer (Xen's vpt.c).
+//
+// Provides the periodic tick that drives guest timekeeping. Ticks accrue
+// as simulated time passes; the hypervisor converts pending ticks into
+// vLAPIC injections on the exit path (intr.c), which is why vpt.c shows
+// up among the paper's Fig 7 noise components — whether a tick is
+// pending at a given exit depends on wall-clock alignment, not on the
+// guest's instruction stream.
+#pragma once
+
+#include <cstdint>
+
+#include "hv/coverage.h"
+
+namespace iris::hv {
+
+class Vpt {
+ public:
+  /// `period_cycles` — tick period in TSC cycles (default 100 Hz at the
+  /// modeled 3.6 GHz).
+  explicit Vpt(std::uint64_t period_cycles = 36'000'000, std::uint8_t vector = 0xF0)
+      : period_(period_cycles), vector_(vector) {}
+
+  /// Advance to absolute time `tsc`, accruing any elapsed ticks.
+  void tick_to(std::uint64_t tsc, CoverageMap& cov);
+
+  /// One tick pending? (checked by the exit-path interrupt assist).
+  [[nodiscard]] bool pending() const noexcept { return pending_ticks_ > 0; }
+
+  /// Consume one pending tick; returns the timer vector to inject.
+  [[nodiscard]] std::uint8_t consume(CoverageMap& cov);
+
+  [[nodiscard]] std::uint64_t missed_ticks() const noexcept { return missed_; }
+  [[nodiscard]] std::uint8_t vector() const noexcept { return vector_; }
+
+  void reset(std::uint64_t tsc = 0) {
+    last_tick_tsc_ = tsc;
+    pending_ticks_ = 0;
+    missed_ = 0;
+  }
+
+ private:
+  std::uint64_t period_;
+  std::uint8_t vector_;
+  std::uint64_t last_tick_tsc_ = 0;
+  std::uint64_t pending_ticks_ = 0;
+  std::uint64_t missed_ = 0;
+};
+
+}  // namespace iris::hv

@@ -1,0 +1,126 @@
+#include "iris/analysis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "sim/clock.h"
+#include "vtx/entry_checks.h"
+
+namespace iris {
+
+std::vector<std::uint32_t> cumulative_coverage(const hv::CoverageMap& map,
+                                               const VmBehavior& behavior) {
+  hv::CoverageAccumulator acc(map);
+  std::vector<std::uint32_t> curve;
+  curve.reserve(behavior.size());
+  for (const auto& rec : behavior) {
+    acc.add(rec.metrics.coverage);
+    curve.push_back(acc.total_loc());
+  }
+  return curve;
+}
+
+AccuracyReport analyze_accuracy(const hv::CoverageMap& map, const VmBehavior& recorded,
+                                const VmBehavior& replayed,
+                                std::uint32_t noise_threshold_loc) {
+  AccuracyReport report;
+  report.noise_threshold_loc = noise_threshold_loc;
+  report.record_curve = cumulative_coverage(map, recorded);
+  report.replay_curve = cumulative_coverage(map, replayed);
+
+  const double rec_total =
+      report.record_curve.empty() ? 0.0 : report.record_curve.back();
+  const double rep_total =
+      report.replay_curve.empty() ? 0.0 : report.replay_curve.back();
+  report.coverage_fit_pct = rec_total == 0.0 ? 100.0 : 100.0 * rep_total / rec_total;
+
+  // --- Per-exit diffs (Fig 7). Count each distinct seed once, as the
+  // paper does ("filtering the repeated VM seeds in a workload").
+  const std::size_t n = std::min(recorded.size(), replayed.size());
+  std::unordered_set<std::uint64_t> seen_seeds;
+  std::size_t distinct = 0;
+  std::size_t large = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& rec_cov = recorded[i].metrics.coverage.blocks;
+    const auto& rep_cov = replayed[i].metrics.coverage.blocks;
+    if (!seen_seeds.insert(recorded[i].seed.hash()).second) continue;
+    ++distinct;
+
+    ExitDiff diff;
+    diff.reason = recorded[i].seed.reason;
+    // Both sides are sorted; walk the symmetric difference.
+    std::size_t a = 0, b = 0;
+    const auto account = [&](hv::BlockKey key) {
+      const std::uint8_t loc = map.loc_of(key);
+      diff.loc_diff += loc;
+      diff.by_component[hv::block_component(key)] += loc;
+    };
+    while (a < rec_cov.size() || b < rep_cov.size()) {
+      if (b >= rep_cov.size() || (a < rec_cov.size() && rec_cov[a] < rep_cov[b])) {
+        account(rec_cov[a++]);
+      } else if (a >= rec_cov.size() || rep_cov[b] < rec_cov[a]) {
+        account(rep_cov[b++]);
+      } else {
+        ++a;
+        ++b;
+      }
+    }
+    if (diff.loc_diff > 0) {
+      if (diff.loc_diff > noise_threshold_loc) ++large;
+      report.diffs.push_back(std::move(diff));
+    }
+  }
+  report.large_diff_pct =
+      distinct == 0 ? 0.0 : 100.0 * static_cast<double>(large) /
+                                static_cast<double>(distinct);
+
+  // --- Guest-state VMWRITE fit (Fig 8's 100%). ---
+  std::size_t expected = 0, matched = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto rec_writes = recorded[i].metrics.guest_state_writes();
+    const auto rep_writes = replayed[i].metrics.guest_state_writes();
+    expected += rec_writes.size();
+    const std::size_t m = std::min(rec_writes.size(), rep_writes.size());
+    for (std::size_t w = 0; w < m; ++w) {
+      if (rec_writes[w] == rep_writes[w]) ++matched;
+    }
+  }
+  report.vmwrite_fit_pct =
+      expected == 0 ? 100.0
+                    : 100.0 * static_cast<double>(matched) /
+                          static_cast<double>(expected);
+  return report;
+}
+
+std::vector<ModeSample> mode_trajectory(const VmBehavior& behavior) {
+  std::vector<ModeSample> samples;
+  for (std::size_t i = 0; i < behavior.size(); ++i) {
+    for (const auto& [field, value] : behavior[i].metrics.vmwrites) {
+      if (field == vtx::VmcsField::kGuestCr0) {
+        samples.push_back(ModeSample{i, vcpu::classify_cr0(value)});
+      }
+    }
+  }
+  return samples;
+}
+
+EfficiencyReport analyze_efficiency(std::uint64_t real_cycles,
+                                    std::uint64_t replay_cycles, std::size_t exits) {
+  EfficiencyReport report;
+  report.real_seconds = sim::Clock::cycles_to_s(real_cycles);
+  report.replay_seconds = sim::Clock::cycles_to_s(replay_cycles);
+  if (report.real_seconds > 0.0) {
+    report.pct_decrease =
+        100.0 * (report.real_seconds - report.replay_seconds) / report.real_seconds;
+    report.speedup = report.replay_seconds > 0.0
+                         ? report.real_seconds / report.replay_seconds
+                         : 0.0;
+  }
+  if (report.replay_seconds > 0.0) {
+    report.replay_exits_per_sec =
+        static_cast<double>(exits) / report.replay_seconds;
+  }
+  return report;
+}
+
+}  // namespace iris

@@ -1,0 +1,77 @@
+// Accuracy and efficiency analyzers (paper §VI-B, §VI-C).
+//
+// Turn recorded/replayed behaviors into the quantities the paper plots:
+// cumulative-coverage curves and their final fit (Fig 6), per-exit
+// coverage differences clustered by reason and attributed to components
+// (Fig 7), the CR0 operating-mode trajectory and guest-state VMWRITE fit
+// (Fig 8), and the submission-time comparison (Fig 9).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hv/coverage.h"
+#include "iris/seed.h"
+#include "vcpu/cpu_mode.h"
+
+namespace iris {
+
+/// Cumulative unique-LOC curve over a behavior (a Fig 6 line).
+[[nodiscard]] std::vector<std::uint32_t> cumulative_coverage(
+    const hv::CoverageMap& map, const VmBehavior& behavior);
+
+/// Per-exit coverage difference between aligned record/replay exits:
+/// the LOC weight of the symmetric difference of their block sets.
+struct ExitDiff {
+  vtx::ExitReason reason = vtx::ExitReason::kPreemptionTimer;
+  std::uint32_t loc_diff = 0;
+  /// Diff LOC attributed to each component (Fig 7's clustering).
+  std::map<hv::Component, std::uint32_t> by_component;
+};
+
+struct AccuracyReport {
+  std::vector<std::uint32_t> record_curve;
+  std::vector<std::uint32_t> replay_curve;
+  /// 100 * final replay LOC / final record LOC (the Fig 6 fit).
+  double coverage_fit_pct = 0.0;
+
+  std::vector<ExitDiff> diffs;  ///< one per aligned exit with a nonzero diff
+  /// Exits whose diff exceeds the noise threshold (paper: >30 LOC),
+  /// as a percentage of distinct seeds.
+  double large_diff_pct = 0.0;
+  std::uint32_t noise_threshold_loc = 30;
+
+  /// Fraction of recorded guest-state VMWRITE {field, value} pairs that
+  /// the replay reproduced exactly, in order (Fig 8 fit: 100%).
+  double vmwrite_fit_pct = 0.0;
+};
+
+/// Compare a recorded behavior with its replayed counterpart. The
+/// traces are aligned index-by-index; a shorter replay (aborted) only
+/// compares the common prefix.
+[[nodiscard]] AccuracyReport analyze_accuracy(const hv::CoverageMap& map,
+                                              const VmBehavior& recorded,
+                                              const VmBehavior& replayed,
+                                              std::uint32_t noise_threshold_loc = 30);
+
+/// CR0 operating-mode trajectory: one sample per guest-state CR0
+/// VMWRITE in the behavior (the Fig 8 staircase).
+struct ModeSample {
+  std::size_t exit_index = 0;
+  vcpu::CpuMode mode = vcpu::CpuMode::kMode1;
+};
+[[nodiscard]] std::vector<ModeSample> mode_trajectory(const VmBehavior& behavior);
+
+struct EfficiencyReport {
+  double real_seconds = 0.0;    ///< guest execution (record-side) time
+  double replay_seconds = 0.0;  ///< IRIS replay time for the same exits
+  double pct_decrease = 0.0;    ///< Fig 9's headline percentage
+  double speedup = 0.0;
+  double replay_exits_per_sec = 0.0;
+};
+[[nodiscard]] EfficiencyReport analyze_efficiency(std::uint64_t real_cycles,
+                                                  std::uint64_t replay_cycles,
+                                                  std::size_t exits);
+
+}  // namespace iris

@@ -1,0 +1,112 @@
+// IRIS manager (paper §IV-C, §V-C).
+//
+// The control plane of the framework: chooses between operation modes
+// (record, replay, or both), owns the test and dummy DomUs, drives the
+// Recorder and Replayer, and exposes the whole thing to user space
+// through the xc_vmcs_fuzzing() hypercall — the interface the IRIS CLI
+// in Dom0 invokes. Seeds and metrics cross the hypervisor boundary via
+// copy_to_guest()/copy_from_guest(), as in the Xen implementation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "guest/workload.h"
+#include "hv/hypervisor.h"
+#include "iris/recorder.h"
+#include "iris/replayer.h"
+#include "iris/seed_db.h"
+
+namespace iris {
+
+/// xc_vmcs_fuzzing() command codes (arg0 of the hypercall).
+enum class IrisCmd : std::uint64_t {
+  kEnableRecord = 0,
+  kDisableRecord = 1,
+  kSeedCount = 2,
+  kFetchSeed = 3,    ///< arg1 = seed index, arg2 = dest gpa in caller
+  kEnableReplay = 4,
+  kSubmitSeed = 5,   ///< arg1 = src gpa in caller, arg2 = byte length
+  kStatus = 6,
+};
+
+/// One replayed-and-measured behavior (replay with record mode on).
+struct ReplayedBehavior {
+  VmBehavior behavior;                     ///< metrics captured during replay
+  std::vector<hv::HandleOutcome> outcomes; ///< per-seed handling outcomes
+  bool aborted = false;                    ///< stopped on a failure
+};
+
+class Manager {
+ public:
+  enum class Mode : std::uint8_t { kOff, kRecord, kReplay, kRecordAndReplay };
+
+  explicit Manager(hv::Hypervisor& hv);
+
+  /// Create and launch the test VM (the DomU whose workloads are
+  /// recorded). Idempotent.
+  [[nodiscard]] hv::Domain& test_vm();
+  /// Create and launch the dummy VM (the replay target). Idempotent.
+  [[nodiscard]] hv::Domain& dummy_vm();
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] hv::Hypervisor& hv() noexcept { return *hv_; }
+  [[nodiscard]] SeedDb& db() noexcept { return db_; }
+
+  // --- Record mode (Fig 3 left path). ---
+
+  /// Record `n` exits of `workload` on the test VM; stores the behavior
+  /// in the seed DB under the workload name and returns a reference.
+  const VmBehavior& record_workload(guest::Workload workload, std::uint64_t n,
+                                    std::uint64_t seed,
+                                    Recorder::Config config = {});
+
+  // --- Replay mode (Fig 3 right path). ---
+
+  /// Arm the replayer on the dummy VM (optionally reverting it to a
+  /// previously saved snapshot first).
+  [[nodiscard]] bool enable_replay(Replayer::Config config = {});
+
+  /// Submit one seed through the armed replayer.
+  hv::HandleOutcome submit_seed(const VmSeed& seed);
+
+  /// Replay a behavior while recording metrics (record+replay mode,
+  /// §IV-C last paragraph — the accuracy experiment's instrument).
+  ReplayedBehavior replay_and_record(const VmBehavior& behavior,
+                                     Replayer::Config config = {});
+
+  /// Replay without metric capture (fast path).
+  std::vector<hv::HandleOutcome> replay(const VmBehavior& behavior,
+                                        Replayer::Config config = {});
+
+  // --- Snapshots (§IV-B: unbias record-vs-replay comparisons). ---
+  void save_test_snapshot();
+  void revert_test_vm();
+  /// Recreate the dummy VM from scratch (fresh un-booted state).
+  void reset_dummy_vm();
+  /// Start the dummy VM from the snapshot saved at the start of
+  /// recording — the unbiased starting state for accuracy runs (§IV-B).
+  void revert_dummy_to_test_snapshot();
+
+  /// Register the xc_vmcs_fuzzing() hypercall backend (§V-C). Invoked
+  /// from guest context via VMCALL; see IrisCmd for the command set.
+  void register_hypercall();
+
+ private:
+  std::uint64_t hypercall_backend(hv::Domain& caller, hv::HvVcpu& vcpu,
+                                  std::span<const std::uint64_t> args);
+
+  hv::Hypervisor* hv_;
+  SeedDb db_;
+  Mode mode_ = Mode::kOff;
+  hv::Domain* test_vm_ = nullptr;
+  hv::Domain* dummy_vm_ = nullptr;
+  std::optional<hv::DomainSnapshot> test_snapshot_;
+  std::unique_ptr<Replayer> replayer_;
+  std::unique_ptr<Recorder> hypercall_recorder_;
+  std::string last_recorded_name_;
+};
+
+}  // namespace iris

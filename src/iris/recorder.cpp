@@ -1,0 +1,156 @@
+#include "iris/recorder.h"
+
+namespace iris {
+
+std::string_view to_string(CoverageSource source) noexcept {
+  return source == CoverageSource::kGcov ? "gcov" : "Intel PT";
+}
+
+Recorder::Recorder(hv::Hypervisor& hv) : Recorder(hv, Config{}) {}
+
+Recorder::Recorder(hv::Hypervisor& hv, Config config) : hv_(&hv), config_(config) {}
+
+Recorder::~Recorder() {
+  if (attached_) detach();
+}
+
+void Recorder::attach() {
+  if (attached_) return;
+  saved_ = hv_->hooks();
+  auto& hooks = hv_->hooks();
+
+  // Chain: previously installed hooks (e.g. the replayer's injection)
+  // run first, then the recorder observes.
+  const auto prev_start = saved_.on_exit_start;
+  hooks.on_exit_start = [this, prev_start](hv::HvVcpu& vcpu) {
+    if (prev_start) prev_start(vcpu);
+    this->on_exit_start(vcpu);
+  };
+  const auto prev_read = saved_.on_vmread;
+  hooks.on_vmread = [this, prev_read](vtx::VmcsField f, std::uint64_t v) {
+    if (prev_read) prev_read(f, v);
+    this->on_vmread(f, v);
+  };
+  const auto prev_write = saved_.on_vmwrite;
+  hooks.on_vmwrite = [this, prev_write](vtx::VmcsField f, std::uint64_t v) {
+    if (prev_write) prev_write(f, v);
+    this->on_vmwrite(f, v);
+  };
+  if (config_.record_guest_memory) {
+    const auto prev_mem = saved_.on_guest_mem_read;
+    hooks.on_guest_mem_read = [this, prev_mem](std::uint64_t gpa,
+                                               std::span<const std::uint8_t> data) {
+      if (prev_mem) prev_mem(gpa, data);
+      this->on_mem_read(gpa, data);
+    };
+  }
+  attached_ = true;
+}
+
+void Recorder::detach() {
+  if (!attached_) return;
+  hv_->hooks() = saved_;
+  attached_ = false;
+}
+
+void Recorder::on_exit_start(hv::HvVcpu& vcpu) {
+  // The paper's callback "at the start of the VM exit handler execution"
+  // buffering the GPR block (§V-A). Coverage hits under kIris get
+  // cleaned out of the per-exit block set.
+  hv_->coverage().hit(hv::Component::kIris, 1, 4);
+  current_ = {};
+  current_metrics_ = {};
+  in_exit_ = true;
+
+  current_.items.reserve(vcpu::kNumGprs + config_.max_vmcs_items);
+  for (int i = 0; i < vcpu::kNumGprs; ++i) {
+    current_.items.push_back(SeedItem{SeedItemKind::kGpr,
+                                      static_cast<std::uint8_t>(i),
+                                      vcpu.saved_gprs[static_cast<std::size_t>(i)]});
+  }
+  const std::uint64_t cost =
+      hv_->costs().record_callback_per_item * vcpu::kNumGprs;
+  hv_->clock().advance(cost);
+  overhead_cycles_ += cost;
+}
+
+void Recorder::on_vmread(vtx::VmcsField field, std::uint64_t value) {
+  if (!in_exit_) return;
+  hv_->coverage().hit(hv::Component::kIris, 2, 2);
+  if (current_.vmcs_count() >= config_.max_vmcs_items) return;
+  const auto compact = vtx::compact_index(field);
+  if (!compact) return;
+  if (config_.dedup_fields) {
+    for (const auto& item : current_.items) {
+      if (!item.is_gpr() && item.encoding == *compact) return;
+    }
+  }
+  current_.items.push_back(SeedItem{SeedItemKind::kVmcsField, *compact, value});
+  hv_->clock().advance(hv_->costs().record_callback_per_item);
+  overhead_cycles_ += hv_->costs().record_callback_per_item;
+}
+
+void Recorder::on_vmwrite(vtx::VmcsField field, std::uint64_t value) {
+  if (!in_exit_ || !config_.capture_metrics) return;
+  hv_->coverage().hit(hv::Component::kIris, 3, 2);
+  current_metrics_.vmwrites.emplace_back(field, value);
+  hv_->clock().advance(hv_->costs().record_callback_per_item);
+  overhead_cycles_ += hv_->costs().record_callback_per_item;
+}
+
+void Recorder::on_mem_read(std::uint64_t gpa, std::span<const std::uint8_t> data) {
+  if (!in_exit_ || !config_.record_guest_memory) return;
+  hv_->coverage().hit(hv::Component::kIris, 4, 3);
+  if (current_.memory.size() >= config_.max_memory_chunks) return;
+  MemChunk chunk;
+  chunk.gpa = gpa;
+  const std::size_t len = std::min(data.size(), config_.max_chunk_bytes);
+  chunk.bytes.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(len));
+  current_.memory.push_back(std::move(chunk));
+  // EPT-assisted capture modeled as one callback per chunk (§IX).
+  hv_->clock().advance(hv_->costs().record_callback_per_item * 4);
+  overhead_cycles_ += hv_->costs().record_callback_per_item * 4;
+}
+
+void Recorder::finish_exit(const hv::HandleOutcome& outcome) {
+  if (!in_exit_) return;
+  in_exit_ = false;
+  current_.reason = outcome.dispatched_reason;
+  if (config_.capture_metrics) {
+    current_metrics_.coverage = outcome.coverage;
+    current_metrics_.cycles = outcome.cycles;
+    if (config_.coverage_source == CoverageSource::kGcov) {
+      // Bitmap export to the shared memory area (§V-A).
+      hv_->clock().advance(hv_->costs().record_coverage_flush);
+      overhead_cycles_ += hv_->costs().record_coverage_flush;
+    } else {
+      // Intel PT: the trace accrues in hardware; per exit IRIS only
+      // notes the packet boundary (§IX estimates this as near-free).
+      hv_->clock().advance(hv_->costs().record_coverage_flush / 8);
+      overhead_cycles_ += hv_->costs().record_coverage_flush / 8;
+    }
+  }
+  trace_.push_back(RecordedExit{std::move(current_), std::move(current_metrics_)});
+  current_ = {};
+  current_metrics_ = {};
+}
+
+VmBehavior record_workload(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu,
+                           guest::GuestProgram& program, std::uint64_t n,
+                           Recorder::Config config) {
+  Recorder recorder(hv, config);
+  recorder.attach();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto exit = program.next(hv, dom, vcpu);
+    const auto outcome = hv.process_exit(dom, vcpu, exit);
+    recorder.finish_exit(outcome);
+    if (outcome.failure == hv::FailureKind::kHypervisorCrash ||
+        outcome.failure == hv::FailureKind::kVmCrash) {
+      break;
+    }
+  }
+  recorder.detach();
+  return recorder.take_trace();
+}
+
+}  // namespace iris

@@ -1,0 +1,111 @@
+// IRIS recording component (paper §IV-A, §V-A).
+//
+// Attaches to the hypervisor's instrumentation seams and, for every VM
+// exit, captures (i) the VM seed — the 15 guest GPRs buffered at the
+// start of exit handling plus every VMCS {field, value} pair the handler
+// VMREADs — and (ii) the metrics: per-exit coverage (cleaned of IRIS's
+// own hits), the VMWRITE pairs, and the handling time in cycles.
+//
+// Guest memory is deliberately NOT recorded (§IV-A): seeds stay small
+// (≤470 bytes worst case) at the cost of the memory-dependent replay
+// divergences Fig 7 quantifies.
+#pragma once
+
+#include <cstdint>
+
+#include "guest/workload.h"
+#include "hv/hypervisor.h"
+#include "iris/seed.h"
+
+namespace iris {
+
+/// How per-exit coverage reaches IRIS (paper §IX "Code coverage").
+enum class CoverageSource : std::uint8_t {
+  /// Compile-time instrumentation (gcov): portable, but every basic
+  /// block pays a callback and the bitmap is flushed per exit.
+  kGcov = 0,
+  /// Hardware tracing (Intel PT): the CPU logs control flow into a
+  /// ring buffer with no instrumentation; IRIS decodes it out-of-band.
+  /// Far cheaper per exit, but Intel-only.
+  kIntelPt = 1,
+};
+
+[[nodiscard]] std::string_view to_string(CoverageSource source) noexcept;
+
+class Recorder {
+ public:
+  struct Config {
+    /// Cap on VMCS items captured per seed (the paper's pre-allocated
+    /// worst case: 32 VMCS operations, §VI-D).
+    std::size_t max_vmcs_items = 32;
+    /// Record each VMCS field at most once per exit (first read wins —
+    /// later reads of the same field see handler-written values).
+    bool dedup_fields = true;
+    /// Capture metrics (coverage/VMWRITEs/cycles) alongside seeds.
+    bool capture_metrics = true;
+    /// §IX extension: also record the guest memory the handler
+    /// dereferenced (off under the paper's baseline configuration — the
+    /// baseline deliberately excludes guest memory from seeds, §IV-A).
+    bool record_guest_memory = false;
+    /// Bounds for the memory extension (per exit).
+    std::size_t max_memory_chunks = 16;
+    std::size_t max_chunk_bytes = 128;
+    /// §IX extension: coverage-capture mechanism. The paper's baseline
+    /// is gcov; kIntelPt models the proposed hardware-trace alternative
+    /// (same observable coverage, much lower per-exit cost).
+    CoverageSource coverage_source = CoverageSource::kGcov;
+  };
+
+  explicit Recorder(hv::Hypervisor& hv);
+  Recorder(hv::Hypervisor& hv, Config config);
+  ~Recorder();
+
+  Recorder(const Recorder&) = delete;
+  Recorder& operator=(const Recorder&) = delete;
+
+  /// Install the recording callbacks. `chain` preserves previously
+  /// installed hooks (used when recording during replay, §IV-C).
+  void attach();
+  void detach();
+  [[nodiscard]] bool attached() const noexcept { return attached_; }
+
+  /// Finalize the exit just handled: pair the in-flight seed with the
+  /// outcome's coverage and timing, append to the trace.
+  void finish_exit(const hv::HandleOutcome& outcome);
+
+  [[nodiscard]] const VmBehavior& trace() const noexcept { return trace_; }
+  [[nodiscard]] VmBehavior take_trace() noexcept { return std::move(trace_); }
+  void clear() { trace_.clear(); }
+
+  /// Cycles the recording callbacks themselves consumed (the §VI-D
+  /// overhead experiment isolates this).
+  [[nodiscard]] std::uint64_t overhead_cycles() const noexcept {
+    return overhead_cycles_;
+  }
+
+ private:
+  void on_exit_start(hv::HvVcpu& vcpu);
+  void on_vmread(vtx::VmcsField field, std::uint64_t value);
+  void on_vmwrite(vtx::VmcsField field, std::uint64_t value);
+  void on_mem_read(std::uint64_t gpa, std::span<const std::uint8_t> data);
+
+  hv::Hypervisor* hv_;
+  Config config_;
+  bool attached_ = false;
+  hv::InstrumentationHooks saved_;
+
+  VmSeed current_;
+  SeedMetrics current_metrics_;
+  bool in_exit_ = false;
+  std::uint64_t overhead_cycles_ = 0;
+  VmBehavior trace_;
+};
+
+/// Record `n` exits of `program` running on the test VM: the standard
+/// "record a workload" loop (Fig 3 record path). Returns the recorded
+/// behavior; stops early on guest/host failure.
+VmBehavior record_workload(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu,
+                           guest::GuestProgram& program, std::uint64_t n,
+                           Recorder::Config config = {});
+
+}  // namespace iris

@@ -1,0 +1,136 @@
+#include "iris/replayer.h"
+
+#include "vtx/vmx.h"
+
+namespace iris {
+
+Replayer::Replayer(hv::Hypervisor& hv, hv::Domain& dummy)
+    : Replayer(hv, dummy, Config{}) {}
+
+Replayer::Replayer(hv::Hypervisor& hv, hv::Domain& dummy, Config config)
+    : hv_(&hv), dummy_(&dummy), config_(config) {}
+
+Replayer::~Replayer() { remove_hooks(); }
+
+bool Replayer::arm() {
+  if (armed_) return true;
+  hv::HvVcpu& vcpu = dummy_->vcpu();
+  if (!vcpu.vmx.in_vmx_operation() || vcpu.vmcs.launch_state() !=
+                                          vtx::VmcsLaunchState::kActiveCurrentLaunched) {
+    if (!hv_->launch(*dummy_)) return false;
+  }
+  // Arm the continuous exit loop: activate the VMX-preemption timer with
+  // a zero value so the CPU preempts the dummy VM before it executes a
+  // single guest instruction (§V-B).
+  const std::uint64_t pin = vcpu.vmcs.hw_read(vtx::VmcsField::kPinBasedVmExecControl);
+  vcpu.vmcs.hw_write(vtx::VmcsField::kPinBasedVmExecControl,
+                     pin | vtx::kPinActivatePreemptionTimer);
+  vcpu.vmcs.hw_write(vtx::VmcsField::kPreemptionTimerValue, 0);
+  install_hooks();
+  armed_ = true;
+  return true;
+}
+
+void Replayer::install_hooks() {
+  if (hooks_installed_) return;
+  saved_ = hv_->hooks();
+  auto& hooks = hv_->hooks();
+
+  const auto prev_start = saved_.on_exit_start;
+  hooks.on_exit_start = [this, prev_start](hv::HvVcpu& vcpu) {
+    this->inject(vcpu);  // inject first, then any chained observer
+    if (prev_start) prev_start(vcpu);
+  };
+
+  const auto prev_override = saved_.vmread_override;
+  hooks.vmread_override = [this, prev_override](
+                              vtx::VmcsField field,
+                              std::uint64_t value) -> std::optional<std::uint64_t> {
+    if (config_.interpose_read_only && current_ != nullptr) {
+      const auto it = read_only_overrides_.find(static_cast<std::uint16_t>(field));
+      if (it != read_only_overrides_.end()) return it->second;
+    }
+    if (prev_override) return prev_override(field, value);
+    return std::nullopt;
+  };
+  hooks_installed_ = true;
+}
+
+void Replayer::remove_hooks() {
+  if (!hooks_installed_) return;
+  hv_->hooks() = saved_;
+  hooks_installed_ = false;
+}
+
+void Replayer::inject(hv::HvVcpu& vcpu) {
+  if (current_ == nullptr) return;
+  hv_->coverage().hit(hv::Component::kIris, 10, 5);
+
+  std::uint64_t injected_items = 0;
+  read_only_overrides_.clear();
+
+  if (config_.replay_guest_memory) {
+    for (const auto& chunk : current_->memory) {
+      dummy_->ram().write(chunk.gpa, chunk.bytes);
+      ++injected_items;
+    }
+  }
+
+  for (const auto& item : current_->items) {
+    ++injected_items;
+    if (item.is_gpr()) {
+      // GPRs are simply copied into the hypervisor data structures
+      // where the exit path saved them (§V-B).
+      vcpu.saved_gprs[item.encoding] = item.value;
+      continue;
+    }
+    const auto field = item.field();
+    if (!field) continue;
+    if (vtx::is_read_only(*field)) {
+      // Read-only: interpose the vmread() return value.
+      read_only_overrides_[static_cast<std::uint16_t>(*field)] = item.value;
+    } else if (config_.write_writable_fields) {
+      // Writable: VMWRITE the recorded value. This is hardware-level
+      // (the IRIS callback must not record its own injection writes).
+      vcpu.vmcs.hw_write(*field, item.value);
+    }
+  }
+  hv_->clock().advance(hv_->costs().replay_inject_per_item * injected_items);
+}
+
+hv::HandleOutcome Replayer::submit(const VmSeed& seed) {
+  // One-by-one hand-off (§IX discusses its cost; batch_size amortizes).
+  hv_->clock().advance(hv_->costs().replay_seed_fetch /
+                       std::max<std::size_t>(config_.batch_size, 1));
+  current_ = &seed;
+  ++submitted_;
+
+  hv::PendingExit exit;
+  exit.reason = vtx::ExitReason::kPreemptionTimer;  // the loop's real exit
+
+  hv::HvVcpu& vcpu = dummy_->vcpu();
+  hv::HandleOutcome outcome =
+      config_.use_preemption_timer
+          ? hv_->process_exit(*dummy_, vcpu, exit)
+          : hv_->process_exit_no_entry(*dummy_, vcpu, exit);
+  current_ = nullptr;
+  read_only_overrides_.clear();
+  return outcome;
+}
+
+std::vector<hv::HandleOutcome> Replayer::submit_behavior(const VmBehavior& behavior) {
+  std::vector<hv::HandleOutcome> outcomes;
+  outcomes.reserve(behavior.size());
+  for (const auto& rec : behavior) {
+    outcomes.push_back(submit(rec.seed));
+    const auto failure = outcomes.back().failure;
+    if (failure == hv::FailureKind::kHypervisorCrash ||
+        failure == hv::FailureKind::kVmCrash ||
+        failure == hv::FailureKind::kHypervisorHang) {
+      break;
+    }
+  }
+  return outcomes;
+}
+
+}  // namespace iris

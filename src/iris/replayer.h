@@ -1,0 +1,92 @@
+// IRIS replaying component (paper §IV-B, §V-B).
+//
+// Submits recorded (or crafted) VM seeds to the hypervisor without
+// executing any guest workload. A dummy VM is armed with the VMX
+// preemption timer at zero so every VM entry is immediately pulled back
+// into root mode before the guest retires an instruction; at the start
+// of exit handling the seed is injected:
+//   * the 15 GPRs are copied into the hypervisor's saved-register block;
+//   * recorded VMCS fields that are writable are VMWRITten back;
+//   * read-only fields (exit reason, qualification, I/O RCX/RSI/RDI...)
+//     are interposed at the vmread() wrapper so the handler sees the
+//     recorded values.
+// The handler then runs against the recorded context, and the VM entry
+// at the end re-validates the guest state (SDM 26.3) — the mechanism
+// that keeps replayed/mutated seeds semantically checked.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "hv/hypervisor.h"
+#include "iris/seed.h"
+
+namespace iris {
+
+class Replayer {
+ public:
+  struct Config {
+    /// Replay through real VM entries driven by the preemption timer
+    /// (the paper's design). False selects the rejected alternative — a
+    /// root-mode handler loop with no VM entry — kept for the ablation
+    /// bench: it skips entry checks and eventually trips the hang
+    /// watchdog (§IV-B).
+    bool use_preemption_timer = true;
+    /// Interpose vmread() returns for read-only fields (§V-B). Disabled
+    /// only by the ablation bench.
+    bool interpose_read_only = true;
+    /// VMWRITE recorded writable fields back into the VMCS.
+    bool write_writable_fields = true;
+    /// Seeds fetched per hand-off. 1 is the paper's one-by-one scheme;
+    /// larger values model the §IX batching optimization (the fetch
+    /// cost amortizes across the batch).
+    std::size_t batch_size = 1;
+    /// §IX extension: restore recorded guest-memory chunks into the
+    /// dummy VM's RAM before handling, closing the memory-dependent
+    /// emulator divergences of Fig 7. No-op for baseline seeds (which
+    /// carry no memory).
+    bool replay_guest_memory = true;
+  };
+
+  Replayer(hv::Hypervisor& hv, hv::Domain& dummy);
+  Replayer(hv::Hypervisor& hv, hv::Domain& dummy, Config config);
+  ~Replayer();
+
+  Replayer(const Replayer&) = delete;
+  Replayer& operator=(const Replayer&) = delete;
+
+  /// Launch the dummy VM and arm the preemption-timer exit loop
+  /// (Fig 1 steps 1-3 + §V-B timer programming).
+  [[nodiscard]] bool arm();
+
+  /// Submit one seed (Fig 3 replay path). The returned outcome carries
+  /// the coverage, VMWRITE counts and failure classification.
+  hv::HandleOutcome submit(const VmSeed& seed);
+
+  /// Replay an entire recorded behavior in order. Stops at the first
+  /// host-fatal failure; guest-fatal failures abort too (the dummy VM is
+  /// gone). Returns one outcome per submitted seed.
+  std::vector<hv::HandleOutcome> submit_behavior(const VmBehavior& behavior);
+
+  [[nodiscard]] hv::Domain& dummy() noexcept { return *dummy_; }
+  [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
+
+ private:
+  void install_hooks();
+  void remove_hooks();
+  void inject(hv::HvVcpu& vcpu);
+
+  hv::Hypervisor* hv_;
+  hv::Domain* dummy_;
+  Config config_;
+  bool armed_ = false;
+  bool hooks_installed_ = false;
+  hv::InstrumentationHooks saved_;
+
+  const VmSeed* current_ = nullptr;
+  std::unordered_map<std::uint16_t, std::uint64_t> read_only_overrides_;
+  std::uint64_t submitted_ = 0;
+};
+
+}  // namespace iris

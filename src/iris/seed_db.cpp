@@ -1,0 +1,98 @@
+#include "iris/seed_db.h"
+
+#include <fstream>
+#include <unordered_set>
+
+namespace iris {
+
+void SeedDb::store(std::string name, VmBehavior behavior) {
+  behaviors_[std::move(name)] = std::move(behavior);
+}
+
+const VmBehavior* SeedDb::behavior(const std::string& name) const {
+  const auto it = behaviors_.find(name);
+  return it == behaviors_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SeedDb::names() const {
+  std::vector<std::string> out;
+  out.reserve(behaviors_.size());
+  for (const auto& [name, _] : behaviors_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::size_t> SeedDb::seeds_with_reason(const std::string& name,
+                                                   vtx::ExitReason reason) const {
+  std::vector<std::size_t> out;
+  const VmBehavior* b = behavior(name);
+  if (b == nullptr) return out;
+  for (std::size_t i = 0; i < b->size(); ++i) {
+    if ((*b)[i].seed.reason == reason) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t SeedDb::unique_seed_count() const {
+  std::unordered_set<std::uint64_t> hashes;
+  for (const auto& [_, behavior] : behaviors_) {
+    for (const auto& rec : behavior) hashes.insert(rec.seed.hash());
+  }
+  return hashes.size();
+}
+
+std::size_t SeedDb::total_seed_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [_, behavior] : behaviors_) {
+    for (const auto& rec : behavior) total += rec.seed.byte_size();
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> SeedDb::serialize() const {
+  ByteWriter w;
+  w.u32(0x49524953);  // "IRIS" magic
+  w.u32(static_cast<std::uint32_t>(behaviors_.size()));
+  for (const auto& [name, behavior] : behaviors_) {
+    w.str(name);
+    serialize_behavior(behavior, w);
+  }
+  return std::move(w).take();
+}
+
+Result<SeedDb> SeedDb::deserialize(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  auto magic = r.u32();
+  if (!magic.ok() || magic.value() != 0x49524953) {
+    return Error{10, "bad seed-db magic"};
+  }
+  auto count = r.u32();
+  if (!count.ok()) return count.error();
+  SeedDb db;
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto name = r.str();
+    if (!name.ok()) return name.error();
+    auto behavior = deserialize_behavior(r);
+    if (!behavior.ok()) return behavior.error();
+    db.store(name.value(), std::move(behavior).take());
+  }
+  return db;
+}
+
+Status SeedDb::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Error{11, "cannot open " + path};
+  const auto bytes = serialize();
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return out ? Status{} : Status{Error{12, "write failed: " + path}};
+}
+
+Result<SeedDb> SeedDb::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{13, "cannot open " + path};
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return deserialize(bytes);
+}
+
+}  // namespace iris

@@ -1,0 +1,49 @@
+// VM seed database (the "VM seed DB" box of Fig 3).
+//
+// Stores recorded VM behaviors keyed by a name (typically the workload),
+// supports binary persistence for corpus reuse across runs, and offers
+// the by-reason lookup the fuzzer uses to pick its VMseed_R targets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "iris/seed.h"
+#include "support/result.h"
+
+namespace iris {
+
+class SeedDb {
+ public:
+  /// Store (or replace) a behavior under `name`.
+  void store(std::string name, VmBehavior behavior);
+
+  [[nodiscard]] const VmBehavior* behavior(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t size() const noexcept { return behaviors_.size(); }
+
+  /// Indices of the seeds in `name` whose exit reason is `reason`
+  /// (fuzzer target selection, paper §VII-1).
+  [[nodiscard]] std::vector<std::size_t> seeds_with_reason(
+      const std::string& name, vtx::ExitReason reason) const;
+
+  /// Count of distinct seeds (by content hash) across all behaviors.
+  [[nodiscard]] std::size_t unique_seed_count() const;
+
+  /// Total serialized footprint of all stored seeds (§VI-D accounting).
+  [[nodiscard]] std::size_t total_seed_bytes() const;
+
+  // --- Persistence. ---
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static Result<SeedDb> deserialize(std::span<const std::uint8_t> data);
+  Status save_file(const std::string& path) const;
+  static Result<SeedDb> load_file(const std::string& path);
+
+ private:
+  std::map<std::string, VmBehavior> behaviors_;
+};
+
+}  // namespace iris

@@ -1,0 +1,72 @@
+#include "mem/address_space.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace iris::mem {
+
+AddressSpace::Page* AddressSpace::page_for_write(std::uint64_t gfn) {
+  auto [it, inserted] = pages_.try_emplace(gfn);
+  if (inserted) {
+    it->second.assign(kPageSize, 0);
+  }
+  return &it->second;
+}
+
+const AddressSpace::Page* AddressSpace::page_for_read(std::uint64_t gfn) const noexcept {
+  const auto it = pages_.find(gfn);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+bool AddressSpace::read(std::uint64_t gpa, std::span<std::uint8_t> out) const {
+  std::fill(out.begin(), out.end(), std::uint8_t{0});
+  if (!contains(gpa, out.size())) return false;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const std::uint64_t addr = gpa + done;
+    const std::uint64_t gfn = addr >> kPageShift;
+    const std::uint64_t off = addr & kPageMask;
+    const std::size_t chunk =
+        std::min<std::size_t>(out.size() - done, kPageSize - off);
+    if (const Page* page = page_for_read(gfn)) {
+      std::memcpy(out.data() + done, page->data() + off, chunk);
+    }
+    done += chunk;
+  }
+  return true;
+}
+
+bool AddressSpace::write(std::uint64_t gpa, std::span<const std::uint8_t> data) {
+  if (!contains(gpa, data.size())) return false;
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t addr = gpa + done;
+    const std::uint64_t gfn = addr >> kPageShift;
+    const std::uint64_t off = addr & kPageMask;
+    const std::size_t chunk =
+        std::min<std::size_t>(data.size() - done, kPageSize - off);
+    Page* page = page_for_write(gfn);
+    std::memcpy(page->data() + off, data.data() + done, chunk);
+    done += chunk;
+  }
+  return true;
+}
+
+std::uint64_t AddressSpace::read_u64(std::uint64_t gpa) const {
+  std::uint8_t buf[8] = {};
+  read(gpa, buf);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+bool AddressSpace::write_u64(std::uint64_t gpa, std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (auto& b : buf) {
+    b = static_cast<std::uint8_t>(value & 0xFF);
+    value >>= 8;
+  }
+  return write(gpa, buf);
+}
+
+}  // namespace iris::mem

@@ -1,0 +1,73 @@
+// Sparse guest-physical address space.
+//
+// Backs DomU RAM in the model. Pages materialize on first write
+// (zero-filled, like freshly ballooned guest memory), so a 1 GB guest
+// costs only what it touches. Used by the hypervisor's guest-memory copy
+// routines (hvm_copy_{to,from}_guest in Xen terms) and by the HVM
+// instruction emulator when it dereferences descriptor tables — the very
+// accesses whose absence from VM seeds causes the paper's Fig 7 >30-LOC
+// replay divergences.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace iris::mem {
+
+inline constexpr std::uint64_t kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ULL << kPageShift;
+inline constexpr std::uint64_t kPageMask = kPageSize - 1;
+
+class AddressSpace {
+ public:
+  /// `size_bytes` bounds the valid guest-physical range (paper testbed
+  /// DomUs: 1 GB).
+  explicit AddressSpace(std::uint64_t size_bytes = 1ULL << 30)
+      : size_bytes_(size_bytes) {}
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_bytes_; }
+  [[nodiscard]] bool contains(std::uint64_t gpa, std::uint64_t len = 1) const noexcept {
+    return gpa < size_bytes_ && len <= size_bytes_ - gpa;
+  }
+
+  /// Read `out.size()` bytes at `gpa`. Unmaterialized pages read as zero.
+  /// Returns false (and leaves `out` zero-filled) if out of range.
+  bool read(std::uint64_t gpa, std::span<std::uint8_t> out) const;
+
+  /// Write bytes at `gpa`, materializing pages as needed.
+  bool write(std::uint64_t gpa, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint64_t read_u64(std::uint64_t gpa) const;
+  bool write_u64(std::uint64_t gpa, std::uint64_t value);
+
+  /// Pages currently materialized (memory-overhead accounting).
+  [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+  /// Drop all contents (VM teardown / snapshot revert to empty RAM).
+  void reset() { pages_.clear(); }
+
+  /// Copy-out/copy-in of the materialized page set (VM snapshot support;
+  /// the paper reverts the test VM to the snapshot taken when recording
+  /// started, §IV-B).
+  [[nodiscard]] std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+  snapshot_pages() const {
+    return pages_;
+  }
+  void restore_pages(std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> p) {
+    pages_ = std::move(p);
+  }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  Page* page_for_write(std::uint64_t gfn);
+  [[nodiscard]] const Page* page_for_read(std::uint64_t gfn) const noexcept;
+
+  std::uint64_t size_bytes_;
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+}  // namespace iris::mem

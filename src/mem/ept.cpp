@@ -1,0 +1,135 @@
+#include "mem/ept.h"
+
+#include <array>
+
+namespace iris::mem {
+namespace {
+
+// A 4-level walk over a 36-bit GFN space: 9 bits per level.
+constexpr int kLevels = 4;
+constexpr int kBitsPerLevel = 9;
+constexpr std::uint64_t kLevelMask = (1ULL << kBitsPerLevel) - 1;
+
+constexpr std::size_t index_at(std::uint64_t gfn, int level) {
+  // level 3 = PML4 (top), level 0 = PT (leaf).
+  return static_cast<std::size_t>((gfn >> (level * kBitsPerLevel)) & kLevelMask);
+}
+
+}  // namespace
+
+struct Ept::Node {
+  struct Entry {
+    std::unique_ptr<Node> child;    // interior
+    bool present = false;           // leaf mapping present
+    bool misconfigured = false;     // reserved bits set
+    std::uint64_t host_frame = 0;
+    EptPerms perms;
+  };
+  std::array<Entry, 1ULL << kBitsPerLevel> entries;
+};
+
+Ept::Ept() : root_(std::make_unique<Node>()) {}
+Ept::~Ept() = default;
+Ept::Ept(Ept&&) noexcept = default;
+Ept& Ept::operator=(Ept&&) noexcept = default;
+
+void Ept::map(std::uint64_t gfn, std::uint64_t hfn, EptPerms perms) {
+  Node* node = root_.get();
+  for (int level = kLevels - 1; level > 0; --level) {
+    auto& entry = node->entries[index_at(gfn, level)];
+    if (!entry.child) entry.child = std::make_unique<Node>();
+    node = entry.child.get();
+  }
+  auto& leaf = node->entries[index_at(gfn, 0)];
+  if (!leaf.present) ++mapped_;
+  leaf.present = true;
+  leaf.misconfigured = false;
+  leaf.host_frame = hfn;
+  leaf.perms = perms;
+}
+
+void Ept::unmap(std::uint64_t gfn) {
+  Node* node = root_.get();
+  for (int level = kLevels - 1; level > 0; --level) {
+    auto& entry = node->entries[index_at(gfn, level)];
+    if (!entry.child) return;
+    node = entry.child.get();
+  }
+  auto& leaf = node->entries[index_at(gfn, 0)];
+  if (leaf.present) --mapped_;
+  leaf = {};
+}
+
+void Ept::poison_misconfig(std::uint64_t gfn) {
+  map(gfn, 0, EptPerms{});
+  Node* node = root_.get();
+  for (int level = kLevels - 1; level > 0; --level) {
+    node = node->entries[index_at(gfn, level)].child.get();
+  }
+  node->entries[index_at(gfn, 0)].misconfigured = true;
+}
+
+void Ept::protect(std::uint64_t gfn, EptPerms perms) {
+  Node* node = root_.get();
+  for (int level = kLevels - 1; level > 0; --level) {
+    auto& entry = node->entries[index_at(gfn, level)];
+    if (!entry.child) return;
+    node = entry.child.get();
+  }
+  auto& leaf = node->entries[index_at(gfn, 0)];
+  if (leaf.present) leaf.perms = perms;
+}
+
+EptWalkResult Ept::translate(std::uint64_t gpa, EptAccess access) const {
+  const std::uint64_t gfn = gpa >> 12;
+  EptWalkResult result;
+
+  const std::uint64_t access_bit = access == EptAccess::kRead    ? 1ULL
+                                   : access == EptAccess::kWrite ? 2ULL
+                                                                 : 4ULL;
+
+  const Node* node = root_.get();
+  for (int level = kLevels - 1; level > 0; --level) {
+    ++result.levels_walked;
+    const auto& entry = node->entries[index_at(gfn, level)];
+    if (!entry.child) {
+      result.status = EptWalkStatus::kViolation;
+      result.qualification = access_bit;  // permissions bits 3-5 all zero
+      return result;
+    }
+    node = entry.child.get();
+  }
+  ++result.levels_walked;
+  const auto& leaf = node->entries[index_at(gfn, 0)];
+  if (leaf.misconfigured) {
+    result.status = EptWalkStatus::kMisconfig;
+    return result;
+  }
+  if (!leaf.present) {
+    result.status = EptWalkStatus::kViolation;
+    result.qualification = access_bit;
+    return result;
+  }
+
+  const bool allowed = (access == EptAccess::kRead && leaf.perms.read) ||
+                       (access == EptAccess::kWrite && leaf.perms.write) ||
+                       (access == EptAccess::kFetch && leaf.perms.exec);
+  if (!allowed) {
+    result.status = EptWalkStatus::kViolation;
+    result.qualification =
+        access_bit | (static_cast<std::uint64_t>(leaf.perms.bits()) << 3);
+    return result;
+  }
+
+  result.status = EptWalkStatus::kOk;
+  result.host_frame = leaf.host_frame;
+  return result;
+}
+
+void Ept::identity_map(std::uint64_t frames, EptPerms perms) {
+  for (std::uint64_t gfn = 0; gfn < frames; ++gfn) {
+    map(gfn, gfn, perms);
+  }
+}
+
+}  // namespace iris::mem

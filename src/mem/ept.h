@@ -1,0 +1,88 @@
+// Extended Page Tables (EPT) model, SDM Vol. 3, Ch. 28.
+//
+// The modeled hypervisor uses EPT to virtualize guest-physical memory;
+// unmapped or permission-violating accesses produce EPT VIOLATION exits
+// (reason 48) with the architectural exit-qualification bit layout, and
+// malformed entries produce EPT MISCONFIG exits (reason 49). These two
+// reasons appear throughout the paper's workload mixes (Fig 4/5) and in
+// Table I's fuzzing matrix.
+//
+// The model keeps a real 4-level radix structure (PML4 -> PDPT -> PD ->
+// PT over guest-frame numbers) rather than a flat map so misconfig
+// detection and table-walk accounting behave like the hardware walk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+namespace iris::mem {
+
+/// EPT permission bits (SDM Table 28-2, bits 2:0 of each entry).
+struct EptPerms {
+  bool read = true;
+  bool write = true;
+  bool exec = true;
+
+  [[nodiscard]] std::uint8_t bits() const noexcept {
+    return static_cast<std::uint8_t>((read ? 1 : 0) | (write ? 2 : 0) |
+                                     (exec ? 4 : 0));
+  }
+};
+
+/// Access kind being translated.
+enum class EptAccess : std::uint8_t { kRead, kWrite, kFetch };
+
+/// Outcome of an EPT walk.
+enum class EptWalkStatus : std::uint8_t {
+  kOk,          ///< translation produced a host frame
+  kViolation,   ///< not-present or permission failure -> exit reason 48
+  kMisconfig,   ///< reserved-bit/invalid entry -> exit reason 49
+};
+
+struct EptWalkResult {
+  EptWalkStatus status = EptWalkStatus::kViolation;
+  std::uint64_t host_frame = 0;  ///< valid when status == kOk
+  /// Exit-qualification for a violation, architectural bit layout
+  /// (SDM Table 27-7): bit0 read, bit1 write, bit2 fetch, bits 3-5 the
+  /// entry's R/W/X permissions.
+  std::uint64_t qualification = 0;
+  /// Levels touched during the walk (cost accounting; 1..4).
+  int levels_walked = 0;
+};
+
+class Ept {
+ public:
+  Ept();
+  ~Ept();
+  Ept(Ept&&) noexcept;
+  Ept& operator=(Ept&&) noexcept;
+
+  /// Map guest frame `gfn` to host frame `hfn` with `perms`.
+  void map(std::uint64_t gfn, std::uint64_t hfn, EptPerms perms);
+
+  /// Remove a mapping (subsequent accesses violate).
+  void unmap(std::uint64_t gfn);
+
+  /// Poison the leaf entry for `gfn` with reserved bits so that accesses
+  /// raise EPT_MISCONFIG — used by failure-injection tests.
+  void poison_misconfig(std::uint64_t gfn);
+
+  /// Change permissions on an existing mapping; no-op if unmapped.
+  void protect(std::uint64_t gfn, EptPerms perms);
+
+  /// Translate an access to `gpa`.
+  [[nodiscard]] EptWalkResult translate(std::uint64_t gpa, EptAccess access) const;
+
+  [[nodiscard]] std::size_t mapped_frames() const noexcept { return mapped_; }
+
+  /// Identity-map `frames` guest frames starting at 0 (RAM setup).
+  void identity_map(std::uint64_t frames, EptPerms perms = {});
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::size_t mapped_ = 0;
+};
+
+}  // namespace iris::mem

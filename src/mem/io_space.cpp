@@ -1,0 +1,69 @@
+#include "mem/io_space.h"
+
+#include <cassert>
+
+namespace iris::mem {
+
+void PioSpace::register_range(std::uint16_t base, std::uint16_t count,
+                              std::string device, PioHandler handler) {
+  assert(count > 0);
+  // Reject overlap with the preceding and following ranges.
+  auto next = ranges_.lower_bound(base);
+  if (next != ranges_.end()) {
+    assert(base + count <= next->second.base && "PIO ranges must not overlap");
+  }
+  if (next != ranges_.begin()) {
+    auto prev = std::prev(next);
+    assert(prev->second.base + prev->second.count <= base &&
+           "PIO ranges must not overlap");
+  }
+  ranges_.emplace(base, Range{base, count, std::move(device), std::move(handler)});
+}
+
+IoResult PioSpace::access(std::uint16_t port, bool is_write, std::uint8_t size,
+                          std::uint64_t value) {
+  auto it = ranges_.upper_bound(port);
+  if (it == ranges_.begin()) return {};
+  --it;
+  const Range& r = it->second;
+  if (port >= r.base + r.count) return {};
+  return r.handler(port, is_write, size, value);
+}
+
+std::optional<std::string> PioSpace::owner(std::uint16_t port) const {
+  auto it = ranges_.upper_bound(port);
+  if (it == ranges_.begin()) return std::nullopt;
+  --it;
+  const Range& r = it->second;
+  if (port >= r.base + r.count) return std::nullopt;
+  return r.device;
+}
+
+void MmioSpace::register_range(std::uint64_t base, std::uint64_t length,
+                               std::string device, MmioHandler handler) {
+  assert(length > 0);
+  ranges_.emplace(base, Range{base, length, std::move(device), std::move(handler)});
+}
+
+IoResult MmioSpace::access(std::uint64_t gpa, bool is_write, std::uint8_t size,
+                           std::uint64_t value) {
+  auto it = ranges_.upper_bound(gpa);
+  if (it == ranges_.begin()) return {};
+  --it;
+  const Range& r = it->second;
+  if (gpa >= r.base + r.length) return {};
+  return r.handler(gpa, is_write, size, value);
+}
+
+bool MmioSpace::covers(std::uint64_t gpa) const { return owner(gpa).has_value(); }
+
+std::optional<std::string> MmioSpace::owner(std::uint64_t gpa) const {
+  auto it = ranges_.upper_bound(gpa);
+  if (it == ranges_.begin()) return std::nullopt;
+  --it;
+  const Range& r = it->second;
+  if (gpa >= r.base + r.length) return std::nullopt;
+  return r.device;
+}
+
+}  // namespace iris::mem

@@ -1,0 +1,104 @@
+// Port-mapped and memory-mapped I/O region registries.
+//
+// The hypervisor traps guest I/O (exit reason 30 for port I/O, APIC
+// access / EPT faults for MMIO) and routes it to emulated devices. The
+// registries map port ranges / GPA ranges to device identities, which the
+// I/O-instruction handler consults — the dominant exit reason during the
+// paper's OS_BOOT workload (Fig 5).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace iris::mem {
+
+/// An emulated device's reaction to an access. `value` carries the read
+/// result for IN / MMIO-read accesses.
+struct IoResult {
+  bool handled = false;
+  std::uint64_t value = ~0ULL;  ///< open-bus reads float high
+};
+
+/// Callback implementing one device's port dialog.
+/// `is_write` distinguishes OUT from IN; `size` is 1/2/4 bytes.
+using PioHandler =
+    std::function<IoResult(std::uint16_t port, bool is_write, std::uint8_t size,
+                           std::uint64_t value)>;
+
+/// Standard PC port assignments the synthetic BIOS/boot dialog uses.
+inline constexpr std::uint16_t kPortPic1Cmd = 0x20;
+inline constexpr std::uint16_t kPortPic1Data = 0x21;
+inline constexpr std::uint16_t kPortPit = 0x40;
+inline constexpr std::uint16_t kPortPitCmd = 0x43;
+inline constexpr std::uint16_t kPortKbd = 0x60;
+inline constexpr std::uint16_t kPortKbdStatus = 0x64;
+inline constexpr std::uint16_t kPortCmosIndex = 0x70;
+inline constexpr std::uint16_t kPortCmosData = 0x71;
+inline constexpr std::uint16_t kPortPic2Cmd = 0xA0;
+inline constexpr std::uint16_t kPortPic2Data = 0xA1;
+inline constexpr std::uint16_t kPortIdeData = 0x1F0;
+inline constexpr std::uint16_t kPortIdeStatus = 0x1F7;
+inline constexpr std::uint16_t kPortSerialCom1 = 0x3F8;
+inline constexpr std::uint16_t kPortPciConfigAddr = 0xCF8;
+inline constexpr std::uint16_t kPortPciConfigData = 0xCFC;
+inline constexpr std::uint16_t kPortXenDebug = 0xE9;
+
+class PioSpace {
+ public:
+  /// Claim ports [base, base+count) for a named device.
+  void register_range(std::uint16_t base, std::uint16_t count, std::string device,
+                      PioHandler handler);
+
+  /// Dispatch one port access. Unclaimed ports return open-bus.
+  IoResult access(std::uint16_t port, bool is_write, std::uint8_t size,
+                  std::uint64_t value);
+
+  /// Device name owning `port`, if any (used for trace labeling).
+  [[nodiscard]] std::optional<std::string> owner(std::uint16_t port) const;
+
+  [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+
+ private:
+  struct Range {
+    std::uint16_t base;
+    std::uint16_t count;
+    std::string device;
+    PioHandler handler;
+  };
+  // Keyed by base port; ranges do not overlap (enforced on registration).
+  std::map<std::uint16_t, Range> ranges_;
+};
+
+/// MMIO region registry over guest-physical addresses.
+class MmioSpace {
+ public:
+  using MmioHandler = std::function<IoResult(std::uint64_t gpa, bool is_write,
+                                             std::uint8_t size, std::uint64_t value)>;
+
+  void register_range(std::uint64_t base, std::uint64_t length, std::string device,
+                      MmioHandler handler);
+
+  IoResult access(std::uint64_t gpa, bool is_write, std::uint8_t size,
+                  std::uint64_t value);
+
+  [[nodiscard]] bool covers(std::uint64_t gpa) const;
+  [[nodiscard]] std::optional<std::string> owner(std::uint64_t gpa) const;
+
+ private:
+  struct Range {
+    std::uint64_t base;
+    std::uint64_t length;
+    std::string device;
+    MmioHandler handler;
+  };
+  std::map<std::uint64_t, Range> ranges_;
+};
+
+/// Default local-APIC MMIO window (MSR IA32_APIC_BASE reset value).
+inline constexpr std::uint64_t kApicMmioBase = 0xFEE00000;
+inline constexpr std::uint64_t kApicMmioSize = 0x1000;
+
+}  // namespace iris::mem

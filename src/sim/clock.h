@@ -1,0 +1,54 @@
+// Simulated time-stamp counter (TSC).
+//
+// The paper measures efficiency with RDTSC cycle counters on a
+// 3.6 GHz Xeon (§V-A, §VI). We replace the physical counter with a
+// deterministic simulated one: every modeled operation advances the
+// TSC by a calibrated cycle cost (see cost_model.h). This keeps the
+// efficiency *ratios* (replay vs real guest execution) meaningful while
+// making every run reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace iris::sim {
+
+/// Frequency of the modeled host CPU (paper's testbed: 3.6 GHz).
+inline constexpr std::uint64_t kTscHz = 3'600'000'000ULL;
+
+class Clock {
+ public:
+  Clock() = default;
+
+  /// Current simulated TSC value (monotonic).
+  [[nodiscard]] std::uint64_t rdtsc() const noexcept { return tsc_; }
+
+  /// Advance by `cycles` simulated CPU cycles.
+  void advance(std::uint64_t cycles) noexcept { tsc_ += cycles; }
+
+  /// Elapsed cycles since a previous rdtsc() sample.
+  [[nodiscard]] std::uint64_t since(std::uint64_t start) const noexcept {
+    return tsc_ - start;
+  }
+
+  /// Convert cycles to milliseconds at the modeled frequency.
+  [[nodiscard]] static double cycles_to_ms(std::uint64_t cycles) noexcept {
+    return static_cast<double>(cycles) * 1000.0 / static_cast<double>(kTscHz);
+  }
+
+  /// Convert cycles to microseconds at the modeled frequency.
+  [[nodiscard]] static double cycles_to_us(std::uint64_t cycles) noexcept {
+    return static_cast<double>(cycles) * 1e6 / static_cast<double>(kTscHz);
+  }
+
+  /// Convert cycles to seconds.
+  [[nodiscard]] static double cycles_to_s(std::uint64_t cycles) noexcept {
+    return static_cast<double>(cycles) / static_cast<double>(kTscHz);
+  }
+
+  void reset() noexcept { tsc_ = 0; }
+
+ private:
+  std::uint64_t tsc_ = 0;
+};
+
+}  // namespace iris::sim

@@ -1,0 +1,75 @@
+// Calibrated cycle costs for modeled operations.
+//
+// Calibration targets (paper §VI-C, testbed Xeon i7-4790 @ 3.6 GHz):
+//   * ideal replay throughput: 5000 preemption-timer exits in ~0.1 s
+//     => ~70 K cycles per bare VM exit/entry round trip;
+//   * achieved replay throughput 18.5-23.8 K exits/s => seed injection
+//     and handler logic add roughly another ~80-120 K cycles per exit;
+//   * real guest execution: per-exit guest-side latency dominates —
+//     0.47 s / 5000 exits for OS_BOOT, 1.44 s for CPU-bound, 62.61 s
+//     for IDLE (the idle loop waits in HLT between exits).
+//
+// Costs below are per-operation building blocks; workloads compose them
+// (plus deterministic jitter) so the Fig 9 time curves keep the paper's
+// shape: replay ~linear and workload-independent, real execution
+// dominated by guest time.
+#pragma once
+
+#include <cstdint>
+
+#include "vtx/exit_reason.h"
+
+namespace iris::sim {
+
+struct CostModel {
+  // --- Hardware context switch (VM exit + VM entry), SDM-scale. ---
+  std::uint64_t vm_exit_switch = 1'800;   ///< non-root -> root state save/load
+  std::uint64_t vm_entry_switch = 1'600;  ///< root -> non-root (incl. 26.3 checks)
+
+  // --- Root-mode software costs. ---
+  std::uint64_t vmread = 40;
+  std::uint64_t vmwrite = 45;
+  std::uint64_t handler_dispatch = 900;    ///< exitcode decode, vcpu bookkeeping
+  std::uint64_t handler_block = 55;        ///< per executed basic block
+  std::uint64_t emulator_step = 4'200;     ///< HVM instruction emulation
+  std::uint64_t hypercall_base = 2'400;
+  /// Xen's generic exit-path overhead (IRQ masking, softirq checks,
+  /// scheduler accounting) charged once per exit. Calibrated so the bare
+  /// preemption-timer round trip costs ~70 K cycles — the paper's ideal
+  /// replay throughput of 50 K exits/s (0.1 s / 5000 exits, §VI-C).
+  std::uint64_t root_fixed_overhead = 58'000;
+
+  // --- Bare preemption-timer round trip (ideal replay lower bound). ---
+  // 5000 exits in ~0.1 s at 3.6 GHz  =>  ~70 K cycles per round trip.
+  // Calibration target asserted by tests, not charged directly.
+  std::uint64_t preemption_round_trip = 70'000;
+
+  // --- IRIS framework costs. ---
+  // Recording adds ~1% per exit (Fig 10: +1.02%..+1.25%): ~30 items at
+  // 15 cycles plus one bitmap flush against a ~70 K-cycle exit.
+  std::uint64_t record_callback_per_item = 15;  ///< store one {flag,enc,value}
+  std::uint64_t record_coverage_flush = 240;    ///< bitmap export per exit
+  std::uint64_t replay_inject_per_item = 260;   ///< rewrite GPR / vmwrite field
+  /// One-by-one seed hand-off: hypercall entry, copy_from_guest of the
+  /// seed, and the consume-and-wait loop (§IX Replaying efficiency —
+  /// IRIS settles around half the ideal throughput because of this).
+  std::uint64_t replay_seed_fetch = 75'000;
+
+  // --- Guest-side (non-root) costs between exits, per workload. ---
+  // Real guest execution runs instructions between sensitive ones; the
+  // replayer skips all of this. Values are mean cycles between exits.
+  std::uint64_t guest_boot_gap = 240'000;       ///< boot: device init bursts
+  std::uint64_t guest_cpu_bound_gap = 880'000;  ///< fibonacci/matrix loops
+  std::uint64_t guest_mem_bound_gap = 700'000;  ///< stack/heap/mmap stress
+  std::uint64_t guest_io_bound_gap = 520'000;   ///< generic I/O wait
+  std::uint64_t guest_idle_gap = 45'000'000;    ///< HLT sleep till next tick
+
+  /// Per-reason extra handler work (beyond dispatch), modeling that some
+  /// exits (I/O emulation, EPT walks) are intrinsically heavier.
+  [[nodiscard]] std::uint64_t reason_cost(vtx::ExitReason reason) const noexcept;
+};
+
+/// The default, paper-calibrated model.
+[[nodiscard]] const CostModel& default_cost_model() noexcept;
+
+}  // namespace iris::sim

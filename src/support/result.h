@@ -1,0 +1,82 @@
+// Lightweight expected-like result type used across the IRIS codebase.
+//
+// The hypervisor substrate and VMX model report architectural failures
+// (e.g. VMfailValid on a bad VMWRITE) as values, never as C++ exceptions:
+// a guest being able to make the host throw would itself be an isolation
+// bug. `Result<T, E>` keeps those paths explicit and cheap.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace iris {
+
+/// Error payload carrying a machine-readable code plus human context.
+struct Error {
+  int code = 0;
+  std::string message;
+
+  friend bool operator==(const Error& a, const Error& b) {
+    return a.code == b.code && a.message == b.message;
+  }
+};
+
+/// Minimal expected<T, E>. Intentionally small: no monadic sugar beyond
+/// what the codebase uses (ok(), value(), error(), value_or()).
+template <typename T, typename E = Error>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
+  explicit operator bool() const noexcept { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+  [[nodiscard]] const E& error() const& {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Result specialization for operations that produce no value.
+template <typename E>
+class [[nodiscard]] Result<void, E> {
+ public:
+  Result() = default;
+  Result(E error) : error_(std::move(error)) {}
+
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
+  explicit operator bool() const noexcept { return ok(); }
+  [[nodiscard]] const E& error() const& {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  std::optional<E> error_;
+};
+
+using Status = Result<void, Error>;
+
+}  // namespace iris

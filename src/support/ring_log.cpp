@@ -1,0 +1,42 @@
+#include "support/ring_log.h"
+
+namespace iris {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+    case LogLevel::kPanic:
+      return "panic";
+  }
+  return "?";
+}
+
+void RingLog::append(LogLevel level, std::uint64_t tsc, std::string text) {
+  if (capacity_ == 0) return;
+  if (entries_.size() == capacity_) entries_.pop_front();
+  entries_.push_back(LogEntry{level, tsc, std::move(text)});
+}
+
+bool RingLog::contains(std::string_view needle, LogLevel min_level) const noexcept {
+  for (const auto& e : entries_) {
+    if (e.level >= min_level && e.text.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::vector<LogEntry> RingLog::grep(std::string_view needle) const {
+  std::vector<LogEntry> out;
+  for (const auto& e : entries_) {
+    if (e.text.find(needle) != std::string::npos) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace iris

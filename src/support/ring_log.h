@@ -1,0 +1,48 @@
+// Fixed-capacity in-memory log, modeling the Xen console ring.
+//
+// The PoC fuzzer classifies failures by scraping hypervisor logs
+// (paper §VII-3); this ring buffer is what it scrapes. Bounded so a
+// crash-looping test cannot exhaust host memory.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iris {
+
+enum class LogLevel : std::uint8_t { kDebug, kInfo, kWarn, kError, kPanic };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+struct LogEntry {
+  LogLevel level = LogLevel::kInfo;
+  std::uint64_t tsc = 0;
+  std::string text;
+};
+
+class RingLog {
+ public:
+  explicit RingLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void append(LogLevel level, std::uint64_t tsc, std::string text);
+  void clear() noexcept { entries_.clear(); }
+
+  [[nodiscard]] const std::deque<LogEntry>& entries() const noexcept { return entries_; }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// True if any entry at/above `min_level` contains `needle`.
+  [[nodiscard]] bool contains(std::string_view needle,
+                              LogLevel min_level = LogLevel::kDebug) const noexcept;
+
+  /// All entries matching a needle (used by crash triage).
+  [[nodiscard]] std::vector<LogEntry> grep(std::string_view needle) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<LogEntry> entries_;
+};
+
+}  // namespace iris

@@ -1,0 +1,83 @@
+#include "support/serialize.h"
+
+namespace iris {
+namespace {
+
+constexpr int kTruncatedStream = 1;
+
+Error truncated() { return Error{kTruncatedStream, "truncated byte stream"}; }
+
+}  // namespace
+
+void ByteWriter::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void ByteWriter::bytes(std::span<const std::uint8_t> data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+Result<std::span<const std::uint8_t>> ByteReader::take(std::size_t n) {
+  if (remaining() < n) return truncated();
+  auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+Result<std::uint8_t> ByteReader::u8() {
+  auto r = take(1);
+  if (!r.ok()) return r.error();
+  return r.value()[0];
+}
+
+Result<std::uint16_t> ByteReader::u16() {
+  auto r = take(2);
+  if (!r.ok()) return r.error();
+  const auto s = r.value();
+  return static_cast<std::uint16_t>(s[0] | (static_cast<std::uint16_t>(s[1]) << 8));
+}
+
+Result<std::uint32_t> ByteReader::u32() {
+  auto r = take(4);
+  if (!r.ok()) return r.error();
+  const auto s = r.value();
+  return static_cast<std::uint32_t>(s[0]) | (static_cast<std::uint32_t>(s[1]) << 8) |
+         (static_cast<std::uint32_t>(s[2]) << 16) |
+         (static_cast<std::uint32_t>(s[3]) << 24);
+}
+
+Result<std::uint64_t> ByteReader::u64() {
+  auto lo = u32();
+  if (!lo.ok()) return lo.error();
+  auto hi = u32();
+  if (!hi.ok()) return hi.error();
+  return static_cast<std::uint64_t>(lo.value()) |
+         (static_cast<std::uint64_t>(hi.value()) << 32);
+}
+
+Result<std::string> ByteReader::str() {
+  auto len = u32();
+  if (!len.ok()) return len.error();
+  auto raw = take(len.value());
+  if (!raw.ok()) return raw.error();
+  const auto s = raw.value();
+  return std::string(s.begin(), s.end());
+}
+
+}  // namespace iris

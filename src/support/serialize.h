@@ -1,0 +1,66 @@
+// Binary serialization for VM seeds and experiment artifacts.
+//
+// The paper's seed record is a packed {flag:1B, encoding:1B, value:8B}
+// struct (§V-A); this writer/reader pair produces exactly that layout,
+// little-endian, so serialized corpora are stable across builds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace iris {
+
+/// Append-only little-endian byte writer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::uint8_t> data);
+  void str(const std::string& s);  // u32 length prefix + raw bytes
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian byte reader.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  Result<std::uint8_t> u8();
+  Result<std::uint16_t> u16();
+  Result<std::uint32_t> u32();
+  Result<std::uint64_t> u64();
+  Result<std::string> str();
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  Result<std::span<const std::uint8_t>> take(std::size_t n);
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// FNV-1a 64-bit hash for corpus deduplication and coverage bitmaps.
+constexpr std::uint64_t fnv1a(std::span<const std::uint8_t> data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace iris

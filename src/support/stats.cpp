@@ -1,0 +1,115 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace iris {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+  assert(p >= 0.0 && p <= 100.0);
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+BoxplotSummary boxplot(std::span<const double> xs) {
+  BoxplotSummary s;
+  if (xs.empty()) return s;
+  s.min = percentile(xs, 0.0);
+  s.q1 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.q3 = percentile(xs, 75.0);
+  s.max = percentile(xs, 100.0);
+  s.mean = mean(xs);
+  s.n = xs.size();
+  return s;
+}
+
+double percentage_fit(double replayed, double recorded) noexcept {
+  if (recorded <= 0.0) return replayed <= 0.0 ? 100.0 : 0.0;
+  return 100.0 * replayed / recorded;
+}
+
+double percentage_decrease(double before, double after) noexcept {
+  if (before <= 0.0) return 0.0;
+  return 100.0 * (before - after) / before;
+}
+
+double rank_sum_p_value(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) return 1.0;
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> all;
+  all.reserve(a.size() + b.size());
+  for (double x : a) all.push_back({x, true});
+  for (double x : b) all.push_back({x, false});
+  std::sort(all.begin(), all.end(),
+            [](const Tagged& l, const Tagged& r) { return l.value < r.value; });
+
+  // Mid-rank assignment with tie handling.
+  std::vector<double> ranks(all.size());
+  std::size_t i = 0;
+  while (i < all.size()) {
+    std::size_t j = i;
+    while (j + 1 < all.size() && all[j + 1].value == all[i].value) ++j;
+    const double mid = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[k] = mid;
+    i = j + 1;
+  }
+
+  double rank_sum_a = 0.0;
+  for (std::size_t k = 0; k < all.size(); ++k)
+    if (all[k].from_a) rank_sum_a += ranks[k];
+
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double u = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+  const double mu = n1 * n2 / 2.0;
+  const double sigma = std::sqrt(n1 * n2 * (n1 + n2 + 1.0) / 12.0);
+  if (sigma == 0.0) return 1.0;
+  const double z = std::abs((u - mu) / sigma);
+  // Two-sided normal tail via complementary error function.
+  return std::erfc(z / std::sqrt(2.0));
+}
+
+std::string format_row(std::span<const std::string> cells,
+                       std::span<const int> widths) {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const int width = c < widths.size() ? widths[c] : 12;
+    std::string cell = cells[c];
+    if (static_cast<int>(cell.size()) > width) cell.resize(static_cast<std::size_t>(width));
+    out << cell;
+    for (int pad = static_cast<int>(cell.size()); pad < width; ++pad) out << ' ';
+    out << ' ';
+  }
+  return out.str();
+}
+
+}  // namespace iris

@@ -1,0 +1,58 @@
+// Descriptive statistics used by the evaluation harness.
+//
+// The paper reports medians across repeated runs (Fig 10), boxplots per
+// exit reason, percentage fits (Fig 6) and p-values; this module keeps
+// those computations in one audited place.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iris {
+
+/// Five-number summary plus mean, matching the paper's boxplots.
+struct BoxplotSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t n = 0;
+};
+
+/// Sample mean. Empty input yields 0.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator). n<2 yields 0.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0,100]. Copies and sorts.
+double percentile(std::span<const double> xs, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> xs);
+
+/// Full boxplot summary.
+BoxplotSummary boxplot(std::span<const double> xs);
+
+/// Percentage fit between a replayed metric and a recorded baseline,
+/// as used for Fig 6: 100 * replayed / recorded, clamped to [0, 100+].
+double percentage_fit(double replayed, double recorded) noexcept;
+
+/// Percentage decrease from `before` to `after` (Fig 9 efficiency).
+double percentage_decrease(double before, double after) noexcept;
+
+/// Two-sample Wilcoxon/Mann-Whitney style rank-sum p-value approximation
+/// (normal approximation). Used to reproduce the paper's "p < 0.05"
+/// significance statement over 15 repeated runs.
+double rank_sum_p_value(std::span<const double> a, std::span<const double> b);
+
+/// Render a compact fixed-width table row (used by benches to print
+/// paper-style tables).
+std::string format_row(std::span<const std::string> cells,
+                       std::span<const int> widths);
+
+}  // namespace iris

@@ -1,0 +1,66 @@
+#include "svm/transcode.h"
+
+namespace iris::svm {
+
+std::optional<SvmSeed> transcode(const VmSeed& seed, TranscodeStats* stats) {
+  // The exit identity must translate first: a seed for a reason with no
+  // SVM analogue is not portable at all.
+  const auto qualification =
+      seed.find_field(vtx::VmcsField::kExitQualification).value_or(0);
+  const auto code = exit_code_from_vtx(seed.reason, qualification);
+  if (!code) return std::nullopt;
+
+  SvmSeed out;
+  out.exit_code = *code;
+  out.vmcb.write(VmcbField::kExitCode, static_cast<std::uint64_t>(*code));
+  out.memory = seed.memory;
+
+  TranscodeStats local;
+  for (const auto& item : seed.items) {
+    if (item.is_gpr()) {
+      if (item.gpr() == vcpu::Gpr::kRax) {
+        // RAX moves into the VMCB state save area on SVM.
+        out.vmcb.write(VmcbField::kRax, item.value);
+      } else {
+        out.gprs[item.encoding] = item.value;
+      }
+      continue;
+    }
+    const auto field = item.field();
+    if (!field) continue;
+    ++local.vmcs_fields;
+    if (const auto vmcb_field = vmcb_field_from_vmcs(*field)) {
+      ++local.translated;
+      if (*vmcb_field == VmcbField::kExitCode) continue;  // already set
+      out.vmcb.write(*vmcb_field, item.value);
+    } else {
+      ++local.untranslated;
+      out.untranslated.push_back(*field);
+    }
+  }
+  // MSR exits fold the direction into EXITINFO1 bit 0 on SVM.
+  if (*code == SvmExitCode::kMsr) {
+    out.vmcb.write(VmcbField::kExitInfo1,
+                   seed.reason == vtx::ExitReason::kMsrWrite ? 1 : 0);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+TranscodeStats transcode_coverage(const VmBehavior& behavior) {
+  TranscodeStats total;
+  for (const auto& rec : behavior) {
+    TranscodeStats one;
+    if (transcode(rec.seed, &one)) {
+      total.vmcs_fields += one.vmcs_fields;
+      total.translated += one.translated;
+      total.untranslated += one.untranslated;
+    } else {
+      total.vmcs_fields += rec.seed.vmcs_count();
+      total.untranslated += rec.seed.vmcs_count();
+    }
+  }
+  return total;
+}
+
+}  // namespace iris::svm

@@ -1,0 +1,51 @@
+// VT-x VM seed -> AMD SVM representation (paper §IX "Portability").
+//
+// Demonstrates that the IRIS seed is not VMCS-bound: the information a
+// seed carries (exit identity, exit collateral, guest state, GPRs) maps
+// onto the VMCB and the SVM world switch. Two architectural deltas the
+// transcoder makes explicit:
+//   * RAX is part of the VMCB state save area on SVM (the hypervisor's
+//     saved-GPR block holds 14 registers, not 15);
+//   * VT-x-only fields (read shadows, guest/host masks, VMX controls)
+//     have no VMCB slot — the port must re-derive them in software, so
+//     the transcoder reports them instead of silently dropping them.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "iris/seed.h"
+#include "svm/vmcb.h"
+
+namespace iris::svm {
+
+/// An IRIS seed as an SVM port would store it.
+struct SvmSeed {
+  SvmExitCode exit_code = SvmExitCode::kInvalid;
+  Vmcb vmcb;  ///< translated fields written at their APM offsets
+  /// Hypervisor-saved GPRs minus RAX (which lives in the VMCB on SVM).
+  /// Indexed by vcpu::Gpr; slot 0 (RAX) is unused.
+  std::array<std::uint64_t, vcpu::kNumGprs> gprs{};
+  /// VT-x-only fields the seed carried that have no VMCB analogue.
+  std::vector<vtx::VmcsField> untranslated;
+  /// Guest-memory chunks pass through unchanged (§IX extension).
+  std::vector<MemChunk> memory;
+};
+
+struct TranscodeStats {
+  std::size_t vmcs_fields = 0;
+  std::size_t translated = 0;
+  std::size_t untranslated = 0;
+};
+
+/// Translate a recorded VT-x seed. Returns nullopt when the exit reason
+/// itself has no SVM analogue (nested-VMX instruction intercepts).
+[[nodiscard]] std::optional<SvmSeed> transcode(const VmSeed& seed,
+                                               TranscodeStats* stats = nullptr);
+
+/// How much of a whole behavior survives translation (portability
+/// estimate for a corpus).
+[[nodiscard]] TranscodeStats transcode_coverage(const VmBehavior& behavior);
+
+}  // namespace iris::svm

@@ -1,0 +1,290 @@
+#include "svm/vmcb.h"
+
+#include <array>
+#include <cstring>
+
+#include "hv/exit_qual.h"
+
+namespace iris::svm {
+
+std::string_view to_string(SvmExitCode code) noexcept {
+  switch (code) {
+    case SvmExitCode::kCr0Read:
+      return "CR0_READ";
+    case SvmExitCode::kCr0Write:
+      return "CR0_WRITE";
+    case SvmExitCode::kCr3Read:
+      return "CR3_READ";
+    case SvmExitCode::kCr3Write:
+      return "CR3_WRITE";
+    case SvmExitCode::kCr4Read:
+      return "CR4_READ";
+    case SvmExitCode::kCr4Write:
+      return "CR4_WRITE";
+    case SvmExitCode::kCr8Read:
+      return "CR8_READ";
+    case SvmExitCode::kCr8Write:
+      return "CR8_WRITE";
+    case SvmExitCode::kIntr:
+      return "INTR";
+    case SvmExitCode::kVintr:
+      return "VINTR";
+    case SvmExitCode::kCpuid:
+      return "CPUID";
+    case SvmExitCode::kHlt:
+      return "HLT";
+    case SvmExitCode::kIoio:
+      return "IOIO";
+    case SvmExitCode::kMsr:
+      return "MSR";
+    case SvmExitCode::kShutdown:
+      return "SHUTDOWN";
+    case SvmExitCode::kVmmcall:
+      return "VMMCALL";
+    case SvmExitCode::kRdtsc:
+      return "RDTSC";
+    case SvmExitCode::kRdtscp:
+      return "RDTSCP";
+    case SvmExitCode::kWbinvd:
+      return "WBINVD";
+    case SvmExitCode::kNpf:
+      return "NPF";
+    case SvmExitCode::kInvalid:
+      return "INVALID";
+    default:
+      return "VMEXIT";
+  }
+}
+
+std::string_view to_string(VmcbField field) noexcept {
+  switch (field) {
+    case VmcbField::kExitCode:
+      return "EXITCODE";
+    case VmcbField::kExitInfo1:
+      return "EXITINFO1";
+    case VmcbField::kExitInfo2:
+      return "EXITINFO2";
+    case VmcbField::kCr0:
+      return "VMCB.CR0";
+    case VmcbField::kCr3:
+      return "VMCB.CR3";
+    case VmcbField::kCr4:
+      return "VMCB.CR4";
+    case VmcbField::kRip:
+      return "VMCB.RIP";
+    case VmcbField::kRsp:
+      return "VMCB.RSP";
+    case VmcbField::kRflags:
+      return "VMCB.RFLAGS";
+    case VmcbField::kRax:
+      return "VMCB.RAX";
+    case VmcbField::kEfer:
+      return "VMCB.EFER";
+    default:
+      return "VMCB.FIELD";
+  }
+}
+
+std::optional<SvmExitCode> exit_code_from_vtx(vtx::ExitReason reason,
+                                              std::uint64_t qualification) noexcept {
+  using vtx::ExitReason;
+  switch (reason) {
+    case ExitReason::kCrAccess: {
+      // VT-x multiplexes every CR access onto one reason with a
+      // qualification; SVM has one exit code per CR per direction.
+      const auto qual = hv::CrAccessQual::decode(qualification);
+      const bool write = qual.access_type == hv::CrAccessQual::kMovToCr ||
+                         qual.access_type == hv::CrAccessQual::kClts ||
+                         qual.access_type == hv::CrAccessQual::kLmsw;
+      const std::uint64_t base = write ? 0x010 : 0x000;
+      if (qual.cr > 15) return std::nullopt;
+      return static_cast<SvmExitCode>(base + qual.cr);
+    }
+    case ExitReason::kExceptionNmi:
+      return SvmExitCode::kExceptionBase;
+    case ExitReason::kExternalInterrupt:
+      return SvmExitCode::kIntr;
+    case ExitReason::kTripleFault:
+      return SvmExitCode::kShutdown;
+    case ExitReason::kInterruptWindow:
+      return SvmExitCode::kVintr;
+    case ExitReason::kCpuid:
+      return SvmExitCode::kCpuid;
+    case ExitReason::kHlt:
+      return SvmExitCode::kHlt;
+    case ExitReason::kInvlpg:
+      return SvmExitCode::kInvlpg;
+    case ExitReason::kRdtsc:
+      return SvmExitCode::kRdtsc;
+    case ExitReason::kRdtscp:
+      return SvmExitCode::kRdtscp;
+    case ExitReason::kVmcall:
+      return SvmExitCode::kVmmcall;
+    case ExitReason::kIoInstruction:
+      return SvmExitCode::kIoio;
+    case ExitReason::kMsrRead:
+    case ExitReason::kMsrWrite:
+      return SvmExitCode::kMsr;  // direction moves into EXITINFO1 bit 0
+    case ExitReason::kEptViolation:
+    case ExitReason::kEptMisconfig:
+      return SvmExitCode::kNpf;
+    case ExitReason::kWbinvd:
+      return SvmExitCode::kWbinvd;
+    case ExitReason::kMwait:
+      return SvmExitCode::kMwait;
+    case ExitReason::kMonitor:
+      return SvmExitCode::kMonitor;
+    case ExitReason::kPause:
+      return SvmExitCode::kPause;
+    case ExitReason::kXsetbv:
+      return SvmExitCode::kXsetbv;
+    case ExitReason::kGdtrIdtrAccess:
+      return SvmExitCode::kGdtrRead;
+    case ExitReason::kLdtrTrAccess:
+      return SvmExitCode::kLdtrRead;
+    case ExitReason::kInvalidGuestState:
+      return SvmExitCode::kInvalid;  // VMRUN consistency failure
+    default:
+      // VMX-operation exits (VMXON...) have VMRUN/VMLOAD analogues but
+      // no meaningful 1:1 mapping for replay purposes.
+      return std::nullopt;
+  }
+}
+
+std::optional<vtx::ExitReason> exit_reason_from_svm(SvmExitCode code) noexcept {
+  using vtx::ExitReason;
+  const auto raw = static_cast<std::uint64_t>(code);
+  if (raw <= 0x01F) return ExitReason::kCrAccess;
+  if (raw >= 0x040 && raw <= 0x05F) return ExitReason::kExceptionNmi;
+  if (raw >= 0x066 && raw <= 0x06D) {
+    return (raw == 0x068 || raw == 0x069 || raw == 0x06C || raw == 0x06D)
+               ? ExitReason::kLdtrTrAccess
+               : ExitReason::kGdtrIdtrAccess;
+  }
+  switch (code) {
+    case SvmExitCode::kIntr:
+      return ExitReason::kExternalInterrupt;
+    case SvmExitCode::kVintr:
+      return ExitReason::kInterruptWindow;
+    case SvmExitCode::kShutdown:
+      return ExitReason::kTripleFault;
+    case SvmExitCode::kCpuid:
+      return ExitReason::kCpuid;
+    case SvmExitCode::kHlt:
+      return ExitReason::kHlt;
+    case SvmExitCode::kInvlpg:
+      return ExitReason::kInvlpg;
+    case SvmExitCode::kRdtsc:
+      return ExitReason::kRdtsc;
+    case SvmExitCode::kRdtscp:
+      return ExitReason::kRdtscp;
+    case SvmExitCode::kVmmcall:
+      return ExitReason::kVmcall;
+    case SvmExitCode::kIoio:
+      return ExitReason::kIoInstruction;
+    case SvmExitCode::kMsr:
+      return ExitReason::kMsrRead;  // direction refined by EXITINFO1
+    case SvmExitCode::kNpf:
+      return ExitReason::kEptViolation;
+    case SvmExitCode::kWbinvd:
+      return ExitReason::kWbinvd;
+    case SvmExitCode::kPause:
+      return ExitReason::kPause;
+    case SvmExitCode::kMwait:
+      return ExitReason::kMwait;
+    case SvmExitCode::kMonitor:
+      return ExitReason::kMonitor;
+    case SvmExitCode::kXsetbv:
+      return ExitReason::kXsetbv;
+    case SvmExitCode::kInvalid:
+      return ExitReason::kInvalidGuestState;
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<VmcbField> vmcb_field_from_vmcs(vtx::VmcsField field) noexcept {
+  using vtx::VmcsField;
+  switch (field) {
+    case VmcsField::kVmExitReason:
+      return VmcbField::kExitCode;
+    case VmcsField::kExitQualification:
+      return VmcbField::kExitInfo1;
+    case VmcsField::kGuestPhysicalAddress:
+    case VmcsField::kGuestLinearAddress:
+      return VmcbField::kExitInfo2;
+    case VmcsField::kGuestCr0:
+      return VmcbField::kCr0;
+    case VmcsField::kGuestCr3:
+      return VmcbField::kCr3;
+    case VmcsField::kGuestCr4:
+      return VmcbField::kCr4;
+    case VmcsField::kGuestRip:
+      return VmcbField::kRip;
+    case VmcsField::kGuestRsp:
+      return VmcbField::kRsp;
+    case VmcsField::kGuestRflags:
+      return VmcbField::kRflags;
+    case VmcsField::kGuestDr7:
+      return VmcbField::kDr7;
+    case VmcsField::kGuestIa32Efer:
+      return VmcbField::kEfer;
+    case VmcsField::kGuestIa32Pat:
+      return VmcbField::kGPat;
+    case VmcsField::kGuestSysenterCs:
+      return VmcbField::kSysenterCs;
+    case VmcsField::kGuestSysenterEsp:
+      return VmcbField::kSysenterEsp;
+    case VmcsField::kGuestSysenterEip:
+      return VmcbField::kSysenterEip;
+    case VmcsField::kGuestEsSelector:
+      return VmcbField::kEsSelector;
+    case VmcsField::kGuestCsSelector:
+      return VmcbField::kCsSelector;
+    case VmcsField::kGuestSsSelector:
+      return VmcbField::kSsSelector;
+    case VmcsField::kGuestDsSelector:
+      return VmcbField::kDsSelector;
+    case VmcsField::kGuestFsSelector:
+      return VmcbField::kFsSelector;
+    case VmcsField::kGuestGsSelector:
+      return VmcbField::kGsSelector;
+    case VmcsField::kGuestLdtrSelector:
+      return VmcbField::kLdtrSelector;
+    case VmcsField::kGuestTrSelector:
+      return VmcbField::kTrSelector;
+    case VmcsField::kGuestGdtrBase:
+      return VmcbField::kGdtrBase;
+    case VmcsField::kGuestIdtrBase:
+      return VmcbField::kIdtrBase;
+    case VmcsField::kGuestInterruptibility:
+      return VmcbField::kInterruptShadow;
+    case VmcsField::kVmEntryIntrInfoField:
+      return VmcbField::kEventInj;
+    case VmcsField::kTscOffset:
+      return VmcbField::kTscOffset;
+    case VmcsField::kEptPointer:
+      return VmcbField::kNCr3;
+    case VmcsField::kVmExitInstructionLen:
+      return VmcbField::kNextRip;  // SVM stores the next RIP instead
+    default:
+      // Read shadows, guest/host masks, VMX controls, VMCS link
+      // pointer... have no VMCB analogue: the SVM port must rebuild
+      // that logic in software (TLB control, V_INTR masking).
+      return std::nullopt;
+  }
+}
+
+std::uint64_t Vmcb::read(VmcbField field) const noexcept {
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes_.data() + static_cast<std::uint16_t>(field),
+              sizeof(value));
+  return value;
+}
+
+void Vmcb::write(VmcbField field, std::uint64_t value) noexcept {
+  std::memcpy(bytes_.data() + static_cast<std::uint16_t>(field), &value,
+              sizeof(value));
+}
+
+}  // namespace iris::svm

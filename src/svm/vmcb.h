@@ -1,0 +1,158 @@
+// AMD SVM portability layer (paper §IX "Portability").
+//
+// The paper argues IRIS ports to AMD-V because the VMCB (Virtual Machine
+// Control Block, AMD APM Vol. 2 Appendix B) plays the VMCS's role: a
+// per-vCPU structure holding control state, the exit code, and the guest
+// save area, accessed around the "world switch" (VMRUN/#VMEXIT) instead
+// of VM entry/exit. This module models the VMCB layout and exit codes
+// and provides the field-level correspondence that a ported recorder and
+// replayer would use. Unlike the VMCS, the VMCB is plain memory: there
+// are no VMREAD/VMWRITE instructions, so the IRIS seams move from
+// instruction wrappers to the hypervisor's VMCB accessor functions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "vtx/exit_reason.h"
+#include "vtx/vmcs_fields.h"
+
+namespace iris::svm {
+
+/// SVM exit codes (AMD APM Vol. 2, Appendix C), the subset corresponding
+/// to the VT-x exit reasons the framework models.
+enum class SvmExitCode : std::uint64_t {
+  kCr0Read = 0x000,
+  kCr3Read = 0x003,
+  kCr4Read = 0x004,
+  kCr8Read = 0x008,
+  kCr0Write = 0x010,
+  kCr3Write = 0x013,
+  kCr4Write = 0x014,
+  kCr8Write = 0x018,
+  kDr7Read = 0x027,
+  kDr7Write = 0x037,
+  kExceptionBase = 0x040,  ///< +vector (0x40..0x5F)
+  kIntr = 0x060,           ///< physical interrupt (VT-x: external interrupt)
+  kNmi = 0x061,
+  kSmi = 0x062,
+  kInit = 0x063,
+  kVintr = 0x064,          ///< virtual-interrupt window
+  kIdtrRead = 0x066,
+  kGdtrRead = 0x067,
+  kLdtrRead = 0x068,
+  kTrRead = 0x069,
+  kIdtrWrite = 0x06A,
+  kGdtrWrite = 0x06B,
+  kLdtrWrite = 0x06C,
+  kTrWrite = 0x06D,
+  kCpuid = 0x072,
+  kPause = 0x077,
+  kHlt = 0x078,
+  kInvlpg = 0x079,
+  kIoio = 0x07B,           ///< port I/O
+  kMsr = 0x07C,            ///< RDMSR and WRMSR (direction in EXITINFO1)
+  kShutdown = 0x07F,       ///< triple fault
+  kVmrun = 0x080,
+  kVmmcall = 0x081,        ///< VT-x: VMCALL
+  kVmload = 0x082,
+  kVmsave = 0x083,
+  kStgi = 0x084,
+  kClgi = 0x085,
+  kSkinit = 0x086,
+  kRdtsc = 0x06E,
+  kRdtscp = 0x087,
+  kWbinvd = 0x089,
+  kMonitor = 0x08A,
+  kMwait = 0x08B,
+  kXsetbv = 0x08D,
+  kNpf = 0x400,            ///< nested page fault (VT-x: EPT violation)
+  kInvalid = ~0ULL,        ///< VMRUN consistency-check failure
+};
+
+[[nodiscard]] std::string_view to_string(SvmExitCode code) noexcept;
+
+/// VMCB byte offsets (AMD APM Vol. 2, Appendix B). Control area first
+/// 0x400 bytes, state save area after.
+enum class VmcbField : std::uint16_t {
+  // --- Control area. ---
+  kInterceptCr = 0x000,
+  kInterceptDr = 0x004,
+  kInterceptExceptions = 0x008,
+  kInterceptMisc1 = 0x00C,
+  kInterceptMisc2 = 0x010,
+  kIopmBasePa = 0x040,
+  kMsrpmBasePa = 0x048,
+  kTscOffset = 0x050,
+  kGuestAsid = 0x058,
+  kVIntr = 0x060,           ///< virtual interrupt control (VT-x: entry intr info)
+  kInterruptShadow = 0x068, ///< VT-x: interruptibility state
+  kExitCode = 0x070,
+  kExitInfo1 = 0x078,       ///< VT-x: exit qualification
+  kExitInfo2 = 0x080,       ///< VT-x: guest-physical / fault address
+  kExitIntInfo = 0x088,
+  kNpEnable = 0x090,
+  kEventInj = 0x0A8,        ///< VT-x: VM-entry interruption info
+  kNCr3 = 0x0B0,            ///< nested page table root (VT-x: EPTP)
+  kNextRip = 0x0C8,         ///< VT-x pairs this with exit instruction length
+  // --- State save area (0x400 + offsets). ---
+  kEsSelector = 0x400,
+  kCsSelector = 0x410,
+  kSsSelector = 0x420,
+  kDsSelector = 0x430,
+  kFsSelector = 0x440,
+  kGsSelector = 0x450,
+  kGdtrBase = 0x460,
+  kLdtrSelector = 0x470,
+  kIdtrBase = 0x480,
+  kTrSelector = 0x490,
+  kEfer = 0x4D0,
+  kCr4 = 0x548,
+  kCr3 = 0x550,
+  kCr0 = 0x558,
+  kDr7 = 0x560,
+  kRflags = 0x570,
+  kRip = 0x578,
+  kRsp = 0x5D8,
+  kRax = 0x5F8,             ///< RAX lives in the VMCB on SVM (not VT-x!)
+  kCr2 = 0x640,
+  kGPat = 0x668,
+  kSysenterCs = 0x628,
+  kSysenterEsp = 0x630,
+  kSysenterEip = 0x638,
+};
+
+[[nodiscard]] std::string_view to_string(VmcbField field) noexcept;
+
+/// One direction of the VT-x <-> SVM exit translation.
+[[nodiscard]] std::optional<SvmExitCode> exit_code_from_vtx(
+    vtx::ExitReason reason, std::uint64_t qualification) noexcept;
+[[nodiscard]] std::optional<vtx::ExitReason> exit_reason_from_svm(
+    SvmExitCode code) noexcept;
+
+/// VMCS field -> VMCB field for the state the seeds carry. Returns
+/// nullopt for VT-x-only fields (read shadows, VMX controls...).
+[[nodiscard]] std::optional<VmcbField> vmcb_field_from_vmcs(
+    vtx::VmcsField field) noexcept;
+
+/// The VMCB itself: 4 KiB of plain guest-accessible-by-hypervisor
+/// memory. No access-type checks exist architecturally — everything the
+/// VMCS's VMREAD/VMWRITE discipline enforces must be enforced by
+/// hypervisor convention on SVM (a porting hazard the paper's §IX
+/// discussion glosses; we surface it in the doc comments and tests).
+class Vmcb {
+ public:
+  [[nodiscard]] std::uint64_t read(VmcbField field) const noexcept;
+  void write(VmcbField field, std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::span<const std::uint8_t> raw() const noexcept { return bytes_; }
+  void clear() noexcept { bytes_.fill(0); }
+
+ private:
+  std::array<std::uint8_t, 4096> bytes_{};
+};
+
+}  // namespace iris::svm

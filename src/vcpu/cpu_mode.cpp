@@ -1,0 +1,25 @@
+#include "vcpu/cpu_mode.h"
+
+namespace iris::vcpu {
+
+std::string_view to_string(CpuMode mode) noexcept {
+  switch (mode) {
+    case CpuMode::kMode1:
+      return "Mode1 (real)";
+    case CpuMode::kMode2:
+      return "Mode2 (protected)";
+    case CpuMode::kMode3:
+      return "Mode3 (protected+paging)";
+    case CpuMode::kMode4:
+      return "Mode4 (+AM, caches off)";
+    case CpuMode::kMode5:
+      return "Mode5 (+TS, caches on)";
+    case CpuMode::kMode6:
+      return "Mode6 (AM, caches on)";
+    case CpuMode::kMode7:
+      return "Mode7 (TS, caches off)";
+  }
+  return "Mode?";
+}
+
+}  // namespace iris::vcpu

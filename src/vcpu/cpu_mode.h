@@ -1,0 +1,52 @@
+// Guest CPU operating-mode classifier (the paper's Mode1…Mode7, Fig 8).
+//
+// The paper tracks the guest's progression through operating modes via
+// the CR0 bits written to the VMCS guest-state area during OS boot. Each
+// "Mode" is a set of CR0 states:
+//   Mode1  real mode                       (PE=0)
+//   Mode2  protected mode                  (PE=1, PG=0)
+//   Mode3  protected + paging              (PE, PG, AM=0)
+//   Mode4  Mode3 + alignment checking      (PE, PG, AM, TS=0, CD=1)
+//   Mode5  Mode4 + task-switch-flag test   (PE, PG, AM, TS=1, CD=0)
+//   Mode6  Mode4 + caching enabled         (PE, PG, AM, TS=0, CD=0)
+//   Mode7  Mode5 + caching disabled        (PE, PG, AM, TS=1, CD=1)
+// The four {TS, CD} combinations under PE|PG|AM partition into
+// Mode4…Mode7, so the classifier is a total function of CR0.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "vtx/entry_checks.h"  // CR0 bit constants
+
+namespace iris::vcpu {
+
+enum class CpuMode : std::uint8_t {
+  kMode1 = 1,  ///< real mode
+  kMode2 = 2,  ///< protected mode
+  kMode3 = 3,  ///< protected mode + paging
+  kMode4 = 4,  ///< + alignment checking (caches off)
+  kMode5 = 5,  ///< + TS-flag testing (caches on)
+  kMode6 = 6,  ///< alignment checking, caches on
+  kMode7 = 7,  ///< TS-flag testing, caches off
+};
+
+[[nodiscard]] constexpr CpuMode classify_cr0(std::uint64_t cr0) noexcept {
+  using namespace iris::vtx;
+  if (!(cr0 & kCr0Pe)) return CpuMode::kMode1;
+  if (!(cr0 & kCr0Pg)) return CpuMode::kMode2;
+  if (!(cr0 & kCr0Am)) return CpuMode::kMode3;
+  const bool ts = (cr0 & kCr0Ts) != 0;
+  const bool cd = (cr0 & kCr0Cd) != 0;
+  if (!ts && cd) return CpuMode::kMode4;
+  if (ts && !cd) return CpuMode::kMode5;
+  if (!ts && !cd) return CpuMode::kMode6;
+  return CpuMode::kMode7;
+}
+
+[[nodiscard]] std::string_view to_string(CpuMode mode) noexcept;
+
+/// Number of distinct modes (Fig 8's y-axis).
+inline constexpr int kNumCpuModes = 7;
+
+}  // namespace iris::vcpu

@@ -1,0 +1,27 @@
+#include "vcpu/regs.h"
+
+#include <array>
+
+namespace iris::vcpu {
+namespace {
+
+constexpr std::array<std::string_view, kNumGprs> kGprNames = {
+    "RAX", "RCX", "RDX", "RBX", "RBP", "RSI", "RDI", "R8",
+    "R9",  "R10", "R11", "R12", "R13", "R14", "R15",
+};
+
+}  // namespace
+
+std::string_view to_string(Gpr r) noexcept {
+  const auto idx = static_cast<std::size_t>(r);
+  return idx < kGprNames.size() ? kGprNames[idx] : std::string_view("R?");
+}
+
+std::optional<Gpr> gpr_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kGprNames.size(); ++i) {
+    if (kGprNames[i] == name) return static_cast<Gpr>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace iris::vcpu

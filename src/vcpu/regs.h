@@ -1,0 +1,132 @@
+// Architectural register file of a virtual CPU.
+//
+// Mirrors the split Intel VT-x imposes (paper §II): special-purpose
+// registers (RIP/RSP/RFLAGS, control registers, segment state) live in
+// the VMCS guest-state area and travel with VM exit/entry; the 15
+// general-purpose registers are NOT part of the VMCS and must be saved by
+// hypervisor software into its own data structures — exactly where IRIS
+// seeds pick them up ("encoding (1 byte) of GPR (15 values)", §V-A).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+namespace iris::vcpu {
+
+/// The 15 general-purpose registers stored in hypervisor data structures
+/// (RSP is excluded: it lives in the VMCS guest-state area).
+enum class Gpr : std::uint8_t {
+  kRax = 0,
+  kRcx = 1,
+  kRdx = 2,
+  kRbx = 3,
+  kRbp = 4,
+  kRsi = 5,
+  kRdi = 6,
+  kR8 = 7,
+  kR9 = 8,
+  kR10 = 9,
+  kR11 = 10,
+  kR12 = 11,
+  kR13 = 12,
+  kR14 = 13,
+  kR15 = 14,
+};
+
+inline constexpr int kNumGprs = 15;
+
+[[nodiscard]] std::string_view to_string(Gpr r) noexcept;
+[[nodiscard]] std::optional<Gpr> gpr_from_string(std::string_view name) noexcept;
+
+/// Segment registers with their hidden (descriptor-cache) parts, the
+/// same decomposition the VMCS uses (selector/base/limit/AR).
+struct Segment {
+  std::uint16_t selector = 0;
+  std::uint64_t base = 0;
+  std::uint32_t limit = 0xFFFF;
+  std::uint32_t ar_bytes = 0x93;  // data, present, accessed (real mode reset)
+};
+
+enum class SegReg : std::uint8_t { kEs, kCs, kSs, kDs, kFs, kGs, kLdtr, kTr };
+inline constexpr int kNumSegRegs = 8;
+
+/// Descriptor-table register (GDTR/IDTR).
+struct DescTable {
+  std::uint64_t base = 0;
+  std::uint32_t limit = 0xFFFF;
+};
+
+// Architectural MSR indices the model knows about.
+inline constexpr std::uint32_t kMsrIa32Tsc = 0x10;
+inline constexpr std::uint32_t kMsrIa32ApicBase = 0x1B;
+inline constexpr std::uint32_t kMsrIa32MiscEnable = 0x1A0;
+inline constexpr std::uint32_t kMsrIa32SysenterCs = 0x174;
+inline constexpr std::uint32_t kMsrIa32SysenterEsp = 0x175;
+inline constexpr std::uint32_t kMsrIa32SysenterEip = 0x176;
+inline constexpr std::uint32_t kMsrIa32Pat = 0x277;
+inline constexpr std::uint32_t kMsrIa32Efer = 0xC0000080;
+inline constexpr std::uint32_t kMsrIa32Star = 0xC0000081;
+inline constexpr std::uint32_t kMsrIa32Lstar = 0xC0000082;
+inline constexpr std::uint32_t kMsrIa32Cstar = 0xC0000083;
+inline constexpr std::uint32_t kMsrIa32Fmask = 0xC0000084;
+inline constexpr std::uint32_t kMsrIa32FsBase = 0xC0000100;
+inline constexpr std::uint32_t kMsrIa32GsBase = 0xC0000101;
+inline constexpr std::uint32_t kMsrIa32KernelGsBase = 0xC0000102;
+
+/// Full architectural register state of one vCPU at the reset vector
+/// (SDM 9.1.1 power-up state: real mode, CS base 0xFFFF0000, RIP 0xFFF0).
+struct RegisterFile {
+  std::array<std::uint64_t, kNumGprs> gpr{};
+  std::uint64_t rip = 0xFFF0;
+  std::uint64_t rsp = 0;
+  std::uint64_t rflags = 0x2;  // reserved bit 1 always set
+
+  std::uint64_t cr0 = 0x60000010;  // CD | NW | ET (power-up value)
+  std::uint64_t cr2 = 0;
+  std::uint64_t cr3 = 0;
+  std::uint64_t cr4 = 0;
+  std::uint64_t dr7 = 0x400;
+
+  std::array<Segment, kNumSegRegs> seg = reset_segments();
+  DescTable gdtr;
+  DescTable idtr;
+
+  std::unordered_map<std::uint32_t, std::uint64_t> msr;
+
+  [[nodiscard]] std::uint64_t read(Gpr r) const noexcept {
+    return gpr[static_cast<std::size_t>(r)];
+  }
+  void write(Gpr r, std::uint64_t v) noexcept { gpr[static_cast<std::size_t>(r)] = v; }
+
+  [[nodiscard]] Segment& segment(SegReg s) noexcept {
+    return seg[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const Segment& segment(SegReg s) const noexcept {
+    return seg[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] std::uint64_t read_msr(std::uint32_t index, std::uint64_t fallback = 0)
+      const noexcept {
+    const auto it = msr.find(index);
+    return it == msr.end() ? fallback : it->second;
+  }
+  void write_msr(std::uint32_t index, std::uint64_t value) { msr[index] = value; }
+
+  [[nodiscard]] std::uint64_t efer() const noexcept { return read_msr(kMsrIa32Efer); }
+
+ private:
+  static std::array<Segment, kNumSegRegs> reset_segments() noexcept {
+    std::array<Segment, kNumSegRegs> s{};
+    // CS at reset: selector F000, base FFFF0000, code AR byte.
+    s[static_cast<std::size_t>(SegReg::kCs)] =
+        Segment{0xF000, 0xFFFF0000, 0xFFFF, 0x9B};
+    s[static_cast<std::size_t>(SegReg::kLdtr)] = Segment{0, 0, 0xFFFF, 0x82};
+    s[static_cast<std::size_t>(SegReg::kTr)] = Segment{0, 0, 0xFFFF, 0x8B};
+    return s;
+  }
+};
+
+}  // namespace iris::vcpu

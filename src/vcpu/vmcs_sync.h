@@ -1,0 +1,25 @@
+// Hardware context switch between the physical register file and the
+// VMCS guest-state area.
+//
+// Paper §II: a VM exit (i) saves the physical processor state into the
+// guest-state area of the VMCS — except the GPRs, which hypervisor
+// software saves into its own data structures — and (ii) loads root-mode
+// state from the host-state area. VMRESUME performs the inverse load.
+// These two routines are that microcode.
+#pragma once
+
+#include "vcpu/regs.h"
+#include "vtx/vmcs.h"
+
+namespace iris::vcpu {
+
+/// VM-exit direction: store `regs` (special-purpose state only) into the
+/// guest-state area of `vmcs` via hardware writes (not VMWRITEs — the
+/// context switch is microcode, invisible to the instrumentation hooks).
+void save_guest_state(const RegisterFile& regs, vtx::Vmcs& vmcs);
+
+/// VM-entry direction: load the guest-state area of `vmcs` into `regs`.
+/// GPRs are untouched (they are restored from hypervisor structures).
+void load_guest_state(const vtx::Vmcs& vmcs, RegisterFile& regs);
+
+}  // namespace iris::vcpu

@@ -1,0 +1,182 @@
+#include "vtx/entry_checks.h"
+
+#include <sstream>
+
+namespace iris::vtx {
+namespace {
+
+void add(std::vector<EntryCheckViolation>& out, std::string rule, VmcsField field,
+         std::uint64_t value) {
+  out.push_back(EntryCheckViolation{std::move(rule), field, value});
+}
+
+/// Segment AR-byte helpers (SDM 24.4.1 layout: type[3:0], S[4], DPL[6:5],
+/// P[7], AVL[12], L[13], D/B[14], G[15], unusable[16]).
+constexpr std::uint64_t ar_type(std::uint64_t ar) { return ar & 0xF; }
+constexpr bool ar_s(std::uint64_t ar) { return (ar >> 4) & 1; }
+constexpr bool ar_present(std::uint64_t ar) { return (ar >> 7) & 1; }
+constexpr bool ar_unusable(std::uint64_t ar) { return (ar >> 16) & 1; }
+
+bool is_canonical(std::uint64_t addr) {
+  const std::int64_t s = static_cast<std::int64_t>(addr);
+  return (s << 16 >> 16) == s;
+}
+
+}  // namespace
+
+std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs) {
+  std::vector<EntryCheckViolation> v;
+
+  const std::uint64_t cr0 = vmcs.hw_read(VmcsField::kGuestCr0);
+  const std::uint64_t cr3 = vmcs.hw_read(VmcsField::kGuestCr3);
+  const std::uint64_t cr4 = vmcs.hw_read(VmcsField::kGuestCr4);
+  const std::uint64_t efer = vmcs.hw_read(VmcsField::kGuestIa32Efer);
+  const std::uint64_t rflags = vmcs.hw_read(VmcsField::kGuestRflags);
+  const std::uint64_t rip = vmcs.hw_read(VmcsField::kGuestRip);
+
+  // --- Control registers (26.3.1.1). ---
+  if ((cr0 & kCr0Pg) && !(cr0 & kCr0Pe)) {
+    add(v, "CR0.PG=1 requires CR0.PE=1", VmcsField::kGuestCr0, cr0);
+  }
+  if ((cr0 & kCr0Nw) && !(cr0 & kCr0Cd)) {
+    add(v, "CR0.NW=1 requires CR0.CD=1", VmcsField::kGuestCr0, cr0);
+  }
+  // Fixed-1 bits per IA32_VMX_CR0_FIXED0 without unrestricted guest:
+  // NE must be 1 (PE/PG handled above only when inconsistent, since the
+  // modeled hypervisor runs HVM guests that legitimately start in real
+  // mode under the shadow of the guest/host mask).
+  if (!(cr0 & kCr0Ne)) {
+    add(v, "CR0.NE fixed to 1 under VMX", VmcsField::kGuestCr0, cr0);
+  }
+  // CR4 reserved bits (model: bits above 22 reserved, bit 11 reserved).
+  constexpr std::uint64_t kCr4Reserved = ~((1ULL << 23) - 1) | (1ULL << 11);
+  if (cr4 & kCr4Reserved) {
+    add(v, "CR4 reserved bit set", VmcsField::kGuestCr4, cr4);
+  }
+  if ((efer & kEferLma) != 0 && !(cr0 & kCr0Pg)) {
+    add(v, "EFER.LMA=1 requires CR0.PG=1", VmcsField::kGuestIa32Efer, efer);
+  }
+  if ((efer & kEferLma) != 0 && !(cr4 & kCr4Pae)) {
+    add(v, "IA-32e mode requires CR4.PAE=1", VmcsField::kGuestCr4, cr4);
+  }
+  if ((cr0 & kCr0Pg) && (cr4 & kCr4Pae) == 0 && (efer & kEferLme)) {
+    add(v, "EFER.LME with paging requires CR4.PAE", VmcsField::kGuestIa32Efer, efer);
+  }
+  if ((cr0 & kCr0Pg) && (cr3 & 0xFFF0000000000000ULL)) {
+    add(v, "CR3 beyond physical-address width", VmcsField::kGuestCr3, cr3);
+  }
+
+  // --- RFLAGS (26.3.1.4). ---
+  if (!(rflags & kRflagsReserved1)) {
+    add(v, "RFLAGS bit 1 must be 1", VmcsField::kGuestRflags, rflags);
+  }
+  constexpr std::uint64_t kRflagsMustBeZero =
+      (1ULL << 3) | (1ULL << 5) | (1ULL << 15) | ~((1ULL << 22) - 1);
+  if (rflags & kRflagsMustBeZero) {
+    add(v, "RFLAGS reserved bit set", VmcsField::kGuestRflags, rflags);
+  }
+  if ((rflags & kRflagsVm) && (efer & kEferLma)) {
+    add(v, "RFLAGS.VM=1 invalid in IA-32e mode", VmcsField::kGuestRflags, rflags);
+  }
+  const std::uint64_t entry_intr = vmcs.hw_read(VmcsField::kVmEntryIntrInfoField);
+  const bool entry_intr_valid = (entry_intr >> 31) & 1;
+  const bool entry_intr_external = ((entry_intr >> 8) & 0x7) == 0;
+  if (entry_intr_valid && entry_intr_external && !(rflags & kRflagsIf)) {
+    add(v, "external-interrupt injection requires RFLAGS.IF=1",
+        VmcsField::kGuestRflags, rflags);
+  }
+
+  // --- RIP (26.3.1.2 item on RIP). ---
+  const std::uint64_t cs_ar = vmcs.hw_read(VmcsField::kGuestCsArBytes);
+  const bool cs_long = (cs_ar >> 13) & 1;
+  if ((!(efer & kEferLma) || !cs_long) && (rip >> 32) != 0) {
+    add(v, "RIP has bits above 31 outside 64-bit mode", VmcsField::kGuestRip, rip);
+  }
+  if ((efer & kEferLma) && cs_long && !is_canonical(rip)) {
+    add(v, "RIP must be canonical in 64-bit mode", VmcsField::kGuestRip, rip);
+  }
+
+  // --- Segment registers (26.3.1.2), protected-mode subset. ---
+  if (cr0 & kCr0Pe) {
+    if (!ar_unusable(cs_ar)) {
+      const auto type = ar_type(cs_ar);
+      if (!ar_s(cs_ar) || !(type == 9 || type == 11 || type == 13 || type == 15)) {
+        add(v, "CS must be an accessed code segment", VmcsField::kGuestCsArBytes, cs_ar);
+      }
+      if (!ar_present(cs_ar)) {
+        add(v, "CS must be present", VmcsField::kGuestCsArBytes, cs_ar);
+      }
+    }
+    const std::uint64_t tr_ar = vmcs.hw_read(VmcsField::kGuestTrArBytes);
+    if (!ar_unusable(tr_ar)) {
+      const auto type = ar_type(tr_ar);
+      if (type != 11 && type != 3) {
+        add(v, "TR must be a busy TSS", VmcsField::kGuestTrArBytes, tr_ar);
+      }
+      if (!ar_present(tr_ar)) {
+        add(v, "TR must be present", VmcsField::kGuestTrArBytes, tr_ar);
+      }
+    }
+    const std::uint64_t tr_sel = vmcs.hw_read(VmcsField::kGuestTrSelector);
+    if (tr_sel & 0x4) {
+      add(v, "TR.TI flag must be 0", VmcsField::kGuestTrSelector, tr_sel);
+    }
+    const std::uint64_t ss_ar = vmcs.hw_read(VmcsField::kGuestSsArBytes);
+    const std::uint64_t ss_sel = vmcs.hw_read(VmcsField::kGuestSsSelector);
+    const std::uint64_t cs_sel = vmcs.hw_read(VmcsField::kGuestCsSelector);
+    if (!ar_unusable(ss_ar) && (ss_sel & 0x3) != (cs_sel & 0x3) && !(rflags & kRflagsVm)) {
+      add(v, "SS.RPL must equal CS.RPL", VmcsField::kGuestSsSelector, ss_sel);
+    }
+  }
+
+  // --- Descriptor-table registers (26.3.1.3). ---
+  for (const auto& [base_f, name] :
+       {std::pair{VmcsField::kGuestGdtrBase, "GDTR base must be canonical"},
+        std::pair{VmcsField::kGuestIdtrBase, "IDTR base must be canonical"}}) {
+    const std::uint64_t base = vmcs.hw_read(base_f);
+    if (!is_canonical(base)) add(v, name, base_f, base);
+  }
+
+  // --- Non-register state (26.3.1.5). ---
+  const std::uint64_t activity = vmcs.hw_read(VmcsField::kGuestActivityState);
+  if (activity > kActivityWaitSipi) {
+    add(v, "activity state must be 0..3", VmcsField::kGuestActivityState, activity);
+  }
+  const std::uint64_t intr = vmcs.hw_read(VmcsField::kGuestInterruptibility);
+  if (intr & ~0xFULL) {
+    add(v, "interruptibility reserved bits must be 0", VmcsField::kGuestInterruptibility,
+        intr);
+  }
+  if ((intr & kIntrBlockingBySti) && (intr & kIntrBlockingByMovSs)) {
+    add(v, "STI and MOV-SS blocking cannot both be set",
+        VmcsField::kGuestInterruptibility, intr);
+  }
+  if ((intr & kIntrBlockingBySti) && !(rflags & kRflagsIf)) {
+    add(v, "STI blocking requires RFLAGS.IF=1", VmcsField::kGuestInterruptibility, intr);
+  }
+  if (activity == kActivityHlt && (intr & (kIntrBlockingBySti | kIntrBlockingByMovSs))) {
+    add(v, "HLT activity incompatible with STI/MOV-SS blocking",
+        VmcsField::kGuestActivityState, activity);
+  }
+
+  // --- VMCS link pointer (26.3.1.5): must be all-ones when unused. ---
+  const std::uint64_t link = vmcs.hw_read(VmcsField::kVmcsLinkPointer);
+  if (link != ~0ULL) {
+    add(v, "VMCS link pointer must be FFFFFFFF_FFFFFFFF", VmcsField::kVmcsLinkPointer,
+        link);
+  }
+
+  return v;
+}
+
+std::string describe(const std::vector<EntryCheckViolation>& violations) {
+  std::ostringstream os;
+  os << violations.size() << " guest-state check(s) failed:";
+  for (const auto& viol : violations) {
+    os << " [" << to_string(viol.field) << ": " << viol.rule << " (value 0x" << std::hex
+       << viol.value << std::dec << ")]";
+  }
+  return os.str();
+}
+
+}  // namespace iris::vtx

@@ -1,0 +1,73 @@
+// VM-entry checks on the guest-state area (SDM Vol. 3, §26.3 subset).
+//
+// The paper's replay loop deliberately routes every injected seed through
+// a real VM entry precisely because these checks run there (§IV-B): they
+// are what keeps a submitted VM seed "semantically correct". A failed
+// check makes VM entry fail with exit reason 33 (VM-entry failure due to
+// invalid guest state) instead of entering the guest — the same signal
+// the PoC fuzzer uses to classify VMCS-corruption outcomes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vtx/vmcs.h"
+
+namespace iris::vtx {
+
+/// One failed consistency check.
+struct EntryCheckViolation {
+  /// SDM-style identifier, e.g. "CR0.PG=1 requires CR0.PE=1".
+  std::string rule;
+  /// Field whose value triggered the violation.
+  VmcsField field;
+  /// Offending value.
+  std::uint64_t value;
+};
+
+/// Guest activity states (SDM 24.4.2).
+inline constexpr std::uint64_t kActivityActive = 0;
+inline constexpr std::uint64_t kActivityHlt = 1;
+inline constexpr std::uint64_t kActivityShutdown = 2;
+inline constexpr std::uint64_t kActivityWaitSipi = 3;
+
+// CR0 bits (SDM 2.5).
+inline constexpr std::uint64_t kCr0Pe = 1ULL << 0;
+inline constexpr std::uint64_t kCr0Mp = 1ULL << 1;
+inline constexpr std::uint64_t kCr0Em = 1ULL << 2;
+inline constexpr std::uint64_t kCr0Ts = 1ULL << 3;
+inline constexpr std::uint64_t kCr0Et = 1ULL << 4;
+inline constexpr std::uint64_t kCr0Ne = 1ULL << 5;
+inline constexpr std::uint64_t kCr0Wp = 1ULL << 16;
+inline constexpr std::uint64_t kCr0Am = 1ULL << 18;
+inline constexpr std::uint64_t kCr0Nw = 1ULL << 29;
+inline constexpr std::uint64_t kCr0Cd = 1ULL << 30;
+inline constexpr std::uint64_t kCr0Pg = 1ULL << 31;
+
+// CR4 bits.
+inline constexpr std::uint64_t kCr4Pae = 1ULL << 5;
+inline constexpr std::uint64_t kCr4Pge = 1ULL << 7;
+inline constexpr std::uint64_t kCr4Vmxe = 1ULL << 13;
+
+// RFLAGS bits.
+inline constexpr std::uint64_t kRflagsReserved1 = 1ULL << 1;  // must be 1
+inline constexpr std::uint64_t kRflagsIf = 1ULL << 9;
+inline constexpr std::uint64_t kRflagsVm = 1ULL << 17;
+
+// Interruptibility-state bits (SDM 24.4.2).
+inline constexpr std::uint64_t kIntrBlockingBySti = 1ULL << 0;
+inline constexpr std::uint64_t kIntrBlockingByMovSs = 1ULL << 1;
+
+/// EFER bits mirrored in GUEST_IA32_EFER.
+inline constexpr std::uint64_t kEferLme = 1ULL << 8;
+inline constexpr std::uint64_t kEferLma = 1ULL << 10;
+
+/// Run the modeled subset of the SDM 26.3 guest-state checks against the
+/// current VMCS contents. Empty result means the entry may proceed.
+[[nodiscard]] std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs);
+
+/// Human-readable one-line rendering (Xen-log style) of a violation set.
+[[nodiscard]] std::string describe(const std::vector<EntryCheckViolation>& violations);
+
+}  // namespace iris::vtx

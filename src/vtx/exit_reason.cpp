@@ -1,0 +1,85 @@
+#include "vtx/exit_reason.h"
+
+namespace iris::vtx {
+
+std::string_view to_string(ExitReason reason) noexcept {
+  switch (reason) {
+    case ExitReason::kExceptionNmi: return "EXCEPTION/NMI";
+    case ExitReason::kExternalInterrupt: return "EXT. INT.";
+    case ExitReason::kTripleFault: return "TRIPLE FAULT";
+    case ExitReason::kInitSignal: return "INIT";
+    case ExitReason::kStartupIpi: return "SIPI";
+    case ExitReason::kIoSmi: return "I/O SMI";
+    case ExitReason::kOtherSmi: return "OTHER SMI";
+    case ExitReason::kInterruptWindow: return "INT. WI.";
+    case ExitReason::kNmiWindow: return "NMI WINDOW";
+    case ExitReason::kTaskSwitch: return "TASK SWITCH";
+    case ExitReason::kCpuid: return "CPUID";
+    case ExitReason::kGetsec: return "GETSEC";
+    case ExitReason::kHlt: return "HLT";
+    case ExitReason::kInvd: return "INVD";
+    case ExitReason::kInvlpg: return "INVLPG";
+    case ExitReason::kRdpmc: return "RDPMC";
+    case ExitReason::kRdtsc: return "RDTSC";
+    case ExitReason::kRsm: return "RSM";
+    case ExitReason::kVmcall: return "VMCALL";
+    case ExitReason::kVmclear: return "VMCLEAR";
+    case ExitReason::kVmlaunch: return "VMLAUNCH";
+    case ExitReason::kVmptrld: return "VMPTRLD";
+    case ExitReason::kVmptrst: return "VMPTRST";
+    case ExitReason::kVmread: return "VMREAD";
+    case ExitReason::kVmresume: return "VMRESUME";
+    case ExitReason::kVmwrite: return "VMWRITE";
+    case ExitReason::kVmxoff: return "VMXOFF";
+    case ExitReason::kVmxon: return "VMXON";
+    case ExitReason::kCrAccess: return "CR ACCESS";
+    case ExitReason::kDrAccess: return "DR ACCESS";
+    case ExitReason::kIoInstruction: return "I/O INST.";
+    case ExitReason::kMsrRead: return "MSR READ";
+    case ExitReason::kMsrWrite: return "MSR WRITE";
+    case ExitReason::kInvalidGuestState: return "INVALID GUEST STATE";
+    case ExitReason::kMsrLoadFail: return "MSR LOAD FAIL";
+    case ExitReason::kMwait: return "MWAIT";
+    case ExitReason::kMonitorTrapFlag: return "MTF";
+    case ExitReason::kMonitor: return "MONITOR";
+    case ExitReason::kPause: return "PAUSE";
+    case ExitReason::kMachineCheck: return "MACHINE CHECK";
+    case ExitReason::kTprBelowThreshold: return "TPR BELOW";
+    case ExitReason::kApicAccess: return "APIC ACCESS";
+    case ExitReason::kVirtualizedEoi: return "VIRT. EOI";
+    case ExitReason::kGdtrIdtrAccess: return "GDTR/IDTR";
+    case ExitReason::kLdtrTrAccess: return "LDTR/TR";
+    case ExitReason::kEptViolation: return "EPT VIOL.";
+    case ExitReason::kEptMisconfig: return "EPT MISC.";
+    case ExitReason::kInvept: return "INVEPT";
+    case ExitReason::kRdtscp: return "RDTSCP";
+    case ExitReason::kPreemptionTimer: return "PREEMPT. TIMER";
+    case ExitReason::kInvvpid: return "INVVPID";
+    case ExitReason::kWbinvd: return "WBINVD";
+    case ExitReason::kXsetbv: return "XSETBV";
+    case ExitReason::kApicWrite: return "APIC WRITE";
+    case ExitReason::kRdrand: return "RDRAND";
+    case ExitReason::kInvpcid: return "INVPCID";
+    case ExitReason::kVmfunc: return "VMFUNC";
+    case ExitReason::kEncls: return "ENCLS";
+    case ExitReason::kRdseed: return "RDSEED";
+    case ExitReason::kPmlFull: return "PML FULL";
+    case ExitReason::kXsaves: return "XSAVES";
+    case ExitReason::kXrstors: return "XRSTORS";
+    case ExitReason::kSppEvent: return "SPP EVENT";
+    case ExitReason::kUmwait: return "UMWAIT";
+    case ExitReason::kTpause: return "TPAUSE";
+  }
+  return "UNDEFINED";
+}
+
+std::optional<ExitReason> exit_reason_from_string(std::string_view name) noexcept {
+  for (std::uint16_t code = 0; code < kNumExitReasons; ++code) {
+    if (!is_defined_reason(code)) continue;
+    const auto reason = static_cast<ExitReason>(code);
+    if (to_string(reason) == name) return reason;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iris::vtx

@@ -1,0 +1,64 @@
+#include "vtx/vmcs.h"
+
+namespace iris::vtx {
+
+std::string_view to_string(VmcsLaunchState s) noexcept {
+  switch (s) {
+    case VmcsLaunchState::kInactiveNotCurrentClear:
+      return "Inactive Not-current Clear";
+    case VmcsLaunchState::kActiveCurrentClear:
+      return "Active Current Clear";
+    case VmcsLaunchState::kActiveCurrentLaunched:
+      return "Active Current Launched";
+  }
+  return "?";
+}
+
+VmxOutcome Vmcs::vmread(VmcsField field, std::uint64_t& out) const {
+  if (!is_valid_field_encoding(static_cast<std::uint16_t>(field))) {
+    last_error_ = VmInstructionError::kUnsupportedVmcsComponent;
+    return VmxOutcome::fail(last_error_);
+  }
+  std::uint64_t value = hw_read(field);
+  if (read_hook_) {
+    value = read_hook_(field, value);
+  }
+  out = value;
+  last_error_ = VmInstructionError::kNone;
+  return VmxOutcome::success();
+}
+
+VmxOutcome Vmcs::vmwrite(VmcsField field, std::uint64_t value) {
+  if (!is_valid_field_encoding(static_cast<std::uint16_t>(field))) {
+    last_error_ = VmInstructionError::kUnsupportedVmcsComponent;
+    return VmxOutcome::fail(last_error_);
+  }
+  if (is_read_only(field)) {
+    last_error_ = VmInstructionError::kVmwriteReadOnlyComponent;
+    return VmxOutcome::fail(last_error_);
+  }
+  const std::uint64_t masked = value & width_mask(field);
+  fields_[static_cast<std::uint16_t>(field)] = masked;
+  if (write_hook_) {
+    write_hook_(field, masked);
+  }
+  last_error_ = VmInstructionError::kNone;
+  return VmxOutcome::success();
+}
+
+void Vmcs::hw_write(VmcsField field, std::uint64_t value) {
+  fields_[static_cast<std::uint16_t>(field)] = value & width_mask(field);
+}
+
+std::uint64_t Vmcs::hw_read(VmcsField field) const noexcept {
+  const auto it = fields_.find(static_cast<std::uint16_t>(field));
+  return it == fields_.end() ? 0 : it->second;
+}
+
+void Vmcs::clear() {
+  fields_.clear();
+  launch_state_ = VmcsLaunchState::kInactiveNotCurrentClear;
+  last_error_ = VmInstructionError::kNone;
+}
+
+}  // namespace iris::vtx

@@ -1,0 +1,120 @@
+// Software model of the Virtual Machine Control Structure.
+//
+// The VMCS is the central data structure of Intel VT-x (SDM Vol. 3,
+// Ch. 24): a per-vCPU region holding guest state, host state, execution
+// controls, and VM-exit information. Except for its first eight bytes it
+// must be accessed through VMREAD/VMWRITE (SDM 24.11.1) — the model
+// enforces exactly that: typed field storage, access-type checking, and
+// the architectural VMfail error codes.
+//
+// IRIS instruments Xen's vmread()/vmwrite() wrappers with callbacks
+// (paper §V-A/§V-B); the model reproduces the same interposition points:
+// `read_hook` observes/overrides VMREAD results, `write_hook` observes
+// VMWRITEs. Hooks see {field, value} pairs, exactly the seed content.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "vtx/vmcs_fields.h"
+
+namespace iris::vtx {
+
+/// Architectural VM-instruction error numbers (SDM 30.4), the subset the
+/// model can raise.
+enum class VmInstructionError : std::uint32_t {
+  kNone = 0,
+  kVmclearWithVmxonPointer = 3,
+  kVmlaunchNonClearVmcs = 4,
+  kVmresumeNonLaunchedVmcs = 5,
+  kEntryInvalidControlFields = 7,
+  kEntryInvalidHostState = 8,
+  kUnsupportedVmcsComponent = 12,
+  kVmwriteReadOnlyComponent = 13,
+  kVmxInstructionWithInvalidCurrentVmcs = 15,
+};
+
+/// Outcome of a VMX instruction: VMsucceed, or VMfailValid with an error
+/// number latched in the VM_INSTRUCTION_ERROR field (SDM 30.2).
+struct VmxOutcome {
+  VmInstructionError error = VmInstructionError::kNone;
+
+  [[nodiscard]] bool succeeded() const noexcept {
+    return error == VmInstructionError::kNone;
+  }
+  static VmxOutcome success() noexcept { return {}; }
+  static VmxOutcome fail(VmInstructionError e) noexcept { return {e}; }
+};
+
+/// Hardware-internal VMCS launch state (SDM 24.1; Fig 1 in the paper).
+enum class VmcsLaunchState : std::uint8_t {
+  kInactiveNotCurrentClear,  ///< after VMCLEAR, before VMPTRLD
+  kActiveCurrentClear,       ///< after VMPTRLD, before VMLAUNCH
+  kActiveCurrentLaunched,    ///< after a successful VMLAUNCH
+};
+
+[[nodiscard]] std::string_view to_string(VmcsLaunchState s) noexcept;
+
+class Vmcs {
+ public:
+  /// Observer/overrider for VMREAD. Receives the field and the value the
+  /// hardware would return; the return value is what the caller sees
+  /// (IRIS replay interposes read-only exit-info fields this way, §V-B).
+  using ReadHook = std::function<std::uint64_t(VmcsField, std::uint64_t)>;
+  /// Observer for VMWRITE (value after width masking).
+  using WriteHook = std::function<void(VmcsField, std::uint64_t)>;
+
+  Vmcs() = default;
+
+  /// VMREAD: fails on unmodeled encodings (error 12). On success the
+  /// returned value passes through `read_hook` if installed.
+  [[nodiscard]] VmxOutcome vmread(VmcsField field, std::uint64_t& out) const;
+
+  /// VMWRITE: fails on unmodeled encodings (12) and on read-only fields
+  /// (13). Values are masked to the architectural field width.
+  [[nodiscard]] VmxOutcome vmwrite(VmcsField field, std::uint64_t value);
+
+  /// Hardware-internal write that bypasses access-type checks — used by
+  /// the VM-exit microcode to latch exit-information fields, which are
+  /// read-only to software (SDM 27.2).
+  void hw_write(VmcsField field, std::uint64_t value);
+
+  /// Hardware-internal read (no hook interposition, no error path).
+  /// Unwritten fields read as zero, matching a VMCLEARed region.
+  [[nodiscard]] std::uint64_t hw_read(VmcsField field) const noexcept;
+
+  /// VMCLEAR semantics: reset all field data and the launch state.
+  void clear();
+
+  [[nodiscard]] VmcsLaunchState launch_state() const noexcept { return launch_state_; }
+  void set_launch_state(VmcsLaunchState s) noexcept { launch_state_ = s; }
+
+  /// Last VMfailValid error number (the VM_INSTRUCTION_ERROR field).
+  [[nodiscard]] VmInstructionError last_error() const noexcept { return last_error_; }
+
+  void set_read_hook(ReadHook hook) { read_hook_ = std::move(hook); }
+  void set_write_hook(WriteHook hook) { write_hook_ = std::move(hook); }
+  void clear_hooks() {
+    read_hook_ = nullptr;
+    write_hook_ = nullptr;
+  }
+
+  /// Deep copy of the field data (snapshot support). Hooks and launch
+  /// state are not copied: a restored VMCS must be re-VMPTRLDed.
+  [[nodiscard]] std::unordered_map<std::uint16_t, std::uint64_t> snapshot_fields() const {
+    return fields_;
+  }
+  void restore_fields(std::unordered_map<std::uint16_t, std::uint64_t> fields) {
+    fields_ = std::move(fields);
+  }
+
+ private:
+  std::unordered_map<std::uint16_t, std::uint64_t> fields_;
+  VmcsLaunchState launch_state_ = VmcsLaunchState::kInactiveNotCurrentClear;
+  mutable VmInstructionError last_error_ = VmInstructionError::kNone;
+  ReadHook read_hook_;
+  WriteHook write_hook_;
+};
+
+}  // namespace iris::vtx

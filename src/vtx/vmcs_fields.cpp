@@ -1,0 +1,76 @@
+#include "vtx/vmcs_fields.h"
+
+#include <algorithm>
+#include <array>
+
+namespace iris::vtx {
+namespace {
+
+constexpr std::array<VmcsField, kNumVmcsFields> kAllFields = {
+#define IRIS_VMCS_TABLE(name, enc, str) VmcsField::name,
+    IRIS_VMCS_FIELD_LIST(IRIS_VMCS_TABLE)
+#undef IRIS_VMCS_TABLE
+};
+
+constexpr std::array<std::string_view, kNumVmcsFields> kFieldNames = {
+#define IRIS_VMCS_NAME(name, enc, str) str,
+    IRIS_VMCS_FIELD_LIST(IRIS_VMCS_NAME)
+#undef IRIS_VMCS_NAME
+};
+
+// Canonical order in the X-macro is ascending encoding order, which lets
+// lookups binary-search. Verified at compile time.
+constexpr bool table_is_sorted() {
+  for (std::size_t i = 1; i < kAllFields.size(); ++i) {
+    if (static_cast<std::uint16_t>(kAllFields[i - 1]) >=
+        static_cast<std::uint16_t>(kAllFields[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+static_assert(table_is_sorted(), "VMCS field table must be encoding-sorted");
+static_assert(kNumVmcsFields <= 256, "compact index must fit one byte");
+
+std::optional<std::size_t> table_position(std::uint16_t encoding) noexcept {
+  const auto it = std::lower_bound(
+      kAllFields.begin(), kAllFields.end(), encoding,
+      [](VmcsField f, std::uint16_t e) { return static_cast<std::uint16_t>(f) < e; });
+  if (it == kAllFields.end() || static_cast<std::uint16_t>(*it) != encoding) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(it - kAllFields.begin());
+}
+
+}  // namespace
+
+std::span<const VmcsField> all_fields() noexcept { return kAllFields; }
+
+std::string_view to_string(VmcsField f) noexcept {
+  const auto pos = table_position(static_cast<std::uint16_t>(f));
+  return pos ? kFieldNames[*pos] : std::string_view("UNKNOWN_FIELD");
+}
+
+bool is_valid_field_encoding(std::uint16_t encoding) noexcept {
+  return table_position(encoding).has_value();
+}
+
+std::optional<std::uint8_t> compact_index(VmcsField f) noexcept {
+  const auto pos = table_position(static_cast<std::uint16_t>(f));
+  if (!pos) return std::nullopt;
+  return static_cast<std::uint8_t>(*pos);
+}
+
+std::optional<VmcsField> field_from_compact(std::uint8_t idx) noexcept {
+  if (idx >= kAllFields.size()) return std::nullopt;
+  return kAllFields[idx];
+}
+
+std::optional<VmcsField> field_from_string(std::string_view name) noexcept {
+  for (std::size_t i = 0; i < kFieldNames.size(); ++i) {
+    if (kFieldNames[i] == name) return kAllFields[i];
+  }
+  return std::nullopt;
+}
+
+}  // namespace iris::vtx

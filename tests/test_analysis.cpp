@@ -1,0 +1,195 @@
+// Tests for the accuracy/efficiency analyzers used by the evaluation
+// harness (Fig 6/7/8/9 computations).
+#include <gtest/gtest.h>
+
+#include "iris/analysis.h"
+
+namespace iris {
+namespace {
+
+using hv::Component;
+using hv::CoverageMap;
+
+/// Fabricate a recorded exit with the given blocks and seed identity.
+RecordedExit make_exit(CoverageMap& map, vtx::ExitReason reason, std::uint64_t tag,
+                       std::initializer_list<std::pair<std::uint16_t, std::uint8_t>>
+                           blocks,
+                       std::uint64_t cycles = 1000) {
+  map.begin_exit();
+  for (const auto& [id, loc] : blocks) {
+    map.hit(Component::kVmx, id, loc);
+  }
+  RecordedExit rec;
+  rec.seed.reason = reason;
+  rec.seed.items.push_back(SeedItem{SeedItemKind::kGpr, 0, tag});
+  rec.metrics.coverage = map.end_exit();
+  rec.metrics.cycles = cycles;
+  return rec;
+}
+
+TEST(CumulativeCoverage, AccumulatesUniqueLoc) {
+  CoverageMap map;
+  VmBehavior behavior;
+  behavior.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 5}, {2, 3}}));
+  behavior.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 2, {{2, 3}}));
+  behavior.push_back(make_exit(map, vtx::ExitReason::kCpuid, 3, {{3, 7}}));
+  const auto curve = cumulative_coverage(map, behavior);
+  EXPECT_EQ(curve, (std::vector<std::uint32_t>{8, 8, 15}));
+}
+
+TEST(AnalyzeAccuracy, PerfectReplayIsHundredPercent) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  rec.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 5}}));
+  rep.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 5}}));
+  const auto report = analyze_accuracy(map, rec, rep);
+  EXPECT_DOUBLE_EQ(report.coverage_fit_pct, 100.0);
+  EXPECT_TRUE(report.diffs.empty());
+  EXPECT_DOUBLE_EQ(report.large_diff_pct, 0.0);
+}
+
+TEST(AnalyzeAccuracy, LostBlocksLowerTheFit) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  rec.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 6}, {2, 4}}));
+  rep.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 6}}));
+  const auto report = analyze_accuracy(map, rec, rep);
+  EXPECT_DOUBLE_EQ(report.coverage_fit_pct, 60.0);
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].loc_diff, 4u);
+  EXPECT_EQ(report.diffs[0].reason, vtx::ExitReason::kRdtsc);
+}
+
+TEST(AnalyzeAccuracy, SymmetricDifferenceCountsBothSides) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  rec.push_back(make_exit(map, vtx::ExitReason::kHlt, 1, {{1, 6}}));
+  rep.push_back(make_exit(map, vtx::ExitReason::kHlt, 1, {{2, 4}}));
+  const auto report = analyze_accuracy(map, rec, rep);
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].loc_diff, 10u);  // 6 lost + 4 gained
+}
+
+TEST(AnalyzeAccuracy, DiffAttributedToComponents) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  map.begin_exit();
+  map.hit(Component::kEmulate, 1, 9);
+  map.hit(Component::kVmx, 1, 2);
+  RecordedExit r;
+  r.seed.reason = vtx::ExitReason::kIoInstruction;
+  r.metrics.coverage = map.end_exit();
+  rec.push_back(r);
+  map.begin_exit();
+  map.hit(Component::kVmx, 1, 2);
+  RecordedExit p;
+  p.seed.reason = vtx::ExitReason::kIoInstruction;
+  p.metrics.coverage = map.end_exit();
+  rep.push_back(p);
+
+  const auto report = analyze_accuracy(map, rec, rep);
+  ASSERT_EQ(report.diffs.size(), 1u);
+  EXPECT_EQ(report.diffs[0].by_component.at(Component::kEmulate), 9u);
+  EXPECT_EQ(report.diffs[0].by_component.count(Component::kVmx), 0u);
+}
+
+TEST(AnalyzeAccuracy, RepeatedSeedsCountedOnce) {
+  // The paper filters repeated VM seeds when computing the >30 LOC
+  // frequency (Fig 7).
+  CoverageMap map;
+  VmBehavior rec, rep;
+  for (int i = 0; i < 4; ++i) {
+    rec.push_back(make_exit(map, vtx::ExitReason::kRdtsc, /*tag=*/7, {{1, 40}}));
+    rep.push_back(make_exit(map, vtx::ExitReason::kRdtsc, /*tag=*/7, {{2, 1}}));
+  }
+  const auto report = analyze_accuracy(map, rec, rep);
+  EXPECT_EQ(report.diffs.size(), 1u);          // one distinct seed
+  EXPECT_DOUBLE_EQ(report.large_diff_pct, 100.0);
+}
+
+TEST(AnalyzeAccuracy, LargeDiffThresholdApplied) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  rec.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 29}}));
+  rep.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {}));
+  rec.push_back(make_exit(map, vtx::ExitReason::kCpuid, 2, {{2, 31}}));
+  rep.push_back(make_exit(map, vtx::ExitReason::kCpuid, 2, {}));
+  const auto report = analyze_accuracy(map, rec, rep, /*noise_threshold_loc=*/30);
+  EXPECT_DOUBLE_EQ(report.large_diff_pct, 50.0);
+}
+
+TEST(AnalyzeAccuracy, ShorterReplayComparesPrefix) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  rec.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 5}}));
+  rec.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 2, {{2, 5}}));
+  rep.push_back(make_exit(map, vtx::ExitReason::kRdtsc, 1, {{1, 5}}));
+  const auto report = analyze_accuracy(map, rec, rep);
+  EXPECT_DOUBLE_EQ(report.coverage_fit_pct, 50.0);  // replay total / record total
+  EXPECT_TRUE(report.diffs.empty());                // the compared prefix matches
+}
+
+TEST(AnalyzeAccuracy, VmwriteFitExactOrderSensitive) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  auto r = make_exit(map, vtx::ExitReason::kCrAccess, 1, {});
+  r.metrics.vmwrites = {{vtx::VmcsField::kGuestCr0, 0x31},
+                        {vtx::VmcsField::kGuestRip, 0x7C03}};
+  auto p = r;
+  rec.push_back(r);
+  rep.push_back(p);
+  EXPECT_DOUBLE_EQ(analyze_accuracy(map, rec, rep).vmwrite_fit_pct, 100.0);
+
+  // A diverging value breaks the fit for that write only.
+  rep[0].metrics.vmwrites[1].second = 0x9999;
+  EXPECT_DOUBLE_EQ(analyze_accuracy(map, rec, rep).vmwrite_fit_pct, 50.0);
+}
+
+TEST(AnalyzeAccuracy, ControlFieldWritesExcludedFromFit) {
+  CoverageMap map;
+  VmBehavior rec, rep;
+  auto r = make_exit(map, vtx::ExitReason::kCrAccess, 1, {});
+  r.metrics.vmwrites = {{vtx::VmcsField::kCr0ReadShadow, 0x1}};  // control area
+  rec.push_back(r);
+  rep.push_back(make_exit(map, vtx::ExitReason::kCrAccess, 1, {}));
+  // No guest-state writes at all -> vacuous 100%.
+  EXPECT_DOUBLE_EQ(analyze_accuracy(map, rec, rep).vmwrite_fit_pct, 100.0);
+}
+
+TEST(ModeTrajectory, ExtractsCr0WritesInOrder) {
+  VmBehavior behavior;
+  RecordedExit a;
+  a.metrics.vmwrites = {{vtx::VmcsField::kGuestCr0, vtx::kCr0Pe | vtx::kCr0Ne}};
+  RecordedExit b;
+  b.metrics.vmwrites = {
+      {vtx::VmcsField::kGuestRip, 0x100},  // not CR0: skipped
+      {vtx::VmcsField::kGuestCr0, vtx::kCr0Pe | vtx::kCr0Pg | vtx::kCr0Ne}};
+  behavior.push_back(a);
+  behavior.push_back(b);
+  const auto traj = mode_trajectory(behavior);
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_EQ(traj[0].mode, vcpu::CpuMode::kMode2);
+  EXPECT_EQ(traj[0].exit_index, 0u);
+  EXPECT_EQ(traj[1].mode, vcpu::CpuMode::kMode3);
+  EXPECT_EQ(traj[1].exit_index, 1u);
+}
+
+TEST(AnalyzeEfficiency, ZeroSafe) {
+  const auto report = analyze_efficiency(0, 0, 0);
+  EXPECT_DOUBLE_EQ(report.pct_decrease, 0.0);
+  EXPECT_DOUBLE_EQ(report.speedup, 0.0);
+  EXPECT_DOUBLE_EQ(report.replay_exits_per_sec, 0.0);
+}
+
+TEST(AnalyzeEfficiency, PaperIdleNumbers) {
+  // 62.61 s vs 0.22 s at 3.6 GHz.
+  const auto report = analyze_efficiency(
+      static_cast<std::uint64_t>(62.61 * 3.6e9),
+      static_cast<std::uint64_t>(0.22 * 3.6e9), 5000);
+  EXPECT_NEAR(report.pct_decrease, 99.6, 0.1);
+  EXPECT_NEAR(report.speedup, 284.6, 1.0);
+  EXPECT_NEAR(report.replay_exits_per_sec, 22'727.0, 10.0);
+}
+
+}  // namespace
+}  // namespace iris

@@ -1,0 +1,125 @@
+// Tests for the emulated PC platform devices behind the PIO space.
+#include <gtest/gtest.h>
+
+#include "hv/devices.h"
+
+namespace iris::hv {
+namespace {
+
+class DevicesTest : public ::testing::Test {
+ protected:
+  DevicesTest() { register_pc_platform(pio_, cov_); }
+
+  std::uint64_t in(std::uint16_t port, std::uint8_t size = 1) {
+    const auto r = pio_.access(port, false, size, 0);
+    EXPECT_TRUE(r.handled) << "port " << port;
+    return r.value;
+  }
+  void out(std::uint16_t port, std::uint64_t value, std::uint8_t size = 1) {
+    EXPECT_TRUE(pio_.access(port, true, size, value).handled) << "port " << port;
+  }
+
+  CoverageMap cov_;
+  mem::PioSpace pio_;
+};
+
+TEST_F(DevicesTest, AllStandardPortsClaimed) {
+  for (const std::uint16_t port :
+       {mem::kPortPic1Cmd, mem::kPortPic2Cmd, mem::kPortPit, mem::kPortKbd,
+        mem::kPortKbdStatus, mem::kPortCmosIndex, mem::kPortIdeData,
+        mem::kPortSerialCom1, mem::kPortPciConfigAddr, mem::kPortXenDebug}) {
+    EXPECT_TRUE(pio_.owner(port).has_value()) << "port " << port;
+  }
+}
+
+TEST_F(DevicesTest, PicInitSequence) {
+  out(mem::kPortPic1Cmd, 0x11);   // ICW1
+  out(mem::kPortPic1Data, 0x20);  // ICW2: vector base
+  out(mem::kPortPic1Data, 0x04);  // ICW3
+  out(mem::kPortPic1Data, 0x01);  // ICW4
+  out(mem::kPortPic1Data, 0xFB);  // OCW1: mask
+  EXPECT_EQ(in(mem::kPortPic1Data), 0xFBu);
+}
+
+TEST_F(DevicesTest, PicsAreIndependent) {
+  out(mem::kPortPic1Cmd, 0x11);
+  out(mem::kPortPic1Data, 0x20);
+  out(mem::kPortPic1Data, 0x04);
+  out(mem::kPortPic1Data, 0x01);
+  out(mem::kPortPic1Data, 0xAA);
+  out(mem::kPortPic2Cmd, 0x11);
+  out(mem::kPortPic2Data, 0x28);
+  out(mem::kPortPic2Data, 0x02);
+  out(mem::kPortPic2Data, 0x01);
+  out(mem::kPortPic2Data, 0x55);
+  EXPECT_EQ(in(mem::kPortPic1Data), 0xAAu);
+  EXPECT_EQ(in(mem::kPortPic2Data), 0x55u);
+}
+
+TEST_F(DevicesTest, PitReloadLowHighBytes) {
+  out(mem::kPortPitCmd, 0x34);  // channel 0, lo/hi access
+  out(mem::kPortPit, 0x9C);
+  out(mem::kPortPit, 0x2E);
+  EXPECT_EQ(in(mem::kPortPit), 0x9Cu);  // low byte readback
+}
+
+TEST_F(DevicesTest, KeyboardControllerReady) {
+  EXPECT_EQ(in(mem::kPortKbdStatus), 0x1Cu);
+  EXPECT_EQ(in(mem::kPortKbd), 0xFAu);  // ACK
+}
+
+TEST_F(DevicesTest, CmosIndexedAccess) {
+  out(mem::kPortCmosIndex, 0x0D);
+  EXPECT_EQ(in(mem::kPortCmosData), 0x80u);  // battery good
+  out(mem::kPortCmosIndex, 0x40);
+  out(mem::kPortCmosData, 0x5A);
+  out(mem::kPortCmosIndex, 0x0A);
+  EXPECT_EQ(in(mem::kPortCmosData), 0x26u);  // untouched register
+  out(mem::kPortCmosIndex, 0x40);
+  EXPECT_EQ(in(mem::kPortCmosData), 0x5Au);  // written NVRAM byte
+}
+
+TEST_F(DevicesTest, CmosPerIndexCoverageBlocks) {
+  cov_.begin_exit();
+  out(mem::kPortCmosIndex, 0x10);
+  in(mem::kPortCmosData);
+  const auto first = cov_.end_exit();
+  cov_.begin_exit();
+  out(mem::kPortCmosIndex, 0x20);
+  in(mem::kPortCmosData);
+  const auto second = cov_.end_exit();
+  EXPECT_NE(first.blocks, second.blocks);  // per-register handler blocks
+}
+
+TEST_F(DevicesTest, IdeAlwaysReady) {
+  EXPECT_EQ(in(mem::kPortIdeStatus), 0x50u);  // DRDY | DSC
+  out(mem::kPortIdeStatus, 0xEC);             // IDENTIFY
+  EXPECT_EQ(in(mem::kPortIdeStatus), 0x50u);  // still not busy
+}
+
+TEST_F(DevicesTest, SerialTransmitterEmpty) {
+  EXPECT_EQ(in(mem::kPortSerialCom1 + 5), 0x60u);  // LSR: THR empty
+  out(mem::kPortSerialCom1 + 3, 0x80);             // LCR: DLAB
+  out(mem::kPortSerialCom1, 'x');                  // TX (discarded)
+}
+
+TEST_F(DevicesTest, PciHostBridgeVisible) {
+  out(mem::kPortPciConfigAddr, 0x80000000, 4);  // bus 0 dev 0 fn 0 reg 0
+  EXPECT_EQ(in(mem::kPortPciConfigData, 4), 0x12378086u);
+}
+
+TEST_F(DevicesTest, AbsentPciDevicesReadAllOnes) {
+  out(mem::kPortPciConfigAddr, 0x80000000 | (5u << 11), 4);  // device 5
+  EXPECT_EQ(in(mem::kPortPciConfigData, 4), 0xFFFFFFFFu);
+}
+
+TEST_F(DevicesTest, DeviceAccessesProduceCoverage) {
+  cov_.begin_exit();
+  out(mem::kPortPic1Cmd, 0x11);
+  in(mem::kPortKbdStatus);
+  const auto cov = cov_.end_exit();
+  EXPECT_GT(cov.loc_in(cov_, Component::kIo), 0u);
+}
+
+}  // namespace
+}  // namespace iris::hv

@@ -1,0 +1,228 @@
+// Tests for the HVM instruction emulator — the component whose
+// guest-memory dependence drives the paper's replay divergences.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <functional>
+
+#include "guest/guest_ops.h"
+#include "hv/emulate.h"
+#include "hv/hypervisor.h"
+#include "vcpu/vmcs_sync.h"
+
+namespace iris::hv {
+namespace {
+
+using vcpu::Gpr;
+using vtx::VmcsField;
+
+class EmulateTest : public ::testing::Test {
+ protected:
+  EmulateTest() : hv_(1, 0.0) {
+    dom_ = &hv_.create_domain(DomainRole::kTest);
+    EXPECT_TRUE(hv_.launch(*dom_));
+    vcpu_ = &dom_->vcpu();
+    // Flat protected-mode-ish context so fetches land in low RAM.
+    vcpu_->regs.segment(vcpu::SegReg::kCs).base = 0;
+    vcpu_->regs.rip = 0x2000;
+  }
+
+  /// Run `body` inside a faked exit context (coverage scoped per exit).
+  ExitCoverage with_exit(const std::function<void(HandlerContext&)>& body) {
+    hv_.coverage().begin_exit();
+    vcpu::save_guest_state(vcpu_->regs, vcpu_->vmcs);
+    HandlerContext ctx(hv_, *dom_, *vcpu_);
+    body(ctx);
+    return hv_.coverage().end_exit();
+  }
+
+  void plant(std::initializer_list<std::uint8_t> bytes) {
+    std::vector<std::uint8_t> v(bytes);
+    hv_.copy_to_guest(*dom_, vcpu_->regs.rip, v);
+  }
+
+  Hypervisor hv_;
+  Domain* dom_ = nullptr;
+  HvVcpu* vcpu_ = nullptr;
+};
+
+TEST_F(EmulateTest, NullBytesTakeDegenerateDecode) {
+  const auto cov = with_exit([](HandlerContext& ctx) {
+    const auto out = emulate_insn_fetch(ctx);
+    EXPECT_EQ(out.note, "null-byte decode");
+  });
+  EXPECT_GT(cov.loc_in(hv_.coverage(), Component::kEmulate), 0u);
+}
+
+TEST_F(EmulateTest, SystemInstructionGroupDecode) {
+  plant({0x0F, 0x01});
+  with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_insn_fetch(ctx).note, "system insn group");
+  });
+}
+
+TEST_F(EmulateTest, DescriptorGroupVariantsTakeDistinctBlocks) {
+  std::array<ExitCoverage, 6> covs;
+  for (std::uint8_t variant = 0; variant < 6; ++variant) {
+    plant({0x0F, 0x00, static_cast<std::uint8_t>(0xC0 | (variant << 3))});
+    covs[variant] = with_exit([](HandlerContext& ctx) {
+      EXPECT_EQ(emulate_insn_fetch(ctx).note, "descriptor group");
+    });
+  }
+  // Every variant contributes a block no other variant has.
+  for (int a = 0; a < 6; ++a) {
+    for (int b = a + 1; b < 6; ++b) {
+      EXPECT_NE(covs[static_cast<std::size_t>(a)].blocks,
+                covs[static_cast<std::size_t>(b)].blocks);
+    }
+  }
+}
+
+TEST_F(EmulateTest, ReservedDescriptorEncodingIsUdPath) {
+  plant({0x0F, 0x00, 0xF0});  // reg = 6: reserved
+  const auto cov = with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_insn_fetch(ctx).note, "descriptor group");
+  });
+  EXPECT_TRUE(std::find(cov.blocks.begin(), cov.blocks.end(),
+                        pack_block(Component::kEmulate, 17)) != cov.blocks.end());
+}
+
+TEST_F(EmulateTest, MovGroupBranchesOnModrm) {
+  plant({0x8B, 0xC1});  // register-direct
+  const auto direct = with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_insn_fetch(ctx).note, "mov group");
+  });
+  plant({0x8B, 0x01});  // memory operand
+  const auto memory = with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_insn_fetch(ctx).note, "mov group");
+  });
+  EXPECT_NE(direct.blocks, memory.blocks);
+}
+
+TEST_F(EmulateTest, StringOutCopiesBytesToDevice) {
+  const char msg[] = "AB";
+  hv_.copy_to_guest(*dom_, 0x8000,
+                    std::span(reinterpret_cast<const std::uint8_t*>(msg), 2));
+  vcpu_->vmcs.hw_write(VmcsField::kIoRcx, 2);
+  vcpu_->vmcs.hw_write(VmcsField::kIoRsi, 0x8000);
+  IoQual qual;
+  qual.port = mem::kPortSerialCom1;
+  qual.string = true;
+  qual.rep = true;
+  qual.size = 1;
+  with_exit([&qual](HandlerContext& ctx) {
+    const auto out = emulate_string_io(ctx, qual);
+    EXPECT_TRUE(out.ok);
+    EXPECT_GE(out.steps, 2u);
+  });
+}
+
+TEST_F(EmulateTest, StringInWritesGuestMemory) {
+  vcpu_->vmcs.hw_write(VmcsField::kIoRcx, 4);
+  vcpu_->vmcs.hw_write(VmcsField::kIoRdi, 0x8800);
+  IoQual qual;
+  qual.port = mem::kPortKbdStatus;
+  qual.string = true;
+  qual.rep = true;
+  qual.in = true;
+  qual.size = 1;
+  with_exit([&qual](HandlerContext& ctx) {
+    EXPECT_TRUE(emulate_string_io(ctx, qual).ok);
+  });
+  std::array<std::uint8_t, 4> buf{};
+  hv_.copy_from_guest(*dom_, 0x8800, buf);
+  for (const auto b : buf) EXPECT_EQ(b, 0x1C);  // kbd status value
+}
+
+TEST_F(EmulateTest, StringIoRepCountClampedPerExit) {
+  vcpu_->vmcs.hw_write(VmcsField::kIoRcx, 100'000);
+  vcpu_->vmcs.hw_write(VmcsField::kIoRsi, 0x8000);
+  IoQual qual;
+  qual.port = mem::kPortSerialCom1;
+  qual.string = true;
+  qual.rep = true;
+  qual.size = 1;
+  with_exit([&qual](HandlerContext& ctx) {
+    EXPECT_LE(emulate_string_io(ctx, qual).steps, 64u);  // Xen's burst clamp
+  });
+}
+
+TEST_F(EmulateTest, StringOutFaultsOnUnmappedBuffer) {
+  vcpu_->vmcs.hw_write(VmcsField::kIoRcx, 2);
+  vcpu_->vmcs.hw_write(VmcsField::kIoRsi, 1ULL << 40);  // beyond RAM
+  IoQual qual;
+  qual.port = mem::kPortSerialCom1;
+  qual.string = true;
+  qual.rep = true;
+  qual.size = 1;
+  with_exit([&qual](HandlerContext& ctx) {
+    const auto out = emulate_string_io(ctx, qual);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.note, "outs: guest buffer fault");
+  });
+}
+
+TEST_F(EmulateTest, MmioUnclaimedReadsAllOnes) {
+  with_exit([this](HandlerContext& ctx) {
+    EptQual qual;
+    qual.read = true;
+    emulate_mmio(ctx, 0x30000000, qual);
+    EXPECT_EQ(vcpu_->gpr(Gpr::kRax), ~0ULL);
+  });
+}
+
+TEST_F(EmulateTest, MmioRoutedToRegisteredDevice) {
+  dom_->mmio().register_range(0x20000000, 0x1000, "testdev",
+                              [](std::uint64_t, bool, std::uint8_t,
+                                 std::uint64_t) -> mem::IoResult {
+                                return {true, 0x1234};
+                              });
+  with_exit([this](HandlerContext& ctx) {
+    EptQual qual;
+    qual.read = true;
+    emulate_mmio(ctx, 0x20000000, qual);
+    EXPECT_EQ(vcpu_->gpr(Gpr::kRax), 0x1234u);
+  });
+}
+
+TEST_F(EmulateTest, GdtValidationLiveVsZeroMemory) {
+  // Live GDT: the code-descriptor path.
+  guest::install_flat_gdt(hv_, *dom_, *vcpu_, 0x1000);
+  vcpu::save_guest_state(vcpu_->regs, vcpu_->vmcs);
+  with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_validate_gdt(ctx).note, "code descriptor ok");
+  });
+  // Zeroed GDT memory (the dummy VM's view): the not-present path.
+  const std::array<std::uint8_t, 24> zeros{};
+  hv_.copy_to_guest(*dom_, 0x1000, zeros);
+  with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_validate_gdt(ctx).note, "descriptor not present");
+  });
+}
+
+TEST_F(EmulateTest, GdtUnreadableWhenLimitTooSmall) {
+  vcpu_->regs.gdtr = {0x1000, 7};  // room for the null descriptor only
+  vcpu::save_guest_state(vcpu_->regs, vcpu_->vmcs);
+  with_exit([](HandlerContext& ctx) {
+    const auto out = emulate_validate_gdt(ctx);
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.note, "gdt unreadable");
+  });
+}
+
+TEST_F(EmulateTest, DataDescriptorWhereCodeExpected) {
+  const std::array<std::uint8_t, 16> gdt = {
+      0,    0,    0, 0, 0, 0,    0,    0,  // null
+      0xFF, 0xFF, 0, 0, 0, 0x92, 0xCF, 0,  // data descriptor at 0x08
+  };
+  hv_.copy_to_guest(*dom_, 0x1000, gdt);
+  vcpu_->regs.gdtr = {0x1000, 15};
+  vcpu::save_guest_state(vcpu_->regs, vcpu_->vmcs);
+  with_exit([](HandlerContext& ctx) {
+    EXPECT_EQ(emulate_validate_gdt(ctx).note, "data descriptor");
+  });
+}
+
+}  // namespace
+}  // namespace iris::hv

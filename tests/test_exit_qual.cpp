@@ -1,0 +1,105 @@
+// Round-trip and bit-layout tests for the exit-qualification codecs
+// (SDM Tables 27-3/27-5/27-7) that guest recipes and handlers share.
+#include <gtest/gtest.h>
+
+#include "hv/exit_qual.h"
+#include "mem/ept.h"
+
+namespace iris::hv {
+namespace {
+
+TEST(CrAccessQual, EncodeDecodeRoundTrip) {
+  for (std::uint8_t cr : {0, 3, 4, 8}) {
+    for (std::uint8_t type : {CrAccessQual::kMovToCr, CrAccessQual::kMovFromCr,
+                              CrAccessQual::kClts, CrAccessQual::kLmsw}) {
+      for (int gpr = 0; gpr < vcpu::kNumGprs; ++gpr) {
+        CrAccessQual q;
+        q.cr = cr;
+        q.access_type = type;
+        q.gpr = static_cast<vcpu::Gpr>(gpr);
+        q.lmsw_source = 0xBEEF;
+        const auto back = CrAccessQual::decode(q.encode());
+        EXPECT_EQ(back.cr, cr);
+        EXPECT_EQ(back.access_type, type);
+        EXPECT_EQ(back.gpr, q.gpr);
+        EXPECT_EQ(back.lmsw_source, 0xBEEF);
+      }
+    }
+  }
+}
+
+TEST(CrAccessQual, ArchitecturalBitPositions) {
+  CrAccessQual q;
+  q.cr = 0;
+  q.access_type = CrAccessQual::kMovToCr;
+  q.gpr = vcpu::Gpr::kRax;
+  EXPECT_EQ(q.encode(), 0u);  // "CR_ACCESS, ax, MOVE_TO, CR0" is all-zeros
+  q.cr = 4;
+  EXPECT_EQ(q.encode() & 0xF, 4u);
+  q.access_type = CrAccessQual::kMovFromCr;
+  EXPECT_EQ((q.encode() >> 4) & 0x3, 1u);
+  q.gpr = vcpu::Gpr::kRbx;  // encoding 3
+  EXPECT_EQ((q.encode() >> 8) & 0xF, 3u);
+}
+
+TEST(IoQual, EncodeDecodeRoundTrip) {
+  for (std::uint8_t size : {1, 2, 4}) {
+    for (const bool in : {false, true}) {
+      for (const bool str : {false, true}) {
+        IoQual q;
+        q.size = size;
+        q.in = in;
+        q.string = str;
+        q.rep = str;
+        q.port = 0x3F8;
+        const auto back = IoQual::decode(q.encode());
+        EXPECT_EQ(back.size, size);
+        EXPECT_EQ(back.in, in);
+        EXPECT_EQ(back.string, str);
+        EXPECT_EQ(back.rep, str);
+        EXPECT_EQ(back.port, 0x3F8);
+      }
+    }
+  }
+}
+
+TEST(IoQual, ArchitecturalBitPositions) {
+  IoQual q;
+  q.size = 4;  // encoded as size-1 = 3
+  q.in = true;
+  q.port = 0xCF8;
+  const auto bits = q.encode();
+  EXPECT_EQ(bits & 0x7, 3u);
+  EXPECT_TRUE(bits & (1ULL << 3));
+  EXPECT_EQ(bits >> 16, 0xCF8u);
+}
+
+TEST(EptQual, EncodeDecodeRoundTrip) {
+  EptQual q;
+  q.read = true;
+  q.write = true;
+  q.fetch = false;
+  q.perms = 5;
+  q.gla_valid = true;
+  const auto back = EptQual::decode(q.encode());
+  EXPECT_TRUE(back.read);
+  EXPECT_TRUE(back.write);
+  EXPECT_FALSE(back.fetch);
+  EXPECT_EQ(back.perms, 5);
+  EXPECT_TRUE(back.gla_valid);
+}
+
+TEST(EptQual, MatchesEptWalkQualification) {
+  // The EPT model emits qualifications the codec must parse.
+  mem::Ept ept;
+  ept.map(1, 1, mem::EptPerms{.read = true, .write = false, .exec = true});
+  const auto walk = ept.translate(0x1000, mem::EptAccess::kWrite);
+  ASSERT_EQ(walk.status, mem::EptWalkStatus::kViolation);
+  const auto q = EptQual::decode(walk.qualification);
+  EXPECT_TRUE(q.write);
+  EXPECT_FALSE(q.read);
+  EXPECT_EQ(q.perms, 5);  // R + X
+}
+
+}  // namespace
+}  // namespace iris::hv

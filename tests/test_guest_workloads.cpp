@@ -1,0 +1,175 @@
+// Tests for the synthetic guest workload generators: trace shapes must
+// match the paper's Fig 4/5 characterization.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "guest/workload.h"
+#include "hv/hypervisor.h"
+#include "vtx/entry_checks.h"
+
+namespace iris::guest {
+namespace {
+
+using vtx::ExitReason;
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() : hv_(1, 0.0) {
+    dom_ = &hv_.create_domain(hv::DomainRole::kTest);
+    EXPECT_TRUE(hv_.launch(*dom_));
+  }
+
+  std::map<ExitReason, int> reason_histogram(Workload w, std::uint64_t n,
+                                             std::uint64_t seed = 42) {
+    GuestProgram program(w, seed, n);
+    const auto trace = run_workload(hv_, *dom_, dom_->vcpu(), program, n);
+    EXPECT_EQ(trace.size(), n) << "workload crashed: " << to_string(w);
+    std::map<ExitReason, int> hist;
+    for (const auto& rec : trace) ++hist[rec.reason];
+    return hist;
+  }
+
+  hv::Hypervisor hv_;
+  hv::Domain* dom_ = nullptr;
+};
+
+TEST_F(WorkloadTest, NamesRoundTrip) {
+  for (int i = 0; i < kNumWorkloads; ++i) {
+    const auto w = static_cast<Workload>(i);
+    EXPECT_EQ(workload_from_string(to_string(w)), w);
+  }
+  EXPECT_FALSE(workload_from_string("nope"));
+}
+
+TEST_F(WorkloadTest, AllWorkloadsRunToCompletionWithoutCrashing) {
+  for (int i = 0; i < kNumWorkloads; ++i) {
+    GuestProgram program(static_cast<Workload>(i), 7, 600);
+    hv::Hypervisor hv(1, 0.0);
+    hv::Domain& dom = hv.create_domain(hv::DomainRole::kTest);
+    ASSERT_TRUE(hv.launch(dom));
+    const auto trace = run_workload(hv, dom, dom.vcpu(), program, 600);
+    EXPECT_EQ(trace.size(), 600u) << to_string(static_cast<Workload>(i));
+    EXPECT_FALSE(hv.failures().host_is_down());
+  }
+}
+
+TEST_F(WorkloadTest, BootIsDominatedByIoAndCrAccess) {
+  const auto hist = reason_histogram(Workload::kOsBoot, 2000);
+  const int io = hist.count(ExitReason::kIoInstruction)
+                     ? hist.at(ExitReason::kIoInstruction)
+                     : 0;
+  const int cr =
+      hist.count(ExitReason::kCrAccess) ? hist.at(ExitReason::kCrAccess) : 0;
+  // Fig 5: I/O instructions and CR accesses dominate OS_BOOT.
+  EXPECT_GT(io, 2000 * 0.3);
+  EXPECT_GT(cr, 2000 * 0.08);
+  EXPECT_GT(io + cr, 2000 * 0.5);
+}
+
+TEST_F(WorkloadTest, SteadyWorkloadsAreMostlyRdtsc) {
+  // Fig 5: ~80% of CPU/MEM/IO-bound and IDLE exits are RDTSC.
+  for (const auto w : {Workload::kCpuBound, Workload::kMemBound,
+                       Workload::kIoBound, Workload::kIdle}) {
+    const auto hist = reason_histogram(w, 2000);
+    const int rdtsc =
+        hist.count(ExitReason::kRdtsc) ? hist.at(ExitReason::kRdtsc) : 0;
+    EXPECT_GT(rdtsc, 2000 * 0.6) << to_string(w);
+    EXPECT_LT(rdtsc, 2000 * 0.9) << to_string(w);
+  }
+}
+
+TEST_F(WorkloadTest, OnlyIdleHasHlt) {
+  const auto idle = reason_histogram(Workload::kIdle, 2000);
+  EXPECT_GT(idle.count(ExitReason::kHlt) ? idle.at(ExitReason::kHlt) : 0, 50);
+  const auto cpu = reason_histogram(Workload::kCpuBound, 2000, 43);
+  EXPECT_EQ(cpu.count(ExitReason::kHlt) ? cpu.at(ExitReason::kHlt) : 0, 0);
+}
+
+TEST_F(WorkloadTest, IoBoundHasMoreIoThanCpuBound) {
+  const auto io_hist = reason_histogram(Workload::kIoBound, 2000);
+  const auto cpu_hist = reason_histogram(Workload::kCpuBound, 2000, 44);
+  const auto get = [](const auto& h, ExitReason r) {
+    return h.count(r) ? h.at(r) : 0;
+  };
+  EXPECT_GT(get(io_hist, ExitReason::kIoInstruction),
+            4 * std::max(get(cpu_hist, ExitReason::kIoInstruction), 1));
+}
+
+TEST_F(WorkloadTest, MemBoundHasMoreEptViolations) {
+  const auto mem_hist = reason_histogram(Workload::kMemBound, 2000);
+  const auto idle_hist = reason_histogram(Workload::kIdle, 2000, 45);
+  const auto get = [](const auto& h, ExitReason r) {
+    return h.count(r) ? h.at(r) : 0;
+  };
+  EXPECT_GT(get(mem_hist, ExitReason::kEptViolation),
+            get(idle_hist, ExitReason::kEptViolation));
+}
+
+TEST_F(WorkloadTest, BiosPrefixScalesWithPlannedLength) {
+  GuestProgram small(Workload::kOsBoot, 1, 500);
+  GuestProgram large(Workload::kOsBoot, 1, 50'000);
+  EXPECT_TRUE(small.in_bios_stage());
+  EXPECT_TRUE(large.in_bios_stage());
+  // 2% of planned length.
+  hv::Hypervisor hv(1, 0.0);
+  hv::Domain& dom = hv.create_domain(hv::DomainRole::kTest);
+  ASSERT_TRUE(hv.launch(dom));
+  run_workload(hv, dom, dom.vcpu(), small, 17);  // bios_end = max(500/50, 16)
+  EXPECT_FALSE(small.in_bios_stage());
+}
+
+TEST_F(WorkloadTest, BootWalksThroughOperatingModes) {
+  GuestProgram program(Workload::kOsBoot, 3, 1000);
+  run_workload(hv_, *dom_, dom_->vcpu(), program, 1000);
+  // After boot the vCPU is in protected mode with paging + AM (Mode6).
+  EXPECT_EQ(dom_->vcpu().mode_cache, vcpu::CpuMode::kMode6);
+  const std::uint64_t cr0 = dom_->vcpu().vmcs.hw_read(vtx::VmcsField::kGuestCr0);
+  EXPECT_TRUE(cr0 & vtx::kCr0Pe);
+  EXPECT_TRUE(cr0 & vtx::kCr0Pg);
+}
+
+TEST_F(WorkloadTest, SameSeedSameTrace) {
+  GuestProgram a(Workload::kCpuBound, 99, 300);
+  GuestProgram b(Workload::kCpuBound, 99, 300);
+  hv::Hypervisor hva(1, 0.0), hvb(1, 0.0);
+  hv::Domain& doma = hva.create_domain(hv::DomainRole::kTest);
+  hv::Domain& domb = hvb.create_domain(hv::DomainRole::kTest);
+  ASSERT_TRUE(hva.launch(doma));
+  ASSERT_TRUE(hvb.launch(domb));
+  const auto ta = run_workload(hva, doma, doma.vcpu(), a, 300);
+  const auto tb = run_workload(hvb, domb, domb.vcpu(), b, 300);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].reason, tb[i].reason) << i;
+  }
+}
+
+TEST_F(WorkloadTest, GuestTimeDominatesForIdle) {
+  // Fig 9's driver: IDLE spends enormous guest-side time between exits.
+  GuestProgram idle(Workload::kIdle, 5, 100);
+  const auto t0 = hv_.clock().rdtsc();
+  run_workload(hv_, *dom_, dom_->vcpu(), idle, 100);
+  const auto idle_cycles = hv_.clock().rdtsc() - t0;
+  EXPECT_GT(idle_cycles / 100, hv_.costs().guest_idle_gap / 2);
+}
+
+TEST_F(WorkloadTest, GuestOpsEncodeArchitecturalQualifications) {
+  auto& vcpu = dom_->vcpu();
+  const auto io = make_io(vcpu, 0x3F8, true, 4);
+  const auto qual = hv::IoQual::decode(io.qualification);
+  EXPECT_EQ(qual.port, 0x3F8);
+  EXPECT_TRUE(qual.in);
+  EXPECT_EQ(qual.size, 4);
+  EXPECT_FALSE(qual.string);
+
+  const auto cr = make_cr_write(vcpu, 4, 0x20, vcpu::Gpr::kRbx);
+  const auto cq = hv::CrAccessQual::decode(cr.qualification);
+  EXPECT_EQ(cq.cr, 4);
+  EXPECT_EQ(cq.access_type, hv::CrAccessQual::kMovToCr);
+  EXPECT_EQ(cq.gpr, vcpu::Gpr::kRbx);
+  EXPECT_EQ(vcpu.regs.read(vcpu::Gpr::kRbx), 0x20u);
+}
+
+}  // namespace
+}  // namespace iris::guest

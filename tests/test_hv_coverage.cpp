@@ -1,0 +1,163 @@
+// Unit tests for the coverage instrumentation (the gcov substitute) and
+// the failure manager.
+#include <gtest/gtest.h>
+
+#include "hv/coverage.h"
+#include "hv/failure.h"
+
+namespace iris::hv {
+namespace {
+
+TEST(CoverageMap, PerExitUniqueBlocks) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 5);
+  cov.hit(Component::kVmx, 1, 5);  // repeated hit counts once
+  cov.hit(Component::kVmx, 2, 3);
+  const auto exit_cov = cov.end_exit();
+  EXPECT_EQ(exit_cov.blocks.size(), 2u);
+  EXPECT_EQ(exit_cov.loc, 8u);
+}
+
+TEST(CoverageMap, IrisHitsAreFiltered) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 5);
+  cov.hit(Component::kIris, 1, 10);
+  const auto filtered = cov.end_exit(/*filter_iris=*/true);
+  EXPECT_EQ(filtered.blocks.size(), 1u);
+  EXPECT_EQ(filtered.loc, 5u);
+
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 5);
+  cov.hit(Component::kIris, 1, 10);
+  const auto raw = cov.end_exit(/*filter_iris=*/false);
+  EXPECT_EQ(raw.blocks.size(), 2u);
+}
+
+TEST(CoverageMap, SameIdDifferentComponentDistinct) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 7, 2);
+  cov.hit(Component::kEmulate, 7, 4);
+  EXPECT_EQ(cov.end_exit().blocks.size(), 2u);
+}
+
+TEST(CoverageMap, LocWeightFixedAtFirstHit) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kIrq, 1, 6);
+  cov.end_exit();
+  cov.begin_exit();
+  cov.hit(Component::kIrq, 1, 99);  // ignored: call sites are static
+  cov.end_exit();
+  EXPECT_EQ(cov.loc_of(pack_block(Component::kIrq, 1)), 6u);
+}
+
+TEST(CoverageMap, BlocksSortedInExit) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVpt, 9, 1);
+  cov.hit(Component::kVmx, 3, 1);
+  const auto exit_cov = cov.end_exit();
+  EXPECT_TRUE(std::is_sorted(exit_cov.blocks.begin(), exit_cov.blocks.end()));
+}
+
+TEST(CoverageAccumulator, CumulativeGain) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 5);
+  cov.hit(Component::kVmx, 2, 3);
+  const auto first = cov.end_exit();
+
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 2, 3);
+  cov.hit(Component::kVmx, 3, 7);
+  const auto second = cov.end_exit();
+
+  CoverageAccumulator acc(cov);
+  EXPECT_EQ(acc.add(first), 8u);
+  EXPECT_EQ(acc.add(second), 7u);  // only block 3 is new
+  EXPECT_EQ(acc.total_loc(), 15u);
+  EXPECT_EQ(acc.unique_blocks(), 3u);
+}
+
+TEST(CoverageAccumulator, LocNotIn) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 5);
+  cov.hit(Component::kVmx, 2, 3);
+  const auto a_cov = cov.end_exit();
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 5);
+  const auto b_cov = cov.end_exit();
+
+  CoverageAccumulator a(cov), b(cov);
+  a.add(a_cov);
+  b.add(b_cov);
+  EXPECT_EQ(a.loc_not_in(b), 3u);
+  EXPECT_EQ(b.loc_not_in(a), 0u);
+}
+
+TEST(ExitCoverage, LocInComponent) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVlapic, 1, 4);
+  cov.hit(Component::kIrq, 1, 2);
+  const auto exit_cov = cov.end_exit();
+  EXPECT_EQ(exit_cov.loc_in(cov, Component::kVlapic), 4u);
+  EXPECT_EQ(exit_cov.loc_in(cov, Component::kIrq), 2u);
+  EXPECT_EQ(exit_cov.loc_in(cov, Component::kEmulate), 0u);
+}
+
+TEST(Component, NamesMatchXenSources) {
+  EXPECT_EQ(to_string(Component::kVmx), "vmx.c");
+  EXPECT_EQ(to_string(Component::kEmulate), "emulate.c");
+  EXPECT_EQ(to_string(Component::kVlapic), "vlapic.c");
+  EXPECT_EQ(to_string(Component::kIrq), "irq.c");
+  EXPECT_EQ(to_string(Component::kVpt), "vpt.c");
+  EXPECT_EQ(to_string(Component::kIntr), "intr.c");
+}
+
+TEST(FailureManager, VmCrashKillsOnlyTheDomain) {
+  RingLog log;
+  FailureManager failures(log);
+  failures.vm_crash(3, 100, "triple fault");
+  EXPECT_TRUE(failures.domain_is_dead(3));
+  EXPECT_FALSE(failures.domain_is_dead(2));
+  EXPECT_FALSE(failures.host_is_down());
+  EXPECT_TRUE(log.contains("domain_crash"));
+}
+
+TEST(FailureManager, HypervisorCrashTakesHostDown) {
+  RingLog log;
+  FailureManager failures(log);
+  failures.hypervisor_crash(200, "unexpected VM exit reason 70");
+  EXPECT_TRUE(failures.host_is_down());
+  EXPECT_TRUE(log.contains("FATAL TRAP", LogLevel::kPanic));
+}
+
+TEST(FailureManager, EventsAccumulateInOrder) {
+  RingLog log;
+  FailureManager failures(log);
+  failures.vm_crash(1, 10, "a");
+  failures.hypervisor_hang(20, "b");
+  ASSERT_EQ(failures.events().size(), 2u);
+  EXPECT_EQ(failures.events()[0].kind, FailureKind::kVmCrash);
+  EXPECT_EQ(failures.events()[1].kind, FailureKind::kHypervisorHang);
+  EXPECT_EQ(failures.first_event()->reason, "a");
+}
+
+TEST(FailureManager, ResetRevivesEverything) {
+  RingLog log;
+  FailureManager failures(log);
+  failures.vm_crash(1, 10, "x");
+  failures.hypervisor_crash(20, "y");
+  failures.reset();
+  EXPECT_FALSE(failures.host_is_down());
+  EXPECT_FALSE(failures.domain_is_dead(1));
+  EXPECT_TRUE(failures.events().empty());
+}
+
+}  // namespace
+}  // namespace iris::hv

@@ -1,0 +1,375 @@
+// Tests for the per-reason exit handlers, driven through the full
+// process_exit pipeline with guest-op recipes.
+#include <gtest/gtest.h>
+
+#include "guest/guest_ops.h"
+#include "hv/hypervisor.h"
+#include "vcpu/vmcs_sync.h"
+#include "vtx/entry_checks.h"
+
+namespace iris::hv {
+namespace {
+
+using guest::make_apic_access;
+using guest::make_cpuid;
+using guest::make_cr_read;
+using guest::make_cr_write;
+using guest::make_ept_touch;
+using guest::make_exception;
+using guest::make_hlt;
+using guest::make_io;
+using guest::make_msr_read;
+using guest::make_msr_write;
+using guest::make_rdtsc;
+using guest::make_string_io;
+using guest::make_vmcall;
+using vcpu::Gpr;
+using vtx::ExitReason;
+using vtx::VmcsField;
+
+class HandlerTest : public ::testing::Test {
+ protected:
+  HandlerTest() : hv_(/*noise_seed=*/1, /*async_noise_prob=*/0.0) {
+    dom_ = &hv_.create_domain(DomainRole::kTest);
+    EXPECT_TRUE(hv_.launch(*dom_));
+    vcpu_ = &dom_->vcpu();
+  }
+
+  HandleOutcome run(const PendingExit& exit) {
+    return hv_.process_exit(*dom_, *vcpu_, exit);
+  }
+
+  Hypervisor hv_;
+  Domain* dom_ = nullptr;
+  HvVcpu* vcpu_ = nullptr;
+};
+
+TEST_F(HandlerTest, CpuidVendorLeaf) {
+  const auto outcome = run(make_cpuid(*vcpu_, 0));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRbx), 0x756E6547u);  // "Genu"
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRcx), 0x6C65746Eu);  // "ntel"
+}
+
+TEST_F(HandlerTest, CpuidFeatureLeafSetsHypervisorBit) {
+  const auto outcome = run(make_cpuid(*vcpu_, 1));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_TRUE(vcpu_->regs.read(Gpr::kRcx) & (1ULL << 31));
+}
+
+TEST_F(HandlerTest, CpuidXenLeaf) {
+  run(make_cpuid(*vcpu_, 0x40000001));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax), (4ULL << 16) | 16);  // Xen 4.16
+}
+
+TEST_F(HandlerTest, CpuidCacheSubleavesDiffer) {
+  run(make_cpuid(*vcpu_, 4, 0));
+  const auto sub0 = vcpu_->regs.read(Gpr::kRax);
+  run(make_cpuid(*vcpu_, 4, 2));
+  const auto sub2 = vcpu_->regs.read(Gpr::kRax);
+  EXPECT_NE(sub0, sub2);
+}
+
+TEST_F(HandlerTest, RipAdvancesPastInstruction) {
+  vcpu_->regs.rip = 0x1000;
+  run(make_cpuid(*vcpu_, 0));
+  EXPECT_EQ(vcpu_->regs.rip, 0x1002u);  // CPUID is 2 bytes
+}
+
+TEST_F(HandlerTest, RdtscComposesEdxEax) {
+  hv_.clock().advance(0x1'2345'6789ULL);
+  vcpu_->vmcs.hw_write(VmcsField::kTscOffset, 0);
+  run(make_rdtsc(*vcpu_));
+  const auto lo = vcpu_->regs.read(Gpr::kRax);
+  const auto hi = vcpu_->regs.read(Gpr::kRdx);
+  EXPECT_LE(lo, 0xFFFFFFFFu);
+  EXPECT_GT((hi << 32) | lo, 0x1'2345'6789ULL);  // clock advanced further
+}
+
+TEST_F(HandlerTest, RdtscHonorsTscOffset) {
+  vcpu_->vmcs.hw_write(VmcsField::kTscOffset, 1ULL << 40);
+  run(make_rdtsc(*vcpu_));
+  EXPECT_GE(vcpu_->regs.read(Gpr::kRdx), (1ULL << 40) >> 32);
+}
+
+TEST_F(HandlerTest, MsrWriteToTscFoldsIntoOffset) {
+  run(make_msr_write(*vcpu_, vcpu::kMsrIa32Tsc, 0x100000));
+  EXPECT_NE(vcpu_->vmcs.hw_read(VmcsField::kTscOffset), 0u);
+}
+
+TEST_F(HandlerTest, EferWritePersistsToVmcs) {
+  run(make_msr_write(*vcpu_, vcpu::kMsrIa32Efer, 0x100));  // LME
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestIa32Efer), 0x100u);
+}
+
+TEST_F(HandlerTest, EferReservedBitInjectsGp) {
+  const auto outcome = run(make_msr_write(*vcpu_, vcpu::kMsrIa32Efer, 1ULL << 20));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestIa32Efer), 0u);  // rejected
+}
+
+TEST_F(HandlerTest, UnknownMsrReadInjectsGp) {
+  // Interrupts enabled so the injected event passes entry checks.
+  vcpu_->regs.rflags |= vtx::kRflagsIf;
+  const auto outcome = run(make_msr_read(*vcpu_, 0xDEAD));
+  EXPECT_TRUE(outcome.entered);
+}
+
+TEST_F(HandlerTest, UnknownMsrWriteIsIgnored) {
+  const auto outcome = run(make_msr_write(*vcpu_, 0xDEAD, 1));
+  EXPECT_TRUE(outcome.entered);  // Xen drops it silently
+  EXPECT_TRUE(hv_.log().contains("ignoring WRMSR"));
+}
+
+TEST_F(HandlerTest, SysenterMsrsLandInVmcs) {
+  run(make_msr_write(*vcpu_, vcpu::kMsrIa32SysenterEip, 0xAAA));
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestSysenterEip), 0xAAAu);
+  run(make_msr_read(*vcpu_, vcpu::kMsrIa32SysenterEip));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax), 0xAAAu);
+}
+
+TEST_F(HandlerTest, IoInReadsDeviceAndMergesBySize) {
+  vcpu_->regs.write(Gpr::kRax, 0xFFFFFFFF'FFFFFF00ULL);
+  run(make_io(*vcpu_, mem::kPortKbdStatus, true, 1));
+  // 1-byte IN merges into the low byte only.
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax) & 0xFF, 0x1Cu);
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax) >> 8, 0xFFFFFFFF'FFFFFFULL);
+}
+
+TEST_F(HandlerTest, IoFourByteInZeroExtends) {
+  vcpu_->regs.write(Gpr::kRax, ~0ULL);
+  run(make_io(*vcpu_, mem::kPortPciConfigAddr, true, 4));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax) >> 32, 0u);
+}
+
+TEST_F(HandlerTest, CmosIndexDataDialog) {
+  run(make_io(*vcpu_, mem::kPortCmosIndex, false, 1, 0x0D));  // status D
+  run(make_io(*vcpu_, mem::kPortCmosData, true, 1));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax) & 0xFF, 0x80u);  // battery good
+}
+
+TEST_F(HandlerTest, StringIoCopiesGuestMemory) {
+  const char msg[] = "hello";
+  hv_.copy_to_guest(*dom_, 0x8000,
+                    std::span(reinterpret_cast<const std::uint8_t*>(msg), 5));
+  const auto outcome = run(make_string_io(*vcpu_, mem::kPortSerialCom1, false,
+                                          0x8000, 5));
+  ASSERT_TRUE(outcome.entered);
+  // The emulator path was taken (emulate.c blocks present).
+  EXPECT_GT(outcome.coverage.loc_in(hv_.coverage(), Component::kEmulate), 0u);
+}
+
+TEST_F(HandlerTest, HltWithoutPendingInterruptBlocks) {
+  vcpu_->regs.rflags |= vtx::kRflagsIf;
+  const auto outcome = run(make_hlt(*vcpu_));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestActivityState), vtx::kActivityHlt);
+}
+
+TEST_F(HandlerTest, HltWakesOnPendingInterrupt) {
+  vcpu_->regs.rflags |= vtx::kRflagsIf;
+  dom_->irq().assert_vector(0x30, hv_.coverage());
+  const auto outcome = run(make_hlt(*vcpu_));
+  ASSERT_TRUE(outcome.entered);
+  // The interrupt assist injected and the vCPU is active again.
+  EXPECT_TRUE(outcome.injected_vector.has_value());
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestActivityState),
+            vtx::kActivityActive);
+}
+
+TEST_F(HandlerTest, CrWriteUpdatesShadowAndRealCr0) {
+  const std::uint64_t value = vtx::kCr0Pe | vtx::kCr0Ne | vtx::kCr0Et;
+  const auto outcome = run(make_cr_write(*vcpu_, 0, value));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kCr0ReadShadow), value);
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestCr0) & vtx::kCr0Pe, vtx::kCr0Pe);
+  EXPECT_EQ(vcpu_->mode_cache, vcpu::CpuMode::kMode2);
+}
+
+TEST_F(HandlerTest, CrReadComposesShadowAndReal) {
+  // Host owns PE via the guest/host mask; shadow says PE=0, real has PE=1.
+  vcpu_->vmcs.hw_write(VmcsField::kCr0GuestHostMask, vtx::kCr0Pe);
+  vcpu_->vmcs.hw_write(VmcsField::kCr0ReadShadow, 0);
+  vcpu_->vmcs.hw_write(VmcsField::kGuestCr0, vtx::kCr0Pe | vtx::kCr0Ne | vtx::kCr0Et);
+  run(make_cr_read(*vcpu_, 0, Gpr::kRbx));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRbx) & vtx::kCr0Pe, 0u);  // shadow wins
+  EXPECT_NE(vcpu_->regs.read(Gpr::kRbx) & vtx::kCr0Ne, 0u);  // real shows through
+}
+
+TEST_F(HandlerTest, Cr3WriteAndRead) {
+  run(make_cr_write(*vcpu_, 3, 0x123000));
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestCr3), 0x123000u);
+  run(make_cr_read(*vcpu_, 3, Gpr::kRsi));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRsi), 0x123000u);
+}
+
+TEST_F(HandlerTest, Cr8MapsToTpr) {
+  run(make_cr_write(*vcpu_, 8, 0x9));
+  EXPECT_EQ(vcpu_->lapic.tpr(), 0x90);
+  run(make_cr_read(*vcpu_, 8, Gpr::kRdi));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRdi), 0x9u);
+}
+
+TEST_F(HandlerTest, InvalidGprIndexInQualificationPanics) {
+  // Register index 15 in a CR-access qualification is decodable (the
+  // field is 4 bits) but maps past the 15-entry saved-GPR block: Xen's
+  // decode_gpr BUG()s. Regression test for an out-of-bounds write our
+  // own fuzzer found in the model.
+  const std::uint64_t qual =
+      (15ULL << 8) | (hv::CrAccessQual::kMovFromCr << 4) | 0;  // mov rX, cr0
+  const auto outcome = run({ExitReason::kCrAccess, qual, 3, 0, 0});
+  EXPECT_EQ(outcome.failure, FailureKind::kHypervisorCrash);
+  EXPECT_TRUE(hv_.log().contains("decode_gpr"));
+}
+
+TEST_F(HandlerTest, InvalidGprIndexInDrQualificationPanics) {
+  const std::uint64_t qual = (15ULL << 8) | (1ULL << 4) | 7;  // mov rX, dr7
+  const auto outcome = run({ExitReason::kDrAccess, qual, 3, 0, 0});
+  EXPECT_EQ(outcome.failure, FailureKind::kHypervisorCrash);
+}
+
+TEST_F(HandlerTest, InvalidCrNumberPanicsHypervisor) {
+  // A CR number >8 can only come from a corrupted qualification — the
+  // dispatcher BUG()s, exactly what fuzzed seeds trigger.
+  hv::CrAccessQual qual;
+  qual.cr = 6;
+  qual.access_type = hv::CrAccessQual::kMovToCr;
+  const PendingExit exit{ExitReason::kCrAccess, qual.encode(), 3, 0, 0};
+  const auto outcome = run(exit);
+  EXPECT_EQ(outcome.failure, FailureKind::kHypervisorCrash);
+  EXPECT_TRUE(hv_.failures().host_is_down());
+}
+
+TEST_F(HandlerTest, ProtectedModeSwitchTakesGdtValidationPath) {
+  guest::install_flat_gdt(hv_, *dom_, *vcpu_, 0x1000);
+  vcpu::save_guest_state(vcpu_->regs, vcpu_->vmcs);  // refresh GDTR in VMCS
+  const auto outcome =
+      run(make_cr_write(*vcpu_, 0, vtx::kCr0Pe | vtx::kCr0Ne | vtx::kCr0Et));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_GT(outcome.coverage.loc_in(hv_.coverage(), Component::kEmulate), 0u);
+}
+
+TEST_F(HandlerTest, EptViolationPopulatesOnDemand) {
+  const std::uint64_t gpa = 0x03000000;
+  ASSERT_EQ(dom_->ept().translate(gpa, mem::EptAccess::kRead).status,
+            mem::EptWalkStatus::kViolation);
+  const auto outcome = run(make_ept_touch(*vcpu_, gpa, false));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_EQ(dom_->ept().translate(gpa, mem::EptAccess::kRead).status,
+            mem::EptWalkStatus::kOk);
+}
+
+TEST_F(HandlerTest, EptViolationBeyondRamCrashesGuest) {
+  const auto outcome = run(make_ept_touch(*vcpu_, 1ULL << 40, false));
+  EXPECT_EQ(outcome.failure, FailureKind::kVmCrash);
+}
+
+TEST_F(HandlerTest, EptViolationOnApicWindowEmulates) {
+  const auto outcome =
+      run(make_ept_touch(*vcpu_, mem::kApicMmioBase + kApicRegTpr, false));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_GT(outcome.coverage.loc_in(hv_.coverage(), Component::kEmulate), 0u);
+}
+
+TEST_F(HandlerTest, ApicAccessReadAndWrite) {
+  run(make_apic_access(*vcpu_, kApicRegTpr, true, 0x30));
+  EXPECT_EQ(vcpu_->lapic.tpr(), 0x30);
+  run(make_apic_access(*vcpu_, kApicRegTpr, false));
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax), 0x30u);
+}
+
+TEST_F(HandlerTest, VmcallDispatchesHypercall) {
+  bool called = false;
+  hv_.register_hypercall(0x42, [&called](Domain&, HvVcpu&,
+                                         std::span<const std::uint64_t> args) {
+    called = true;
+    return args[0] + 1;
+  });
+  run(make_vmcall(*vcpu_, 0x42, 7));
+  EXPECT_TRUE(called);
+  EXPECT_EQ(vcpu_->regs.read(Gpr::kRax), 8u);
+}
+
+TEST_F(HandlerTest, UnknownHypercallReturnsEnosys) {
+  run(make_vmcall(*vcpu_, 0x999));
+  EXPECT_EQ(static_cast<std::int64_t>(vcpu_->regs.read(Gpr::kRax)), -38);
+}
+
+TEST_F(HandlerTest, TripleFaultCrashesGuest) {
+  const PendingExit exit{ExitReason::kTripleFault, 0, 0, 0, 0};
+  const auto outcome = run(exit);
+  EXPECT_EQ(outcome.failure, FailureKind::kVmCrash);
+  EXPECT_TRUE(hv_.log().contains("triple fault"));
+}
+
+TEST_F(HandlerTest, PageFaultReinjectedWithCr2) {
+  vcpu_->regs.rflags |= vtx::kRflagsIf;
+  const auto outcome = run(make_exception(*vcpu_, 14, 0xDEADBEEF));
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_EQ(vcpu_->regs.cr2, 0xDEADBEEFu);
+}
+
+TEST_F(HandlerTest, DoubleFaultCrashesGuest) {
+  const auto outcome = run(make_exception(*vcpu_, 8));
+  EXPECT_EQ(outcome.failure, FailureKind::kVmCrash);
+}
+
+TEST_F(HandlerTest, NestedVmxInstructionInjectsUd) {
+  vcpu_->regs.rflags |= vtx::kRflagsIf;
+  const PendingExit exit{ExitReason::kVmxon, 0, 3, 0, 0};
+  const auto outcome = run(exit);
+  EXPECT_TRUE(outcome.entered);  // guest survives with a #UD
+}
+
+TEST_F(HandlerTest, UndefinedExitReasonPanics) {
+  PendingExit exit;
+  exit.reason = static_cast<ExitReason>(35);  // SDM hole
+  const auto outcome = run(exit);
+  EXPECT_EQ(outcome.failure, FailureKind::kHypervisorCrash);
+  EXPECT_TRUE(hv_.log().contains("unexpected VM exit reason"));
+}
+
+TEST_F(HandlerTest, UnhandledDefinedReasonPanics) {
+  const PendingExit exit{ExitReason::kGetsec, 0, 0, 0, 0};
+  const auto outcome = run(exit);
+  EXPECT_EQ(outcome.failure, FailureKind::kHypervisorCrash);
+  EXPECT_TRUE(hv_.log().contains("unhandled VM exit reason"));
+}
+
+TEST_F(HandlerTest, BadRipForModeZero) {
+  // A 64-bit RIP while the cached mode is still real mode: the paper's
+  // §VI-B crash signature.
+  vcpu_->regs.rip = 0xFFFFFFFF81000000ULL;
+  const auto outcome = run(make_rdtsc(*vcpu_));
+  EXPECT_EQ(outcome.failure, FailureKind::kVmCrash);
+  EXPECT_TRUE(hv_.log().contains("bad RIP for mode 0"));
+}
+
+TEST_F(HandlerTest, DrAccessReadsAndWritesDr7) {
+  // MOV to DR7 from RBX (qual: dr=7, write, reg=3).
+  vcpu_->regs.write(Gpr::kRbx, 0x455);
+  const std::uint64_t qual = 7 | (3ULL << 8);
+  run({ExitReason::kDrAccess, qual, 3, 0, 0});
+  EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestDr7), 0x455u);
+}
+
+TEST_F(HandlerTest, XsetbvWithoutX87BitInjectsGp) {
+  vcpu_->regs.rflags |= vtx::kRflagsIf;
+  vcpu_->regs.write(Gpr::kRcx, 0);
+  vcpu_->regs.write(Gpr::kRax, 0x6);  // bit 0 clear
+  vcpu_->regs.write(Gpr::kRdx, 0);
+  const auto outcome = run({ExitReason::kXsetbv, 0, 3, 0, 0});
+  EXPECT_TRUE(outcome.entered);
+}
+
+TEST_F(HandlerTest, PreemptionTimerReloadKeepsLoopArmed) {
+  vcpu_->vmcs.hw_write(VmcsField::kPinBasedVmExecControl,
+                       vtx::kPinActivatePreemptionTimer);
+  vcpu_->vmcs.hw_write(VmcsField::kPreemptionTimerValue, 0);
+  const auto outcome = run({ExitReason::kPreemptionTimer, 0, 0, 0, 0});
+  ASSERT_TRUE(outcome.entered);
+  EXPECT_TRUE(outcome.preemption_timer_fired);  // the replay loop persists
+}
+
+}  // namespace
+}  // namespace iris::hv

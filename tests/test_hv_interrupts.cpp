@@ -1,0 +1,175 @@
+// Unit tests for the interrupt substrate: vLAPIC, virtual platform
+// timer, and the IRQ chip's exit-path assist.
+#include <gtest/gtest.h>
+
+#include "hv/irq.h"
+#include "hv/vlapic.h"
+#include "hv/vpt.h"
+
+namespace iris::hv {
+namespace {
+
+class VlapicTest : public ::testing::Test {
+ protected:
+  CoverageMap cov_;
+  Vlapic lapic_{0};
+};
+
+TEST_F(VlapicTest, IdAndVersionRegisters) {
+  Vlapic lapic(3);
+  EXPECT_EQ(lapic.read(kApicRegId, cov_) >> 24, 3u);
+  EXPECT_EQ(lapic.read(kApicRegVersion, cov_) & 0xFF, 0x14u);
+}
+
+TEST_F(VlapicTest, TprReadWrite) {
+  lapic_.write(kApicRegTpr, 0x20, cov_);
+  EXPECT_EQ(lapic_.tpr(), 0x20);
+  EXPECT_EQ(lapic_.read(kApicRegTpr, cov_), 0x20u);
+}
+
+TEST_F(VlapicTest, InjectSetsIrr) {
+  lapic_.inject(0x30, cov_);
+  EXPECT_TRUE(lapic_.has_pending());
+  EXPECT_EQ(lapic_.highest_pending().value_or(0), 0x30);
+  // The IRR window registers reflect the bit.
+  EXPECT_NE(lapic_.read(kApicRegIrrBase + (0x30 / 32) * 0x10, cov_), 0u);
+}
+
+TEST_F(VlapicTest, IllegalVectorSetsEsr) {
+  lapic_.inject(5, cov_);
+  EXPECT_FALSE(lapic_.has_pending());
+  EXPECT_NE(lapic_.read(kApicRegEsr, cov_), 0u);
+}
+
+TEST_F(VlapicTest, HighestPendingPriorityOrder) {
+  lapic_.inject(0x31, cov_);
+  lapic_.inject(0x80, cov_);
+  lapic_.inject(0x42, cov_);
+  EXPECT_EQ(lapic_.highest_pending().value_or(0), 0x80);
+}
+
+TEST_F(VlapicTest, TprGatesDelivery) {
+  lapic_.inject(0x35, cov_);
+  lapic_.write(kApicRegTpr, 0x40, cov_);  // priority class 4 > vector class 3
+  EXPECT_FALSE(lapic_.highest_pending().has_value());
+  lapic_.write(kApicRegTpr, 0x20, cov_);
+  EXPECT_EQ(lapic_.highest_pending().value_or(0), 0x35);
+}
+
+TEST_F(VlapicTest, AcceptMovesIrrToIsrAndEoiClears) {
+  lapic_.inject(0x50, cov_);
+  lapic_.accept(0x50, cov_);
+  EXPECT_FALSE(lapic_.has_pending());
+  EXPECT_NE(lapic_.read(kApicRegIsrBase + (0x50 / 32) * 0x10, cov_), 0u);
+  lapic_.write(kApicRegEoi, 0, cov_);
+  EXPECT_EQ(lapic_.read(kApicRegIsrBase + (0x50 / 32) * 0x10, cov_), 0u);
+}
+
+TEST_F(VlapicTest, SelfIpiQueuesVector) {
+  // ICR with fixed delivery, self shorthand.
+  lapic_.write(kApicRegIcrLow, (1u << 18) | 0x66, cov_);
+  EXPECT_EQ(lapic_.highest_pending().value_or(0), 0x66);
+}
+
+TEST_F(VlapicTest, ReservedWriteSetsEsr) {
+  lapic_.write(0x40, 1, cov_);  // reserved offset
+  EXPECT_NE(lapic_.read(kApicRegEsr, cov_), 0u);
+}
+
+TEST_F(VlapicTest, ResetClearsState) {
+  lapic_.inject(0x70, cov_);
+  lapic_.write(kApicRegTpr, 0x10, cov_);
+  lapic_.reset();
+  EXPECT_FALSE(lapic_.has_pending());
+  EXPECT_EQ(lapic_.tpr(), 0);
+}
+
+TEST(Vpt, TicksAccrueWithTime) {
+  CoverageMap cov;
+  Vpt vpt(1000, 0xF0);
+  EXPECT_FALSE(vpt.pending());
+  vpt.tick_to(999, cov);
+  EXPECT_FALSE(vpt.pending());
+  vpt.tick_to(1000, cov);
+  EXPECT_TRUE(vpt.pending());
+  EXPECT_EQ(vpt.consume(cov), 0xF0);
+  EXPECT_FALSE(vpt.pending());
+}
+
+TEST(Vpt, BurstCollapsesToOnePendingTick) {
+  CoverageMap cov;
+  Vpt vpt(1000);
+  vpt.tick_to(5500, cov);  // 5 periods elapsed
+  EXPECT_TRUE(vpt.pending());
+  vpt.consume(cov);
+  EXPECT_FALSE(vpt.pending());          // collapsed
+  EXPECT_EQ(vpt.missed_ticks(), 4u);    // the other 4 accounted as missed
+}
+
+TEST(Vpt, TimeNeverGoesBackward) {
+  CoverageMap cov;
+  Vpt vpt(1000);
+  vpt.tick_to(2000, cov);
+  vpt.consume(cov);
+  vpt.tick_to(1500, cov);  // stale timestamp: ignored
+  EXPECT_FALSE(vpt.pending());
+}
+
+TEST(IrqChip, AssistDeliversWhenInterruptible) {
+  CoverageMap cov;
+  Vlapic lapic;
+  IrqChip irq;
+  irq.assert_vector(0x30, cov);
+  const auto vector = irq.intr_assist(lapic, /*guest_interruptible=*/true, cov);
+  ASSERT_TRUE(vector.has_value());
+  EXPECT_EQ(*vector, 0x30);
+  EXPECT_FALSE(irq.want_window());
+  EXPECT_FALSE(lapic.has_pending());  // moved to in-service
+}
+
+TEST(IrqChip, AssistArmsWindowWhenBlocked) {
+  CoverageMap cov;
+  Vlapic lapic;
+  IrqChip irq;
+  irq.assert_vector(0x30, cov);
+  const auto vector = irq.intr_assist(lapic, /*guest_interruptible=*/false, cov);
+  EXPECT_FALSE(vector.has_value());
+  EXPECT_TRUE(irq.want_window());
+  // The vector stays pending in the vLAPIC for the window exit.
+  EXPECT_TRUE(lapic.has_pending());
+}
+
+TEST(IrqChip, NothingPendingNoWindow) {
+  CoverageMap cov;
+  Vlapic lapic;
+  IrqChip irq;
+  EXPECT_FALSE(irq.intr_assist(lapic, true, cov).has_value());
+  EXPECT_FALSE(irq.want_window());
+}
+
+TEST(IrqChip, QueueDrainsInOrderByPriority) {
+  CoverageMap cov;
+  Vlapic lapic;
+  IrqChip irq;
+  irq.assert_vector(0x31, cov);
+  irq.assert_vector(0x90, cov);
+  const auto first = irq.intr_assist(lapic, true, cov);
+  EXPECT_EQ(first.value_or(0), 0x90);  // highest priority first
+  const auto second = irq.intr_assist(lapic, true, cov);
+  EXPECT_EQ(second.value_or(0), 0x31);
+}
+
+TEST(IrqChip, ResetClearsQueueAndWindow) {
+  CoverageMap cov;
+  Vlapic lapic;
+  IrqChip irq;
+  irq.assert_vector(0x40, cov);
+  irq.intr_assist(lapic, false, cov);
+  EXPECT_TRUE(irq.want_window());
+  irq.reset();
+  EXPECT_FALSE(irq.want_window());
+  EXPECT_FALSE(irq.has_queued());
+}
+
+}  // namespace
+}  // namespace iris::hv

@@ -1,0 +1,190 @@
+// Unit tests for the memory substrate: guest-physical address space,
+// EPT walks, and the PIO/MMIO registries.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "mem/address_space.h"
+#include "mem/ept.h"
+#include "mem/io_space.h"
+
+namespace iris::mem {
+namespace {
+
+TEST(AddressSpace, ReadUnmaterializedIsZero) {
+  AddressSpace as(1 << 20);
+  std::array<std::uint8_t, 8> buf = {0xFF};
+  EXPECT_TRUE(as.read(0x1000, buf));
+  for (const auto b : buf) EXPECT_EQ(b, 0);
+  EXPECT_EQ(as.resident_pages(), 0u);
+}
+
+TEST(AddressSpace, WriteReadRoundTrip) {
+  AddressSpace as(1 << 20);
+  const std::array<std::uint8_t, 4> data = {1, 2, 3, 4};
+  EXPECT_TRUE(as.write(0x2000, data));
+  std::array<std::uint8_t, 4> back{};
+  EXPECT_TRUE(as.read(0x2000, back));
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(as.resident_pages(), 1u);
+}
+
+TEST(AddressSpace, CrossPageAccess) {
+  AddressSpace as(1 << 20);
+  std::array<std::uint8_t, 16> data{};
+  for (std::size_t i = 0; i < data.size(); ++i) data[i] = static_cast<std::uint8_t>(i);
+  const std::uint64_t gpa = kPageSize - 8;  // straddles two pages
+  EXPECT_TRUE(as.write(gpa, data));
+  std::array<std::uint8_t, 16> back{};
+  EXPECT_TRUE(as.read(gpa, back));
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(as.resident_pages(), 2u);
+}
+
+TEST(AddressSpace, OutOfRangeRejected) {
+  AddressSpace as(0x1000);
+  const std::array<std::uint8_t, 4> data = {1};
+  EXPECT_FALSE(as.write(0x2000, data));
+  EXPECT_FALSE(as.write(0xFFE, data));  // crosses the end
+  std::array<std::uint8_t, 4> buf = {9, 9, 9, 9};
+  EXPECT_FALSE(as.read(0x2000, buf));
+  for (const auto b : buf) EXPECT_EQ(b, 0);  // zero-filled on failure
+}
+
+TEST(AddressSpace, U64Helpers) {
+  AddressSpace as(1 << 20);
+  EXPECT_TRUE(as.write_u64(0x3000, 0x1122334455667788ULL));
+  EXPECT_EQ(as.read_u64(0x3000), 0x1122334455667788ULL);
+}
+
+TEST(AddressSpace, SnapshotRestore) {
+  AddressSpace as(1 << 20);
+  as.write_u64(0x1000, 42);
+  const auto snap = as.snapshot_pages();
+  as.write_u64(0x1000, 99);
+  as.restore_pages(snap);
+  EXPECT_EQ(as.read_u64(0x1000), 42u);
+}
+
+TEST(Ept, UnmappedAccessViolates) {
+  Ept ept;
+  const auto result = ept.translate(0x5000, EptAccess::kRead);
+  EXPECT_EQ(result.status, EptWalkStatus::kViolation);
+  EXPECT_EQ(result.qualification & 0x7, 1u);  // read access bit
+}
+
+TEST(Ept, MappedTranslation) {
+  Ept ept;
+  ept.map(5, 17, EptPerms{});
+  const auto result = ept.translate(5 * 0x1000 + 0x123, EptAccess::kWrite);
+  ASSERT_EQ(result.status, EptWalkStatus::kOk);
+  EXPECT_EQ(result.host_frame, 17u);
+  EXPECT_EQ(result.levels_walked, 4);
+}
+
+TEST(Ept, PermissionViolationCarriesEntryPerms) {
+  Ept ept;
+  ept.map(5, 5, EptPerms{.read = true, .write = false, .exec = false});
+  const auto result = ept.translate(5 * 0x1000, EptAccess::kWrite);
+  ASSERT_EQ(result.status, EptWalkStatus::kViolation);
+  EXPECT_EQ(result.qualification & 0x7, 2u);          // write access
+  EXPECT_EQ((result.qualification >> 3) & 0x7, 1u);   // entry allows R only
+}
+
+TEST(Ept, FetchPermission) {
+  Ept ept;
+  ept.map(1, 1, EptPerms{.read = true, .write = true, .exec = false});
+  EXPECT_EQ(ept.translate(0x1000, EptAccess::kFetch).status,
+            EptWalkStatus::kViolation);
+  ept.protect(1, EptPerms{});
+  EXPECT_EQ(ept.translate(0x1000, EptAccess::kFetch).status, EptWalkStatus::kOk);
+}
+
+TEST(Ept, UnmapRestoresViolation) {
+  Ept ept;
+  ept.map(7, 7, EptPerms{});
+  EXPECT_EQ(ept.mapped_frames(), 1u);
+  ept.unmap(7);
+  EXPECT_EQ(ept.mapped_frames(), 0u);
+  EXPECT_EQ(ept.translate(7 * 0x1000, EptAccess::kRead).status,
+            EptWalkStatus::kViolation);
+}
+
+TEST(Ept, MisconfigDetection) {
+  Ept ept;
+  ept.poison_misconfig(9);
+  EXPECT_EQ(ept.translate(9 * 0x1000, EptAccess::kRead).status,
+            EptWalkStatus::kMisconfig);
+}
+
+TEST(Ept, IdentityMapRange) {
+  Ept ept;
+  ept.identity_map(64);
+  EXPECT_EQ(ept.mapped_frames(), 64u);
+  for (std::uint64_t gfn : {0ULL, 31ULL, 63ULL}) {
+    const auto r = ept.translate(gfn << 12, EptAccess::kRead);
+    ASSERT_EQ(r.status, EptWalkStatus::kOk);
+    EXPECT_EQ(r.host_frame, gfn);
+  }
+  EXPECT_EQ(ept.translate(64ULL << 12, EptAccess::kRead).status,
+            EptWalkStatus::kViolation);
+}
+
+TEST(Ept, SparseHighAddresses) {
+  Ept ept;
+  const std::uint64_t gfn = (1ULL << 35) - 1;  // top of the 36-bit space
+  ept.map(gfn, 123, EptPerms{});
+  const auto r = ept.translate(gfn << 12, EptAccess::kRead);
+  ASSERT_EQ(r.status, EptWalkStatus::kOk);
+  EXPECT_EQ(r.host_frame, 123u);
+}
+
+TEST(PioSpace, DispatchByPort) {
+  PioSpace pio;
+  int calls = 0;
+  pio.register_range(0x60, 5, "kbd",
+                     [&calls](std::uint16_t port, bool, std::uint8_t,
+                              std::uint64_t) -> IoResult {
+                       ++calls;
+                       return {true, port};
+                     });
+  EXPECT_TRUE(pio.access(0x60, false, 1, 0).handled);
+  EXPECT_TRUE(pio.access(0x64, false, 1, 0).handled);
+  EXPECT_FALSE(pio.access(0x65, false, 1, 0).handled);
+  EXPECT_FALSE(pio.access(0x5F, false, 1, 0).handled);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(PioSpace, UnclaimedPortsFloatHigh) {
+  PioSpace pio;
+  const auto result = pio.access(0x300, false, 1, 0);
+  EXPECT_FALSE(result.handled);
+  EXPECT_EQ(result.value, ~0ULL);
+}
+
+TEST(PioSpace, OwnerLookup) {
+  PioSpace pio;
+  pio.register_range(0x3F8, 8, "uart", [](std::uint16_t, bool, std::uint8_t,
+                                          std::uint64_t) -> IoResult {
+    return {true, 0};
+  });
+  EXPECT_EQ(pio.owner(0x3FF).value_or(""), "uart");
+  EXPECT_FALSE(pio.owner(0x400).has_value());
+}
+
+TEST(MmioSpace, RangeDispatch) {
+  MmioSpace mmio;
+  mmio.register_range(kApicMmioBase, kApicMmioSize, "vlapic",
+                      [](std::uint64_t gpa, bool, std::uint8_t,
+                         std::uint64_t) -> IoResult {
+                        return {true, gpa & 0xFFF};
+                      });
+  EXPECT_TRUE(mmio.covers(kApicMmioBase + 0x80));
+  EXPECT_FALSE(mmio.covers(kApicMmioBase + kApicMmioSize));
+  const auto r = mmio.access(kApicMmioBase + 0x80, false, 4, 0);
+  EXPECT_TRUE(r.handled);
+  EXPECT_EQ(r.value, 0x80u);
+}
+
+}  // namespace
+}  // namespace iris::mem

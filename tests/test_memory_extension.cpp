@@ -1,0 +1,212 @@
+// Tests for the §IX guest-memory-recording extension: chunks captured at
+// the copy_from_guest seam, serialized with seeds, and restored into the
+// dummy VM before replay.
+#include <gtest/gtest.h>
+
+#include "iris/analysis.h"
+#include "iris/manager.h"
+
+namespace iris {
+namespace {
+
+using guest::Workload;
+
+class MemoryExtensionTest : public ::testing::Test {
+ protected:
+  MemoryExtensionTest() : hv_(29, 0.0), manager_(hv_) {}
+
+  Recorder::Config with_memory() {
+    Recorder::Config config;
+    config.record_guest_memory = true;
+    return config;
+  }
+
+  hv::Hypervisor hv_;
+  Manager manager_;
+};
+
+TEST_F(MemoryExtensionTest, BaselineSeedsCarryNoMemory) {
+  const auto& behavior = manager_.record_workload(Workload::kCpuBound, 200, 5);
+  for (const auto& rec : behavior) {
+    EXPECT_TRUE(rec.seed.memory.empty());
+  }
+}
+
+TEST_F(MemoryExtensionTest, MemoryChunksCapturedForEmulatorExits) {
+  const auto& behavior =
+      manager_.record_workload(Workload::kCpuBound, 400, 5, with_memory());
+  std::size_t with_chunks = 0;
+  for (const auto& rec : behavior) {
+    with_chunks += rec.seed.memory.empty() ? 0 : 1;
+    // Only exits that dereferenced guest memory carry chunks.
+    if (!rec.seed.memory.empty()) {
+      const bool memory_reason =
+          rec.seed.reason == vtx::ExitReason::kLdtrTrAccess ||
+          rec.seed.reason == vtx::ExitReason::kGdtrIdtrAccess ||
+          rec.seed.reason == vtx::ExitReason::kCrAccess ||
+          rec.seed.reason == vtx::ExitReason::kIoInstruction ||
+          rec.seed.reason == vtx::ExitReason::kApicAccess ||
+          rec.seed.reason == vtx::ExitReason::kEptViolation;
+      EXPECT_TRUE(memory_reason)
+          << vtx::to_string(rec.seed.reason);
+    }
+  }
+  EXPECT_GT(with_chunks, 0u);
+}
+
+TEST_F(MemoryExtensionTest, ChunksRespectConfiguredBounds) {
+  auto config = with_memory();
+  config.max_memory_chunks = 2;
+  config.max_chunk_bytes = 4;
+  const auto& behavior = manager_.record_workload(Workload::kIoBound, 400, 5, config);
+  for (const auto& rec : behavior) {
+    EXPECT_LE(rec.seed.memory.size(), 2u);
+    for (const auto& chunk : rec.seed.memory) {
+      EXPECT_LE(chunk.bytes.size(), 4u);
+    }
+  }
+}
+
+TEST_F(MemoryExtensionTest, SerializationRoundTripsChunks) {
+  VmSeed seed;
+  seed.reason = vtx::ExitReason::kLdtrTrAccess;
+  seed.items.push_back(SeedItem{SeedItemKind::kGpr, 0, 1});
+  seed.memory.push_back(MemChunk{0x2000, {0x0F, 0x00, 0xD8}});
+  seed.memory.push_back(MemChunk{0x1008, {1, 2, 3, 4, 5, 6, 7, 8}});
+
+  ByteWriter w;
+  seed.serialize(w);
+  ByteReader r(w.data());
+  const auto back = VmSeed::deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), seed);
+  EXPECT_EQ(back.value().memory[0].gpa, 0x2000u);
+}
+
+TEST_F(MemoryExtensionTest, DeserializeRejectsOverrunningChunk) {
+  ByteWriter w;
+  w.u16(16);  // RDTSC
+  w.u16(0);   // no items
+  w.u16(1);   // one chunk
+  w.u64(0x1000);
+  w.u32(1000);  // claims 1000 bytes, stream has none
+  ByteReader r(w.data());
+  EXPECT_FALSE(VmSeed::deserialize(r).ok());
+}
+
+TEST_F(MemoryExtensionTest, ByteSizeAccountsForChunks) {
+  VmSeed seed;
+  const auto base = seed.byte_size();
+  seed.memory.push_back(MemChunk{0x1000, {1, 2, 3}});
+  EXPECT_EQ(seed.byte_size(), base + 12 + 3);
+}
+
+TEST_F(MemoryExtensionTest, ReplayRestoresMemoryIntoDummyRam) {
+  const auto& behavior =
+      manager_.record_workload(Workload::kCpuBound, 300, 5, with_memory());
+  // Find a seed carrying the planted descriptor-group opcode.
+  const RecordedExit* target = nullptr;
+  for (const auto& rec : behavior) {
+    if (rec.seed.reason == vtx::ExitReason::kLdtrTrAccess &&
+        !rec.seed.memory.empty()) {
+      target = &rec;
+      break;
+    }
+  }
+  ASSERT_NE(target, nullptr) << "no descriptor exit with memory recorded";
+
+  ASSERT_TRUE(manager_.enable_replay());
+  manager_.submit_seed(target->seed);
+  std::vector<std::uint8_t> buf(target->seed.memory[0].bytes.size());
+  ASSERT_TRUE(hv_.copy_from_guest(manager_.dummy_vm(), target->seed.memory[0].gpa,
+                                  buf));
+  EXPECT_EQ(buf, target->seed.memory[0].bytes);
+}
+
+TEST_F(MemoryExtensionTest, MemoryReplayClosesEmulatorDivergence) {
+  // Without memory, replayed descriptor exits take the null-byte decode;
+  // with memory they take the recorded live path -> higher coverage fit.
+  double fits[2] = {};
+  for (const bool with_mem : {false, true}) {
+    hv::Hypervisor hv(31, 0.0);
+    Manager manager(hv);
+    Recorder::Config config;
+    config.record_guest_memory = with_mem;
+    const auto& behavior =
+        manager.record_workload(Workload::kCpuBound, 500, 7, config);
+    const auto replayed = manager.replay_and_record(behavior);
+    fits[with_mem ? 1 : 0] =
+        analyze_accuracy(hv.coverage(), behavior, replayed.behavior)
+            .coverage_fit_pct;
+  }
+  EXPECT_GT(fits[1], fits[0] + 3.0);
+  EXPECT_GE(fits[1], 99.0);
+}
+
+TEST_F(MemoryExtensionTest, ReplayMemoryCanBeDisabled) {
+  const auto& behavior =
+      manager_.record_workload(Workload::kCpuBound, 300, 5, with_memory());
+  Replayer::Config config;
+  config.replay_guest_memory = false;
+  const auto outcomes = manager_.replay(behavior, config);
+  EXPECT_EQ(outcomes.size(), behavior.size());  // still replays fine
+}
+
+TEST_F(MemoryExtensionTest, IntelPtBackendReducesOverhead) {
+  // §IX "Code coverage": hardware tracing replaces the per-exit bitmap
+  // flush, cutting the recording overhead while observing the same
+  // coverage.
+  std::uint64_t overhead[2] = {};
+  std::uint32_t loc[2] = {};
+  for (const auto source : {CoverageSource::kGcov, CoverageSource::kIntelPt}) {
+    hv::Hypervisor hv(41, 0.0);
+    Manager manager(hv);
+    Recorder::Config config;
+    config.coverage_source = source;
+    hv::Domain& test_vm = manager.test_vm();
+    guest::GuestProgram program(Workload::kCpuBound, 11, 300);
+    Recorder recorder(hv, config);
+    recorder.attach();
+    hv::CoverageAccumulator acc(hv.coverage());
+    for (int i = 0; i < 300; ++i) {
+      const auto exit = program.next(hv, test_vm, test_vm.vcpu());
+      const auto outcome = hv.process_exit(test_vm, test_vm.vcpu(), exit);
+      acc.add(outcome.coverage);
+      recorder.finish_exit(outcome);
+    }
+    recorder.detach();
+    const auto idx = source == CoverageSource::kGcov ? 0 : 1;
+    overhead[idx] = recorder.overhead_cycles();
+    loc[idx] = acc.total_loc();
+  }
+  EXPECT_LT(overhead[1], overhead[0]);    // PT is cheaper...
+  EXPECT_EQ(loc[0], loc[1]);              // ...for the same coverage
+}
+
+TEST_F(MemoryExtensionTest, CoverageSourceNames) {
+  EXPECT_EQ(to_string(CoverageSource::kGcov), "gcov");
+  EXPECT_EQ(to_string(CoverageSource::kIntelPt), "Intel PT");
+}
+
+TEST_F(MemoryExtensionTest, OverheadStaysModest) {
+  // The §IX extension costs more than baseline recording but stays
+  // within the same order of magnitude.
+  hv::Hypervisor hv(33, 0.0);
+  Manager manager(hv);
+  hv::Domain& test_vm = manager.test_vm();
+  guest::GuestProgram program(Workload::kIoBound, 9, 300);
+  Recorder recorder(hv, with_memory());
+  recorder.attach();
+  std::uint64_t handling = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto exit = program.next(hv, test_vm, test_vm.vcpu());
+    const auto outcome = hv.process_exit(test_vm, test_vm.vcpu(), exit);
+    handling += outcome.cycles;
+    recorder.finish_exit(outcome);
+  }
+  recorder.detach();
+  EXPECT_LT(recorder.overhead_cycles(), handling / 10);
+}
+
+}  // namespace
+}  // namespace iris

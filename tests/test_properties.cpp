@@ -1,0 +1,186 @@
+// Property-based tests: parameterized sweeps over seeds, workloads and
+// field sets asserting the framework's invariants.
+#include <gtest/gtest.h>
+
+#include "fuzz/mutator.h"
+#include "guest/workload.h"
+#include "iris/analysis.h"
+#include "iris/manager.h"
+#include "vtx/entry_checks.h"
+
+namespace iris {
+namespace {
+
+using guest::Workload;
+
+// --- Property: every modeled VMCS field honors its access type. ---
+
+class VmcsFieldProperty : public ::testing::TestWithParam<vtx::VmcsField> {};
+
+TEST_P(VmcsFieldProperty, VmwriteHonorsAccessType) {
+  vtx::Vmcs vmcs;
+  const auto field = GetParam();
+  const auto outcome = vmcs.vmwrite(field, ~0ULL);
+  EXPECT_EQ(outcome.succeeded(), !vtx::is_read_only(field));
+}
+
+TEST_P(VmcsFieldProperty, HwReadNeverExceedsWidthMask) {
+  vtx::Vmcs vmcs;
+  const auto field = GetParam();
+  vmcs.hw_write(field, ~0ULL);
+  EXPECT_EQ(vmcs.hw_read(field) & ~vtx::width_mask(field), 0u);
+}
+
+TEST_P(VmcsFieldProperty, CompactEncodingFitsSeedByte) {
+  const auto idx = vtx::compact_index(GetParam());
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_LT(*idx, vtx::kNumVmcsFields);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFields, VmcsFieldProperty,
+                         ::testing::ValuesIn(vtx::all_fields().begin(),
+                                             vtx::all_fields().end()));
+
+// --- Property: recorded behaviors replay loss-free for any workload. ---
+
+class WorkloadProperty : public ::testing::TestWithParam<Workload> {};
+
+TEST_P(WorkloadProperty, RecordedSeedsAreWellFormed) {
+  hv::Hypervisor hv(3, 0.0);
+  Manager manager(hv);
+  const auto& behavior = manager.record_workload(GetParam(), 250, 19);
+  ASSERT_EQ(behavior.size(), 250u);
+  for (const auto& rec : behavior) {
+    // Serialization round-trips every recorded seed.
+    ByteWriter w;
+    rec.seed.serialize(w);
+    ByteReader r(w.data());
+    const auto back = VmSeed::deserialize(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), rec.seed);
+    // Seeds stay within the paper's §VI-D budget.
+    EXPECT_LE(rec.seed.byte_size(), 474u);
+  }
+}
+
+TEST_P(WorkloadProperty, BootedReplayReachesEveryRecordedReason) {
+  hv::Hypervisor hv(3, 0.0);
+  Manager manager(hv);
+  // Boot the test VM first so steady-state traces are recorded from a
+  // booted guest, then replay boot + workload onto the dummy.
+  const auto& boot = manager.record_workload(Workload::kOsBoot, 200, 19);
+  const auto& behavior = manager.record_workload(GetParam(), 200, 23);
+  ASSERT_TRUE(manager.enable_replay());
+  for (const auto& rec : boot) {
+    ASSERT_EQ(manager.submit_seed(rec.seed).failure, hv::FailureKind::kNone);
+  }
+  for (const auto& rec : behavior) {
+    const auto outcome = manager.submit_seed(rec.seed);
+    ASSERT_EQ(outcome.failure, hv::FailureKind::kNone);
+    EXPECT_EQ(outcome.dispatched_reason, rec.seed.reason);
+  }
+}
+
+TEST_P(WorkloadProperty, ReplayIsFasterThanRealExecution) {
+  // Fig 9's invariant: replay never loses to real guest execution.
+  hv::Hypervisor hv(3, 0.0);
+  Manager manager(hv);
+  const auto t0 = hv.clock().rdtsc();
+  const auto& behavior = manager.record_workload(GetParam(), 200, 19);
+  const auto real_cycles = hv.clock().rdtsc() - t0;
+
+  const auto t1 = hv.clock().rdtsc();
+  manager.replay(behavior);
+  const auto replay_cycles = hv.clock().rdtsc() - t1;
+  EXPECT_LT(replay_cycles, real_cycles) << guest::to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadProperty,
+                         ::testing::Values(Workload::kOsBoot, Workload::kCpuBound,
+                                           Workload::kMemBound, Workload::kIoBound,
+                                           Workload::kIdle),
+                         [](const auto& param_info) {
+                           std::string name(guest::to_string(param_info.param));
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+// --- Property: mutation never changes seed structure, only one value. ---
+
+class MutationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MutationProperty, MutantDiffersByExactlyOneBit) {
+  hv::Hypervisor hv(5, 0.0);
+  Manager manager(hv);
+  const auto& behavior = manager.record_workload(Workload::kCpuBound, 50, 31);
+  fuzz::Mutator mutator(GetParam());
+  for (const auto& rec : behavior) {
+    for (const auto area : {fuzz::MutationArea::kVmcs, fuzz::MutationArea::kGpr}) {
+      const auto mutant = mutator.mutate(rec.seed, area);
+      ASSERT_TRUE(mutant.has_value());
+      ASSERT_EQ(mutant->items.size(), rec.seed.items.size());
+      std::uint64_t total_diff_bits = 0;
+      for (std::size_t i = 0; i < rec.seed.items.size(); ++i) {
+        EXPECT_EQ(mutant->items[i].kind, rec.seed.items[i].kind);
+        EXPECT_EQ(mutant->items[i].encoding, rec.seed.items[i].encoding);
+        total_diff_bits += static_cast<std::uint64_t>(
+            __builtin_popcountll(mutant->items[i].value ^ rec.seed.items[i].value));
+      }
+      EXPECT_EQ(total_diff_bits, 1u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// --- Property: entry checks accept all states reachable by replaying
+// recorded (unmutated) behaviors. ---
+
+class EntryCheckProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EntryCheckProperty, RecordedBehaviorsPassEntryChecks) {
+  hv::Hypervisor hv(GetParam(), 0.0);
+  Manager manager(hv);
+  for (const auto w : {Workload::kOsBoot, Workload::kCpuBound}) {
+    const auto& behavior = manager.record_workload(w, 150, GetParam());
+    ASSERT_EQ(behavior.size(), 150u) << "record crashed";
+    EXPECT_TRUE(vtx::check_guest_state(manager.test_vm().vcpu().vmcs).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntryCheckProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 21));
+
+// --- Property: coverage accumulation is monotone and order-insensitive
+// in total. ---
+
+TEST(CoverageProperty, CumulativeCurveIsMonotone) {
+  hv::Hypervisor hv(7, 0.02);
+  Manager manager(hv);
+  const auto& behavior = manager.record_workload(Workload::kOsBoot, 300, 11);
+  const auto curve = cumulative_coverage(hv.coverage(), behavior);
+  ASSERT_EQ(curve.size(), behavior.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i], curve[i - 1]);
+  }
+}
+
+TEST(CoverageProperty, AccumulatorTotalIndependentOfOrder) {
+  hv::Hypervisor hv(7, 0.0);
+  Manager manager(hv);
+  const auto& behavior = manager.record_workload(Workload::kIoBound, 200, 11);
+  hv::CoverageAccumulator forward(hv.coverage());
+  hv::CoverageAccumulator backward(hv.coverage());
+  for (const auto& rec : behavior) forward.add(rec.metrics.coverage);
+  for (auto it = behavior.rbegin(); it != behavior.rend(); ++it) {
+    backward.add(it->metrics.coverage);
+  }
+  EXPECT_EQ(forward.total_loc(), backward.total_loc());
+  EXPECT_EQ(forward.unique_blocks(), backward.unique_blocks());
+}
+
+}  // namespace
+}  // namespace iris

@@ -1,0 +1,162 @@
+// Tests for the AMD SVM portability layer (§IX): VMCB model, exit-code
+// translation, and seed transcoding.
+#include <gtest/gtest.h>
+
+#include "guest/workload.h"
+#include "iris/manager.h"
+#include "svm/transcode.h"
+
+namespace iris::svm {
+namespace {
+
+TEST(Vmcb, ReadWriteAtApmOffsets) {
+  Vmcb vmcb;
+  vmcb.write(VmcbField::kExitCode, 0x72);
+  vmcb.write(VmcbField::kRip, 0xFFF0);
+  vmcb.write(VmcbField::kRax, 0x1234);
+  EXPECT_EQ(vmcb.read(VmcbField::kExitCode), 0x72u);
+  EXPECT_EQ(vmcb.read(VmcbField::kRip), 0xFFF0u);
+  EXPECT_EQ(vmcb.read(VmcbField::kRax), 0x1234u);
+  // EXITCODE sits at APM offset 0x70 in the raw block.
+  EXPECT_EQ(vmcb.raw()[0x70], 0x72);
+  vmcb.clear();
+  EXPECT_EQ(vmcb.read(VmcbField::kExitCode), 0u);
+}
+
+TEST(Vmcb, NoAccessTypeChecksUnlikeVmcs) {
+  // The VMCB is plain memory: the "read-only" discipline the VMCS
+  // enforces in hardware does not exist on SVM. Writes to exit-info
+  // fields simply succeed — a porting hazard the design notes.
+  Vmcb vmcb;
+  vmcb.write(VmcbField::kExitInfo1, 0xDEAD);  // VT-x: VMfail error 13
+  EXPECT_EQ(vmcb.read(VmcbField::kExitInfo1), 0xDEADu);
+}
+
+TEST(ExitTranslation, CrAccessSplitsByDirectionAndRegister) {
+  hv::CrAccessQual to_cr0;
+  to_cr0.cr = 0;
+  to_cr0.access_type = hv::CrAccessQual::kMovToCr;
+  EXPECT_EQ(exit_code_from_vtx(vtx::ExitReason::kCrAccess, to_cr0.encode()),
+            SvmExitCode::kCr0Write);
+  hv::CrAccessQual from_cr3;
+  from_cr3.cr = 3;
+  from_cr3.access_type = hv::CrAccessQual::kMovFromCr;
+  EXPECT_EQ(exit_code_from_vtx(vtx::ExitReason::kCrAccess, from_cr3.encode()),
+            SvmExitCode::kCr3Read);
+}
+
+TEST(ExitTranslation, CommonReasonsMapBothWays) {
+  const std::pair<vtx::ExitReason, SvmExitCode> pairs[] = {
+      {vtx::ExitReason::kCpuid, SvmExitCode::kCpuid},
+      {vtx::ExitReason::kHlt, SvmExitCode::kHlt},
+      {vtx::ExitReason::kRdtsc, SvmExitCode::kRdtsc},
+      {vtx::ExitReason::kVmcall, SvmExitCode::kVmmcall},
+      {vtx::ExitReason::kIoInstruction, SvmExitCode::kIoio},
+      {vtx::ExitReason::kExternalInterrupt, SvmExitCode::kIntr},
+      {vtx::ExitReason::kInterruptWindow, SvmExitCode::kVintr},
+      {vtx::ExitReason::kTripleFault, SvmExitCode::kShutdown},
+      {vtx::ExitReason::kEptViolation, SvmExitCode::kNpf},
+      {vtx::ExitReason::kWbinvd, SvmExitCode::kWbinvd},
+  };
+  for (const auto& [reason, code] : pairs) {
+    EXPECT_EQ(exit_code_from_vtx(reason, 0), code) << vtx::to_string(reason);
+    EXPECT_EQ(exit_reason_from_svm(code), reason) << to_string(code);
+  }
+}
+
+TEST(ExitTranslation, NestedVmxHasNoAnalogue) {
+  EXPECT_FALSE(exit_code_from_vtx(vtx::ExitReason::kVmxon, 0).has_value());
+  EXPECT_FALSE(exit_code_from_vtx(vtx::ExitReason::kVmread, 0).has_value());
+}
+
+TEST(ExitTranslation, EntryFailureMapsToVmrunInvalid) {
+  EXPECT_EQ(exit_code_from_vtx(vtx::ExitReason::kInvalidGuestState, 0),
+            SvmExitCode::kInvalid);
+  EXPECT_EQ(exit_reason_from_svm(SvmExitCode::kInvalid),
+            vtx::ExitReason::kInvalidGuestState);
+}
+
+TEST(FieldTranslation, GuestStateMapsControlStateDoesNot) {
+  EXPECT_EQ(vmcb_field_from_vmcs(vtx::VmcsField::kGuestCr0), VmcbField::kCr0);
+  EXPECT_EQ(vmcb_field_from_vmcs(vtx::VmcsField::kGuestRip), VmcbField::kRip);
+  EXPECT_EQ(vmcb_field_from_vmcs(vtx::VmcsField::kExitQualification),
+            VmcbField::kExitInfo1);
+  EXPECT_EQ(vmcb_field_from_vmcs(vtx::VmcsField::kTscOffset),
+            VmcbField::kTscOffset);
+  EXPECT_EQ(vmcb_field_from_vmcs(vtx::VmcsField::kEptPointer), VmcbField::kNCr3);
+  // VT-x-only machinery.
+  EXPECT_FALSE(vmcb_field_from_vmcs(vtx::VmcsField::kCr0ReadShadow));
+  EXPECT_FALSE(vmcb_field_from_vmcs(vtx::VmcsField::kCr0GuestHostMask));
+  EXPECT_FALSE(vmcb_field_from_vmcs(vtx::VmcsField::kVmcsLinkPointer));
+  EXPECT_FALSE(vmcb_field_from_vmcs(vtx::VmcsField::kPinBasedVmExecControl));
+}
+
+TEST(Transcode, MovesRaxIntoVmcb) {
+  VmSeed seed;
+  seed.reason = vtx::ExitReason::kCpuid;
+  for (int i = 0; i < vcpu::kNumGprs; ++i) {
+    seed.items.push_back(SeedItem{SeedItemKind::kGpr, static_cast<std::uint8_t>(i),
+                                  0x100ULL + static_cast<std::uint64_t>(i)});
+  }
+  const auto svm = transcode(seed);
+  ASSERT_TRUE(svm.has_value());
+  EXPECT_EQ(svm->exit_code, SvmExitCode::kCpuid);
+  EXPECT_EQ(svm->vmcb.read(VmcbField::kRax), 0x100u);   // RAX -> VMCB
+  EXPECT_EQ(svm->gprs[1], 0x101u);                      // RCX stays in the block
+}
+
+TEST(Transcode, ReportsUntranslatableFields) {
+  VmSeed seed;
+  seed.reason = vtx::ExitReason::kCrAccess;
+  seed.items.push_back(SeedItem{
+      SeedItemKind::kVmcsField,
+      *vtx::compact_index(vtx::VmcsField::kCr0ReadShadow), 0x31});
+  seed.items.push_back(SeedItem{
+      SeedItemKind::kVmcsField, *vtx::compact_index(vtx::VmcsField::kGuestCr0),
+      0x31});
+  TranscodeStats stats;
+  const auto svm = transcode(seed, &stats);
+  ASSERT_TRUE(svm.has_value());
+  EXPECT_EQ(stats.vmcs_fields, 2u);
+  EXPECT_EQ(stats.translated, 1u);
+  EXPECT_EQ(stats.untranslated, 1u);
+  ASSERT_EQ(svm->untranslated.size(), 1u);
+  EXPECT_EQ(svm->untranslated[0], vtx::VmcsField::kCr0ReadShadow);
+  EXPECT_EQ(svm->vmcb.read(VmcbField::kCr0), 0x31u);
+}
+
+TEST(Transcode, MsrDirectionFoldsIntoExitInfo1) {
+  VmSeed rd, wr;
+  rd.reason = vtx::ExitReason::kMsrRead;
+  wr.reason = vtx::ExitReason::kMsrWrite;
+  EXPECT_EQ(transcode(rd)->vmcb.read(VmcbField::kExitInfo1), 0u);
+  EXPECT_EQ(transcode(wr)->vmcb.read(VmcbField::kExitInfo1), 1u);
+}
+
+TEST(Transcode, MemoryChunksPassThrough) {
+  VmSeed seed;
+  seed.reason = vtx::ExitReason::kLdtrTrAccess;
+  seed.memory.push_back(MemChunk{0x2000, {0x0F, 0x00, 0xD8}});
+  const auto svm = transcode(seed);
+  ASSERT_TRUE(svm.has_value());
+  ASSERT_EQ(svm->memory.size(), 1u);
+  EXPECT_EQ(svm->memory[0].gpa, 0x2000u);
+}
+
+TEST(Transcode, RecordedBehaviorsAreLargelyPortable) {
+  hv::Hypervisor hv(61, 0.0);
+  Manager manager(hv);
+  for (const auto w : {guest::Workload::kOsBoot, guest::Workload::kCpuBound}) {
+    const auto& behavior = manager.record_workload(w, 400, 17);
+    const auto stats = transcode_coverage(behavior);
+    ASSERT_GT(stats.vmcs_fields, 0u);
+    const double portable = static_cast<double>(stats.translated) /
+                            static_cast<double>(stats.vmcs_fields);
+    // The exit collateral + guest state dominate seeds; only VT-x
+    // control plumbing is untranslatable.
+    EXPECT_GT(portable, 0.6) << guest::to_string(w);
+  }
+}
+
+}  // namespace
+}  // namespace iris::svm

@@ -1,0 +1,155 @@
+// Unit tests for the vCPU register file, the Mode1-7 classifier (Fig 8)
+// and the VMCS guest-state context switch.
+#include <gtest/gtest.h>
+
+#include "vcpu/cpu_mode.h"
+#include "vcpu/regs.h"
+#include "vcpu/vmcs_sync.h"
+#include "vtx/entry_checks.h"
+
+namespace iris::vcpu {
+namespace {
+
+using vtx::kCr0Am;
+using vtx::kCr0Cd;
+using vtx::kCr0Pe;
+using vtx::kCr0Pg;
+using vtx::kCr0Ts;
+
+TEST(Gpr, FifteenRegistersWithStableEncodings) {
+  EXPECT_EQ(kNumGprs, 15);  // the paper's "GPR (15 values)" (§V-A)
+  EXPECT_EQ(static_cast<int>(Gpr::kRax), 0);
+  EXPECT_EQ(static_cast<int>(Gpr::kR15), 14);
+}
+
+TEST(Gpr, NameRoundTrip) {
+  for (int i = 0; i < kNumGprs; ++i) {
+    const auto r = static_cast<Gpr>(i);
+    const auto back = gpr_from_string(to_string(r));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, r);
+  }
+  EXPECT_FALSE(gpr_from_string("RSP"));  // RSP lives in the VMCS
+}
+
+TEST(RegisterFile, PowerUpState) {
+  const RegisterFile regs;
+  EXPECT_EQ(regs.rip, 0xFFF0u);
+  EXPECT_EQ(regs.rflags, 0x2u);
+  EXPECT_EQ(regs.cr0, 0x60000010u);  // CD | NW | ET
+  EXPECT_EQ(regs.segment(SegReg::kCs).selector, 0xF000u);
+  EXPECT_EQ(regs.segment(SegReg::kCs).base, 0xFFFF0000u);
+}
+
+TEST(RegisterFile, GprReadWrite) {
+  RegisterFile regs;
+  regs.write(Gpr::kR11, 0xDEAD);
+  EXPECT_EQ(regs.read(Gpr::kR11), 0xDEADu);
+  EXPECT_EQ(regs.read(Gpr::kR12), 0u);
+}
+
+TEST(RegisterFile, MsrFallback) {
+  RegisterFile regs;
+  EXPECT_EQ(regs.read_msr(kMsrIa32Efer), 0u);
+  EXPECT_EQ(regs.read_msr(kMsrIa32Efer, 0x500), 0x500u);
+  regs.write_msr(kMsrIa32Efer, 0x901);
+  EXPECT_EQ(regs.efer(), 0x901u);
+}
+
+// The Fig 8 classifier: every CR0 combination lands in exactly one mode.
+TEST(CpuMode, ClassifierMatchesFigureEight) {
+  EXPECT_EQ(classify_cr0(0), CpuMode::kMode1);
+  EXPECT_EQ(classify_cr0(kCr0Pe), CpuMode::kMode2);
+  EXPECT_EQ(classify_cr0(kCr0Pe | kCr0Pg), CpuMode::kMode3);
+  EXPECT_EQ(classify_cr0(kCr0Pe | kCr0Pg | kCr0Am | kCr0Cd), CpuMode::kMode4);
+  EXPECT_EQ(classify_cr0(kCr0Pe | kCr0Pg | kCr0Am | kCr0Ts), CpuMode::kMode5);
+  EXPECT_EQ(classify_cr0(kCr0Pe | kCr0Pg | kCr0Am), CpuMode::kMode6);
+  EXPECT_EQ(classify_cr0(kCr0Pe | kCr0Pg | kCr0Am | kCr0Ts | kCr0Cd),
+            CpuMode::kMode7);
+}
+
+TEST(CpuMode, TotalFunctionOverTsCd) {
+  // Under PE|PG|AM, the four {TS, CD} combinations partition into
+  // Mode4..Mode7 with no overlap.
+  std::set<CpuMode> seen;
+  for (const bool ts : {false, true}) {
+    for (const bool cd : {false, true}) {
+      std::uint64_t cr0 = kCr0Pe | kCr0Pg | kCr0Am;
+      if (ts) cr0 |= kCr0Ts;
+      if (cd) cr0 |= kCr0Cd;
+      seen.insert(classify_cr0(cr0));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(CpuMode, OtherBitsDoNotAffectClassification) {
+  const std::uint64_t base = kCr0Pe | kCr0Pg | kCr0Am;
+  EXPECT_EQ(classify_cr0(base | vtx::kCr0Wp | vtx::kCr0Ne | vtx::kCr0Mp),
+            classify_cr0(base));
+}
+
+TEST(CpuMode, ModeNamesDistinct) {
+  std::set<std::string_view> names;
+  for (int i = 1; i <= kNumCpuModes; ++i) {
+    names.insert(to_string(static_cast<CpuMode>(i)));
+  }
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumCpuModes));
+}
+
+TEST(VmcsSync, SaveLoadRoundTrip) {
+  RegisterFile regs;
+  regs.rip = 0x1234;
+  regs.rsp = 0x8000;
+  regs.rflags = 0x202;
+  regs.cr0 = 0x80050033;
+  regs.cr3 = 0x5000;
+  regs.cr4 = 0x20;
+  regs.write_msr(kMsrIa32Efer, 0xD01);
+  regs.segment(SegReg::kCs) = {0x08, 0, 0xFFFFFFFF, 0xC9B};
+  regs.gdtr = {0x6000, 0x7F};
+
+  vtx::Vmcs vmcs;
+  save_guest_state(regs, vmcs);
+
+  RegisterFile loaded;
+  load_guest_state(vmcs, loaded);
+  EXPECT_EQ(loaded.rip, regs.rip);
+  EXPECT_EQ(loaded.rsp, regs.rsp);
+  EXPECT_EQ(loaded.rflags, regs.rflags);
+  EXPECT_EQ(loaded.cr0, regs.cr0);
+  EXPECT_EQ(loaded.cr3, regs.cr3);
+  EXPECT_EQ(loaded.cr4, regs.cr4);
+  EXPECT_EQ(loaded.efer(), 0xD01u);
+  EXPECT_EQ(loaded.segment(SegReg::kCs).selector, 0x08u);
+  EXPECT_EQ(loaded.segment(SegReg::kCs).ar_bytes, 0xC9Bu);
+  EXPECT_EQ(loaded.gdtr.base, 0x6000u);
+  EXPECT_EQ(loaded.gdtr.limit, 0x7Fu);
+}
+
+TEST(VmcsSync, GprsAreNotPartOfTheVmcs) {
+  // Paper §II: GPRs are saved in hypervisor structures, not the VMCS.
+  RegisterFile regs;
+  regs.write(Gpr::kRax, 0xAAAA);
+  vtx::Vmcs vmcs;
+  save_guest_state(regs, vmcs);
+
+  RegisterFile loaded;
+  loaded.write(Gpr::kRax, 0xBBBB);
+  load_guest_state(vmcs, loaded);
+  EXPECT_EQ(loaded.read(Gpr::kRax), 0xBBBBu);  // untouched by the VMCS load
+}
+
+TEST(VmcsSync, SaveWritesAllSegmentFields) {
+  RegisterFile regs;
+  regs.segment(SegReg::kGs) = {0x2B, 0xFFFF8000, 0xFFF, 0x93};
+  vtx::Vmcs vmcs;
+  save_guest_state(regs, vmcs);
+  EXPECT_EQ(vmcs.hw_read(vtx::VmcsField::kGuestGsSelector), 0x2Bu);
+  EXPECT_EQ(vmcs.hw_read(vtx::VmcsField::kGuestGsBase), 0xFFFF8000u);
+  EXPECT_EQ(vmcs.hw_read(vtx::VmcsField::kGuestGsLimit), 0xFFFu);
+  EXPECT_EQ(vmcs.hw_read(vtx::VmcsField::kGuestGsArBytes), 0x93u);
+}
+
+}  // namespace
+}  // namespace iris::vcpu

@@ -1,0 +1,230 @@
+// Unit tests for the SDM 26.3 guest-state entry checks — the mechanism
+// that keeps replayed/mutated VM seeds semantically valid (paper §IV-B).
+#include <gtest/gtest.h>
+
+#include "vtx/entry_checks.h"
+#include "vtx/vmcs.h"
+
+namespace iris::vtx {
+namespace {
+
+/// A guest state that passes every modeled check.
+Vmcs valid_vmcs() {
+  Vmcs vmcs;
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pe | kCr0Ne | kCr0Et);
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x2);
+  vmcs.hw_write(VmcsField::kVmcsLinkPointer, ~0ULL);
+  vmcs.hw_write(VmcsField::kGuestCsArBytes, 0x9B);
+  vmcs.hw_write(VmcsField::kGuestTrArBytes, 0x8B);
+  vmcs.hw_write(VmcsField::kGuestSsArBytes, 0x93);
+  vmcs.hw_write(VmcsField::kGuestActivityState, kActivityActive);
+  return vmcs;
+}
+
+bool has_rule(const std::vector<EntryCheckViolation>& v, std::string_view needle) {
+  for (const auto& viol : v) {
+    if (viol.rule.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(EntryChecks, ValidStatePasses) {
+  const auto vmcs = valid_vmcs();
+  EXPECT_TRUE(check_guest_state(vmcs).empty());
+}
+
+TEST(EntryChecks, PagingRequiresProtectedMode) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pg | kCr0Ne | kCr0Et);  // PG without PE
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "CR0.PG=1 requires CR0.PE=1"));
+}
+
+TEST(EntryChecks, NotWriteThroughRequiresCacheDisable) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pe | kCr0Ne | kCr0Et | kCr0Nw);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "CR0.NW=1 requires CR0.CD=1"));
+}
+
+TEST(EntryChecks, NeIsFixedToOne) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pe | kCr0Et);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "CR0.NE fixed"));
+}
+
+TEST(EntryChecks, Cr4ReservedBits) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr4, 1ULL << 11);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "CR4 reserved"));
+}
+
+TEST(EntryChecks, LmaRequiresPaging) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestIa32Efer, kEferLma);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "EFER.LMA=1 requires CR0.PG=1"));
+}
+
+TEST(EntryChecks, LongModeRequiresPae) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pe | kCr0Pg | kCr0Ne | kCr0Et);
+  vmcs.hw_write(VmcsField::kGuestIa32Efer, kEferLma | kEferLme);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "requires CR4.PAE"));
+}
+
+TEST(EntryChecks, RflagsReservedBitOne) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x0);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "RFLAGS bit 1"));
+}
+
+TEST(EntryChecks, RflagsMustBeZeroBits) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x2 | (1ULL << 3));
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "RFLAGS reserved"));
+}
+
+TEST(EntryChecks, Vm86FlagInvalidInLongMode) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pe | kCr0Pg | kCr0Ne | kCr0Et);
+  vmcs.hw_write(VmcsField::kGuestCr4, kCr4Pae);
+  vmcs.hw_write(VmcsField::kGuestIa32Efer, kEferLma | kEferLme);
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x2 | kRflagsVm);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "RFLAGS.VM=1 invalid"));
+}
+
+TEST(EntryChecks, EventInjectionRequiresInterruptsEnabled) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kVmEntryIntrInfoField, (1ULL << 31) | 0x30);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "requires RFLAGS.IF=1"));
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x2 | kRflagsIf);
+  EXPECT_TRUE(check_guest_state(vmcs).empty());
+}
+
+TEST(EntryChecks, RipAbove32BitsOutsideLongMode) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRip, 0x1'00000000ULL);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "RIP has bits above 31"));
+}
+
+TEST(EntryChecks, NonCanonicalRipInLongMode) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Pe | kCr0Pg | kCr0Ne | kCr0Et);
+  vmcs.hw_write(VmcsField::kGuestCr4, kCr4Pae);
+  vmcs.hw_write(VmcsField::kGuestIa32Efer, kEferLma | kEferLme);
+  vmcs.hw_write(VmcsField::kGuestCsArBytes, 0x9B | (1ULL << 13));  // L bit
+  vmcs.hw_write(VmcsField::kGuestRip, 0x8000'00000000ULL);  // non-canonical
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "RIP must be canonical"));
+}
+
+TEST(EntryChecks, CsMustBeCodeSegment) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCsArBytes, 0x93);  // data type
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "CS must be an accessed code"));
+}
+
+TEST(EntryChecks, CsMustBePresent) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCsArBytes, 0x1B);  // P=0
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "CS must be present"));
+}
+
+TEST(EntryChecks, UnusableCsSkipsChecks) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCsArBytes, 1ULL << 16);  // unusable
+  EXPECT_FALSE(has_rule(check_guest_state(vmcs), "CS must"));
+}
+
+TEST(EntryChecks, TrMustBeBusyTss) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestTrArBytes, 0x89);  // available TSS, not busy
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "TR must be a busy TSS"));
+}
+
+TEST(EntryChecks, TrTiFlagMustBeZero) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestTrSelector, 0x4C);  // TI set
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "TR.TI"));
+}
+
+TEST(EntryChecks, SsRplMustMatchCsRpl) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCsSelector, 0x08);  // RPL 0
+  vmcs.hw_write(VmcsField::kGuestSsSelector, 0x13);  // RPL 3
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "SS.RPL"));
+}
+
+TEST(EntryChecks, RealModeSkipsSegmentChecks) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestCr0, kCr0Ne | kCr0Et);  // PE=0
+  vmcs.hw_write(VmcsField::kGuestCsArBytes, 0x93);
+  vmcs.hw_write(VmcsField::kGuestTrArBytes, 0x82);
+  EXPECT_TRUE(check_guest_state(vmcs).empty());
+}
+
+TEST(EntryChecks, DescriptorTableBasesMustBeCanonical) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestGdtrBase, 0x8000'00000000ULL);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "GDTR base"));
+  vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestIdtrBase, 0x8000'00000000ULL);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "IDTR base"));
+}
+
+TEST(EntryChecks, ActivityStateRange) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestActivityState, 7);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "activity state"));
+  vmcs.hw_write(VmcsField::kGuestActivityState, kActivityHlt);
+  EXPECT_TRUE(check_guest_state(vmcs).empty());
+}
+
+TEST(EntryChecks, InterruptibilityReservedBits) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestInterruptibility, 0x100);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "interruptibility reserved"));
+}
+
+TEST(EntryChecks, StiAndMovSsExclusive) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x2 | kRflagsIf);
+  vmcs.hw_write(VmcsField::kGuestInterruptibility,
+                kIntrBlockingBySti | kIntrBlockingByMovSs);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "cannot both be set"));
+}
+
+TEST(EntryChecks, StiBlockingRequiresIf) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestInterruptibility, kIntrBlockingBySti);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "STI blocking requires"));
+}
+
+TEST(EntryChecks, HltActivityIncompatibleWithBlocking) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x2 | kRflagsIf);
+  vmcs.hw_write(VmcsField::kGuestActivityState, kActivityHlt);
+  vmcs.hw_write(VmcsField::kGuestInterruptibility, kIntrBlockingBySti);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "HLT activity incompatible"));
+}
+
+TEST(EntryChecks, VmcsLinkPointerMustBeAllOnes) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kVmcsLinkPointer, 0x1000);
+  EXPECT_TRUE(has_rule(check_guest_state(vmcs), "link pointer"));
+}
+
+TEST(EntryChecks, DescribeRendersViolations) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x0);
+  const auto text = describe(check_guest_state(vmcs));
+  EXPECT_NE(text.find("GUEST_RFLAGS"), std::string::npos);
+  EXPECT_NE(text.find("check(s) failed"), std::string::npos);
+}
+
+TEST(EntryChecks, MultipleViolationsAccumulate) {
+  auto vmcs = valid_vmcs();
+  vmcs.hw_write(VmcsField::kGuestRflags, 0x0);
+  vmcs.hw_write(VmcsField::kVmcsLinkPointer, 0);
+  EXPECT_GE(check_guest_state(vmcs).size(), 2u);
+}
+
+}  // namespace
+}  // namespace iris::vtx
