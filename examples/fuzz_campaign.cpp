@@ -1,15 +1,18 @@
 // Fuzz campaign example: the paper's §VII experiment as a program.
 //
-// Records the three target workloads, then runs the Table I grid for a
-// chosen workload — replay to VMseed_R, submit M single-bit-flip
-// mutants, report coverage gains and failures.
+// Runs the Table I grid for a chosen workload through the sharded
+// CampaignRunner — each worker thread records the workload on its own
+// hypervisor, replays to VMseed_R, and submits M single-bit-flip
+// mutants; the orchestrator merges coverage, dedups crashes, and
+// reports throughput. With the default async noise (0) the results are
+// identical for any worker count.
 //
-//   $ ./fuzz_campaign [workload] [mutants] [seed]
+//   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "fuzz/fuzzer.h"
+#include "fuzz/campaign.h"
 
 int main(int argc, char** argv) {
   using namespace iris;
@@ -17,6 +20,7 @@ int main(int argc, char** argv) {
   const std::string workload_name = argc > 1 ? argv[1] : "CPU-bound";
   const std::size_t mutants = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1000;
   const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
+  const std::size_t workers = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
 
   const auto workload = guest::workload_from_string(workload_name);
   if (!workload) {
@@ -24,18 +28,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  hv::Hypervisor hypervisor(seed, /*async_noise_prob=*/0.0);
-  Manager manager(hypervisor);
-  const VmBehavior& behavior = manager.record_workload(*workload, 2000, seed);
-  std::printf("recorded %zu exits of %s; fuzzing with M=%zu per cell\n\n",
-              behavior.size(), workload_name.c_str(), mutants);
+  fuzz::CampaignConfig config;
+  config.workers = workers;
+  config.hv_seed = seed;
+  config.record_exits = 2000;
+  config.record_seed = seed;
+  const auto grid = fuzz::make_table1_grid({*workload}, mutants, seed);
+  std::printf("fuzzing %s: %zu grid cells, M=%zu per cell, %zu worker(s)\n\n",
+              workload_name.c_str(), grid.size(), mutants, workers);
 
-  fuzz::Fuzzer fuzzer(manager);
-  const auto results = fuzzer.run_grid(*workload, behavior, mutants, seed);
+  fuzz::CampaignRunner runner(config);
+  const auto campaign = runner.run(grid);
 
   std::printf("%-12s %-6s %10s %10s %8s %8s %8s\n", "reason", "area", "base LOC",
               "new LOC", "gain%", "VM-crash", "HV-crash");
-  for (const auto& r : results) {
+  for (const auto& r : campaign.results) {
     if (!r.ran) {
       std::printf("%-12s %-6s %10s\n",
                   std::string(vtx::to_string(r.spec.reason)).c_str(),
@@ -48,16 +55,23 @@ int main(int argc, char** argv) {
                 r.new_loc, r.coverage_increase_pct, r.vm_crashes, r.hv_crashes);
   }
 
-  // Dump one archived crash for flavor.
-  for (const auto& r : results) {
-    if (!r.crashes.empty()) {
-      const auto& c = r.crashes.front();
-      std::printf("\nexample crash (mutant #%zu of %s/%s):\n  %s\n  %s\n",
-                  c.mutant_index, std::string(vtx::to_string(r.spec.reason)).c_str(),
-                  std::string(fuzz::to_string(r.spec.area)).c_str(),
-                  std::string(hv::to_string(c.kind)).c_str(), c.log_line.c_str());
-      break;
-    }
+  std::printf(
+      "\ncampaign: %zu/%zu cells ran, %zu mutants in %.2fs (%.0f mutants/sec, "
+      "%zu workers)\n",
+      campaign.cells_ran, campaign.results.size(), campaign.executed,
+      campaign.elapsed_seconds, campaign.mutants_per_second,
+      campaign.workers_used);
+  std::printf("merged hypervisor coverage: %zu blocks, %u LOC\n",
+              campaign.merged_coverage.size(), campaign.merged_loc);
+  std::printf("crashes: %zu archived -> %zu unique buckets\n",
+              campaign.total_crashes, campaign.unique_crashes.size());
+  for (const auto& bucket : campaign.unique_crashes) {
+    std::printf("  [%zux] %s on %s mutating %s item %u\n    %s\n",
+                bucket.occurrences,
+                std::string(hv::to_string(bucket.key.kind)).c_str(),
+                std::string(vtx::to_string(bucket.key.reason)).c_str(),
+                bucket.key.item_kind == SeedItemKind::kGpr ? "GPR" : "VMCS",
+                bucket.key.encoding, bucket.first.log_line.c_str());
   }
   return 0;
 }

@@ -1,0 +1,121 @@
+#include "fuzz/campaign.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <thread>
+
+namespace iris::fuzz {
+namespace {
+
+/// One cell's VM stack. Construction is a pure function of config, and
+/// giving every cell its own stack is what makes cell results
+/// independent of sharding — reusing a manager across cells leaks
+/// hypervisor-global state (e.g. device/timer histories) into later
+/// cells' coverage.
+struct CellVm {
+  explicit CellVm(const CampaignConfig& config)
+      : hv(config.hv_seed, config.async_noise_prob), manager(hv) {}
+
+  hv::Hypervisor hv;
+  Manager manager;
+};
+
+}  // namespace
+
+CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
+  CampaignResult out;
+  out.results.resize(grid.size());
+
+  const std::size_t workers =
+      grid.empty() ? 1
+                   : std::clamp<std::size_t>(config_.workers, 1, grid.size());
+  out.workers_used = workers;
+
+  // Record each workload's behavior once up front: recording is a pure
+  // function of (workload, config), so the cells can share the trace.
+  std::map<guest::Workload, VmBehavior> behaviors;
+  for (const TestCaseSpec& spec : grid) {
+    if (behaviors.contains(spec.workload)) continue;
+    hv::Hypervisor record_hv(config_.hv_seed, config_.async_noise_prob);
+    Manager recorder(record_hv);
+    behaviors.emplace(spec.workload,
+                      recorder.record_workload(spec.workload, config_.record_exits,
+                                               config_.record_seed));
+  }
+
+  // Per-worker coverage bitmaps, merged after the join.
+  std::vector<std::unordered_map<hv::BlockKey, std::uint8_t>> bitmaps(workers);
+
+  const auto started = std::chrono::steady_clock::now();
+
+  auto work = [&](std::size_t worker_index) {
+    auto& bitmap = bitmaps[worker_index];
+    for (std::size_t i = worker_index; i < grid.size(); i += workers) {
+      const TestCaseSpec& spec = grid[i];
+      CellVm vm(config_);
+      Fuzzer fuzzer(vm.manager, config_.fuzzer);
+      out.results[i] = fuzzer.run_test_case(spec, behaviors.at(spec.workload));
+      for (const auto& [block, loc] : vm.hv.coverage().registry()) {
+        // The record/replay components instrument themselves under
+        // kIris; filter them exactly as ExitCoverage does, so the
+        // merged bitmap stays comparable to the per-cell numbers.
+        if (hv::block_component(block) == hv::Component::kIris) continue;
+        bitmap.emplace(block, loc);
+      }
+    }
+  };
+
+  if (workers == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
+    for (auto& t : pool) t.join();
+  }
+
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+
+  // --- Merge the per-worker bitmaps (union; weights are static). ---
+  for (const auto& bitmap : bitmaps) {
+    for (const auto& [block, loc] : bitmap) out.merged_coverage.emplace(block, loc);
+  }
+  for (const auto& [block, loc] : out.merged_coverage) {
+    (void)block;
+    out.merged_loc += loc;
+  }
+
+  // --- Aggregate counters and crash dedup, in grid order. ---
+  std::map<CrashKey, std::size_t> buckets;  // key -> index in unique_crashes
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const TestCaseResult& r = out.results[i];
+    if (r.ran) ++out.cells_ran;
+    out.executed += r.executed;
+    out.vm_crashes += r.vm_crashes;
+    out.hv_crashes += r.hv_crashes;
+    out.hangs += r.hangs;
+    for (const CrashRecord& crash : r.crashes) {
+      ++out.total_crashes;
+      const SeedItem& mutated = crash.mutant.items[crash.mutation.item_index];
+      const CrashKey key{crash.kind, r.spec.reason, mutated.kind,
+                         mutated.encoding};
+      auto [it, inserted] = buckets.emplace(key, out.unique_crashes.size());
+      if (inserted) {
+        out.unique_crashes.push_back(DedupedCrash{key, crash, i, 1});
+      } else {
+        ++out.unique_crashes[it->second].occurrences;
+      }
+    }
+  }
+
+  out.mutants_per_second =
+      out.elapsed_seconds > 0.0
+          ? static_cast<double>(out.executed) / out.elapsed_seconds
+          : 0.0;
+  return out;
+}
+
+}  // namespace iris::fuzz

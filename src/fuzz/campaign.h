@@ -1,0 +1,108 @@
+// Sharded fuzzing-campaign orchestrator.
+//
+// The paper's Table I experiment is a grid of independent test cases
+// (workload x exit reason x mutation area), each of which replays a
+// recorded behavior up to VMseed_R and submits M mutants. Nothing in a
+// cell depends on any other cell, so the grid shards perfectly: the
+// CampaignRunner distributes the cells across N worker threads, each
+// owning an independent Hypervisor/Manager/Fuzzer stack, then merges
+// the per-worker hypervisor coverage bitmaps, deduplicates the archived
+// crashes by (failure kind, exit reason, mutated field), and reports
+// aggregate throughput in mutants/sec.
+//
+// Determinism contract: with async_noise_prob == 0 the merged coverage
+// and the deduplicated crash set are a pure function of the spec grid
+// and the configured seeds — identical for any worker count. Each
+// workload's behavior is recorded exactly once on its own VM stack,
+// and each cell fuzzes it on a fresh hypervisor constructed with the
+// same seed, so sharding cannot change results.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+
+namespace iris::fuzz {
+
+/// Identity of a deduplicated crash: what failed, on which exit reason,
+/// when which seed field was mutated. The paper's triage buckets.
+struct CrashKey {
+  hv::FailureKind kind = hv::FailureKind::kNone;
+  vtx::ExitReason reason = vtx::ExitReason::kRdtsc;
+  SeedItemKind item_kind = SeedItemKind::kGpr;
+  /// Mutated field: vcpu::Gpr value for GPR items, compact VMCS field
+  /// index for VMCS items.
+  std::uint8_t encoding = 0;
+
+  friend auto operator<=>(const CrashKey&, const CrashKey&) = default;
+};
+
+/// One triage bucket: the first archived record plus how often the
+/// bucket was hit across the whole campaign.
+struct DedupedCrash {
+  CrashKey key;
+  CrashRecord first;           ///< first occurrence in grid order
+  std::size_t spec_index = 0;  ///< grid cell of the first occurrence
+  std::size_t occurrences = 0;
+};
+
+struct CampaignConfig {
+  /// Worker threads; clamped to [1, grid size].
+  std::size_t workers = 1;
+  /// Construction seed of every worker's hypervisor.
+  std::uint64_t hv_seed = 17;
+  /// Must stay 0 for the determinism contract to hold.
+  double async_noise_prob = 0.0;
+  /// Exits recorded per workload behavior before fuzzing it.
+  std::uint64_t record_exits = 150;
+  std::uint64_t record_seed = 3;
+  Fuzzer::Config fuzzer;
+};
+
+struct CampaignResult {
+  /// Per-cell results, in grid order regardless of sharding.
+  std::vector<TestCaseResult> results;
+
+  /// Union of the per-worker hypervisor coverage bitmaps
+  /// (block -> LOC weight, the registry view of hv::CoverageMap),
+  /// with Component::kIris instrumentation blocks filtered out so the
+  /// total stays comparable to the per-cell Table I numbers.
+  std::unordered_map<hv::BlockKey, std::uint8_t> merged_coverage;
+  /// Total LOC weight of the merged bitmap.
+  std::uint32_t merged_loc = 0;
+
+  /// Crash buckets in grid-order of first occurrence.
+  std::vector<DedupedCrash> unique_crashes;
+  std::size_t total_crashes = 0;  ///< archived records before dedup
+
+  // Aggregate counters over all cells.
+  std::size_t cells_ran = 0;
+  std::size_t executed = 0;
+  std::size_t vm_crashes = 0;
+  std::size_t hv_crashes = 0;
+  std::size_t hangs = 0;
+
+  // Throughput (wall clock over the sharded phase).
+  double elapsed_seconds = 0.0;
+  double mutants_per_second = 0.0;
+  std::size_t workers_used = 1;
+};
+
+class CampaignRunner {
+ public:
+  CampaignRunner() = default;
+  explicit CampaignRunner(CampaignConfig config) : config_(config) {}
+
+  [[nodiscard]] const CampaignConfig& config() const noexcept { return config_; }
+
+  /// Run every cell of `grid`, sharded across config().workers threads.
+  /// Build grids by hand or with make_table1_grid() from fuzzer.h.
+  CampaignResult run(const std::vector<TestCaseSpec>& grid);
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace iris::fuzz

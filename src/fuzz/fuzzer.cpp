@@ -93,21 +93,35 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
   return result;
 }
 
+std::vector<TestCaseSpec> make_table1_grid(
+    const std::vector<guest::Workload>& workloads, std::size_t mutants,
+    std::uint64_t rng_seed) {
+  std::vector<TestCaseSpec> grid;
+  grid.reserve(workloads.size() * vtx::kClusterReasons.size() * 2);
+  for (const auto workload : workloads) {
+    for (const auto reason : vtx::kClusterReasons) {
+      for (const auto area : {MutationArea::kVmcs, MutationArea::kGpr}) {
+        TestCaseSpec spec;
+        spec.workload = workload;
+        spec.reason = reason;
+        spec.area = area;
+        spec.mutants = mutants;
+        spec.rng_seed = rng_seed ^ (static_cast<std::uint64_t>(workload) << 16) ^
+                        (static_cast<std::uint64_t>(reason) << 8) ^
+                        static_cast<std::uint64_t>(area);
+        grid.push_back(spec);
+      }
+    }
+  }
+  return grid;
+}
+
 std::vector<TestCaseResult> Fuzzer::run_grid(guest::Workload workload,
                                              const VmBehavior& w, std::size_t mutants,
                                              std::uint64_t rng_seed) {
   std::vector<TestCaseResult> results;
-  for (const auto reason : vtx::kClusterReasons) {
-    for (const auto area : {MutationArea::kVmcs, MutationArea::kGpr}) {
-      TestCaseSpec spec;
-      spec.workload = workload;
-      spec.reason = reason;
-      spec.area = area;
-      spec.mutants = mutants;
-      spec.rng_seed = rng_seed ^ (static_cast<std::uint64_t>(reason) << 8) ^
-                      static_cast<std::uint64_t>(area);
-      results.push_back(run_test_case(spec, w));
-    }
+  for (const auto& spec : make_table1_grid({workload}, mutants, rng_seed)) {
+    results.push_back(run_test_case(spec, w));
   }
   return results;
 }

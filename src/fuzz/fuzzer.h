@@ -39,6 +39,13 @@ struct CrashRecord {
   std::size_t mutant_index = 0;
 };
 
+/// Build the paper's Table I spec grid for the given workloads: every
+/// cluster exit reason x both mutation areas, M mutants per cell, with
+/// a per-cell rng seed mixed from (workload, reason, area).
+std::vector<TestCaseSpec> make_table1_grid(
+    const std::vector<guest::Workload>& workloads, std::size_t mutants,
+    std::uint64_t rng_seed);
+
 struct TestCaseResult {
   TestCaseSpec spec;
   bool ran = false;             ///< false if W has no seed with the reason

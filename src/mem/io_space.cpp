@@ -13,7 +13,7 @@ void PioSpace::register_range(std::uint16_t base, std::uint16_t count,
     assert(base + count <= next->second.base && "PIO ranges must not overlap");
   }
   if (next != ranges_.begin()) {
-    auto prev = std::prev(next);
+    [[maybe_unused]] auto prev = std::prev(next);
     assert(prev->second.base + prev->second.count <= base &&
            "PIO ranges must not overlap");
   }

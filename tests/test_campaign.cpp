@@ -1,0 +1,163 @@
+// Tests for the sharded campaign orchestrator: grid construction,
+// sharding determinism (the merged coverage bitmap and deduplicated
+// crash set must not depend on the worker count), crash dedup, and
+// throughput accounting.
+#include <gtest/gtest.h>
+
+#include "fuzz/campaign.h"
+
+namespace iris::fuzz {
+namespace {
+
+using guest::Workload;
+
+CampaignConfig small_config(std::size_t workers) {
+  CampaignConfig config;
+  config.workers = workers;
+  config.hv_seed = 17;
+  config.record_exits = 150;
+  config.record_seed = 3;
+  return config;
+}
+
+TEST(MakeTable1Grid, CoversWorkloadsReasonsAndAreas) {
+  const auto grid =
+      make_table1_grid({Workload::kCpuBound, Workload::kIdle}, 50, 7);
+  // 2 workloads x 9 cluster reasons x 2 areas.
+  ASSERT_EQ(grid.size(), 36u);
+  std::size_t vmcs_cells = 0;
+  for (const auto& spec : grid) {
+    EXPECT_EQ(spec.mutants, 50u);
+    if (spec.area == MutationArea::kVmcs) ++vmcs_cells;
+  }
+  EXPECT_EQ(vmcs_cells, 18u);
+  // Seeds differ across cells (the run_grid mixing rule).
+  EXPECT_NE(grid[0].rng_seed, grid[1].rng_seed);
+  EXPECT_NE(grid[0].rng_seed, grid[2].rng_seed);
+}
+
+TEST(CampaignRunner, EmptyGridIsANoOp) {
+  CampaignRunner runner(small_config(4));
+  const auto result = runner.run({});
+  EXPECT_TRUE(result.results.empty());
+  EXPECT_TRUE(result.merged_coverage.empty());
+  EXPECT_TRUE(result.unique_crashes.empty());
+  EXPECT_EQ(result.executed, 0u);
+}
+
+TEST(CampaignRunner, ResultsStayInGridOrder) {
+  const auto grid = make_table1_grid({Workload::kCpuBound}, 60, 7);
+  CampaignRunner runner(small_config(3));
+  const auto result = runner.run(grid);
+  ASSERT_EQ(result.results.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(result.results[i].spec.reason, grid[i].reason);
+    EXPECT_EQ(result.results[i].spec.area, grid[i].area);
+    EXPECT_EQ(result.results[i].spec.rng_seed, grid[i].rng_seed);
+  }
+  EXPECT_EQ(result.workers_used, 3u);
+}
+
+TEST(CampaignRunner, WorkerCountClampedToGridSize) {
+  std::vector<TestCaseSpec> grid{TestCaseSpec{
+      Workload::kCpuBound, vtx::ExitReason::kRdtsc, MutationArea::kGpr, 50, 1}};
+  CampaignRunner runner(small_config(64));
+  const auto result = runner.run(grid);
+  EXPECT_EQ(result.workers_used, 1u);
+}
+
+// The acceptance criterion: >= 2 worker threads produce exactly the
+// same merged coverage and crash set as a single-threaded run.
+TEST(CampaignRunner, DeterministicAcrossWorkerCounts) {
+  const auto grid = make_table1_grid({Workload::kCpuBound}, 120, 7);
+  const auto single = CampaignRunner(small_config(1)).run(grid);
+  const auto sharded = CampaignRunner(small_config(3)).run(grid);
+
+  EXPECT_EQ(single.workers_used, 1u);
+  EXPECT_EQ(sharded.workers_used, 3u);
+
+  // Identical per-cell results.
+  ASSERT_EQ(single.results.size(), sharded.results.size());
+  for (std::size_t i = 0; i < single.results.size(); ++i) {
+    const auto& a = single.results[i];
+    const auto& b = sharded.results[i];
+    EXPECT_EQ(a.ran, b.ran) << "cell " << i;
+    EXPECT_EQ(a.target_index, b.target_index) << "cell " << i;
+    EXPECT_EQ(a.baseline_loc, b.baseline_loc) << "cell " << i;
+    EXPECT_EQ(a.new_loc, b.new_loc) << "cell " << i;
+    EXPECT_EQ(a.executed, b.executed) << "cell " << i;
+    EXPECT_EQ(a.vm_crashes, b.vm_crashes) << "cell " << i;
+    EXPECT_EQ(a.hv_crashes, b.hv_crashes) << "cell " << i;
+    EXPECT_EQ(a.hangs, b.hangs) << "cell " << i;
+  }
+
+  // Identical merged coverage bitmap.
+  EXPECT_EQ(single.merged_loc, sharded.merged_loc);
+  EXPECT_EQ(single.merged_coverage, sharded.merged_coverage);
+
+  // Identical deduplicated crash set, in the same bucket order.
+  ASSERT_EQ(single.unique_crashes.size(), sharded.unique_crashes.size());
+  for (std::size_t i = 0; i < single.unique_crashes.size(); ++i) {
+    EXPECT_EQ(single.unique_crashes[i].key, sharded.unique_crashes[i].key);
+    EXPECT_EQ(single.unique_crashes[i].spec_index,
+              sharded.unique_crashes[i].spec_index);
+    EXPECT_EQ(single.unique_crashes[i].occurrences,
+              sharded.unique_crashes[i].occurrences);
+  }
+  EXPECT_EQ(single.total_crashes, sharded.total_crashes);
+}
+
+TEST(CampaignRunner, CampaignFindsCoverageAndCrashes) {
+  const auto grid = make_table1_grid({Workload::kCpuBound}, 300, 3);
+  CampaignRunner runner(small_config(2));
+  const auto result = runner.run(grid);
+  EXPECT_GT(result.cells_ran, 0u);
+  EXPECT_LT(result.cells_ran, grid.size());  // '-' cells exist (e.g. HLT)
+  EXPECT_GT(result.executed, 0u);
+  EXPECT_GT(result.merged_loc, 0u);
+  EXPECT_FALSE(result.merged_coverage.empty());
+  // §VII-4: VMCS mutation on a deep state produces crashes.
+  EXPECT_GT(result.vm_crashes + result.hv_crashes, 0u);
+  EXPECT_FALSE(result.unique_crashes.empty());
+}
+
+TEST(CampaignRunner, CrashDedupBucketsByKindReasonAndField) {
+  const auto grid = make_table1_grid({Workload::kCpuBound}, 400, 9);
+  CampaignRunner runner(small_config(2));
+  const auto result = runner.run(grid);
+  ASSERT_FALSE(result.unique_crashes.empty());
+
+  // Dedup is a partition of the archived records.
+  EXPECT_LE(result.unique_crashes.size(), result.total_crashes);
+  std::size_t occurrences = 0;
+  for (const auto& bucket : result.unique_crashes) occurrences += bucket.occurrences;
+  EXPECT_EQ(occurrences, result.total_crashes);
+
+  for (std::size_t i = 0; i < result.unique_crashes.size(); ++i) {
+    const auto& bucket = result.unique_crashes[i];
+    EXPECT_NE(bucket.key.kind, hv::FailureKind::kNone);
+    // The representative record matches its own bucket key.
+    const SeedItem& mutated =
+        bucket.first.mutant.items[bucket.first.mutation.item_index];
+    EXPECT_EQ(mutated.kind, bucket.key.item_kind);
+    EXPECT_EQ(mutated.encoding, bucket.key.encoding);
+    EXPECT_EQ(bucket.key.kind, bucket.first.kind);
+    EXPECT_LT(bucket.spec_index, grid.size());
+    // Keys are unique across buckets.
+    for (std::size_t j = i + 1; j < result.unique_crashes.size(); ++j) {
+      EXPECT_NE(bucket.key, result.unique_crashes[j].key);
+    }
+  }
+}
+
+TEST(CampaignRunner, ReportsThroughput) {
+  const auto grid = make_table1_grid({Workload::kCpuBound}, 100, 5);
+  CampaignRunner runner(small_config(2));
+  const auto result = runner.run(grid);
+  EXPECT_GT(result.executed, 0u);
+  EXPECT_GT(result.elapsed_seconds, 0.0);
+  EXPECT_GT(result.mutants_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace iris::fuzz

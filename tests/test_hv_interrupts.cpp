@@ -101,7 +101,7 @@ TEST(Vpt, BurstCollapsesToOnePendingTick) {
   Vpt vpt(1000);
   vpt.tick_to(5500, cov);  // 5 periods elapsed
   EXPECT_TRUE(vpt.pending());
-  vpt.consume(cov);
+  (void)vpt.consume(cov);
   EXPECT_FALSE(vpt.pending());          // collapsed
   EXPECT_EQ(vpt.missed_ticks(), 4u);    // the other 4 accounted as missed
 }
@@ -110,7 +110,7 @@ TEST(Vpt, TimeNeverGoesBackward) {
   CoverageMap cov;
   Vpt vpt(1000);
   vpt.tick_to(2000, cov);
-  vpt.consume(cov);
+  (void)vpt.consume(cov);
   vpt.tick_to(1500, cov);  // stale timestamp: ignored
   EXPECT_FALSE(vpt.pending());
 }

@@ -56,7 +56,7 @@ TEST_F(ManagerTest, ReplayAndRecordProducesAlignedMetrics) {
 }
 
 TEST_F(ManagerTest, SnapshotRevertRestoresTestVm) {
-  manager_.test_vm();
+  (void)manager_.test_vm();
   manager_.save_test_snapshot();
   manager_.record_workload(Workload::kOsBoot, 150, 5);  // mutates the VM
   const auto cr0_after = manager_.test_vm().vcpu().regs.cr0;
