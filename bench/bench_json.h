@@ -1,0 +1,75 @@
+// Shared flat-JSON metric emitter for the bench binaries.
+//
+// Benches append {key: number} metrics into a single JSON file (e.g.
+// BENCH_PR2.json) so CI and PR descriptions can track throughput
+// trajectories. The file is a single flat object; keys written by other
+// benches (or recorded baselines) are preserved across flushes, so
+// several binaries can contribute to the same report.
+#pragma once
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace iris::bench {
+
+class JsonMetrics {
+ public:
+  explicit JsonMetrics(std::string path) : path_(std::move(path)) { load(); }
+
+  void set(const std::string& key, double value) { values_[key] = value; }
+
+  /// Rewrite the file with every known key, sorted for stable diffs.
+  /// Returns false if the file cannot be written.
+  bool flush() const {
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n");
+    std::size_t i = 0;
+    for (const auto& [key, value] : values_) {
+      std::fprintf(f, "  \"%s\": %.6g%s\n", key.c_str(), value,
+                   ++i < values_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    return true;
+  }
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  /// Parse any existing "key": number pairs so flush() preserves them.
+  /// Tolerant by design: anything unparseable is simply dropped.
+  void load() {
+    std::FILE* f = std::fopen(path_.c_str(), "r");
+    if (f == nullptr) return;
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+    std::fclose(f);
+
+    std::size_t pos = 0;
+    while ((pos = content.find('"', pos)) != std::string::npos) {
+      const std::size_t key_end = content.find('"', pos + 1);
+      if (key_end == std::string::npos) break;
+      const std::string key = content.substr(pos + 1, key_end - pos - 1);
+      std::size_t p = key_end + 1;
+      while (p < content.size() && std::isspace(static_cast<unsigned char>(content[p]))) ++p;
+      if (p < content.size() && content[p] == ':') {
+        ++p;
+        char* end = nullptr;
+        const double value = std::strtod(content.c_str() + p, &end);
+        if (end != content.c_str() + p) values_[key] = value;
+      }
+      pos = key_end + 1;
+    }
+  }
+
+  std::string path_;
+  std::map<std::string, double> values_;
+};
+
+}  // namespace iris::bench

@@ -44,7 +44,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                                                config_.record_seed));
   }
 
-  // Per-worker coverage bitmaps, merged after the join.
+  // Per-worker coverage bitmaps (block -> LOC weight), merged after the
+  // join. Each worker's map dedups across its own cells.
   std::vector<std::unordered_map<hv::BlockKey, std::uint8_t>> bitmaps(workers);
 
   const auto started = std::chrono::steady_clock::now();
@@ -56,12 +57,13 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       CellVm vm(config_);
       Fuzzer fuzzer(vm.manager, config_.fuzzer);
       out.results[i] = fuzzer.run_test_case(spec, behaviors.at(spec.workload));
-      for (const auto& [block, loc] : vm.hv.coverage().registry()) {
+      const hv::CoverageMap& cov = vm.hv.coverage();
+      for (const hv::BlockKey block : cov.registered_blocks()) {
         // The record/replay components instrument themselves under
         // kIris; filter them exactly as ExitCoverage does, so the
         // merged bitmap stays comparable to the per-cell numbers.
         if (hv::block_component(block) == hv::Component::kIris) continue;
-        bitmap.emplace(block, loc);
+        bitmap.emplace(block, cov.loc_of(block));
       }
     }
   };
@@ -79,13 +81,14 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
 
-  // --- Merge the per-worker bitmaps (union; weights are static). ---
+  // --- Merge the per-worker bitmaps (union; weights are static),
+  // accumulating the total LOC as blocks are first inserted. ---
   for (const auto& bitmap : bitmaps) {
-    for (const auto& [block, loc] : bitmap) out.merged_coverage.emplace(block, loc);
-  }
-  for (const auto& [block, loc] : out.merged_coverage) {
-    (void)block;
-    out.merged_loc += loc;
+    for (const auto& [block, loc] : bitmap) {
+      if (out.merged_coverage.emplace(block, loc).second) {
+        out.merged_loc += loc;
+      }
+    }
   }
 
   // --- Aggregate counters and crash dedup, in grid order. ---

@@ -120,6 +120,7 @@ CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
                                          MutationOp::kFieldSwap};
 
   std::size_t next = 0;
+  hv::HandleOutcome outcome;  // reused across submissions
   while (stats.executed < config_.max_executions) {
     // Index-based access throughout: promotions push into `corpus` and
     // would invalidate references.
@@ -135,7 +136,7 @@ CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
       VmSeed mutant = apply(corpus[entry_index].seed, area, op, rng, &applied);
       ++stats.executed;
 
-      const auto outcome = manager_->submit_seed(mutant);
+      manager_->submit_seed_into(mutant, outcome);
       const std::uint32_t gained = covered.add(outcome.coverage);
       stats.coverage_curve.push_back(covered.total_loc());
 
@@ -160,7 +161,7 @@ CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
         }
         manager_->hv().failures().reset();
         dummy.restore(s1);
-        if (!manager_->enable_replay(config_.replay)) {
+        if (!manager_->rearm_replay(config_.replay)) {
           stats.corpus_size = corpus.size();
           stats.total_loc = covered.total_loc();
           return stats;

@@ -45,17 +45,24 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
   covered.add(baseline.coverage);
   result.baseline_loc = covered.total_loc();
 
-  // Snapshot s1 so crashing mutants don't force a full re-walk.
+  // Snapshot s1 so crashing mutants don't force a full re-walk. The
+  // snapshot holds CoW page references, so taking it (and restoring to
+  // it) costs pointers, not RAM copies.
   hv::Domain& dummy = manager_->dummy_vm();
   const auto s1 = dummy.snapshot();
 
+  // Hot loop: the mutant seed and outcome buffers are reused across all
+  // M submissions (zero steady-state allocations on the happy path).
+  VmSeed mutant;
+  hv::HandleOutcome outcome;
   for (std::size_t m = 0; m < spec.mutants; ++m) {
     AppliedMutation applied;
-    const auto mutant = mutator.mutate(target_seed, spec.area, &applied);
-    if (!mutant) break;  // no items in this area (cannot happen for GPR)
+    if (!mutator.mutate_into(target_seed, spec.area, mutant, &applied)) {
+      break;  // no items in this area (cannot happen for GPR)
+    }
     ++result.executed;
 
-    const auto outcome = manager_->submit_seed(*mutant);
+    manager_->submit_seed_into(mutant, outcome);
     result.new_loc += covered.add(outcome.coverage);
 
     switch (outcome.failure) {
@@ -63,7 +70,7 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
         continue;
       case hv::FailureKind::kVmCrash:
         ++result.vm_crashes;
-        if (outcome.failure_reason.find("VM entry failed") != std::string::npos) {
+        if (outcome.cause == hv::FailureCause::kEntryCheckViolation) {
           ++result.entry_check_rejections;
         }
         break;
@@ -76,13 +83,14 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
         break;
     }
     if (result.crashes.size() < config_.max_archived_crashes) {
-      result.crashes.push_back(CrashRecord{*mutant, applied, outcome.failure,
+      result.crashes.push_back(CrashRecord{mutant, applied, outcome.failure,
                                            outcome.failure_reason, m});
     }
-    // Recover: clear failure state and restore the dummy VM to s1.
+    // Recover: clear failure state and restore the dummy VM to s1
+    // (delta restore: only pages dirtied since s1 are touched).
     manager_->hv().failures().reset();
     dummy.restore(s1);
-    if (!manager_->enable_replay(config_.replay)) break;
+    if (!manager_->rearm_replay(config_.replay)) break;
   }
 
   result.coverage_increase_pct =

@@ -10,23 +10,30 @@ std::string_view to_string(MutationArea area) noexcept {
 
 std::optional<VmSeed> Mutator::mutate(const VmSeed& seed, MutationArea area,
                                       AppliedMutation* applied) {
-  std::vector<std::size_t> candidates;
-  candidates.reserve(seed.items.size());
+  VmSeed mutant;
+  if (!mutate_into(seed, area, mutant, applied)) return std::nullopt;
+  return mutant;
+}
+
+bool Mutator::mutate_into(const VmSeed& seed, MutationArea area, VmSeed& out,
+                          AppliedMutation* applied) {
+  candidates_.clear();
+  candidates_.reserve(seed.items.size());
   for (std::size_t i = 0; i < seed.items.size(); ++i) {
     const bool is_gpr = seed.items[i].is_gpr();
-    if ((area == MutationArea::kGpr) == is_gpr) candidates.push_back(i);
+    if ((area == MutationArea::kGpr) == is_gpr) candidates_.push_back(i);
   }
-  if (candidates.empty()) return std::nullopt;
+  if (candidates_.empty()) return false;
 
-  VmSeed mutant = seed;
-  const std::size_t index = candidates[rng_.below(candidates.size())];
+  out = seed;  // vector assignments reuse out's existing capacity
+  const std::size_t index = candidates_[rng_.below(candidates_.size())];
   const auto bit = static_cast<std::uint8_t>(rng_.below(64));
-  const std::uint64_t old_value = mutant.items[index].value;
-  mutant.items[index].value = old_value ^ (1ULL << bit);
+  const std::uint64_t old_value = out.items[index].value;
+  out.items[index].value = old_value ^ (1ULL << bit);
   if (applied != nullptr) {
-    *applied = AppliedMutation{index, bit, old_value, mutant.items[index].value};
+    *applied = AppliedMutation{index, bit, old_value, out.items[index].value};
   }
-  return mutant;
+  return true;
 }
 
 }  // namespace iris::fuzz

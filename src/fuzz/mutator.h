@@ -38,10 +38,17 @@ class Mutator {
   std::optional<VmSeed> mutate(const VmSeed& seed, MutationArea area,
                                AppliedMutation* applied = nullptr);
 
+  /// Buffer-reusing variant: writes the mutant into `out` (reusing its
+  /// item storage) and returns false if the seed has no item in `area`.
+  /// Consumes the same RNG sequence as mutate().
+  bool mutate_into(const VmSeed& seed, MutationArea area, VmSeed& out,
+                   AppliedMutation* applied = nullptr);
+
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
  private:
   Rng rng_;
+  std::vector<std::size_t> candidates_;  ///< scratch, reused per call
 };
 
 }  // namespace iris::fuzz

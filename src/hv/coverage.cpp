@@ -1,6 +1,7 @@
 #include "hv/coverage.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace iris::hv {
 
@@ -40,50 +41,61 @@ std::uint32_t ExitCoverage::loc_in(const CoverageMap& map, Component component) 
   return total;
 }
 
-void CoverageMap::hit(Component component, std::uint16_t id, std::uint8_t loc) {
-  const BlockKey key = pack_block(component, id);
-  loc_.try_emplace(key, loc);
-  if (current_set_.insert(key).second) {
-    current_exit_.push_back(key);
-  }
-}
+CoverageMap::CoverageMap()
+    : loc_(kBlockIndexSpace, 0),
+      known_(kBlockIndexSpace, 0),
+      stamp_(kBlockIndexSpace, 0) {}
 
 void CoverageMap::begin_exit() {
   current_exit_.clear();
-  current_set_.clear();
+  if (++epoch_ == 0) {
+    // Epoch wrap after 2^32 exits: recycle the stamps once.
+    std::fill(stamp_.begin(), stamp_.end(), 0u);
+    epoch_ = 1;
+  }
+}
+
+void CoverageMap::end_exit_into(ExitCoverage& out, bool filter_iris) {
+  out.clear();
+  out.blocks.reserve(current_exit_.size());
+  for (BlockKey key : current_exit_) {
+    if (filter_iris && block_component(key) == Component::kIris) continue;
+    out.blocks.push_back(key);
+  }
+  std::sort(out.blocks.begin(), out.blocks.end());
+  for (BlockKey key : out.blocks) {
+    out.loc += loc_of(key);
+  }
+  current_exit_.clear();
 }
 
 ExitCoverage CoverageMap::end_exit(bool filter_iris) {
   ExitCoverage cov;
-  cov.blocks.reserve(current_exit_.size());
-  for (BlockKey key : current_exit_) {
-    if (filter_iris && block_component(key) == Component::kIris) continue;
-    cov.blocks.push_back(key);
-  }
-  std::sort(cov.blocks.begin(), cov.blocks.end());
-  for (BlockKey key : cov.blocks) {
-    cov.loc += loc_of(key);
-  }
-  current_exit_.clear();
-  current_set_.clear();
+  end_exit_into(cov, filter_iris);
   return cov;
 }
 
-std::uint8_t CoverageMap::loc_of(BlockKey key) const noexcept {
-  const auto it = loc_.find(key);
-  return it == loc_.end() ? 0 : it->second;
+void CoverageMap::reset() {
+  std::fill(loc_.begin(), loc_.end(), std::uint8_t{0});
+  std::fill(known_.begin(), known_.end(), std::uint8_t{0});
+  std::fill(stamp_.begin(), stamp_.end(), 0u);
+  epoch_ = 1;
+  current_exit_.clear();
+  registered_.clear();
 }
 
-void CoverageMap::reset() {
-  loc_.clear();
-  current_exit_.clear();
-  current_set_.clear();
-}
+CoverageAccumulator::CoverageAccumulator(const CoverageMap& map)
+    : map_(&map), words_((kBlockIndexSpace + 63) / 64, 0) {}
 
 std::uint32_t CoverageAccumulator::add(const ExitCoverage& exit_cov) {
   std::uint32_t gained = 0;
   for (BlockKey key : exit_cov.blocks) {
-    if (seen_.insert(key).second) {
+    if (key >= kBlockIndexSpace) continue;
+    std::uint64_t& word = words_[key >> 6];
+    const std::uint64_t mask = 1ULL << (key & 63);
+    if ((word & mask) == 0) {
+      word |= mask;
+      ++unique_;
       gained += map_->loc_of(key);
     }
   }
@@ -93,8 +105,13 @@ std::uint32_t CoverageAccumulator::add(const ExitCoverage& exit_cov) {
 
 std::uint32_t CoverageAccumulator::loc_not_in(const CoverageAccumulator& other) const {
   std::uint32_t total = 0;
-  for (BlockKey key : seen_) {
-    if (!other.seen_.contains(key)) total += map_->loc_of(key);
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t diff = words_[w] & ~other.words_[w];
+    while (diff != 0) {
+      const int bit = std::countr_zero(diff);
+      total += map_->loc_of(static_cast<BlockKey>((w << 6) | bit));
+      diff &= diff - 1;
+    }
   }
   return total;
 }

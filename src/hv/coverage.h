@@ -10,12 +10,15 @@
 // Fig 6 plots cumulative unique LOC; Fig 7 clusters record-vs-replay LOC
 // differences by exit reason and attributes them to components
 // (vlapic/irq/vpt noise vs emulate/intr/vmx structural divergence).
+//
+// Layout: the packed BlockKey (component << 16 | id) is a dense index
+// into flat arrays, AFL-style. CoverageMap::hit is two array loads and
+// two predictable branches — no hashing — and per-exit attribution uses
+// epoch stamps instead of clearing a set, so begin_exit is O(1).
 #pragma once
 
 #include <cstdint>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace iris::hv {
@@ -44,6 +47,11 @@ inline constexpr int kNumComponents = 11;
 /// Packed block identity: component in the top byte, block id below.
 using BlockKey = std::uint32_t;
 
+/// Every BlockKey is below this bound, so the key doubles as a dense
+/// array index (11 components x 64K ids = 704K slots).
+inline constexpr std::size_t kBlockIndexSpace =
+    static_cast<std::size_t>(kNumComponents) << 16;
+
 [[nodiscard]] constexpr BlockKey pack_block(Component c, std::uint16_t id) noexcept {
   return (static_cast<BlockKey>(c) << 16) | id;
 }
@@ -53,9 +61,17 @@ using BlockKey = std::uint32_t;
 
 /// Per-exit coverage record: the unique blocks hit while handling one VM
 /// exit, with their total LOC weight (the paper's "code coverage" unit).
+/// Designed for reuse: CoverageMap::end_exit_into refills an existing
+/// instance without shrinking its capacity.
 struct ExitCoverage {
   std::vector<BlockKey> blocks;  ///< sorted, unique
   std::uint32_t loc = 0;         ///< sum of the blocks' LOC weights
+
+  /// Empty the record while keeping the block buffer's capacity.
+  void clear() noexcept {
+    blocks.clear();
+    loc = 0;
+  }
 
   /// LOC restricted to a component subset (Fig 7 clustering).
   [[nodiscard]] std::uint32_t loc_in(const class CoverageMap& map,
@@ -65,55 +81,82 @@ struct ExitCoverage {
 /// The shared-memory coverage bitmap of the instrumented hypervisor.
 class CoverageMap {
  public:
+  CoverageMap();
+
   /// Mark `(<component>, id)` as executed; `loc` is the block's
   /// line-of-code weight, fixed at the first hit (call sites are static).
-  void hit(Component component, std::uint16_t id, std::uint8_t loc);
+  void hit(Component component, std::uint16_t id, std::uint8_t loc) {
+    const BlockKey key = pack_block(component, id);
+    if (known_[key] == 0) {
+      known_[key] = 1;
+      loc_[key] = loc;
+      registered_.push_back(key);
+    }
+    if (stamp_[key] != epoch_) {
+      stamp_[key] = epoch_;
+      current_exit_.push_back(key);
+    }
+  }
 
-  /// Begin attributing hits to a new VM exit.
+  /// Begin attributing hits to a new VM exit. O(1): bumps the epoch
+  /// stamp instead of clearing a per-exit set.
   void begin_exit();
 
-  /// Finish the current exit; returns its unique block set. When
-  /// `filter_iris` is set, Component::kIris hits are removed (the
-  /// paper's cleanup of record/replay-component coverage).
+  /// Finish the current exit; refills `out` with its unique block set,
+  /// reusing `out`'s buffer. When `filter_iris` is set, Component::kIris
+  /// hits are removed (the paper's cleanup of record/replay-component
+  /// coverage).
+  void end_exit_into(ExitCoverage& out, bool filter_iris = true);
+
+  /// Convenience wrapper allocating a fresh ExitCoverage.
   ExitCoverage end_exit(bool filter_iris = true);
 
   /// LOC weight of a block (0 if never seen anywhere).
-  [[nodiscard]] std::uint8_t loc_of(BlockKey key) const noexcept;
+  [[nodiscard]] std::uint8_t loc_of(BlockKey key) const noexcept {
+    return key < kBlockIndexSpace ? loc_[key] : 0;
+  }
 
-  /// All blocks ever seen with their weights (registry view).
-  [[nodiscard]] const std::unordered_map<BlockKey, std::uint8_t>& registry()
-      const noexcept {
-    return loc_;
+  /// All blocks ever seen, in first-hit order (registry view); weights
+  /// via loc_of().
+  [[nodiscard]] const std::vector<BlockKey>& registered_blocks() const noexcept {
+    return registered_;
   }
 
   void reset();
 
  private:
-  std::unordered_map<BlockKey, std::uint8_t> loc_;
-  std::vector<BlockKey> current_exit_;
-  std::unordered_set<BlockKey> current_set_;
+  std::vector<std::uint8_t> loc_;     ///< kBlockIndexSpace LOC weights
+  std::vector<std::uint8_t> known_;   ///< kBlockIndexSpace ever-seen flags
+  std::vector<std::uint32_t> stamp_;  ///< kBlockIndexSpace epoch stamps
+  std::uint32_t epoch_ = 1;
+  std::vector<BlockKey> current_exit_;  ///< insertion order, buffer reused
+  std::vector<BlockKey> registered_;    ///< first-hit order
 };
 
-/// Cumulative unique-coverage accumulator (the Fig 6 curves).
+/// Cumulative unique-coverage accumulator (the Fig 6 curves): a flat
+/// 64-bit-word bitset over the block index space.
 class CoverageAccumulator {
  public:
-  explicit CoverageAccumulator(const CoverageMap& map) : map_(&map) {}
+  explicit CoverageAccumulator(const CoverageMap& map);
 
   /// Merge one exit's coverage; returns the LOC newly discovered.
   std::uint32_t add(const ExitCoverage& exit_cov);
 
   [[nodiscard]] std::uint32_t total_loc() const noexcept { return total_loc_; }
-  [[nodiscard]] std::size_t unique_blocks() const noexcept { return seen_.size(); }
-  [[nodiscard]] const std::unordered_set<BlockKey>& blocks() const noexcept {
-    return seen_;
+  [[nodiscard]] std::size_t unique_blocks() const noexcept { return unique_; }
+  [[nodiscard]] bool contains(BlockKey key) const noexcept {
+    return key < kBlockIndexSpace &&
+           (words_[key >> 6] >> (key & 63)) & 1;
   }
 
   /// LOC covered here but not in `other` (one side of a Fig 7 diff).
+  /// Word-wise a & ~b walk with bit scans — no per-block set probes.
   [[nodiscard]] std::uint32_t loc_not_in(const CoverageAccumulator& other) const;
 
  private:
   const CoverageMap* map_;
-  std::unordered_set<BlockKey> seen_;
+  std::vector<std::uint64_t> words_;  ///< kBlockIndexSpace / 64 bits
+  std::size_t unique_ = 0;
   std::uint32_t total_loc_ = 0;
 };
 

@@ -83,14 +83,16 @@ struct HvVcpu {
 };
 
 /// Full snapshot of one domain (paper §IV-B: the replayer can revert the
-/// test VM snapshot saved at the start of recording).
+/// test VM snapshot saved at the start of recording). RAM is captured as
+/// copy-on-write page references, so taking and holding a snapshot costs
+/// pointers, not page copies, and restore touches only dirtied pages.
 struct DomainSnapshot {
   vcpu::RegisterFile regs;
   std::array<std::uint64_t, vcpu::kNumGprs> saved_gprs{};
-  std::unordered_map<std::uint16_t, std::uint64_t> vmcs_fields;
+  vtx::Vmcs::FieldArray vmcs_fields{};
   vtx::VmcsLaunchState launch_state = vtx::VmcsLaunchState::kInactiveNotCurrentClear;
   vcpu::CpuMode mode_cache = vcpu::CpuMode::kMode1;
-  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> ram_pages;
+  mem::AddressSpace::Snapshot ram_pages;
 };
 
 class Domain {

@@ -20,31 +20,54 @@ std::string_view to_string(FailureKind kind) noexcept {
   return "?";
 }
 
+std::string_view to_string(FailureCause cause) noexcept {
+  switch (cause) {
+    case FailureCause::kNone:
+      return "none";
+    case FailureCause::kTargetAlreadyDown:
+      return "target already down";
+    case FailureCause::kBadGuestContext:
+      return "bad guest context";
+    case FailureCause::kEntryCheckViolation:
+      return "VM entry check violation";
+    case FailureCause::kVmInstructionFail:
+      return "VMX instruction VMfail";
+    case FailureCause::kHandlerBug:
+      return "handler BUG";
+    case FailureCause::kWatchdog:
+      return "watchdog";
+  }
+  return "?";
+}
+
 void FailureManager::vm_crash(std::uint32_t domain_id, std::uint64_t tsc,
-                              std::string reason) {
+                              std::string reason, FailureCause cause) {
   log_->append(LogLevel::kError, tsc,
                "domain_crash called from d" + std::to_string(domain_id) + ": " + reason);
   if (!domain_is_dead(domain_id)) dead_domains_.push_back(domain_id);
-  events_.push_back({FailureKind::kVmCrash, domain_id, tsc, std::move(reason)});
+  events_.push_back({FailureKind::kVmCrash, cause, domain_id, tsc, std::move(reason)});
 }
 
-void FailureManager::hypervisor_crash(std::uint64_t tsc, std::string reason) {
+void FailureManager::hypervisor_crash(std::uint64_t tsc, std::string reason,
+                                      FailureCause cause) {
   log_->append(LogLevel::kPanic, tsc, "Xen BUG / FATAL TRAP: " + reason);
   host_down_ = true;
-  events_.push_back({FailureKind::kHypervisorCrash, 0, tsc, std::move(reason)});
+  events_.push_back({FailureKind::kHypervisorCrash, cause, 0, tsc, std::move(reason)});
 }
 
 void FailureManager::vm_hang(std::uint32_t domain_id, std::uint64_t tsc,
-                             std::string reason) {
+                             std::string reason, FailureCause cause) {
   log_->append(LogLevel::kWarn, tsc,
                "watchdog: d" + std::to_string(domain_id) + " stalled: " + reason);
-  events_.push_back({FailureKind::kVmHang, domain_id, tsc, std::move(reason)});
+  events_.push_back({FailureKind::kVmHang, cause, domain_id, tsc, std::move(reason)});
 }
 
-void FailureManager::hypervisor_hang(std::uint64_t tsc, std::string reason) {
+void FailureManager::hypervisor_hang(std::uint64_t tsc, std::string reason,
+                                     FailureCause cause) {
   log_->append(LogLevel::kPanic, tsc, "watchdog: CPU stuck in VMX root: " + reason);
   host_down_ = true;
-  events_.push_back({FailureKind::kHypervisorHang, 0, tsc, std::move(reason)});
+  events_.push_back(
+      {FailureKind::kHypervisorHang, cause, 0, tsc, std::move(reason)});
 }
 
 bool FailureManager::domain_is_dead(std::uint32_t domain_id) const noexcept {

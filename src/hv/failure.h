@@ -28,8 +28,24 @@ enum class FailureKind : std::uint8_t {
 
 [[nodiscard]] std::string_view to_string(FailureKind kind) noexcept;
 
+/// Structured root cause of a failure. The PoC fuzzer classifies
+/// outcomes by this enum instead of substring-matching the Xen-style log
+/// line (paper §VII-3's triage buckets, minus the grep).
+enum class FailureCause : std::uint8_t {
+  kNone = 0,
+  kTargetAlreadyDown,     ///< submitted work to a dead domain / host
+  kBadGuestContext,       ///< exit-path sanity check ("bad RIP for mode 0")
+  kEntryCheckViolation,   ///< SDM 26.3 guest-state checks rejected VM entry
+  kVmInstructionFail,     ///< VMX instruction VMfail (e.g. VMRESUME)
+  kHandlerBug,            ///< BUG()/panic inside a handler or dispatcher
+  kWatchdog,              ///< hang watchdog fired
+};
+
+[[nodiscard]] std::string_view to_string(FailureCause cause) noexcept;
+
 struct FailureEvent {
   FailureKind kind = FailureKind::kNone;
+  FailureCause cause = FailureCause::kNone;
   std::uint32_t domain_id = 0;
   std::uint64_t tsc = 0;
   std::string reason;  ///< Xen-style message, e.g. "bad RIP for mode 0"
@@ -40,13 +56,17 @@ class FailureManager {
   explicit FailureManager(RingLog& log) : log_(&log) {}
 
   /// Record a guest-fatal event (domain_kill in Xen terms).
-  void vm_crash(std::uint32_t domain_id, std::uint64_t tsc, std::string reason);
+  void vm_crash(std::uint32_t domain_id, std::uint64_t tsc, std::string reason,
+                FailureCause cause = FailureCause::kHandlerBug);
 
   /// Record a host-fatal event (panic in Xen terms).
-  void hypervisor_crash(std::uint64_t tsc, std::string reason);
+  void hypervisor_crash(std::uint64_t tsc, std::string reason,
+                        FailureCause cause = FailureCause::kHandlerBug);
 
-  void vm_hang(std::uint32_t domain_id, std::uint64_t tsc, std::string reason);
-  void hypervisor_hang(std::uint64_t tsc, std::string reason);
+  void vm_hang(std::uint32_t domain_id, std::uint64_t tsc, std::string reason,
+               FailureCause cause = FailureCause::kWatchdog);
+  void hypervisor_hang(std::uint64_t tsc, std::string reason,
+                       FailureCause cause = FailureCause::kWatchdog);
 
   [[nodiscard]] bool host_is_down() const noexcept { return host_down_; }
   [[nodiscard]] bool domain_is_dead(std::uint32_t domain_id) const noexcept;

@@ -605,7 +605,8 @@ void invalid_guest_state(HandlerContext& ctx) {
   ctx.cov(kC, 200, 4);
   const auto violations = vtx::check_guest_state(ctx.vcpu().vmcs);
   ctx.hv().failures().vm_crash(ctx.dom().id(), ctx.hv().clock().rdtsc(),
-                               "VM entry failed: " + vtx::describe(violations));
+                               "VM entry failed: " + vtx::describe(violations),
+                               hv::FailureCause::kEntryCheckViolation);
 }
 
 void mwait(HandlerContext& ctx) {

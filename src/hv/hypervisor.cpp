@@ -161,11 +161,20 @@ bool Hypervisor::launch(Domain& dom, std::size_t vcpu_index) {
 HandleOutcome Hypervisor::process_exit(Domain& dom, HvVcpu& vcpu,
                                        const PendingExit& exit) {
   HandleOutcome outcome;
+  process_exit_into(dom, vcpu, exit, outcome);
+  return outcome;
+}
+
+void Hypervisor::process_exit_into(Domain& dom, HvVcpu& vcpu,
+                                   const PendingExit& exit,
+                                   HandleOutcome& outcome) {
+  outcome.clear();
   if (failures_.host_is_down() || failures_.domain_is_dead(dom.id())) {
     outcome.failure = failures_.host_is_down() ? FailureKind::kHypervisorCrash
                                                : FailureKind::kVmCrash;
+    outcome.cause = FailureCause::kTargetAlreadyDown;
     outcome.failure_reason = "target already down";
-    return outcome;
+    return;
   }
 
   const std::uint64_t t0 = clock_.rdtsc();
@@ -196,12 +205,13 @@ HandleOutcome Hypervisor::process_exit(Domain& dom, HvVcpu& vcpu,
     // Guest context inconsistent with the cached mode: domain is killed
     // before any handler runs ("bad RIP for mode 0", paper §VI-B).
     outcome.failure = FailureKind::kVmCrash;
+    outcome.cause = failures_.events().back().cause;
     outcome.failure_reason = failures_.events().back().reason;
-    outcome.coverage = coverage_.end_exit();
+    coverage_.end_exit_into(outcome.coverage);
     outcome.cycles = clock_.rdtsc() - t0;
     outcome.vmreads = ctx.vmread_count();
     outcome.vmwrites = ctx.vmwrite_count();
-    return outcome;
+    return;
   }
 
   if (entry_failure) {
@@ -229,28 +239,35 @@ HandleOutcome Hypervisor::process_exit(Domain& dom, HvVcpu& vcpu,
   // --- IRIS seam: end of exit handling. ---
   if (hooks_.on_exit_end) hooks_.on_exit_end(vcpu);
 
-  outcome.coverage = coverage_.end_exit();
+  coverage_.end_exit_into(outcome.coverage);
   clock_.advance(costs_.reason_cost(outcome.dispatched_reason));
 
   const bool new_failure = failures_.events().size() > failures_before;
   if (failures_.host_is_down()) {
     outcome.failure = FailureKind::kHypervisorCrash;
+    outcome.cause = failures_.events().back().cause;
     outcome.failure_reason = failures_.events().back().reason;
   } else if (new_failure || failures_.domain_is_dead(dom.id())) {
     outcome.failure = failures_.events().back().kind;
+    outcome.cause = failures_.events().back().cause;
     outcome.failure_reason = failures_.events().back().reason;
   } else {
     // --- VM entry (VMRESUME, Fig 1 step 5). ---
     const auto entry = vcpu.vmx.vmresume();
     if (!entry.vmx.succeeded()) {
-      failures_.hypervisor_crash(clock_.rdtsc(), "VMRESUME VMfail");
+      failures_.hypervisor_crash(clock_.rdtsc(), "VMRESUME VMfail",
+                                 FailureCause::kVmInstructionFail);
       outcome.failure = FailureKind::kHypervisorCrash;
+      outcome.cause = FailureCause::kVmInstructionFail;
       outcome.failure_reason = "VMRESUME VMfail";
     } else if (entry.failed_guest_state_checks()) {
+      std::string description = vtx::describe(entry.violations);
       failures_.vm_crash(dom.id(), clock_.rdtsc(),
-                         "VM entry failed: " + vtx::describe(entry.violations));
+                         "VM entry failed: " + description,
+                         FailureCause::kEntryCheckViolation);
       outcome.failure = FailureKind::kVmCrash;
-      outcome.failure_reason = vtx::describe(entry.violations);
+      outcome.cause = FailureCause::kEntryCheckViolation;
+      outcome.failure_reason = std::move(description);
     } else {
       clock_.advance(costs_.vm_entry_switch);
       // Hardware clears the event-injection valid bit once the event is
@@ -268,17 +285,25 @@ HandleOutcome Hypervisor::process_exit(Domain& dom, HvVcpu& vcpu,
   outcome.cycles = clock_.rdtsc() - t0;
   outcome.vmreads = ctx.vmread_count();
   outcome.vmwrites = ctx.vmwrite_count();
-  return outcome;
 }
 
 HandleOutcome Hypervisor::process_exit_no_entry(Domain& dom, HvVcpu& vcpu,
                                                 const PendingExit& exit) {
+  HandleOutcome outcome;
+  process_exit_no_entry_into(dom, vcpu, exit, outcome);
+  return outcome;
+}
+
+void Hypervisor::process_exit_no_entry_into(Domain& dom, HvVcpu& vcpu,
+                                            const PendingExit& exit,
+                                            HandleOutcome& outcome) {
   // Ablation mode: loop in root without VM entry. The watchdog treats a
   // long streak as a hung CPU (paper §IV-B's rejected design).
-  HandleOutcome outcome;
+  outcome.clear();
   if (failures_.host_is_down()) {
     outcome.failure = FailureKind::kHypervisorCrash;
-    return outcome;
+    outcome.cause = FailureCause::kTargetAlreadyDown;
+    return;
   }
   const std::uint64_t t0 = clock_.rdtsc();
   vcpu.vmx.deliver_exit(exit.reason, exit.qualification, exit.instruction_len,
@@ -293,7 +318,7 @@ HandleOutcome Hypervisor::process_exit_no_entry(Domain& dom, HvVcpu& vcpu,
     dispatch(ctx, outcome.dispatched_reason);
   }
   if (hooks_.on_exit_end) hooks_.on_exit_end(vcpu);
-  outcome.coverage = coverage_.end_exit();
+  coverage_.end_exit_into(outcome.coverage);
 
   if (++vcpu.root_mode_streak >= hang_threshold_) {
     failures_.hypervisor_hang(clock_.rdtsc(),
@@ -301,12 +326,12 @@ HandleOutcome Hypervisor::process_exit_no_entry(Domain& dom, HvVcpu& vcpu,
                                   std::to_string(vcpu.root_mode_streak) +
                                   " root-mode iterations");
     outcome.failure = FailureKind::kHypervisorHang;
+    outcome.cause = FailureCause::kWatchdog;
     outcome.failure_reason = "hang watchdog";
   }
   outcome.cycles = clock_.rdtsc() - t0;
   outcome.vmreads = ctx.vmread_count();
   outcome.vmwrites = ctx.vmwrite_count();
-  return outcome;
 }
 
 void Hypervisor::dispatch(HandlerContext& ctx, vtx::ExitReason reason) {
@@ -386,7 +411,8 @@ bool Hypervisor::validate_guest_context(HandlerContext& ctx) {
   if (vcpu.mode_cache == vcpu::CpuMode::kMode1 && rip > 0x10FFEF) {
     coverage_.hit(Component::kVmx, 6, 3);
     failures_.vm_crash(ctx.dom().id(), clock_.rdtsc(),
-                       "bad RIP for mode 0 (rip=0x" + std::to_string(rip) + ")");
+                       "bad RIP for mode 0 (rip=0x" + std::to_string(rip) + ")",
+                       FailureCause::kBadGuestContext);
     return false;
   }
   return true;

@@ -69,11 +69,14 @@ struct InstrumentationHooks {
       on_guest_mem_read;
 };
 
-/// Everything the hypervisor did while handling one exit.
+/// Everything the hypervisor did while handling one exit. Reusable: the
+/// *_into entry points clear() an existing instance, keeping the
+/// coverage block buffer and reason string capacity across exits.
 struct HandleOutcome {
   bool entered = false;  ///< VM entry succeeded, guest resumed
   bool preemption_timer_fired = false;
   FailureKind failure = FailureKind::kNone;
+  FailureCause cause = FailureCause::kNone;  ///< structured triage cause
   std::string failure_reason;
   ExitCoverage coverage;          ///< IRIS-filtered block set for this exit
   std::uint64_t cycles = 0;       ///< root-mode cycles spent
@@ -81,6 +84,21 @@ struct HandleOutcome {
   std::uint32_t vmwrites = 0;     ///< wrapper-level VMWRITE count
   std::optional<std::uint8_t> injected_vector;
   vtx::ExitReason dispatched_reason = vtx::ExitReason::kPreemptionTimer;
+
+  /// Reset to the default-constructed state without releasing buffers.
+  void clear() noexcept {
+    entered = false;
+    preemption_timer_fired = false;
+    failure = FailureKind::kNone;
+    cause = FailureCause::kNone;
+    failure_reason.clear();
+    coverage.clear();
+    cycles = 0;
+    vmreads = 0;
+    vmwrites = 0;
+    injected_vector.reset();
+    dispatched_reason = vtx::ExitReason::kPreemptionTimer;
+  }
 };
 
 class Hypervisor;
@@ -154,11 +172,18 @@ class Hypervisor {
   /// seams, dispatch, interrupt assist, VM entry (paper Fig 1 steps 4-5).
   HandleOutcome process_exit(Domain& dom, HvVcpu& vcpu, const PendingExit& exit);
 
+  /// Buffer-reusing variant for hot loops: `outcome` is cleared and
+  /// refilled, keeping its coverage/string allocations across exits.
+  void process_exit_into(Domain& dom, HvVcpu& vcpu, const PendingExit& exit,
+                         HandleOutcome& outcome);
+
   /// Ablation support (DESIGN.md §4.2): handle an exit but loop in root
   /// mode WITHOUT performing the VM entry. Repeated use trips the hang
   /// watchdog exactly as the paper warns (§IV-B).
   HandleOutcome process_exit_no_entry(Domain& dom, HvVcpu& vcpu,
                                       const PendingExit& exit);
+  void process_exit_no_entry_into(Domain& dom, HvVcpu& vcpu,
+                                  const PendingExit& exit, HandleOutcome& outcome);
 
   // --- Hypercalls (Xen's hypercall table; §V-C). ---
   using HypercallFn = std::function<std::uint64_t(Domain&, HvVcpu&,

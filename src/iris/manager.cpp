@@ -51,9 +51,28 @@ bool Manager::enable_replay(Replayer::Config config) {
   return replayer_->arm();
 }
 
+bool Manager::rearm_replay(Replayer::Config config) {
+  // The fast path only applies when the requested config matches the
+  // live replayer's; a config change needs the full rebuild.
+  if (!replayer_ || !(replayer_->config() == config)) return enable_replay(config);
+  // A snapshot revert restores the VMCS with the preemption timer still
+  // programmed and leaves the instrumentation hooks installed, so the
+  // existing replayer stays armed as-is.
+  mode_ = Mode::kReplay;
+  return replayer_->arm();
+}
+
 hv::HandleOutcome Manager::submit_seed(const VmSeed& seed) {
   if (!replayer_ && !enable_replay()) return {};
   return replayer_->submit(seed);
+}
+
+void Manager::submit_seed_into(const VmSeed& seed, hv::HandleOutcome& outcome) {
+  if (!replayer_ && !enable_replay()) {
+    outcome.clear();
+    return;
+  }
+  replayer_->submit_into(seed, outcome);
 }
 
 ReplayedBehavior Manager::replay_and_record(const VmBehavior& behavior,

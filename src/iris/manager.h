@@ -69,8 +69,17 @@ class Manager {
   /// previously saved snapshot first).
   [[nodiscard]] bool enable_replay(Replayer::Config config = {});
 
+  /// Crash-recovery fast path: after a snapshot revert, put the manager
+  /// back in replay mode WITHOUT tearing down and rebuilding the armed
+  /// replayer (no hook churn, no allocation). Falls back to
+  /// enable_replay() when no replayer exists yet.
+  [[nodiscard]] bool rearm_replay(Replayer::Config config = {});
+
   /// Submit one seed through the armed replayer.
   hv::HandleOutcome submit_seed(const VmSeed& seed);
+
+  /// Buffer-reusing submit for hot loops; clears and refills `outcome`.
+  void submit_seed_into(const VmSeed& seed, hv::HandleOutcome& outcome);
 
   /// Replay a behavior while recording metrics (record+replay mode,
   /// §IV-C last paragraph — the accuracy experiment's instrument).

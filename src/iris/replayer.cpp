@@ -47,8 +47,11 @@ void Replayer::install_hooks() {
                               vtx::VmcsField field,
                               std::uint64_t value) -> std::optional<std::uint64_t> {
     if (config_.interpose_read_only && current_ != nullptr) {
-      const auto it = read_only_overrides_.find(static_cast<std::uint16_t>(field));
-      if (it != read_only_overrides_.end()) return it->second;
+      const int idx =
+          vtx::compact_from_encoding(static_cast<std::uint16_t>(field));
+      if (idx >= 0 && override_gen_[static_cast<std::size_t>(idx)] == current_gen_) {
+        return override_value_[static_cast<std::size_t>(idx)];
+      }
     }
     if (prev_override) return prev_override(field, value);
     return std::nullopt;
@@ -67,7 +70,11 @@ void Replayer::inject(hv::HvVcpu& vcpu) {
   hv_->coverage().hit(hv::Component::kIris, 10, 5);
 
   std::uint64_t injected_items = 0;
-  read_only_overrides_.clear();
+  // Invalidate the previous seed's overrides in O(1).
+  if (++current_gen_ == 0) {
+    override_gen_.fill(0);
+    current_gen_ = 1;
+  }
 
   if (config_.replay_guest_memory) {
     for (const auto& chunk : current_->memory) {
@@ -87,8 +94,10 @@ void Replayer::inject(hv::HvVcpu& vcpu) {
     const auto field = item.field();
     if (!field) continue;
     if (vtx::is_read_only(*field)) {
-      // Read-only: interpose the vmread() return value.
-      read_only_overrides_[static_cast<std::uint16_t>(*field)] = item.value;
+      // Read-only: interpose the vmread() return value. The item's
+      // encoding is already the compact field index.
+      override_value_[item.encoding] = item.value;
+      override_gen_[item.encoding] = current_gen_;
     } else if (config_.write_writable_fields) {
       // Writable: VMWRITE the recorded value. This is hardware-level
       // (the IRIS callback must not record its own injection writes).
@@ -99,6 +108,12 @@ void Replayer::inject(hv::HvVcpu& vcpu) {
 }
 
 hv::HandleOutcome Replayer::submit(const VmSeed& seed) {
+  hv::HandleOutcome outcome;
+  submit_into(seed, outcome);
+  return outcome;
+}
+
+void Replayer::submit_into(const VmSeed& seed, hv::HandleOutcome& outcome) {
   // One-by-one hand-off (§IX discusses its cost; batch_size amortizes).
   hv_->clock().advance(hv_->costs().replay_seed_fetch /
                        std::max<std::size_t>(config_.batch_size, 1));
@@ -109,13 +124,12 @@ hv::HandleOutcome Replayer::submit(const VmSeed& seed) {
   exit.reason = vtx::ExitReason::kPreemptionTimer;  // the loop's real exit
 
   hv::HvVcpu& vcpu = dummy_->vcpu();
-  hv::HandleOutcome outcome =
-      config_.use_preemption_timer
-          ? hv_->process_exit(*dummy_, vcpu, exit)
-          : hv_->process_exit_no_entry(*dummy_, vcpu, exit);
+  if (config_.use_preemption_timer) {
+    hv_->process_exit_into(*dummy_, vcpu, exit, outcome);
+  } else {
+    hv_->process_exit_no_entry_into(*dummy_, vcpu, exit, outcome);
+  }
   current_ = nullptr;
-  read_only_overrides_.clear();
-  return outcome;
 }
 
 std::vector<hv::HandleOutcome> Replayer::submit_behavior(const VmBehavior& behavior) {

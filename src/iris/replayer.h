@@ -15,8 +15,8 @@
 // that keeps replayed/mutated seeds semantically checked.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "hv/hypervisor.h"
@@ -47,6 +47,8 @@ class Replayer {
     /// emulator divergences of Fig 7. No-op for baseline seeds (which
     /// carry no memory).
     bool replay_guest_memory = true;
+
+    friend bool operator==(const Config&, const Config&) = default;
   };
 
   Replayer(hv::Hypervisor& hv, hv::Domain& dummy);
@@ -64,12 +66,17 @@ class Replayer {
   /// the coverage, VMWRITE counts and failure classification.
   hv::HandleOutcome submit(const VmSeed& seed);
 
+  /// Buffer-reusing variant for the mutant hot loop: `outcome` is
+  /// cleared and refilled, keeping its allocations across submissions.
+  void submit_into(const VmSeed& seed, hv::HandleOutcome& outcome);
+
   /// Replay an entire recorded behavior in order. Stops at the first
   /// host-fatal failure; guest-fatal failures abort too (the dummy VM is
   /// gone). Returns one outcome per submitted seed.
   std::vector<hv::HandleOutcome> submit_behavior(const VmBehavior& behavior);
 
   [[nodiscard]] hv::Domain& dummy() noexcept { return *dummy_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
   [[nodiscard]] std::uint64_t submitted() const noexcept { return submitted_; }
 
  private:
@@ -85,7 +92,12 @@ class Replayer {
   hv::InstrumentationHooks saved_;
 
   const VmSeed* current_ = nullptr;
-  std::unordered_map<std::uint16_t, std::uint64_t> read_only_overrides_;
+  /// Read-only field overrides for the seed being injected, indexed by
+  /// compact VMCS field index and generation-stamped so arming the next
+  /// seed is O(1) — no per-submission map churn in the mutant hot loop.
+  std::array<std::uint64_t, vtx::kNumVmcsFields> override_value_{};
+  std::array<std::uint32_t, vtx::kNumVmcsFields> override_gen_{};
+  std::uint32_t current_gen_ = 0;
   std::uint64_t submitted_ = 0;
 };
 

@@ -7,15 +7,21 @@ namespace iris::mem {
 
 AddressSpace::Page* AddressSpace::page_for_write(std::uint64_t gfn) {
   auto [it, inserted] = pages_.try_emplace(gfn);
+  PageSlot& slot = it->second;
   if (inserted) {
-    it->second.assign(kPageSize, 0);
+    slot.data = std::make_shared<Page>(kPageSize, std::uint8_t{0});
+  } else if (slot.data.use_count() > 1) {
+    // The buffer is shared with at least one snapshot: clone before the
+    // write so captured contents stay immutable.
+    slot.data = std::make_shared<Page>(*slot.data);
   }
-  return &it->second;
+  slot.dirty_gen = ++write_gen_;
+  return slot.data.get();
 }
 
 const AddressSpace::Page* AddressSpace::page_for_read(std::uint64_t gfn) const noexcept {
   const auto it = pages_.find(gfn);
-  return it == pages_.end() ? nullptr : &it->second;
+  return it == pages_.end() ? nullptr : it->second.data.get();
 }
 
 bool AddressSpace::read(std::uint64_t gpa, std::span<std::uint8_t> out) const {
@@ -67,6 +73,58 @@ bool AddressSpace::write_u64(std::uint64_t gpa, std::uint64_t value) {
     value >>= 8;
   }
   return write(gpa, buf);
+}
+
+AddressSpace::Snapshot AddressSpace::snapshot_pages() const {
+  Snapshot snap;
+  snap.capture_gen = write_gen_;
+  snap.membership_gen = membership_gen_;
+  snap.pages.reserve(pages_.size());
+  for (const auto& [gfn, slot] : pages_) {
+    snap.pages.emplace(gfn, slot.data);
+  }
+  return snap;
+}
+
+void AddressSpace::restore_pages(const Snapshot& snap) {
+  // Pages with dirty_gen <= capture_gen cannot have changed since the
+  // capture (dirty_gen is monotonic and bumped on every content change),
+  // so only dirtied pages are compared and reverted.
+  bool erased = false;
+  for (auto it = pages_.begin(); it != pages_.end();) {
+    PageSlot& slot = it->second;
+    if (slot.dirty_gen <= snap.capture_gen) {
+      ++it;
+      continue;
+    }
+    const auto captured = snap.pages.find(it->first);
+    if (captured == snap.pages.end()) {
+      // Materialized after the capture: not part of the snapshot.
+      it = pages_.erase(it);
+      erased = true;
+      continue;
+    }
+    if (slot.data != captured->second) {
+      slot.data = captured->second;
+      slot.dirty_gen = ++write_gen_;
+    }
+    ++it;
+  }
+  if (erased) ++membership_gen_;
+  // Pages resident at capture can only be missing from the map if pages
+  // were dropped since (a reset, or a restore of another snapshot that
+  // erased them). membership_gen_ stays monotonic, so a snapshot older
+  // than the last drop keeps triggering this scan — conservative but
+  // always correct.
+  if (membership_gen_ != snap.membership_gen) {
+    for (const auto& [gfn, page] : snap.pages) {
+      auto [it, inserted] = pages_.try_emplace(gfn);
+      if (inserted) {
+        it->second.data = page;
+        it->second.dirty_gen = ++write_gen_;
+      }
+    }
+  }
 }
 
 }  // namespace iris::mem

@@ -7,6 +7,12 @@
 // instruction emulator when it dereferences descriptor tables — the very
 // accesses whose absence from VM seeds causes the paper's Fig 7 >30-LOC
 // replay divergences.
+//
+// Snapshots are copy-on-write: snapshot_pages() captures shared page
+// references (no byte copies), every page carries a dirty generation
+// bumped on page_for_write, and restore_pages() reverts only the pages
+// dirtied since the capture — the paper's §IV-B snapshot revert at
+// mutant-fuzzing rates instead of full-RAM rebuild rates.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +29,21 @@ inline constexpr std::uint64_t kPageMask = kPageSize - 1;
 
 class AddressSpace {
  public:
+  using Page = std::vector<std::uint8_t>;
+
+  /// A point-in-time capture of the materialized page set. Holds shared
+  /// references to immutable page contents (CoW: a write to a captured
+  /// page clones it first), so copies of a Snapshot are cheap.
+  struct Snapshot {
+    std::unordered_map<std::uint64_t, std::shared_ptr<Page>> pages;
+    std::uint64_t capture_gen = 0;     ///< write generation at capture
+    std::uint64_t membership_gen = 0;  ///< page-drop generation at capture
+
+    [[nodiscard]] std::size_t resident_pages() const noexcept {
+      return pages.size();
+    }
+  };
+
   /// `size_bytes` bounds the valid guest-physical range (paper testbed
   /// DomUs: 1 GB).
   explicit AddressSpace(std::uint64_t size_bytes = 1ULL << 30)
@@ -46,28 +67,44 @@ class AddressSpace {
   /// Pages currently materialized (memory-overhead accounting).
   [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
 
-  /// Drop all contents (VM teardown / snapshot revert to empty RAM).
-  void reset() { pages_.clear(); }
+  /// Current write generation (bumped on every page_for_write; exposed
+  /// for dirty-tracking diagnostics and tests).
+  [[nodiscard]] std::uint64_t write_generation() const noexcept { return write_gen_; }
 
-  /// Copy-out/copy-in of the materialized page set (VM snapshot support;
-  /// the paper reverts the test VM to the snapshot taken when recording
-  /// started, §IV-B).
-  [[nodiscard]] std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
-  snapshot_pages() const {
-    return pages_;
+  /// Drop all contents (VM teardown / snapshot revert to empty RAM).
+  void reset() {
+    pages_.clear();
+    ++membership_gen_;
   }
-  void restore_pages(std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> p) {
-    pages_ = std::move(p);
-  }
+
+  /// Capture the materialized page set as shared CoW references (VM
+  /// snapshot support; the paper reverts the test VM to the snapshot
+  /// taken when recording started, §IV-B). O(resident pages) pointer
+  /// copies, zero byte copies.
+  [[nodiscard]] Snapshot snapshot_pages() const;
+
+  /// Revert to `snap`, touching only the pages dirtied since its
+  /// capture: pages written since are re-pointed at the snapshot's
+  /// buffers, pages materialized since are dropped, and pages lost to a
+  /// reset() are re-inserted.
+  void restore_pages(const Snapshot& snap);
 
  private:
-  using Page = std::vector<std::uint8_t>;
+  struct PageSlot {
+    std::shared_ptr<Page> data;   ///< cloned on write while shared (CoW)
+    std::uint64_t dirty_gen = 0;  ///< write_gen_ at last content change
+  };
 
   Page* page_for_write(std::uint64_t gfn);
   [[nodiscard]] const Page* page_for_read(std::uint64_t gfn) const noexcept;
 
   std::uint64_t size_bytes_;
-  std::unordered_map<std::uint64_t, Page> pages_;
+  std::unordered_map<std::uint64_t, PageSlot> pages_;
+  std::uint64_t write_gen_ = 0;
+  /// Bumped whenever resident pages are dropped (reset / restore-erase):
+  /// a snapshot captured before the current value may reference pages
+  /// missing from the map, so its restore must run the insertion scan.
+  std::uint64_t membership_gen_ = 0;
 };
 
 }  // namespace iris::mem

@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
 
 namespace iris::vcpu {
 
@@ -76,6 +75,33 @@ inline constexpr std::uint32_t kMsrIa32FsBase = 0xC0000100;
 inline constexpr std::uint32_t kMsrIa32GsBase = 0xC0000101;
 inline constexpr std::uint32_t kMsrIa32KernelGsBase = 0xC0000102;
 
+/// Flat storage slot for a modeled MSR, -1 for everything else. WRMSR
+/// to unmodeled MSRs is dropped by the handlers (as Xen does), so the
+/// per-vCPU MSR file is a fixed array on the exit-path hot loop instead
+/// of a hash map.
+[[nodiscard]] constexpr int msr_slot(std::uint32_t index) noexcept {
+  switch (index) {
+    case kMsrIa32Tsc: return 0;
+    case kMsrIa32ApicBase: return 1;
+    case kMsrIa32MiscEnable: return 2;
+    case kMsrIa32SysenterCs: return 3;
+    case kMsrIa32SysenterEsp: return 4;
+    case kMsrIa32SysenterEip: return 5;
+    case kMsrIa32Pat: return 6;
+    case kMsrIa32Efer: return 7;
+    case kMsrIa32Star: return 8;
+    case kMsrIa32Lstar: return 9;
+    case kMsrIa32Cstar: return 10;
+    case kMsrIa32Fmask: return 11;
+    case kMsrIa32FsBase: return 12;
+    case kMsrIa32GsBase: return 13;
+    case kMsrIa32KernelGsBase: return 14;
+    default: return -1;
+  }
+}
+
+inline constexpr std::size_t kNumModeledMsrs = 15;
+
 /// Full architectural register state of one vCPU at the reset vector
 /// (SDM 9.1.1 power-up state: real mode, CS base 0xFFFF0000, RIP 0xFFF0).
 struct RegisterFile {
@@ -94,7 +120,12 @@ struct RegisterFile {
   DescTable gdtr;
   DescTable idtr;
 
-  std::unordered_map<std::uint32_t, std::uint64_t> msr;
+  std::array<std::uint64_t, kNumModeledMsrs> msr{};
+  /// Written-bit per modeled MSR slot: keeps an explicitly written zero
+  /// distinguishable from a never-written MSR (read_msr's fallback
+  /// contract), as the old map's key presence did.
+  std::uint16_t msr_written = 0;
+  static_assert(kNumModeledMsrs <= 16, "msr_written bitmask must cover all slots");
 
   [[nodiscard]] std::uint64_t read(Gpr r) const noexcept {
     return gpr[static_cast<std::size_t>(r)];
@@ -108,12 +139,21 @@ struct RegisterFile {
     return seg[static_cast<std::size_t>(s)];
   }
 
+  /// MSRs never written read as `fallback`; unmodeled MSRs are never
+  /// stored (WRMSR to them is dropped by the handlers), so they always
+  /// read as the fallback.
   [[nodiscard]] std::uint64_t read_msr(std::uint32_t index, std::uint64_t fallback = 0)
       const noexcept {
-    const auto it = msr.find(index);
-    return it == msr.end() ? fallback : it->second;
+    const int slot = msr_slot(index);
+    if (slot < 0 || (msr_written & (1u << slot)) == 0) return fallback;
+    return msr[static_cast<std::size_t>(slot)];
   }
-  void write_msr(std::uint32_t index, std::uint64_t value) { msr[index] = value; }
+  void write_msr(std::uint32_t index, std::uint64_t value) noexcept {
+    const int slot = msr_slot(index);
+    if (slot < 0) return;
+    msr[static_cast<std::size_t>(slot)] = value;
+    msr_written = static_cast<std::uint16_t>(msr_written | (1u << slot));
+  }
 
   [[nodiscard]] std::uint64_t efer() const noexcept { return read_msr(kMsrIa32Efer); }
 

@@ -38,7 +38,8 @@ VmxOutcome Vmcs::vmwrite(VmcsField field, std::uint64_t value) {
     return VmxOutcome::fail(last_error_);
   }
   const std::uint64_t masked = value & width_mask(field);
-  fields_[static_cast<std::uint16_t>(field)] = masked;
+  fields_[static_cast<std::size_t>(
+      compact_from_encoding(static_cast<std::uint16_t>(field)))] = masked;
   if (write_hook_) {
     write_hook_(field, masked);
   }
@@ -46,17 +47,8 @@ VmxOutcome Vmcs::vmwrite(VmcsField field, std::uint64_t value) {
   return VmxOutcome::success();
 }
 
-void Vmcs::hw_write(VmcsField field, std::uint64_t value) {
-  fields_[static_cast<std::uint16_t>(field)] = value & width_mask(field);
-}
-
-std::uint64_t Vmcs::hw_read(VmcsField field) const noexcept {
-  const auto it = fields_.find(static_cast<std::uint16_t>(field));
-  return it == fields_.end() ? 0 : it->second;
-}
-
 void Vmcs::clear() {
-  fields_.clear();
+  fields_.fill(0);
   launch_state_ = VmcsLaunchState::kInactiveNotCurrentClear;
   last_error_ = VmInstructionError::kNone;
 }

@@ -13,9 +13,9 @@
 // VMWRITEs. Hooks see {field, value} pairs, exactly the seed content.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "vtx/vmcs_fields.h"
 
@@ -77,12 +77,20 @@ class Vmcs {
 
   /// Hardware-internal write that bypasses access-type checks — used by
   /// the VM-exit microcode to latch exit-information fields, which are
-  /// read-only to software (SDM 27.2).
-  void hw_write(VmcsField field, std::uint64_t value);
+  /// read-only to software (SDM 27.2). Inline: the guest-state sync
+  /// runs dozens of these per exit.
+  void hw_write(VmcsField field, std::uint64_t value) noexcept {
+    const int idx = compact_from_encoding(static_cast<std::uint16_t>(field));
+    if (idx < 0) return;  // unmodeled encoding: hardware drops the write
+    fields_[static_cast<std::size_t>(idx)] = value & width_mask(field);
+  }
 
   /// Hardware-internal read (no hook interposition, no error path).
   /// Unwritten fields read as zero, matching a VMCLEARed region.
-  [[nodiscard]] std::uint64_t hw_read(VmcsField field) const noexcept;
+  [[nodiscard]] std::uint64_t hw_read(VmcsField field) const noexcept {
+    const int idx = compact_from_encoding(static_cast<std::uint16_t>(field));
+    return idx < 0 ? 0 : fields_[static_cast<std::size_t>(idx)];
+  }
 
   /// VMCLEAR semantics: reset all field data and the launch state.
   void clear();
@@ -100,17 +108,19 @@ class Vmcs {
     write_hook_ = nullptr;
   }
 
+  /// Flat field storage, indexed by compact field index. Snapshot and
+  /// restore are plain array copies — no node allocation, no rehash.
+  using FieldArray = std::array<std::uint64_t, kNumVmcsFields>;
+
   /// Deep copy of the field data (snapshot support). Hooks and launch
   /// state are not copied: a restored VMCS must be re-VMPTRLDed.
-  [[nodiscard]] std::unordered_map<std::uint16_t, std::uint64_t> snapshot_fields() const {
+  [[nodiscard]] const FieldArray& snapshot_fields() const noexcept {
     return fields_;
   }
-  void restore_fields(std::unordered_map<std::uint16_t, std::uint64_t> fields) {
-    fields_ = std::move(fields);
-  }
+  void restore_fields(const FieldArray& fields) noexcept { fields_ = fields; }
 
  private:
-  std::unordered_map<std::uint16_t, std::uint64_t> fields_;
+  FieldArray fields_{};
   VmcsLaunchState launch_state_ = VmcsLaunchState::kInactiveNotCurrentClear;
   mutable VmInstructionError last_error_ = VmInstructionError::kNone;
   ReadHook read_hook_;

@@ -6,11 +6,8 @@
 namespace iris::vtx {
 namespace {
 
-constexpr std::array<VmcsField, kNumVmcsFields> kAllFields = {
-#define IRIS_VMCS_TABLE(name, enc, str) VmcsField::name,
-    IRIS_VMCS_FIELD_LIST(IRIS_VMCS_TABLE)
-#undef IRIS_VMCS_TABLE
-};
+constexpr const std::array<VmcsField, kNumVmcsFields>& kAllFields =
+    detail::kAllVmcsFields;
 
 constexpr std::array<std::string_view, kNumVmcsFields> kFieldNames = {
 #define IRIS_VMCS_NAME(name, enc, str) str,
@@ -33,13 +30,9 @@ static_assert(table_is_sorted(), "VMCS field table must be encoding-sorted");
 static_assert(kNumVmcsFields <= 256, "compact index must fit one byte");
 
 std::optional<std::size_t> table_position(std::uint16_t encoding) noexcept {
-  const auto it = std::lower_bound(
-      kAllFields.begin(), kAllFields.end(), encoding,
-      [](VmcsField f, std::uint16_t e) { return static_cast<std::uint16_t>(f) < e; });
-  if (it == kAllFields.end() || static_cast<std::uint16_t>(*it) != encoding) {
-    return std::nullopt;
-  }
-  return static_cast<std::size_t>(it - kAllFields.begin());
+  const int idx = compact_from_encoding(encoding);
+  if (idx < 0) return std::nullopt;
+  return static_cast<std::size_t>(idx);
 }
 
 }  // namespace
@@ -51,19 +44,10 @@ std::string_view to_string(VmcsField f) noexcept {
   return pos ? kFieldNames[*pos] : std::string_view("UNKNOWN_FIELD");
 }
 
-bool is_valid_field_encoding(std::uint16_t encoding) noexcept {
-  return table_position(encoding).has_value();
-}
-
 std::optional<std::uint8_t> compact_index(VmcsField f) noexcept {
   const auto pos = table_position(static_cast<std::uint16_t>(f));
   if (!pos) return std::nullopt;
   return static_cast<std::uint8_t>(*pos);
-}
-
-std::optional<VmcsField> field_from_compact(std::uint8_t idx) noexcept {
-  if (idx >= kAllFields.size()) return std::nullopt;
-  return kAllFields[idx];
 }
 
 std::optional<VmcsField> field_from_string(std::string_view name) noexcept {

@@ -13,6 +13,7 @@
 // provides that dense mapping, and field_from_compact() its inverse.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -251,15 +252,63 @@ enum class FieldType : std::uint8_t {
 /// SDM-style field name ("GUEST_CR0", ...).
 [[nodiscard]] std::string_view to_string(VmcsField f) noexcept;
 
+namespace detail {
+
+/// All modeled fields in canonical (encoding-sorted) table order.
+inline constexpr std::array<VmcsField, kNumVmcsFields> kAllVmcsFields = {
+#define IRIS_VMCS_TABLE(name, enc, str) VmcsField::name,
+    IRIS_VMCS_FIELD_LIST(IRIS_VMCS_TABLE)
+#undef IRIS_VMCS_TABLE
+};
+
+/// Direct encoding -> compact-index table (0xFF = unmodeled). The
+/// encoding space is small (< 0x7000), so a flat byte table beats a
+/// binary search on the per-vmread/vmwrite hot path.
+inline constexpr std::size_t kEncodingLutSize = [] {
+  std::size_t max = 0;
+  for (const VmcsField f : kAllVmcsFields) {
+    const auto enc = static_cast<std::size_t>(static_cast<std::uint16_t>(f));
+    if (enc > max) max = enc;
+  }
+  return max + 1;
+}();
+
+inline constexpr auto kCompactLut = [] {
+  std::array<std::uint8_t, kEncodingLutSize> lut{};
+  for (auto& b : lut) b = 0xFF;
+  for (std::size_t i = 0; i < kAllVmcsFields.size(); ++i) {
+    lut[static_cast<std::uint16_t>(kAllVmcsFields[i])] =
+        static_cast<std::uint8_t>(i);
+  }
+  return lut;
+}();
+
+}  // namespace detail
+
+/// O(1) encoding -> compact field index, -1 when the encoding is not
+/// modeled. This is the hot path under every vmread/vmwrite, so it
+/// lives in the header for inlining.
+[[nodiscard]] inline int compact_from_encoding(std::uint16_t encoding) noexcept {
+  if (encoding >= detail::kEncodingLutSize) return -1;
+  const std::uint8_t idx = detail::kCompactLut[encoding];
+  return idx == 0xFF ? -1 : idx;
+}
+
 /// True if `encoding` is one of the modeled fields.
-[[nodiscard]] bool is_valid_field_encoding(std::uint16_t encoding) noexcept;
+[[nodiscard]] inline bool is_valid_field_encoding(std::uint16_t encoding) noexcept {
+  return compact_from_encoding(encoding) >= 0;
+}
 
 /// Dense 1-byte index used in serialized seed records (paper §V-A).
 /// Canonical-table position; stable across builds.
 [[nodiscard]] std::optional<std::uint8_t> compact_index(VmcsField f) noexcept;
 
-/// Inverse of compact_index().
-[[nodiscard]] std::optional<VmcsField> field_from_compact(std::uint8_t idx) noexcept;
+/// Inverse of compact_index(). Inline: on the seed-injection hot path.
+[[nodiscard]] inline std::optional<VmcsField> field_from_compact(
+    std::uint8_t idx) noexcept {
+  if (idx >= detail::kAllVmcsFields.size()) return std::nullopt;
+  return detail::kAllVmcsFields[idx];
+}
 
 /// Parse an SDM-style name back to a field (CLI / corpus tooling).
 [[nodiscard]] std::optional<VmcsField> field_from_string(std::string_view name) noexcept;

@@ -2,8 +2,11 @@
 // the failure manager.
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+
 #include "hv/coverage.h"
 #include "hv/failure.h"
+#include "iris/manager.h"
 
 namespace iris::hv {
 namespace {
@@ -97,6 +100,110 @@ TEST(CoverageAccumulator, LocNotIn) {
   b.add(b_cov);
   EXPECT_EQ(a.loc_not_in(b), 3u);
   EXPECT_EQ(b.loc_not_in(a), 0u);
+}
+
+TEST(CoverageMap, RegisteredBlocksListsFirstHitOrder) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVpt, 9, 4);
+  cov.hit(Component::kVmx, 1, 2);
+  cov.hit(Component::kVpt, 9, 4);  // repeat: no new registration
+  cov.end_exit();
+  ASSERT_EQ(cov.registered_blocks().size(), 2u);
+  EXPECT_EQ(cov.registered_blocks()[0], pack_block(Component::kVpt, 9));
+  EXPECT_EQ(cov.registered_blocks()[1], pack_block(Component::kVmx, 1));
+  EXPECT_EQ(cov.loc_of(cov.registered_blocks()[0]), 4);
+}
+
+TEST(CoverageMap, EndExitIntoReusesTheCallerBuffer) {
+  CoverageMap cov;
+  ExitCoverage out;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 2);
+  cov.hit(Component::kIntr, 2, 3);
+  cov.end_exit_into(out);
+  EXPECT_EQ(out.blocks.size(), 2u);
+  EXPECT_EQ(out.loc, 5u);
+
+  // Refill with a different exit: previous content must be replaced,
+  // not appended to.
+  cov.begin_exit();
+  cov.hit(Component::kVpt, 7, 4);
+  cov.end_exit_into(out);
+  ASSERT_EQ(out.blocks.size(), 1u);
+  EXPECT_EQ(out.blocks[0], pack_block(Component::kVpt, 7));
+  EXPECT_EQ(out.loc, 4u);
+}
+
+TEST(CoverageMap, ResetForgetsEverything) {
+  CoverageMap cov;
+  cov.begin_exit();
+  cov.hit(Component::kVmx, 1, 2);
+  cov.end_exit();
+  cov.reset();
+  EXPECT_TRUE(cov.registered_blocks().empty());
+  EXPECT_EQ(cov.loc_of(pack_block(Component::kVmx, 1)), 0);
+  cov.begin_exit();
+  EXPECT_TRUE(cov.end_exit().blocks.empty());
+}
+
+// Reference implementation of the accumulator contract with hash-set
+// internals (the pre-bitset design); the production bitset version must
+// report identical numbers on every input.
+struct ReferenceAccumulator {
+  explicit ReferenceAccumulator(const CoverageMap& m) : map(&m) {}
+
+  std::uint32_t add(const ExitCoverage& exit_cov) {
+    std::uint32_t gained = 0;
+    for (BlockKey key : exit_cov.blocks) {
+      if (seen.insert(key).second) gained += map->loc_of(key);
+    }
+    total += gained;
+    return gained;
+  }
+
+  [[nodiscard]] std::uint32_t loc_not_in(const ReferenceAccumulator& other) const {
+    std::uint32_t sum = 0;
+    for (BlockKey key : seen) {
+      if (!other.seen.contains(key)) sum += map->loc_of(key);
+    }
+    return sum;
+  }
+
+  const CoverageMap* map;
+  std::unordered_set<BlockKey> seen;
+  std::uint32_t total = 0;
+};
+
+TEST(CoverageAccumulator, BitsetMatchesHashSetReferenceOnRecordedBehaviors) {
+  for (const auto workload :
+       {guest::Workload::kOsBoot, guest::Workload::kCpuBound, guest::Workload::kIdle}) {
+    Hypervisor hv(7, 0.02);
+    Manager manager(hv);
+    const VmBehavior& behavior = manager.record_workload(workload, 300, 11);
+    ASSERT_FALSE(behavior.empty());
+
+    // Split the trace across two accumulators (even/odd exits) so the
+    // loc_not_in comparison sees genuinely different sides.
+    CoverageAccumulator even(hv.coverage()), odd(hv.coverage());
+    ReferenceAccumulator ref_even(hv.coverage()), ref_odd(hv.coverage());
+    for (std::size_t i = 0; i < behavior.size(); ++i) {
+      const ExitCoverage& cov = behavior[i].metrics.coverage;
+      auto& acc = (i % 2 == 0) ? even : odd;
+      auto& ref = (i % 2 == 0) ? ref_even : ref_odd;
+      // Gain must agree add-by-add, not only in the final total.
+      ASSERT_EQ(acc.add(cov), ref.add(cov));
+    }
+    EXPECT_EQ(even.total_loc(), ref_even.total);
+    EXPECT_EQ(odd.total_loc(), ref_odd.total);
+    EXPECT_EQ(even.unique_blocks(), ref_even.seen.size());
+    EXPECT_EQ(odd.unique_blocks(), ref_odd.seen.size());
+    EXPECT_EQ(even.loc_not_in(odd), ref_even.loc_not_in(ref_odd));
+    EXPECT_EQ(odd.loc_not_in(even), ref_odd.loc_not_in(ref_even));
+    for (BlockKey key : ref_even.seen) {
+      EXPECT_TRUE(even.contains(key));
+    }
+  }
 }
 
 TEST(ExitCoverage, LocInComponent) {

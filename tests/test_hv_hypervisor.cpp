@@ -194,7 +194,7 @@ TEST_F(HypervisorTest, DomainSnapshotRestoreRoundTrip) {
   hv_.copy_from_guest(*dom_, 0x1000, byte);
   EXPECT_EQ(byte[0], 0xAA);
   EXPECT_EQ(vcpu_->vmcs.hw_read(VmcsField::kGuestRip),
-            snap.vmcs_fields.at(static_cast<std::uint16_t>(VmcsField::kGuestRip)));
+            snap.vmcs_fields.at(*vtx::compact_index(VmcsField::kGuestRip)));
 }
 
 TEST_F(HypervisorTest, InterruptInjectionAtEntry) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <vector>
 
 #include "mem/address_space.h"
 #include "mem/ept.h"
@@ -64,6 +65,103 @@ TEST(AddressSpace, SnapshotRestore) {
   as.write_u64(0x1000, 99);
   as.restore_pages(snap);
   EXPECT_EQ(as.read_u64(0x1000), 42u);
+}
+
+/// Full byte image of a (small) address space, including zero reads of
+/// unmaterialized pages — the ground truth a delta restore must match.
+std::vector<std::uint8_t> dump(const AddressSpace& as) {
+  std::vector<std::uint8_t> image(as.size());
+  EXPECT_TRUE(as.read(0, image));
+  return image;
+}
+
+TEST(AddressSpace, DeltaRestoreIsByteIdenticalAcrossInterleavedWritesAndSnapshots) {
+  AddressSpace as(1 << 16);  // 16 pages: full dumps stay cheap
+  std::uint64_t x = 0x9E3779B97F4A7C15ULL;  // deterministic value stream
+  const auto next = [&x] {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+
+  as.write_u64(0x0100, next());
+  as.write_u64(0x3FF8, next());  // page-straddling write
+  const auto snap_a = as.snapshot_pages();
+  const auto image_a = dump(as);
+
+  as.write_u64(0x0100, next());   // dirty an existing page
+  as.write_u64(0x8000, next());   // materialize a new page
+  const auto snap_b = as.snapshot_pages();
+  const auto image_b = dump(as);
+
+  as.write_u64(0xC000, next());   // dirty after the second snapshot too
+
+  as.restore_pages(snap_a);
+  EXPECT_EQ(dump(as), image_a);
+
+  // Re-dirty and restore the *newer* snapshot over the older state.
+  as.write_u64(0x0108, next());
+  as.restore_pages(snap_b);
+  EXPECT_EQ(dump(as), image_b);
+
+  // Back to the older snapshot once more (no writes since the restore).
+  as.restore_pages(snap_a);
+  EXPECT_EQ(dump(as), image_a);
+}
+
+TEST(AddressSpace, DeltaRestoreDropsPagesMaterializedAfterCapture) {
+  AddressSpace as(1 << 16);
+  as.write_u64(0x1000, 7);
+  const auto snap = as.snapshot_pages();
+  as.write_u64(0x5000, 8);
+  EXPECT_EQ(as.resident_pages(), 2u);
+  as.restore_pages(snap);
+  EXPECT_EQ(as.resident_pages(), 1u);
+  EXPECT_EQ(as.read_u64(0x5000), 0u);
+}
+
+TEST(AddressSpace, CapturedPagesAreImmuneToLaterWrites) {
+  AddressSpace as(1 << 16);
+  as.write_u64(0x2000, 0xAAAA);
+  const auto snap = as.snapshot_pages();
+  // Writing through the same page must copy-on-write, not mutate the
+  // buffer the snapshot references.
+  as.write_u64(0x2000, 0xBBBB);
+  as.write_u64(0x2008, 0xCCCC);
+  as.restore_pages(snap);
+  EXPECT_EQ(as.read_u64(0x2000), 0xAAAAu);
+  EXPECT_EQ(as.read_u64(0x2008), 0u);
+}
+
+TEST(AddressSpace, RestoreAfterResetReinsertsSnapshotPages) {
+  AddressSpace as(1 << 16);
+  as.write_u64(0x1000, 41);
+  as.write_u64(0x7000, 43);
+  const auto snap = as.snapshot_pages();
+  const auto image = dump(as);
+  as.reset();
+  as.write_u64(0x3000, 99);  // unrelated post-reset state
+  as.restore_pages(snap);
+  EXPECT_EQ(dump(as), image);
+  EXPECT_EQ(as.resident_pages(), 2u);
+}
+
+TEST(AddressSpace, RepeatedRestoreInAFuzzLoopShape) {
+  // The mutant hot-loop pattern: one snapshot, many dirty+restore
+  // rounds. Every round must come back byte-identical.
+  AddressSpace as(1 << 16);
+  for (std::uint64_t gpa = 0; gpa < (1 << 16); gpa += kPageSize) {
+    as.write_u64(gpa, gpa + 1);
+  }
+  const auto snap = as.snapshot_pages();
+  const auto image = dump(as);
+  for (int round = 0; round < 50; ++round) {
+    as.write_u64(static_cast<std::uint64_t>(round % 16) * kPageSize,
+                 0xDEAD0000ULL + static_cast<std::uint64_t>(round));
+    as.restore_pages(snap);
+    ASSERT_EQ(dump(as), image);
+  }
 }
 
 TEST(Ept, UnmappedAccessViolates) {
