@@ -1,0 +1,112 @@
+// Checkpointing overhead — the cost of making a campaign survivable.
+//
+// Runs the same Table I campaign twice through CampaignRunner: once
+// purely in-memory and once journaling every completed cell to a
+// checkpoint file. The journal write happens once per cell (thousands
+// of mutants), so the overhead must be noise — the PR 3 acceptance bar
+// is under 2%. Also measures resume speed: reopening the finished
+// journal and recovering every cell without executing a mutant.
+//
+// Results are appended to BENCH_PR3.json:
+//   campaign.mutants_per_second_plain        (checkpointing off)
+//   campaign.mutants_per_second_checkpointed (checkpointing on)
+//   campaign.checkpoint_overhead_pct
+//   campaign.resume_seconds                  (full recovery, no fuzzing)
+//
+//   $ ./bench_checkpoint_overhead [mutants] [seed] [workers]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench_json.h"
+#include "campaign/checkpoint.h"
+#include "fuzz/campaign.h"
+
+int main(int argc, char** argv) {
+  using namespace iris;
+  const std::size_t mutants = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+  const std::size_t workers = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2;
+
+  const auto grid = fuzz::make_table1_grid({guest::Workload::kCpuBound}, mutants, seed);
+  std::printf("checkpoint overhead: %zu cells, M=%zu, %zu worker(s)\n\n",
+              grid.size(), mutants, workers);
+
+  fuzz::CampaignConfig config;
+  config.workers = workers;
+  config.hv_seed = seed;
+  config.record_exits = 1000;
+  config.record_seed = seed;
+
+  // Warm-up: touch every code path once so neither timed run pays
+  // first-run costs.
+  {
+    auto warm = config;
+    auto warm_grid = fuzz::make_table1_grid({guest::Workload::kCpuBound}, 50, seed);
+    (void)fuzz::CampaignRunner(warm).run(warm_grid);
+  }
+
+  const std::filesystem::path ckpt =
+      std::filesystem::temp_directory_path() / "iris-bench-overhead.ckpt";
+  auto journaled_config = config;
+  journaled_config.checkpoint_path = ckpt.string();
+
+  // Interleaved best-of-5 per mode: single runs at this scale jitter by
+  // a few percent, which would drown the effect being measured.
+  constexpr int kRepetitions = 5;
+  fuzz::CampaignResult plain, journaled;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    auto p = fuzz::CampaignRunner(config).run(grid);
+    if (p.mutants_per_second > plain.mutants_per_second) plain = std::move(p);
+
+    std::filesystem::remove(ckpt);  // journal from scratch every rep
+    auto j = fuzz::CampaignRunner(journaled_config).run(grid);
+    if (!j.persistence_error.empty()) {
+      std::fprintf(stderr, "persistence error: %s\n",
+                   j.persistence_error.c_str());
+      return 1;
+    }
+    if (j.mutants_per_second > journaled.mutants_per_second) {
+      journaled = std::move(j);
+    }
+  }
+
+  // Resume: every cell comes out of the journal; no mutant executes.
+  const auto resume0 = std::chrono::steady_clock::now();
+  const auto resumed = fuzz::CampaignRunner(journaled_config).run(grid);
+  const double resume_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - resume0)
+          .count();
+  std::filesystem::remove(ckpt);
+
+  const bool identical = campaign::canonical_result_bytes(plain) ==
+                             campaign::canonical_result_bytes(journaled) &&
+                         campaign::canonical_result_bytes(plain) ==
+                             campaign::canonical_result_bytes(resumed);
+  const double overhead_pct =
+      plain.mutants_per_second > 0.0
+          ? 100.0 * (plain.mutants_per_second - journaled.mutants_per_second) /
+                plain.mutants_per_second
+          : 0.0;
+
+  std::printf("  checkpointing off: %10.0f mutants/s (%.3f s)\n",
+              plain.mutants_per_second, plain.elapsed_seconds);
+  std::printf("  checkpointing on:  %10.0f mutants/s (%.3f s)\n",
+              journaled.mutants_per_second, journaled.elapsed_seconds);
+  std::printf("  overhead:          %10.2f %%\n", overhead_pct);
+  std::printf("  resume (no work):  %10.3f s for %zu cells\n", resume_seconds,
+              resumed.cells_resumed);
+  std::printf("  results identical: %s\n", identical ? "yes" : "NO");
+
+  bench::JsonMetrics metrics("BENCH_PR3.json");
+  metrics.set("campaign.mutants_per_second_plain", plain.mutants_per_second);
+  metrics.set("campaign.mutants_per_second_checkpointed",
+              journaled.mutants_per_second);
+  metrics.set("campaign.checkpoint_overhead_pct", overhead_pct);
+  metrics.set("campaign.resume_seconds", resume_seconds);
+  if (metrics.flush()) {
+    std::printf("\n(appended to %s)\n", metrics.path().c_str());
+  }
+  return identical ? 0 : 1;
+}

@@ -2,15 +2,68 @@
 // then analyze the archived crashing seeds — which field/register was
 // mutated, which bit, and what the hypervisor logged.
 //
+// `replay` mode consumes a CrashArchive written by a campaign
+// (fuzz_campaign's crash-archive-dir argument): each reproducer is
+// re-executed on a fresh VM stack — replay the behavior prefix to the
+// target state, submit the mutated seed — and the observed failure is
+// checked against the archived bucket. Exit code 2 = some reproducer
+// no longer fails the way the campaign saw it.
+//
 //   $ ./crash_triage [mutants] [seed]
+//   $ ./crash_triage replay <crash-archive-dir>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 
+#include "campaign/crash_archive.h"
 #include "fuzz/fuzzer.h"
+
+namespace {
+
+int cmd_replay_archive(const char* dir) {
+  using namespace iris;
+  campaign::CrashArchive archive(dir);
+  const auto names = archive.list();
+  if (names.empty()) {
+    std::fprintf(stderr, "no reproducers under %s\n", dir);
+    return 1;
+  }
+  std::printf("replaying %zu reproducer(s) from %s\n\n", names.size(), dir);
+  std::size_t matched = 0;
+  for (const auto& name : names) {
+    auto repro = archive.load(name);
+    if (!repro.ok()) {
+      std::printf("  %-40s LOAD FAILED: %s\n", name.c_str(),
+                  repro.error().message.c_str());
+      continue;
+    }
+    const auto verdict = campaign::CrashArchive::replay(repro.value());
+    const char* status = !verdict.walked  ? "PREFIX FAILED"
+                         : verdict.matches ? "REPRODUCED"
+                                           : "KIND MISMATCH";
+    if (verdict.matches) ++matched;
+    std::printf("  %-40s %s (expected %s, observed %s)\n", name.c_str(), status,
+                std::string(hv::to_string(repro.value().key.kind)).c_str(),
+                std::string(hv::to_string(verdict.observed)).c_str());
+  }
+  std::printf("\n%zu/%zu reproducers re-failed with their archived kind\n",
+              matched, names.size());
+  return matched == names.size() ? 0 : 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace iris;
+
+  if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: %s replay <crash-archive-dir>\n", argv[0]);
+      return 1;
+    }
+    return cmd_replay_archive(argv[2]);
+  }
 
   const std::size_t mutants = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;

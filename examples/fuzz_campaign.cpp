@@ -7,7 +7,15 @@
 // reports throughput. With the default async noise (0) the results are
 // identical for any worker count.
 //
+// The persistence flags make the campaign survivable: with a
+// checkpoint path, a killed run resumes where it stopped (to the same
+// byte-identical result); with a cell budget, the run stops cleanly
+// after N cells (exit code 3 = "more to do — run me again"); with an
+// archive dir, every crash bucket gets a replayable reproducer for
+// crash_triage.
+//
 //   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
+//                     [checkpoint-file] [cell-budget] [crash-archive-dir]
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -33,16 +41,45 @@ int main(int argc, char** argv) {
   config.hv_seed = seed;
   config.record_exits = 2000;
   config.record_seed = seed;
+  if (argc > 5) config.checkpoint_path = argv[5];
+  if (argc > 6) config.cell_budget = std::strtoull(argv[6], nullptr, 10);
+  if (argc > 7) config.crash_archive_dir = argv[7];
   const auto grid = fuzz::make_table1_grid({*workload}, mutants, seed);
-  std::printf("fuzzing %s: %zu grid cells, M=%zu per cell, %zu worker(s)\n\n",
+  std::printf("fuzzing %s: %zu grid cells, M=%zu per cell, %zu worker(s)\n",
               workload_name.c_str(), grid.size(), mutants, workers);
+  if (!config.checkpoint_path.empty()) {
+    std::printf("checkpoint: %s%s\n", config.checkpoint_path.c_str(),
+                config.cell_budget != 0 ? " (budgeted)" : "");
+  }
+  std::printf("\n");
 
   fuzz::CampaignRunner runner(config);
   const auto campaign = runner.run(grid);
 
+  if (!campaign.persistence_error.empty()) {
+    std::fprintf(stderr, "persistence error: %s\n",
+                 campaign.persistence_error.c_str());
+    return 1;
+  }
+  if (campaign.cells_resumed > 0) {
+    std::printf("resumed %zu cell(s) from the checkpoint\n",
+                campaign.cells_resumed);
+  }
+  if (!campaign.complete) {
+    std::printf("cell budget exhausted with cells still pending — "
+                "rerun with the same checkpoint to resume\n");
+  }
+
   std::printf("%-12s %-6s %10s %10s %8s %8s %8s\n", "reason", "area", "base LOC",
               "new LOC", "gain%", "VM-crash", "HV-crash");
-  for (const auto& r : campaign.results) {
+  for (std::size_t i = 0; i < campaign.results.size(); ++i) {
+    const auto& r = campaign.results[i];
+    if (i < campaign.cells_completed.size() && campaign.cells_completed[i] == 0) {
+      std::printf("%-12s %-6s %10s\n",
+                  std::string(vtx::to_string(r.spec.reason)).c_str(),
+                  std::string(fuzz::to_string(r.spec.area)).c_str(), "pending");
+      continue;
+    }
     if (!r.ran) {
       std::printf("%-12s %-6s %10s\n",
                   std::string(vtx::to_string(r.spec.reason)).c_str(),
@@ -63,8 +100,10 @@ int main(int argc, char** argv) {
       campaign.workers_used);
   std::printf("merged hypervisor coverage: %zu blocks, %u LOC\n",
               campaign.merged_coverage.size(), campaign.merged_loc);
-  std::printf("crashes: %zu archived -> %zu unique buckets\n",
-              campaign.total_crashes, campaign.unique_crashes.size());
+  std::printf("crashes: %zu archived -> %zu unique buckets%s\n",
+              campaign.total_crashes, campaign.unique_crashes.size(),
+              config.crash_archive_dir.empty() ? ""
+                                               : " (reproducers written)");
   for (const auto& bucket : campaign.unique_crashes) {
     std::printf("  [%zux] %s on %s mutating %s item %u\n    %s\n",
                 bucket.occurrences,
@@ -73,5 +112,5 @@ int main(int argc, char** argv) {
                 bucket.key.item_kind == SeedItemKind::kGpr ? "GPR" : "VMCS",
                 bucket.key.encoding, bucket.first.log_line.c_str());
   }
-  return 0;
+  return campaign.complete ? 0 : 3;
 }

@@ -1,14 +1,20 @@
 // Seed-corpus tool: record workloads into a seed DB file, inspect it,
-// and replay a stored behavior — the CLI face of the Fig 3 "VM seed DB".
+// replay a stored behavior, and exchange seeds with the on-disk
+// CorpusStore directories that campaign workers sync through — the CLI
+// face of the Fig 3 "VM seed DB" plus the src/campaign/ corpus layer.
 //
 //   $ ./seed_corpus_tool record <file> <workload> <exits> [seed]
 //   $ ./seed_corpus_tool info   <file>
 //   $ ./seed_corpus_tool replay <file> <workload>
+//   $ ./seed_corpus_tool export <file> <corpus-dir>
+//   $ ./seed_corpus_tool merge  <dst-corpus-dir> <src-corpus-dir>...
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 
+#include "campaign/corpus_store.h"
 #include "iris/manager.h"
 
 namespace {
@@ -23,17 +29,86 @@ int cmd_record(const char* path, const char* workload_name, std::uint64_t exits,
   }
   hv::Hypervisor hypervisor(seed, 0.02);
   Manager manager(hypervisor);
-  // Merge into an existing corpus when present.
-  if (auto existing = SeedDb::load_file(path); existing.ok()) {
+  // Merge into an existing corpus when present. A file that exists but
+  // does not parse is surfaced, never silently overwritten — it may be
+  // a corpus someone cares about (or a typo'd path to one).
+  if (std::filesystem::exists(path)) {
+    auto existing = SeedDb::load_file(path);
+    if (!existing.ok()) {
+      std::fprintf(stderr,
+                   "%s exists but is not a readable seed db (%s); refusing to "
+                   "overwrite it\n",
+                   path, existing.error().message.c_str());
+      return 1;
+    }
     manager.db() = std::move(existing).take();
   }
   manager.record_workload(*workload, exits, seed);
+  // save_file is atomic (temp + rename), so a kill mid-save leaves the
+  // previous corpus intact.
   if (const auto status = manager.db().save_file(path); !status.ok()) {
     std::fprintf(stderr, "save failed: %s\n", status.error().message.c_str());
     return 1;
   }
   std::printf("recorded %llu exits of %s into %s\n",
               static_cast<unsigned long long>(exits), workload_name, path);
+  return 0;
+}
+
+int cmd_export(const char* path, const char* dir) {
+  using namespace iris;
+  auto db = SeedDb::load_file(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", db.error().message.c_str());
+    return 1;
+  }
+  campaign::CorpusStore store(dir);
+  if (const auto status = store.init(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::size_t written = 0, present = 0;
+  for (const auto& name : db.value().names()) {
+    for (const auto& rec : *db.value().behavior(name)) {
+      if (store.contains(rec.seed)) {
+        ++present;
+        continue;
+      }
+      fuzz::CorpusEntry entry;
+      entry.seed = rec.seed;
+      if (const auto status = store.write_entry(entry); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().message.c_str());
+        return 1;
+      }
+      ++written;
+    }
+  }
+  std::printf("exported %zu seed(s) from %s into %s (%zu already present)\n",
+              written, path, dir, present);
+  return 0;
+}
+
+int cmd_merge(int count, char** dirs) {
+  using namespace iris;
+  campaign::CorpusStore dst(dirs[0]);
+  if (const auto status = dst.init(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.error().message.c_str());
+    return 1;
+  }
+  std::size_t total = 0;
+  for (int i = 1; i < count; ++i) {
+    campaign::CorpusStore src(dirs[i]);
+    auto imported = dst.sync_from(src);
+    if (!imported.ok()) {
+      std::fprintf(stderr, "merge of %s failed: %s\n", dirs[i],
+                   imported.error().message.c_str());
+      return 1;
+    }
+    std::printf("  %-40s +%zu entries\n", dirs[i], imported.value());
+    total += imported.value();
+  }
+  std::printf("merged %zu new entries into %s (%zu total)\n", total, dirs[0],
+              dst.size());
   return 0;
 }
 
@@ -104,11 +179,19 @@ int main(int argc, char** argv) {
   if (argc >= 4 && std::strcmp(argv[1], "replay") == 0) {
     return cmd_replay(argv[2], argv[3]);
   }
+  if (argc >= 4 && std::strcmp(argv[1], "export") == 0) {
+    return cmd_export(argv[2], argv[3]);
+  }
+  if (argc >= 4 && std::strcmp(argv[1], "merge") == 0) {
+    return cmd_merge(argc - 2, argv + 2);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  %s record <file> <workload> <exits> [seed]\n"
                "  %s info   <file>\n"
-               "  %s replay <file> <workload>\n",
-               argv[0], argv[0], argv[0]);
+               "  %s replay <file> <workload>\n"
+               "  %s export <file> <corpus-dir>\n"
+               "  %s merge  <dst-corpus-dir> <src-corpus-dir>...\n",
+               argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 1;
 }

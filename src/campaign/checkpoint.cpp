@@ -1,0 +1,353 @@
+#include "campaign/checkpoint.h"
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <fstream>
+
+#include "support/fs_atomic.h"
+
+namespace iris::campaign {
+namespace {
+
+constexpr std::uint32_t kJournalMagic = 0x4952434B;  // "IRCK"
+constexpr std::uint16_t kJournalVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 2 + 8;
+
+void serialize_mutation(const fuzz::AppliedMutation& m, ByteWriter& out) {
+  out.u64(m.item_index);
+  out.u8(m.bit);
+  out.u64(m.old_value);
+  out.u64(m.new_value);
+}
+
+Result<fuzz::AppliedMutation> deserialize_mutation(ByteReader& in) {
+  auto item_index = in.u64();
+  auto bit = in.u8();
+  auto old_value = in.u64();
+  auto new_value = in.u64();
+  if (!item_index.ok() || !bit.ok() || !old_value.ok() || !new_value.ok()) {
+    return Error{40, "truncated mutation record"};
+  }
+  fuzz::AppliedMutation m;
+  m.item_index = item_index.value();
+  m.bit = bit.value();
+  m.old_value = old_value.value();
+  m.new_value = new_value.value();
+  return m;
+}
+
+}  // namespace
+
+void serialize_spec(const fuzz::TestCaseSpec& spec, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(spec.workload));
+  out.u16(static_cast<std::uint16_t>(spec.reason));
+  out.u8(static_cast<std::uint8_t>(spec.area));
+  out.u64(spec.mutants);
+  out.u64(spec.rng_seed);
+}
+
+Result<fuzz::TestCaseSpec> deserialize_spec(ByteReader& in) {
+  auto workload = in.u8();
+  auto reason = in.u16();
+  auto area = in.u8();
+  auto mutants = in.u64();
+  auto rng_seed = in.u64();
+  if (!workload.ok() || !reason.ok() || !area.ok() || !mutants.ok() ||
+      !rng_seed.ok()) {
+    return Error{42, "truncated test-case spec"};
+  }
+  if (workload.value() >= guest::kNumWorkloads) {
+    return Error{43, "bad workload in spec"};
+  }
+  if (!vtx::is_defined_reason(reason.value())) {
+    return Error{44, "bad exit reason in spec"};
+  }
+  if (area.value() > static_cast<std::uint8_t>(fuzz::MutationArea::kGpr)) {
+    return Error{45, "bad mutation area in spec"};
+  }
+  fuzz::TestCaseSpec spec;
+  spec.workload = static_cast<guest::Workload>(workload.value());
+  spec.reason = static_cast<vtx::ExitReason>(reason.value());
+  spec.area = static_cast<fuzz::MutationArea>(area.value());
+  spec.mutants = mutants.value();
+  spec.rng_seed = rng_seed.value();
+  return spec;
+}
+
+void serialize_crash_record(const fuzz::CrashRecord& crash, ByteWriter& out) {
+  crash.mutant.serialize(out);
+  serialize_mutation(crash.mutation, out);
+  out.u8(static_cast<std::uint8_t>(crash.kind));
+  out.str(crash.log_line);
+  out.u64(crash.mutant_index);
+}
+
+Result<fuzz::CrashRecord> deserialize_crash_record(ByteReader& in) {
+  auto mutant = VmSeed::deserialize(in);
+  if (!mutant.ok()) return mutant.error();
+  auto mutation = deserialize_mutation(in);
+  if (!mutation.ok()) return mutation.error();
+  auto kind = in.u8();
+  auto log_line = in.str();
+  auto mutant_index = in.u64();
+  if (!kind.ok() || !log_line.ok() || !mutant_index.ok()) {
+    return Error{46, "truncated crash record"};
+  }
+  if (kind.value() > static_cast<std::uint8_t>(hv::FailureKind::kHypervisorHang)) {
+    return Error{47, "bad failure kind in crash record"};
+  }
+  fuzz::CrashRecord crash;
+  crash.mutant = std::move(mutant).take();
+  crash.mutation = mutation.value();
+  // The triage paths index mutant.items by this — reject out-of-range
+  // indices here so corrupt bytes cannot become an OOB access later.
+  if (crash.mutation.item_index >= crash.mutant.items.size()) {
+    return Error{48, "mutation index outside mutant items"};
+  }
+  crash.kind = static_cast<hv::FailureKind>(kind.value());
+  crash.log_line = std::move(log_line).take();
+  crash.mutant_index = mutant_index.value();
+  return crash;
+}
+
+void serialize_cell_result(const fuzz::TestCaseResult& result, ByteWriter& out) {
+  serialize_spec(result.spec, out);
+  out.u8(result.ran ? 1 : 0);
+  out.u64(result.target_index);
+  out.u32(result.baseline_loc);
+  out.u32(result.new_loc);
+  out.u64(std::bit_cast<std::uint64_t>(result.coverage_increase_pct));
+  out.u64(result.executed);
+  out.u64(result.vm_crashes);
+  out.u64(result.hv_crashes);
+  out.u64(result.hangs);
+  out.u64(result.entry_check_rejections);
+  out.u32(static_cast<std::uint32_t>(result.crashes.size()));
+  for (const auto& crash : result.crashes) serialize_crash_record(crash, out);
+}
+
+Result<fuzz::TestCaseResult> deserialize_cell_result(ByteReader& in) {
+  auto spec = deserialize_spec(in);
+  if (!spec.ok()) return spec.error();
+  fuzz::TestCaseResult result;
+  result.spec = spec.value();
+  auto ran = in.u8();
+  auto target_index = in.u64();
+  auto baseline_loc = in.u32();
+  auto new_loc = in.u32();
+  auto pct = in.u64();
+  auto executed = in.u64();
+  auto vm_crashes = in.u64();
+  auto hv_crashes = in.u64();
+  auto hangs = in.u64();
+  auto rejections = in.u64();
+  auto crash_count = in.u32();
+  if (!ran.ok() || !target_index.ok() || !baseline_loc.ok() || !new_loc.ok() ||
+      !pct.ok() || !executed.ok() || !vm_crashes.ok() || !hv_crashes.ok() ||
+      !hangs.ok() || !rejections.ok() || !crash_count.ok()) {
+    return Error{49, "truncated cell result"};
+  }
+  if (ran.value() > 1) return Error{50, "bad ran flag in cell result"};
+  // Each crash record costs at least its fixed fields; reject counts the
+  // remaining bytes cannot possibly satisfy before reserving.
+  if (crash_count.value() > in.remaining() / 16) {
+    return Error{51, "crash count overruns cell result"};
+  }
+  result.ran = ran.value() != 0;
+  result.target_index = target_index.value();
+  result.baseline_loc = baseline_loc.value();
+  result.new_loc = new_loc.value();
+  result.coverage_increase_pct = std::bit_cast<double>(pct.value());
+  result.executed = executed.value();
+  result.vm_crashes = vm_crashes.value();
+  result.hv_crashes = hv_crashes.value();
+  result.hangs = hangs.value();
+  result.entry_check_rejections = rejections.value();
+  result.crashes.reserve(crash_count.value());
+  for (std::uint32_t i = 0; i < crash_count.value(); ++i) {
+    auto crash = deserialize_crash_record(in);
+    if (!crash.ok()) return crash.error();
+    result.crashes.push_back(std::move(crash).take());
+  }
+  return result;
+}
+
+std::vector<std::uint8_t> canonical_result_bytes(const fuzz::CampaignResult& result) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(result.results.size()));
+  for (const auto& cell : result.results) serialize_cell_result(cell, w);
+
+  std::vector<std::pair<hv::BlockKey, std::uint8_t>> merged(
+      result.merged_coverage.begin(), result.merged_coverage.end());
+  std::sort(merged.begin(), merged.end());
+  w.u32(static_cast<std::uint32_t>(merged.size()));
+  for (const auto& [block, loc] : merged) {
+    w.u32(block);
+    w.u8(loc);
+  }
+  w.u32(result.merged_loc);
+
+  w.u32(static_cast<std::uint32_t>(result.unique_crashes.size()));
+  for (const auto& bucket : result.unique_crashes) {
+    w.u8(static_cast<std::uint8_t>(bucket.key.kind));
+    w.u16(static_cast<std::uint16_t>(bucket.key.reason));
+    w.u8(static_cast<std::uint8_t>(bucket.key.item_kind));
+    w.u8(bucket.key.encoding);
+    serialize_crash_record(bucket.first, w);
+    w.u64(bucket.spec_index);
+    w.u64(bucket.occurrences);
+  }
+  w.u64(result.total_crashes);
+
+  w.u64(result.cells_ran);
+  w.u64(result.executed);
+  w.u64(result.vm_crashes);
+  w.u64(result.hv_crashes);
+  w.u64(result.hangs);
+  return std::move(w).take();
+}
+
+std::uint64_t campaign_fingerprint(const std::vector<fuzz::TestCaseSpec>& grid,
+                                   const fuzz::CampaignConfig& config) {
+  ByteWriter w;
+  w.u32(0x49524650);  // "IRFP"
+  w.u32(static_cast<std::uint32_t>(grid.size()));
+  for (const auto& spec : grid) serialize_spec(spec, w);
+  w.u64(config.hv_seed);
+  w.u64(std::bit_cast<std::uint64_t>(config.async_noise_prob));
+  w.u64(config.record_exits);
+  w.u64(config.record_seed);
+  w.u64(config.fuzzer.max_archived_crashes);
+  const Replayer::Config& replay = config.fuzzer.replay;
+  w.u8(replay.use_preemption_timer ? 1 : 0);
+  w.u8(replay.interpose_read_only ? 1 : 0);
+  w.u8(replay.write_writable_fields ? 1 : 0);
+  w.u64(replay.batch_size);
+  w.u8(replay.replay_guest_memory ? 1 : 0);
+  return fnv1a(w.data());
+}
+
+void serialize_checkpoint_cell(const CheckpointCell& cell, ByteWriter& out) {
+  out.u64(cell.index);
+  serialize_cell_result(cell.result, out);
+  out.u32(static_cast<std::uint32_t>(cell.coverage.size()));
+  for (const auto& [block, loc] : cell.coverage) {
+    out.u32(block);
+    out.u8(loc);
+  }
+}
+
+Result<CheckpointCell> deserialize_checkpoint_cell(ByteReader& in) {
+  auto index = in.u64();
+  if (!index.ok()) return index.error();
+  auto result = deserialize_cell_result(in);
+  if (!result.ok()) return result.error();
+  auto block_count = in.u32();
+  if (!block_count.ok()) return block_count.error();
+  if (block_count.value() > in.remaining() / 5) {
+    return Error{52, "coverage count overruns checkpoint cell"};
+  }
+  CheckpointCell cell;
+  cell.index = index.value();
+  cell.result = std::move(result).take();
+  cell.coverage.reserve(block_count.value());
+  for (std::uint32_t i = 0; i < block_count.value(); ++i) {
+    auto block = in.u32();
+    auto loc = in.u8();
+    if (!block.ok() || !loc.ok()) return Error{53, "truncated coverage block"};
+    if (block.value() >= hv::kBlockIndexSpace) {
+      return Error{54, "coverage block key out of range"};
+    }
+    cell.coverage.emplace_back(block.value(), loc.value());
+  }
+  return cell;
+}
+
+Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
+                                                    std::uint64_t fingerprint) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const bool exists = fs::exists(path, ec);
+  const auto file_size = exists ? fs::file_size(path, ec) : 0;
+
+  // A nonempty file too small to hold our header is not something this
+  // code ever leaves behind (the header is written in one stream write);
+  // treat it as foreign rather than truncating someone else's file.
+  if (exists && file_size > 0 && file_size < kHeaderBytes) {
+    return Error{57, path + " is not a campaign checkpoint"};
+  }
+
+  // Fresh journal (or an empty file): write the header and start empty.
+  if (!exists || file_size < kHeaderBytes) {
+    ByteWriter header;
+    header.u32(kJournalMagic);
+    header.u16(kJournalVersion);
+    header.u64(fingerprint);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return Error{55, "cannot create checkpoint " + path};
+    out.write(reinterpret_cast<const char*>(header.data().data()),
+              static_cast<std::streamsize>(header.size()));
+    if (!out) return Error{56, "checkpoint header write failed: " + path};
+    return CampaignCheckpoint(path, {});
+  }
+
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  const auto& data = bytes.value();
+
+  ByteReader r(data);
+  auto magic = r.u32();
+  auto version = r.u16();
+  auto stored_fp = r.u64();
+  if (!magic.ok() || magic.value() != kJournalMagic || !version.ok() ||
+      version.value() != kJournalVersion) {
+    return Error{57, path + " is not a campaign checkpoint"};
+  }
+  if (!stored_fp.ok() || stored_fp.value() != fingerprint) {
+    return Error{58, path + " belongs to a different campaign"};
+  }
+
+  // Replay intact records; stop at the first torn or corrupt one and
+  // truncate it (and anything after it) away.
+  std::vector<CheckpointCell> cells;
+  std::size_t offset = kHeaderBytes;
+  while (offset + 12 <= data.size()) {
+    ByteReader frame{std::span(data).subspan(offset, 12)};
+    const std::uint32_t len = frame.u32().value();
+    const std::uint64_t checksum = frame.u64().value();
+    if (len > data.size() - offset - 12) break;
+    const std::span<const std::uint8_t> payload =
+        std::span(data).subspan(offset + 12, len);
+    if (fnv1a(payload) != checksum) break;
+    ByteReader pr(payload);
+    auto cell = deserialize_checkpoint_cell(pr);
+    if (!cell.ok() || !pr.exhausted()) break;
+    cells.push_back(std::move(cell).take());
+    offset += 12 + len;
+  }
+  if (offset < data.size()) {
+    fs::resize_file(path, offset, ec);
+    if (ec) return Error{59, "cannot truncate torn checkpoint tail: " + path};
+  }
+  return CampaignCheckpoint(path, std::move(cells));
+}
+
+Status CampaignCheckpoint::append(const CheckpointCell& cell) {
+  ByteWriter payload;
+  serialize_checkpoint_cell(cell, payload);
+  ByteWriter record;
+  record.u32(static_cast<std::uint32_t>(payload.size()));
+  record.u64(fnv1a(payload.data()));
+  record.bytes(payload.data());
+
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) return Error{60, "cannot append to checkpoint " + path_};
+  out.write(reinterpret_cast<const char*>(record.data().data()),
+            static_cast<std::streamsize>(record.size()));
+  out.flush();
+  if (!out) return Error{61, "checkpoint append failed: " + path_};
+  return {};
+}
+
+}  // namespace iris::campaign

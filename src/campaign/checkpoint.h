@@ -1,0 +1,98 @@
+// Resumable campaign checkpoints.
+//
+// A CampaignCheckpoint is an append-only journal of completed grid
+// cells: each record carries one cell's TestCaseResult (including its
+// archived crash records) plus the cell's hypervisor coverage blocks.
+// Because every cell of a campaign is an independent pure function of
+// (spec, config) — the PR 1 determinism contract — a killed
+// CampaignRunner::run can reload the journal in a fresh process, skip
+// the finished cells, and produce a CampaignResult byte-identical to an
+// uninterrupted run at any worker count.
+//
+// Journal layout (little-endian, via support/serialize.h):
+//   header:  magic "IRCK" (u32), version (u16), fingerprint (u64)
+//   record*: payload_len (u32), fnv1a(payload) (u64), payload
+// The fingerprint hashes the spec grid and every config field that
+// feeds cell results, so a checkpoint can never be resumed against a
+// different campaign. Records are checksummed individually: a process
+// killed mid-append leaves a torn tail that open() detects, drops, and
+// truncates — everything before it is kept.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "support/result.h"
+#include "support/serialize.h"
+
+namespace iris::campaign {
+
+// --- Serializers for the campaign result types. Deserializers validate
+// every enum/count so a corrupt journal yields an error, not a crash.
+
+void serialize_spec(const fuzz::TestCaseSpec& spec, ByteWriter& out);
+Result<fuzz::TestCaseSpec> deserialize_spec(ByteReader& in);
+
+void serialize_crash_record(const fuzz::CrashRecord& crash, ByteWriter& out);
+Result<fuzz::CrashRecord> deserialize_crash_record(ByteReader& in);
+
+void serialize_cell_result(const fuzz::TestCaseResult& result, ByteWriter& out);
+Result<fuzz::TestCaseResult> deserialize_cell_result(ByteReader& in);
+
+/// Canonical byte image of a CampaignResult: per-cell results in grid
+/// order, merged coverage sorted by block key, crash buckets in
+/// first-occurrence order, and the aggregate counters. Wall-clock fields
+/// (elapsed/throughput) and run-shape fields (workers_used, resumed cell
+/// count) are deliberately excluded — they describe the run, not the
+/// campaign — so equal bytes mean "same campaign outcome" across worker
+/// counts and across kill/resume boundaries.
+std::vector<std::uint8_t> canonical_result_bytes(const fuzz::CampaignResult& result);
+
+/// Fingerprint of (grid, config): every input that determines cell
+/// results. Worker count and persistence paths are excluded (they must
+/// not affect results).
+std::uint64_t campaign_fingerprint(const std::vector<fuzz::TestCaseSpec>& grid,
+                                   const fuzz::CampaignConfig& config);
+
+/// One journaled cell: its grid index, full result, and the coverage
+/// blocks (key + LOC weight) its fresh hypervisor registered.
+struct CheckpointCell {
+  std::size_t index = 0;
+  fuzz::TestCaseResult result;
+  std::vector<std::pair<hv::BlockKey, std::uint8_t>> coverage;
+};
+
+void serialize_checkpoint_cell(const CheckpointCell& cell, ByteWriter& out);
+Result<CheckpointCell> deserialize_checkpoint_cell(ByteReader& in);
+
+class CampaignCheckpoint {
+ public:
+  /// Open (or create) the journal at `path` for the campaign identified
+  /// by `fingerprint`. Loads every intact record; a torn or corrupt
+  /// tail is truncated away so later appends extend a valid journal. A
+  /// journal written by a different campaign is an error.
+  static Result<CampaignCheckpoint> open(const std::string& path,
+                                         std::uint64_t fingerprint);
+
+  /// Cells recovered from the journal at open(), in journal order.
+  [[nodiscard]] const std::vector<CheckpointCell>& cells() const noexcept {
+    return cells_;
+  }
+
+  /// Append one completed cell and flush it to disk.
+  Status append(const CheckpointCell& cell);
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  CampaignCheckpoint(std::string path, std::vector<CheckpointCell> cells)
+      : path_(std::move(path)), cells_(std::move(cells)) {}
+
+  std::string path_;
+  std::vector<CheckpointCell> cells_;
+};
+
+}  // namespace iris::campaign

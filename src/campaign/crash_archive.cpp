@@ -1,0 +1,189 @@
+#include "campaign/crash_archive.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+
+#include "campaign/checkpoint.h"
+#include "support/fs_atomic.h"
+
+namespace iris::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kReproducerMagic = 0x49524352;  // "IRCR"
+constexpr char kReproducerPrefix[] = "crash-";
+constexpr char kReproducerSuffix[] = ".bin";
+
+void serialize_key(const fuzz::CrashKey& key, ByteWriter& out) {
+  out.u8(static_cast<std::uint8_t>(key.kind));
+  out.u16(static_cast<std::uint16_t>(key.reason));
+  out.u8(static_cast<std::uint8_t>(key.item_kind));
+  out.u8(key.encoding);
+}
+
+Result<fuzz::CrashKey> deserialize_key(ByteReader& in) {
+  auto kind = in.u8();
+  auto reason = in.u16();
+  auto item_kind = in.u8();
+  auto encoding = in.u8();
+  if (!kind.ok() || !reason.ok() || !item_kind.ok() || !encoding.ok()) {
+    return Error{70, "truncated crash key"};
+  }
+  if (kind.value() > static_cast<std::uint8_t>(hv::FailureKind::kHypervisorHang)) {
+    return Error{71, "bad failure kind in crash key"};
+  }
+  if (!vtx::is_defined_reason(reason.value())) {
+    return Error{72, "bad exit reason in crash key"};
+  }
+  if (item_kind.value() > static_cast<std::uint8_t>(SeedItemKind::kVmcsField)) {
+    return Error{73, "bad item kind in crash key"};
+  }
+  fuzz::CrashKey key;
+  key.kind = static_cast<hv::FailureKind>(kind.value());
+  key.reason = static_cast<vtx::ExitReason>(reason.value());
+  key.item_kind = static_cast<SeedItemKind>(item_kind.value());
+  key.encoding = encoding.value();
+  return key;
+}
+
+}  // namespace
+
+Status CrashArchive::init() const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return Error{74, "cannot create crash archive dir " + dir_};
+  return {};
+}
+
+std::string CrashArchive::reproducer_name(const fuzz::CrashKey& key) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%sk%02u-r%04u-i%u-e%03u%s", kReproducerPrefix,
+                static_cast<unsigned>(key.kind), static_cast<unsigned>(key.reason),
+                static_cast<unsigned>(key.item_kind),
+                static_cast<unsigned>(key.encoding), kReproducerSuffix);
+  return buf;
+}
+
+void CrashArchive::serialize_reproducer(const CrashReproducer& repro,
+                                        ByteWriter& out) {
+  out.u32(kReproducerMagic);
+  serialize_key(repro.key, out);
+  serialize_spec(repro.spec, out);
+  out.u64(repro.hv_seed);
+  out.u64(std::bit_cast<std::uint64_t>(repro.async_noise_prob));
+  out.u64(repro.target_index);
+  out.u8(repro.replay.use_preemption_timer ? 1 : 0);
+  out.u8(repro.replay.interpose_read_only ? 1 : 0);
+  out.u8(repro.replay.write_writable_fields ? 1 : 0);
+  out.u64(repro.replay.batch_size);
+  out.u8(repro.replay.replay_guest_memory ? 1 : 0);
+  out.u32(static_cast<std::uint32_t>(repro.prefix.size()));
+  for (const auto& seed : repro.prefix) seed.serialize(out);
+  repro.mutant.serialize(out);
+}
+
+Result<CrashReproducer> CrashArchive::deserialize_reproducer(ByteReader& in) {
+  auto magic = in.u32();
+  if (!magic.ok() || magic.value() != kReproducerMagic) {
+    return Error{75, "bad crash reproducer magic"};
+  }
+  auto key = deserialize_key(in);
+  if (!key.ok()) return key.error();
+  auto spec = deserialize_spec(in);
+  if (!spec.ok()) return spec.error();
+  CrashReproducer repro;
+  repro.key = key.value();
+  repro.spec = spec.value();
+  auto hv_seed = in.u64();
+  auto noise = in.u64();
+  auto target_index = in.u64();
+  auto timer = in.u8();
+  auto interpose = in.u8();
+  auto writable = in.u8();
+  auto batch = in.u64();
+  auto memory = in.u8();
+  auto prefix_count = in.u32();
+  if (!hv_seed.ok() || !noise.ok() || !target_index.ok() || !timer.ok() ||
+      !interpose.ok() || !writable.ok() || !batch.ok() || !memory.ok() ||
+      !prefix_count.ok()) {
+    return Error{76, "truncated crash reproducer"};
+  }
+  // A serialized seed is at least 6 bytes (reason + item and chunk
+  // counts); reject counts the remaining bytes cannot satisfy.
+  if (prefix_count.value() > in.remaining() / 6) {
+    return Error{77, "prefix count overruns crash reproducer"};
+  }
+  repro.hv_seed = hv_seed.value();
+  repro.async_noise_prob = std::bit_cast<double>(noise.value());
+  repro.target_index = target_index.value();
+  repro.replay.use_preemption_timer = timer.value() != 0;
+  repro.replay.interpose_read_only = interpose.value() != 0;
+  repro.replay.write_writable_fields = writable.value() != 0;
+  repro.replay.batch_size = batch.value();
+  repro.replay.replay_guest_memory = memory.value() != 0;
+  repro.prefix.reserve(prefix_count.value());
+  for (std::uint32_t i = 0; i < prefix_count.value(); ++i) {
+    auto seed = VmSeed::deserialize(in);
+    if (!seed.ok()) return seed.error();
+    repro.prefix.push_back(std::move(seed).take());
+  }
+  auto mutant = VmSeed::deserialize(in);
+  if (!mutant.ok()) return mutant.error();
+  repro.mutant = std::move(mutant).take();
+  if (!in.exhausted()) return Error{78, "trailing bytes in crash reproducer"};
+  return repro;
+}
+
+Status CrashArchive::write(const CrashReproducer& repro) const {
+  ByteWriter w;
+  serialize_reproducer(repro, w);
+  return write_file_atomic(dir_, reproducer_name(repro.key), w.data());
+}
+
+std::vector<std::string> CrashArchive::list() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return names;
+  for (const auto& dirent : it) {
+    const std::string name = dirent.path().filename().string();
+    if (name.starts_with(kReproducerPrefix) && name.ends_with(kReproducerSuffix)) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Result<CrashReproducer> CrashArchive::load(const std::string& name) const {
+  auto bytes = read_file_bytes(fs::path(dir_) / name);
+  if (!bytes.ok()) return bytes.error();
+  ByteReader r(bytes.value());
+  return deserialize_reproducer(r);
+}
+
+ReplayVerdict CrashArchive::replay(const CrashReproducer& repro) {
+  ReplayVerdict verdict;
+  // The same environment the campaign cell ran in: a fresh stack with
+  // the campaign's hypervisor seed and async-noise setting.
+  hv::Hypervisor hv(repro.hv_seed, repro.async_noise_prob);
+  Manager manager(hv);
+  manager.hv().failures().reset();
+  manager.reset_dummy_vm();
+  if (!manager.enable_replay(repro.replay)) return verdict;
+  for (const VmSeed& seed : repro.prefix) {
+    if (manager.submit_seed(seed).failure != hv::FailureKind::kNone) {
+      return verdict;
+    }
+  }
+  verdict.walked = true;
+  const auto outcome = manager.submit_seed(repro.mutant);
+  verdict.observed = outcome.failure;
+  verdict.matches = outcome.failure == repro.key.kind;
+  return verdict;
+}
+
+}  // namespace iris::campaign

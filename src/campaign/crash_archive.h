@@ -1,0 +1,82 @@
+// Replayable crash reproducers.
+//
+// The campaign runner's crash buckets (DedupedCrash) summarize what
+// failed, but a triage workflow needs to re-execute the failure. A
+// CrashArchive is a directory with one reproducer file per bucket,
+// self-contained: the behavior prefix that IRIS replays to reach the
+// target state s1 (every seed before VMseed_R, plus VMseed_R itself for
+// the baseline submission), the mutated seed, the hypervisor
+// construction seed, and the expected CrashKey. Re-execution needs no
+// recorded workload or seed DB — a fresh Hypervisor/Manager stack, the
+// prefix walk, then the mutant.
+//
+// Files are named after the bucket key (kind-reason-area-encoding), so
+// re-archiving the same campaign overwrites byte-identical files, and
+// writes are atomic (temp + rename) like the corpus store's.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "support/result.h"
+
+namespace iris::campaign {
+
+/// Everything needed to re-execute one deduplicated crash.
+struct CrashReproducer {
+  fuzz::CrashKey key;              ///< expected triage bucket
+  fuzz::TestCaseSpec spec;         ///< grid cell of the first occurrence
+  std::uint64_t hv_seed = 0;       ///< hypervisor construction seed
+  double async_noise_prob = 0.0;   ///< the campaign's async-noise setting
+  std::uint64_t target_index = 0;  ///< VMseed_R's index in the behavior
+  Replayer::Config replay;         ///< the campaign's replay configuration
+  /// Replay prefix: behavior seeds [0, target_index] — the walk to s1
+  /// plus the baseline VMseed_R submission the fuzzer performs.
+  std::vector<VmSeed> prefix;
+  VmSeed mutant;                   ///< the crashing mutated seed
+};
+
+/// Outcome of re-executing a reproducer.
+struct ReplayVerdict {
+  bool walked = false;       ///< the prefix replayed without failure
+  hv::FailureKind observed = hv::FailureKind::kNone;
+  bool matches = false;      ///< observed == key.kind
+};
+
+class CrashArchive {
+ public:
+  explicit CrashArchive(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] const std::string& dir() const noexcept { return dir_; }
+
+  /// Create the archive directory (and parents). Idempotent.
+  Status init() const;
+
+  /// File name for a bucket key: "crash-<kind>-<reason>-<area>-<enc>.bin".
+  [[nodiscard]] static std::string reproducer_name(const fuzz::CrashKey& key);
+
+  static void serialize_reproducer(const CrashReproducer& repro, ByteWriter& out);
+  static Result<CrashReproducer> deserialize_reproducer(ByteReader& in);
+
+  /// Atomically write one reproducer (named by its bucket key).
+  Status write(const CrashReproducer& repro) const;
+
+  /// Reproducer file names on disk, sorted.
+  [[nodiscard]] std::vector<std::string> list() const;
+
+  /// Load one reproducer; corrupt files error out cleanly.
+  [[nodiscard]] Result<CrashReproducer> load(const std::string& name) const;
+
+  /// Re-execute `repro` on a fresh VM stack built from its stored
+  /// hypervisor seed: reset the dummy VM, replay the prefix, submit the
+  /// mutant, and compare the observed failure kind with the archived
+  /// bucket.
+  static ReplayVerdict replay(const CrashReproducer& repro);
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace iris::campaign

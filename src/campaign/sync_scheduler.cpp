@@ -1,0 +1,70 @@
+#include "campaign/sync_scheduler.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace iris::campaign {
+namespace {
+
+/// Parse the content hash out of "seed-<16 hex>.bin"; the names are
+/// produced by CorpusStore::entry_name, so a parse failure just means
+/// "read the file to find out".
+bool hash_from_name(const std::string& name, std::uint64_t& hash) {
+  constexpr std::size_t kPrefixLen = 5;  // "seed-"
+  if (name.size() < kPrefixLen + 16) return false;
+  char* end = nullptr;
+  const std::string hex = name.substr(kPrefixLen, 16);
+  hash = std::strtoull(hex.c_str(), &end, 16);
+  return end == hex.c_str() + 16;
+}
+
+}  // namespace
+
+bool SyncScheduler::maybe_sync(std::vector<fuzz::CorpusEntry>& corpus,
+                               std::size_t executed, std::size_t max_corpus) {
+  if (executed < next_sync_) return false;
+  next_sync_ = executed + config_.interval;
+  (void)sync(corpus, max_corpus);  // a failed sync retries next interval
+  return true;
+}
+
+Status SyncScheduler::sync(std::vector<fuzz::CorpusEntry>& corpus,
+                           std::size_t max_corpus) {
+  ++stats_.syncs;
+  if (auto status = store_->init(); !status.ok()) return status;
+
+  // --- Export: publish local entries that are not on disk yet.
+  for (; exported_index_ < corpus.size(); ++exported_index_) {
+    const fuzz::CorpusEntry& entry = corpus[exported_index_];
+    const std::uint64_t hash = entry.seed.hash();
+    seen_.insert(hash);
+    if (store_->contains(entry.seed)) continue;
+    if (auto status = store_->write_entry(entry); !status.ok()) return status;
+    ++stats_.exported;
+  }
+
+  // --- Import: schedule entries other workers published. The content
+  // hash in the file name lets us skip already-known entries without
+  // opening them.
+  for (const std::string& name : store_->list()) {
+    if (corpus.size() >= max_corpus) break;
+    std::uint64_t hash = 0;
+    if (hash_from_name(name, hash) && seen_.contains(hash)) continue;
+    auto entry = store_->read_entry(name);
+    if (!entry.ok()) continue;  // a torn or foreign file; skip it
+    const std::uint64_t content_hash = entry.value().seed.hash();
+    if (!seen_.insert(content_hash).second) continue;
+    fuzz::CorpusEntry imported = std::move(entry).take();
+    imported.energy = config_.import_energy;
+    // Lineage indices are per-worker; an import roots its own lineage.
+    imported.parent = corpus.size();
+    corpus.push_back(std::move(imported));
+    ++stats_.imported;
+  }
+  // Everything appended by the import loop came from disk — don't
+  // re-export it next time.
+  exported_index_ = corpus.size();
+  return {};
+}
+
+}  // namespace iris::campaign

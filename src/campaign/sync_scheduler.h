@@ -1,0 +1,63 @@
+// Cross-worker corpus synchronization for the coverage-guided loop.
+//
+// Each coverage-guided worker owns an in-memory corpus; a SyncScheduler
+// periodically reconciles it with a shared on-disk CorpusStore: local
+// entries not yet on disk are exported, and entries other workers
+// published are imported and scheduled with fresh energy — so a mutant
+// that pays off in one worker is mutated by all of them. Content-hash
+// file names make the reconciliation cheap: the scheduler parses the
+// hash out of each file name and only reads files it has never seen,
+// so a sync against an already-merged store touches no entry payloads.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "campaign/corpus_store.h"
+
+namespace iris::campaign {
+
+struct SyncStats {
+  std::size_t syncs = 0;
+  std::size_t exported = 0;
+  std::size_t imported = 0;
+};
+
+class SyncScheduler {
+ public:
+  struct Config {
+    /// Executions between corpus reconciliations.
+    std::size_t interval = 1024;
+    /// Energy granted to imported entries (they earned coverage
+    /// elsewhere, so they start on the schedule like fresh discoveries).
+    std::uint32_t import_energy = 16;
+  };
+
+  explicit SyncScheduler(const CorpusStore& store)
+      : SyncScheduler(store, Config{}) {}
+  SyncScheduler(const CorpusStore& store, Config config)
+      : store_(&store), config_(config) {}
+
+  [[nodiscard]] const SyncStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const CorpusStore& store() const noexcept { return *store_; }
+
+  /// Reconcile when `executed` has crossed the next sync point (and on
+  /// the first call). `max_corpus` caps imports the same way the
+  /// coverage-guided loop caps promotions. Returns true if a sync ran.
+  bool maybe_sync(std::vector<fuzz::CorpusEntry>& corpus, std::size_t executed,
+                  std::size_t max_corpus);
+
+  /// Unconditional reconciliation (the end-of-run flush).
+  Status sync(std::vector<fuzz::CorpusEntry>& corpus, std::size_t max_corpus);
+
+ private:
+  const CorpusStore* store_;
+  Config config_;
+  SyncStats stats_;
+  std::size_t next_sync_ = 0;
+  std::size_t exported_index_ = 0;  ///< corpus[0, exported_index_) are on disk
+  std::unordered_set<std::uint64_t> seen_;  ///< seed hashes known locally
+};
+
+}  // namespace iris::campaign

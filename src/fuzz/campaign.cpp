@@ -1,9 +1,16 @@
 #include "fuzz/campaign.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <thread>
+
+#include "campaign/checkpoint.h"
+#include "campaign/crash_archive.h"
 
 namespace iris::fuzz {
 namespace {
@@ -21,50 +28,133 @@ struct CellVm {
   Manager manager;
 };
 
+/// The cell's coverage contribution: every non-IRIS block its fresh
+/// hypervisor registered, with LOC weights. The record/replay components
+/// instrument themselves under kIris; filter them exactly as
+/// ExitCoverage does, so the merged bitmap stays comparable to the
+/// per-cell Table I numbers.
+std::vector<std::pair<hv::BlockKey, std::uint8_t>> cell_coverage(
+    const hv::CoverageMap& cov) {
+  std::vector<std::pair<hv::BlockKey, std::uint8_t>> blocks;
+  blocks.reserve(cov.registered_blocks().size());
+  for (const hv::BlockKey block : cov.registered_blocks()) {
+    if (hv::block_component(block) == hv::Component::kIris) continue;
+    blocks.emplace_back(block, cov.loc_of(block));
+  }
+  return blocks;
+}
+
 }  // namespace
 
 CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   CampaignResult out;
   out.results.resize(grid.size());
+  // Placeholder results of pending cells still carry their real spec,
+  // so partial-run reporting can label them.
+  for (std::size_t i = 0; i < grid.size(); ++i) out.results[i].spec = grid[i];
+  if (grid.empty()) return out;
 
   const std::size_t workers =
-      grid.empty() ? 1
-                   : std::clamp<std::size_t>(config_.workers, 1, grid.size());
+      std::clamp<std::size_t>(config_.workers, 1, grid.size());
   out.workers_used = workers;
+
+  // --- Recover completed cells from the checkpoint journal. A journal
+  // that cannot be opened (foreign fingerprint, unreadable file) is
+  // surfaced but never written to: the run proceeds in-memory.
+  std::optional<campaign::CampaignCheckpoint> checkpoint;
+  std::vector<char> done(grid.size(), 0);
+  std::vector<std::vector<std::pair<hv::BlockKey, std::uint8_t>>> cell_cov(
+      grid.size());
+  if (!config_.checkpoint_path.empty()) {
+    auto opened = campaign::CampaignCheckpoint::open(
+        config_.checkpoint_path, campaign::campaign_fingerprint(grid, config_));
+    if (opened.ok()) {
+      checkpoint = std::move(opened).take();
+      for (const auto& cell : checkpoint->cells()) {
+        if (cell.index >= grid.size() || done[cell.index] != 0) continue;
+        done[cell.index] = 1;
+        out.results[cell.index] = cell.result;
+        cell_cov[cell.index] = cell.coverage;
+        ++out.cells_resumed;
+      }
+    } else {
+      out.persistence_error = opened.error().message;
+    }
+  }
+
+  const bool all_resumed =
+      std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
 
   // Record each workload's behavior once up front: recording is a pure
   // function of (workload, config), so the cells can share the trace.
+  // A fully-resumed run skips this; the archive phase below records
+  // lazily for the workloads that actually have crash buckets.
   std::map<guest::Workload, VmBehavior> behaviors;
-  for (const TestCaseSpec& spec : grid) {
-    if (behaviors.contains(spec.workload)) continue;
-    hv::Hypervisor record_hv(config_.hv_seed, config_.async_noise_prob);
-    Manager recorder(record_hv);
-    behaviors.emplace(spec.workload,
-                      recorder.record_workload(spec.workload, config_.record_exits,
-                                               config_.record_seed));
+  auto ensure_behavior =
+      [&behaviors, this](guest::Workload workload) -> const VmBehavior& {
+    auto it = behaviors.find(workload);
+    if (it == behaviors.end()) {
+      hv::Hypervisor record_hv(config_.hv_seed, config_.async_noise_prob);
+      Manager recorder(record_hv);
+      it = behaviors
+               .emplace(workload,
+                        recorder.record_workload(workload, config_.record_exits,
+                                                 config_.record_seed))
+               .first;
+    }
+    return it->second;
+  };
+  if (!all_resumed) {
+    for (const TestCaseSpec& spec : grid) ensure_behavior(spec.workload);
   }
-
-  // Per-worker coverage bitmaps (block -> LOC weight), merged after the
-  // join. Each worker's map dedups across its own cells.
-  std::vector<std::unordered_map<hv::BlockKey, std::uint8_t>> bitmaps(workers);
 
   const auto started = std::chrono::steady_clock::now();
 
+  // Cell budget: workers claim a slot before executing a new cell, so a
+  // budgeted run completes exactly min(budget, remaining) cells. Which
+  // cells land inside the budget depends on thread timing — harmless,
+  // since every cell is an independent pure function and the final
+  // merged result is a function of the full grid only.
+  std::atomic<std::size_t> budget{config_.cell_budget == 0
+                                      ? std::numeric_limits<std::size_t>::max()
+                                      : config_.cell_budget};
+  auto claim_budget = [&budget]() {
+    std::size_t current = budget.load(std::memory_order_relaxed);
+    while (current != 0) {
+      if (budget.compare_exchange_weak(current, current - 1,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::mutex journal_mutex;
+  auto journal_cell = [&](std::size_t index) {
+    if (!checkpoint) return;
+    campaign::CheckpointCell cell;
+    cell.index = index;
+    cell.result = out.results[index];
+    cell.coverage = cell_cov[index];
+    const std::lock_guard<std::mutex> lock(journal_mutex);
+    if (const auto status = checkpoint->append(cell); !status.ok()) {
+      if (out.persistence_error.empty()) {
+        out.persistence_error = status.error().message;
+      }
+    }
+  };
+
   auto work = [&](std::size_t worker_index) {
-    auto& bitmap = bitmaps[worker_index];
     for (std::size_t i = worker_index; i < grid.size(); i += workers) {
+      if (done[i] != 0) continue;  // recovered from the checkpoint
+      if (!claim_budget()) return;
       const TestCaseSpec& spec = grid[i];
       CellVm vm(config_);
       Fuzzer fuzzer(vm.manager, config_.fuzzer);
       out.results[i] = fuzzer.run_test_case(spec, behaviors.at(spec.workload));
-      const hv::CoverageMap& cov = vm.hv.coverage();
-      for (const hv::BlockKey block : cov.registered_blocks()) {
-        // The record/replay components instrument themselves under
-        // kIris; filter them exactly as ExitCoverage does, so the
-        // merged bitmap stays comparable to the per-cell numbers.
-        if (hv::block_component(block) == hv::Component::kIris) continue;
-        bitmap.emplace(block, cov.loc_of(block));
-      }
+      cell_cov[i] = cell_coverage(vm.hv.coverage());
+      done[i] = 1;
+      journal_cell(i);
     }
   };
 
@@ -80,11 +170,14 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   out.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
+  out.complete =
+      std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
+  out.cells_completed.assign(done.begin(), done.end());
 
-  // --- Merge the per-worker bitmaps (union; weights are static),
-  // accumulating the total LOC as blocks are first inserted. ---
-  for (const auto& bitmap : bitmaps) {
-    for (const auto& [block, loc] : bitmap) {
+  // --- Merge the per-cell coverage in grid order (union; weights are
+  // static), accumulating the total LOC as blocks are first inserted.
+  for (const auto& blocks : cell_cov) {
+    for (const auto& [block, loc] : blocks) {
       if (out.merged_coverage.emplace(block, loc).second) {
         out.merged_loc += loc;
       }
@@ -111,6 +204,38 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       } else {
         ++out.unique_crashes[it->second].occurrences;
       }
+    }
+  }
+
+  // --- One replayable reproducer per crash bucket. ---
+  if (!config_.crash_archive_dir.empty()) {
+    campaign::CrashArchive archive(config_.crash_archive_dir);
+    auto record_error = [&](const Status& status) {
+      if (!status.ok() && out.persistence_error.empty()) {
+        out.persistence_error = status.error().message;
+      }
+    };
+    record_error(archive.init());
+    for (const DedupedCrash& bucket : out.unique_crashes) {
+      const TestCaseResult& cell = out.results[bucket.spec_index];
+      const VmBehavior& behavior = ensure_behavior(cell.spec.workload);
+      campaign::CrashReproducer repro;
+      repro.key = bucket.key;
+      repro.spec = cell.spec;
+      repro.hv_seed = config_.hv_seed;
+      repro.async_noise_prob = config_.async_noise_prob;
+      repro.target_index = cell.target_index;
+      repro.replay = config_.fuzzer.replay;
+      // target_index may come from a checkpoint file; bound it by the
+      // behavior length before reserving, exactly as the loop does.
+      const std::size_t prefix_len =
+          std::min(cell.target_index + 1, behavior.size());
+      repro.prefix.reserve(prefix_len);
+      for (std::size_t s = 0; s < prefix_len; ++s) {
+        repro.prefix.push_back(behavior[s].seed);
+      }
+      repro.mutant = bucket.first.mutant;
+      record_error(archive.write(repro));
     }
   }
 

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +60,18 @@ struct CampaignConfig {
   std::uint64_t record_exits = 150;
   std::uint64_t record_seed = 3;
   Fuzzer::Config fuzzer;
+
+  // --- Persistence (src/campaign/). All off by default.
+
+  /// Journal completed cells here; a later run with the same grid and
+  /// config resumes mid-grid instead of starting over. Empty = off.
+  std::string checkpoint_path;
+  /// Write one replayable reproducer per crash bucket here. Empty = off.
+  std::string crash_archive_dir;
+  /// Stop cleanly after completing this many new cells (0 = run all).
+  /// Models a killed worker for checkpoint tests and lets operators
+  /// time-slice a long campaign across invocations.
+  std::size_t cell_budget = 0;
 };
 
 struct CampaignResult {
@@ -88,6 +101,20 @@ struct CampaignResult {
   double elapsed_seconds = 0.0;
   double mutants_per_second = 0.0;
   std::size_t workers_used = 1;
+
+  // --- Persistence accounting.
+  /// Every grid cell has a result (false after a cell_budget stop: the
+  /// merged fields cover only the completed cells).
+  bool complete = true;
+  /// Per-cell completion flags (grid order): 0 = still pending after a
+  /// budget stop, its results[i] entry is a placeholder.
+  std::vector<std::uint8_t> cells_completed;
+  /// Cells recovered from the checkpoint instead of executed.
+  std::size_t cells_resumed = 0;
+  /// First persistence failure (checkpoint/archive IO); empty when
+  /// persistence is off or healthy. Results are still valid — the run
+  /// falls back to in-memory operation.
+  std::string persistence_error;
 };
 
 class CampaignRunner {

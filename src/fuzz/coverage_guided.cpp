@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "campaign/sync_scheduler.h"
+
 namespace iris::fuzz {
 namespace {
 
@@ -115,6 +117,22 @@ CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
   corpus.push_back(CorpusEntry{behavior[target_index].seed, 16, 0, 0,
                                MutationOp::kBitFlip});
 
+  // Cross-worker sync bookkeeping: count only this run's traffic.
+  const std::size_t imported_base =
+      config_.sync != nullptr ? config_.sync->stats().imported : 0;
+  const std::size_t exported_base =
+      config_.sync != nullptr ? config_.sync->stats().exported : 0;
+  auto update_sync_stats = [&] {
+    if (config_.sync == nullptr) return;
+    stats.seeds_imported = config_.sync->stats().imported - imported_base;
+    stats.seeds_exported = config_.sync->stats().exported - exported_base;
+  };
+  // Import what other workers already published before mutating anything
+  // (and publish the target seed so they can converge on it too).
+  if (config_.sync != nullptr) {
+    config_.sync->maybe_sync(corpus, stats.executed, config_.max_corpus);
+  }
+
   const std::array<MutationOp, 5> ops = {MutationOp::kBitFlip, MutationOp::kByteFlip,
                                          MutationOp::kInteresting, MutationOp::kArith,
                                          MutationOp::kFieldSwap};
@@ -162,8 +180,14 @@ CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
         manager_->hv().failures().reset();
         dummy.restore(s1);
         if (!manager_->rearm_replay(config_.replay)) {
+          // Aborting mid-run: still flush discoveries to the shared
+          // store so other workers inherit them.
+          if (config_.sync != nullptr) {
+            (void)config_.sync->sync(corpus, config_.max_corpus);
+          }
           stats.corpus_size = corpus.size();
           stats.total_loc = covered.total_loc();
+          update_sync_stats();
           return stats;
         }
         continue;  // crashing inputs are archived, not evolved
@@ -180,10 +204,22 @@ CampaignStats CoverageGuidedFuzzer::run(const VmBehavior& behavior,
     }
     // Decay energy so stale entries yield the scheduler.
     if (corpus[entry_index].energy > 4) corpus[entry_index].energy -= 2;
+
+    // Between energy blocks: publish local discoveries and pick up the
+    // other workers' (interval-gated inside the scheduler).
+    if (config_.sync != nullptr) {
+      config_.sync->maybe_sync(corpus, stats.executed, config_.max_corpus);
+    }
   }
 
+  // Final flush so a discovery in the last energy block still reaches
+  // the shared store before this worker exits.
+  if (config_.sync != nullptr) {
+    (void)config_.sync->sync(corpus, config_.max_corpus);
+  }
   stats.corpus_size = corpus.size();
   stats.total_loc = covered.total_loc();
+  update_sync_stats();
   return stats;
 }
 

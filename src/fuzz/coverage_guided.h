@@ -18,6 +18,10 @@
 #include "fuzz/mutator.h"
 #include "iris/manager.h"
 
+namespace iris::campaign {
+class SyncScheduler;
+}  // namespace iris::campaign
+
 namespace iris::fuzz {
 
 /// Extended mutation operators (§IX: "the simpler mutation rules adopted
@@ -52,6 +56,10 @@ struct CampaignStats {
   std::vector<CrashRecord> crashes;
   /// total_loc after each executed mutant (discovery curve).
   std::vector<std::uint32_t> coverage_curve;
+  /// Cross-worker corpus sync traffic during this run (0 with no
+  /// scheduler attached).
+  std::size_t seeds_imported = 0;
+  std::size_t seeds_exported = 0;
 };
 
 class CoverageGuidedFuzzer {
@@ -63,6 +71,10 @@ class CoverageGuidedFuzzer {
     /// Use only bit-flips (the PoC rule) — for A/B comparisons.
     bool bitflip_only = false;
     Replayer::Config replay;
+    /// Optional cross-worker corpus sync: when set, the loop
+    /// periodically exports its discoveries to the scheduler's shared
+    /// CorpusStore and schedules entries other workers published there.
+    campaign::SyncScheduler* sync = nullptr;
   };
 
   explicit CoverageGuidedFuzzer(Manager& manager);

@@ -75,6 +75,15 @@ void Manager::submit_seed_into(const VmSeed& seed, hv::HandleOutcome& outcome) {
   replayer_->submit_into(seed, outcome);
 }
 
+void Manager::submit_batch_into(std::span<const VmSeed> seeds,
+                                std::vector<hv::HandleOutcome>& outcomes) {
+  if (!replayer_ && !enable_replay()) {
+    outcomes.clear();
+    return;
+  }
+  replayer_->submit_batch_into(seeds, outcomes);
+}
+
 ReplayedBehavior Manager::replay_and_record(const VmBehavior& behavior,
                                             Replayer::Config config) {
   ReplayedBehavior result;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "guest/workload.h"
@@ -80,6 +81,14 @@ class Manager {
 
   /// Buffer-reusing submit for hot loops; clears and refills `outcome`.
   void submit_seed_into(const VmSeed& seed, hv::HandleOutcome& outcome);
+
+  /// Batched hand-off (§IX, ROADMAP "Batched seed hand-off"): submit a
+  /// whole batch through the armed replayer, paying the per-seed fetch
+  /// once per Replayer::Config::batch_size seeds. Shares the fetch
+  /// accounting with submit_seed_into, so batched and one-by-one
+  /// submission of the same seeds produce identical outcomes.
+  void submit_batch_into(std::span<const VmSeed> seeds,
+                         std::vector<hv::HandleOutcome>& outcomes);
 
   /// Replay a behavior while recording metrics (record+replay mode,
   /// §IV-C last paragraph — the accuracy experiment's instrument).

@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hv/hypervisor.h"
@@ -39,8 +40,9 @@ class Replayer {
     /// VMWRITE recorded writable fields back into the VMCS.
     bool write_writable_fields = true;
     /// Seeds fetched per hand-off. 1 is the paper's one-by-one scheme;
-    /// larger values model the §IX batching optimization (the fetch
-    /// cost amortizes across the batch).
+    /// larger values enable the §IX batching optimization: the full
+    /// fetch cost is paid once at the start of each batch and the next
+    /// batch_size - 1 submissions ride the prefetched batch for free.
     std::size_t batch_size = 1;
     /// §IX extension: restore recorded guest-memory chunks into the
     /// dummy VM's RAM before handling, closing the memory-dependent
@@ -69,6 +71,14 @@ class Replayer {
   /// Buffer-reusing variant for the mutant hot loop: `outcome` is
   /// cleared and refilled, keeping its allocations across submissions.
   void submit_into(const VmSeed& seed, hv::HandleOutcome& outcome);
+
+  /// Submit a whole batch through the same fetch-credit machinery as
+  /// the one-by-one path (§IX batching): `outcomes` is resized to match
+  /// and each element refilled in place. Because both paths share the
+  /// credit accounting, a batch submission is cycle-identical to the
+  /// equivalent sequence of submit_into calls.
+  void submit_batch_into(std::span<const VmSeed> seeds,
+                         std::vector<hv::HandleOutcome>& outcomes);
 
   /// Replay an entire recorded behavior in order. Stops at the first
   /// host-fatal failure; guest-fatal failures abort too (the dummy VM is
@@ -99,6 +109,9 @@ class Replayer {
   std::array<std::uint32_t, vtx::kNumVmcsFields> override_gen_{};
   std::uint32_t current_gen_ = 0;
   std::uint64_t submitted_ = 0;
+  /// Seeds remaining in the currently prefetched batch; 0 forces a new
+  /// fetch (full replay_seed_fetch cost) on the next submission.
+  std::size_t fetch_credit_ = 0;
 };
 
 }  // namespace iris

@@ -59,6 +59,12 @@ Result<VmSeed> VmSeed::deserialize(ByteReader& in) {
   seed.reason = static_cast<vtx::ExitReason>(reason.value());
   auto count = in.u16();
   if (!count.ok()) return count.error();
+  // Each item is exactly kSeedItemBytes on the wire; reject a count the
+  // remaining bytes cannot satisfy before reserving for it, so corrupt
+  // input cannot trigger an oversized allocation.
+  if (count.value() * kSeedItemBytes > in.remaining()) {
+    return Error{2, "truncated seed item"};
+  }
   seed.items.reserve(count.value());
   for (std::uint16_t i = 0; i < count.value(); ++i) {
     auto kind = in.u8();
@@ -80,6 +86,10 @@ Result<VmSeed> VmSeed::deserialize(ByteReader& in) {
   }
   auto nchunks = in.u16();
   if (!nchunks.ok()) return nchunks.error();
+  // A chunk costs at least its gpa + length header (12 bytes).
+  if (nchunks.value() * std::size_t{12} > in.remaining()) {
+    return Error{8, "truncated memory chunk"};
+  }
   seed.memory.reserve(nchunks.value());
   for (std::uint16_t c = 0; c < nchunks.value(); ++c) {
     auto gpa = in.u64();
@@ -134,6 +144,12 @@ void serialize_behavior(const VmBehavior& behavior, ByteWriter& out) {
 Result<VmBehavior> deserialize_behavior(ByteReader& in) {
   auto count = in.u32();
   if (!count.ok()) return count.error();
+  // A recorded exit costs at least 16 bytes (minimal seed + cycles +
+  // vmwrite count). A hostile 32-bit count must not reach reserve():
+  // that would be a multi-gigabyte allocation from a 20-byte input.
+  if (count.value() > in.remaining() / 16) {
+    return Error{6, "behavior count overruns stream"};
+  }
   VmBehavior behavior;
   behavior.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {

@@ -1,7 +1,10 @@
 #include "iris/seed_db.h"
 
+#include <filesystem>
 #include <fstream>
 #include <unordered_set>
+
+#include "support/fs_atomic.h"
 
 namespace iris {
 
@@ -67,6 +70,11 @@ Result<SeedDb> SeedDb::deserialize(std::span<const std::uint8_t> data) {
   }
   auto count = r.u32();
   if (!count.ok()) return count.error();
+  // A stored behavior costs at least 8 bytes (name length + exit
+  // count); reject counts the stream cannot possibly hold.
+  if (count.value() > r.remaining() / 8) {
+    return Error{14, "behavior count overruns seed db"};
+  }
   SeedDb db;
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto name = r.str();
@@ -75,16 +83,18 @@ Result<SeedDb> SeedDb::deserialize(std::span<const std::uint8_t> data) {
     if (!behavior.ok()) return behavior.error();
     db.store(name.value(), std::move(behavior).take());
   }
+  // serialize() produces exact bytes; anything after the last behavior
+  // is corruption (e.g. a foreign file with a lucky magic).
+  if (!r.exhausted()) return Error{15, "trailing bytes after seed db"};
   return db;
 }
 
 Status SeedDb::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Error{11, "cannot open " + path};
-  const auto bytes = serialize();
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  return out ? Status{} : Status{Error{12, "write failed: " + path}};
+  // Atomic save: a killed writer never leaves a truncated corpus behind
+  // and a concurrent reader sees either the old file or the new one.
+  const std::filesystem::path target(path);
+  return write_file_atomic(target.parent_path(), target.filename().string(),
+                           serialize());
 }
 
 Result<SeedDb> SeedDb::load_file(const std::string& path) {

@@ -1,0 +1,69 @@
+// Atomic filesystem publication helpers, shared by the seed DB and the
+// campaign persistence components.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "support/result.h"
+
+namespace iris {
+
+/// Write `bytes` to `dir/name` atomically: the payload lands in a
+/// dot-prefixed temp file in the same directory (so the rename cannot
+/// cross filesystems) and is renamed into place. Readers never observe
+/// a partial file; a killed writer leaves only an ignorable temp.
+/// The temp name carries per-process entropy (an ASLR-randomized
+/// address) plus a per-process counter, so two processes publishing
+/// the same content-hash name concurrently cannot scribble over each
+/// other's temp file — last rename wins with intact bytes.
+inline Status write_file_atomic(const std::filesystem::path& dir,
+                                const std::string& name,
+                                std::span<const std::uint8_t> bytes) {
+  namespace fs = std::filesystem;
+  static std::atomic<std::uint64_t> counter{0};
+  char suffix[48];
+  std::snprintf(suffix, sizeof(suffix), ".%llx-%llu.tmp",
+                static_cast<unsigned long long>(
+                    reinterpret_cast<std::uintptr_t>(&counter)),
+                static_cast<unsigned long long>(
+                    counter.fetch_add(1, std::memory_order_relaxed)));
+  const fs::path tmp = dir / ("." + name + suffix);
+  const fs::path final_path = dir / name;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Error{20, "cannot open " + tmp.string()};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Error{21, "write failed: " + tmp.string()};
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Error{22, "rename failed: " + final_path.string()};
+  }
+  return {};
+}
+
+/// Slurp a whole file; missing or unreadable files are an error value.
+inline Result<std::vector<std::uint8_t>> read_file_bytes(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{41, "cannot open " + path.string()};
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace iris

@@ -5,6 +5,7 @@
 #include "guest/guest_ops.h"
 #include "iris/analysis.h"
 #include "iris/manager.h"
+#include "sim/cost_model.h"
 
 namespace iris {
 namespace {
@@ -186,6 +187,94 @@ TEST_F(HypercallTest, MalformedCommandsReturnErrno) {
   EXPECT_EQ(static_cast<std::int64_t>(
                 call(static_cast<std::uint64_t>(IrisCmd::kSubmitSeed), gpa, 4)),
             -22);
+}
+
+// --- Batched seed hand-off (§IX batching; ROADMAP "Batched seed
+// hand-off"): Manager::submit_batch_into must produce outcomes
+// identical to one-by-one submission, while actually amortizing the
+// per-seed fetch cost across each batch.
+
+void expect_outcomes_identical(const hv::HandleOutcome& a,
+                               const hv::HandleOutcome& b, std::size_t index) {
+  EXPECT_EQ(a.entered, b.entered) << "seed " << index;
+  EXPECT_EQ(a.failure, b.failure) << "seed " << index;
+  EXPECT_EQ(a.cause, b.cause) << "seed " << index;
+  EXPECT_EQ(a.failure_reason, b.failure_reason) << "seed " << index;
+  EXPECT_EQ(a.dispatched_reason, b.dispatched_reason) << "seed " << index;
+  EXPECT_EQ(a.coverage.blocks, b.coverage.blocks) << "seed " << index;
+  EXPECT_EQ(a.coverage.loc, b.coverage.loc) << "seed " << index;
+  EXPECT_EQ(a.cycles, b.cycles) << "seed " << index;
+  EXPECT_EQ(a.vmreads, b.vmreads) << "seed " << index;
+  EXPECT_EQ(a.vmwrites, b.vmwrites) << "seed " << index;
+  EXPECT_EQ(a.injected_vector, b.injected_vector) << "seed " << index;
+}
+
+class BatchedSubmitTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BatchedSubmitTest, BatchedMatchesOneByOne) {
+  const std::size_t batch_size = GetParam();
+  Replayer::Config config;
+  config.batch_size = batch_size;
+
+  // Two identically-constructed stacks: recording is a pure function of
+  // (workload, seed), so both replay the same behavior.
+  hv::Hypervisor hv_loop(13, 0.0), hv_batch(13, 0.0);
+  Manager loop_manager(hv_loop), batch_manager(hv_batch);
+  const VmBehavior& loop_behavior =
+      loop_manager.record_workload(Workload::kCpuBound, 60, 5);
+  const VmBehavior& batch_behavior =
+      batch_manager.record_workload(Workload::kCpuBound, 60, 5);
+
+  std::vector<VmSeed> seeds;
+  for (const auto& rec : loop_behavior) seeds.push_back(rec.seed);
+
+  ASSERT_TRUE(loop_manager.enable_replay(config));
+  std::vector<hv::HandleOutcome> one_by_one(seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    loop_manager.submit_seed_into(seeds[i], one_by_one[i]);
+  }
+
+  std::vector<VmSeed> batch_seeds;
+  for (const auto& rec : batch_behavior) batch_seeds.push_back(rec.seed);
+  ASSERT_TRUE(batch_manager.enable_replay(config));
+  std::vector<hv::HandleOutcome> batched;
+  batch_manager.submit_batch_into(batch_seeds, batched);
+
+  ASSERT_EQ(batched.size(), one_by_one.size());
+  for (std::size_t i = 0; i < one_by_one.size(); ++i) {
+    expect_outcomes_identical(one_by_one[i], batched[i], i);
+  }
+  // Identical simulated-clock trajectories, not just identical
+  // per-exit outcomes.
+  EXPECT_EQ(hv_loop.clock().rdtsc(), hv_batch.clock().rdtsc());
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, BatchedSubmitTest,
+                         ::testing::Values(1u, 4u, 16u));
+
+TEST(BatchedSubmit, BatchingAmortizesTheFetchCost) {
+  auto replay_cycles = [](std::size_t batch_size) {
+    hv::Hypervisor hv(13, 0.0);
+    Manager manager(hv);
+    const VmBehavior& behavior =
+        manager.record_workload(Workload::kCpuBound, 80, 5);
+    std::vector<VmSeed> seeds;
+    for (const auto& rec : behavior) seeds.push_back(rec.seed);
+    Replayer::Config config;
+    config.batch_size = batch_size;
+    EXPECT_TRUE(manager.enable_replay(config));
+    const std::uint64_t t0 = hv.clock().rdtsc();
+    std::vector<hv::HandleOutcome> outcomes;
+    manager.submit_batch_into(seeds, outcomes);
+    return hv.clock().rdtsc() - t0;
+  };
+
+  const std::uint64_t unbatched = replay_cycles(1);
+  const std::uint64_t batched = replay_cycles(8);
+  // 80 seeds at batch 8 pay 10 fetches instead of 80: the saving is
+  // 70 * replay_seed_fetch cycles of simulated time.
+  EXPECT_LT(batched, unbatched);
+  EXPECT_GE(unbatched - batched, 60 * sim::CostModel{}.replay_seed_fetch);
 }
 
 }  // namespace
