@@ -125,5 +125,13 @@ int main(int argc, char** argv) {
                 wall_seconds, mutants_per_second, restore_us,
                 metrics.path().c_str());
   }
+
+  // Same figures into the PR 4 report, where CI checks the hot loop
+  // against the floor recorded before the flat-bitmap rework (the
+  // pre-PR2 baseline.table1.mutants_per_second in BENCH_PR2.json).
+  bench::JsonMetrics pr4("BENCH_PR4.json");
+  pr4.set("table1.mutants_per_second", mutants_per_second);
+  pr4.set("table1.restore_us", restore_us);
+  (void)pr4.flush();
   return 0;
 }

@@ -1,0 +1,156 @@
+// Pooled VM stacks + dirty-slot journal restore (PR 4 benchmarks).
+//
+// Three measurements, all appended to BENCH_PR4.json:
+//
+//  1. campaign.cell_setup_us_fresh vs campaign.cell_setup_us_pooled —
+//     the cost of readying a Hypervisor/Manager stack for a cell from
+//     scratch (construction: ~4K eager EPT identity-map inserts + Dom0)
+//     versus returning a pooled stack to the same state
+//     (PooledVm::reset). CI enforces fresh >= 5x pooled.
+//
+//  2. campaign.mutants_per_second_{fresh,pooled} — a small Table I
+//     campaign with per-cell stacks vs pooled per-worker stacks, with a
+//     byte-identity check on the results.
+//
+//  3. restore.dirtyK_residentN_us — AddressSpace::restore_pages on a
+//     RAM-heavy guest: time per revert for a fixed number of dirtied
+//     pages as the resident set grows 64x. With the dirty-slot journal
+//     the revert tracks pages dirtied, not pages resident; CI enforces
+//     the large-resident case stays within 5x of the small one.
+//
+//   $ ./bench_vm_reuse [mutants] [seed]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "campaign/checkpoint.h"
+#include "fuzz/campaign.h"
+#include "fuzz/vm_pool.h"
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Average restore_pages cost with `dirty_pages` dirtied per round over
+/// `resident_pages` resident ones.
+double restore_cost_us(std::size_t resident_pages, std::size_t dirty_pages,
+                       int rounds) {
+  using iris::mem::kPageSize;
+  iris::mem::AddressSpace as(static_cast<std::uint64_t>(resident_pages + 1) *
+                             kPageSize);
+  for (std::size_t p = 0; p < resident_pages; ++p) {
+    as.write_u64(static_cast<std::uint64_t>(p) * kPageSize, p + 1);
+  }
+  const auto snap = as.snapshot_pages();
+  // Warm one round so the journal holds the working set before timing.
+  for (std::size_t d = 0; d < dirty_pages; ++d) {
+    as.write_u64(static_cast<std::uint64_t>(d) * kPageSize, 0xAB);
+  }
+  as.restore_pages(snap);
+
+  const double t0 = now_us();
+  for (int r = 0; r < rounds; ++r) {
+    for (std::size_t d = 0; d < dirty_pages; ++d) {
+      as.write_u64(static_cast<std::uint64_t>(d) * kPageSize,
+                   0xBEEF0000ULL + static_cast<std::uint64_t>(r));
+    }
+    as.restore_pages(snap);
+  }
+  const double per_round = (now_us() - t0) / rounds;
+  if (as.full_scan_restores() != 0) {
+    std::fprintf(stderr, "warning: restore fell off the journal path\n");
+  }
+  // Subtract nothing: the dirtying writes are part of the fuzz-loop
+  // shape being modeled and identical across resident sizes.
+  return per_round;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace iris;
+  const std::size_t mutants =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 400;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  bench::print_header("VM-stack pooling + dirty-slot journal restore");
+
+  // --- 1. Cell setup: fresh construction vs pooled reset. ---
+  constexpr int kSetupRounds = 50;
+  double fresh_us = 0.0;
+  {
+    const double t0 = now_us();
+    for (int i = 0; i < kSetupRounds; ++i) {
+      hv::Hypervisor hv(seed, 0.0);
+      Manager manager(hv);
+      // A cell's stack must have its dummy VM up: count the launch the
+      // fuzzer's walk pays on a fresh stack.
+      (void)manager.dummy_vm();
+    }
+    fresh_us = (now_us() - t0) / kSetupRounds;
+  }
+  double pooled_us = 0.0;
+  {
+    fuzz::PooledVm pooled(seed, 0.0);
+    (void)pooled.manager().dummy_vm();
+    const double t0 = now_us();
+    for (int i = 0; i < kSetupRounds; ++i) {
+      pooled.reset();
+      (void)pooled.manager().dummy_vm();
+    }
+    pooled_us = (now_us() - t0) / kSetupRounds;
+  }
+  std::printf("cell setup: fresh %.1f us, pooled reset %.1f us (%.1fx)\n",
+              fresh_us, pooled_us, fresh_us / pooled_us);
+
+  // --- 2. Campaign throughput, fresh-per-cell vs pooled, byte-checked. ---
+  const auto grid = fuzz::make_table1_grid({guest::Workload::kCpuBound,
+                                            guest::Workload::kOsBoot},
+                                           mutants, seed);
+  auto config = fuzz::CampaignConfig{};
+  config.workers = 2;
+  config.hv_seed = seed;
+  config.record_exits = 400;
+  config.record_seed = seed;
+
+  config.reuse_vm_stacks = false;
+  const auto fresh_run = fuzz::CampaignRunner(config).run(grid);
+  config.reuse_vm_stacks = true;
+  const auto pooled_run = fuzz::CampaignRunner(config).run(grid);
+
+  const bool identical = campaign::canonical_result_bytes(fresh_run) ==
+                         campaign::canonical_result_bytes(pooled_run);
+  std::printf("campaign (%zu cells, M=%zu): fresh %.0f mut/s, pooled %.0f mut/s"
+              " — results %s\n",
+              grid.size(), mutants, fresh_run.mutants_per_second,
+              pooled_run.mutants_per_second,
+              identical ? "byte-identical" : "DIVERGED");
+  if (!identical) return 1;
+
+  // --- 3. Journal restore: O(dirtied), not O(resident). ---
+  const double small_us = restore_cost_us(1024, 8, 2000);
+  const double large_us = restore_cost_us(65536, 8, 2000);
+  std::printf("restore (8 dirty pages): resident 1K %.3f us, resident 64K %.3f us"
+              " (x%.2f)\n",
+              small_us, large_us, large_us / small_us);
+
+  bench::JsonMetrics metrics("BENCH_PR4.json");
+  metrics.set("campaign.cell_setup_us_fresh", fresh_us);
+  metrics.set("campaign.cell_setup_us_pooled", pooled_us);
+  metrics.set("campaign.cell_setup_speedup", fresh_us / pooled_us);
+  metrics.set("campaign.mutants_per_second_fresh", fresh_run.mutants_per_second);
+  metrics.set("campaign.mutants_per_second_pooled", pooled_run.mutants_per_second);
+  metrics.set("restore.dirty8_resident1024_us", small_us);
+  metrics.set("restore.dirty8_resident65536_us", large_us);
+  metrics.set("restore.resident_scaling_factor", large_us / small_us);
+  if (metrics.flush()) {
+    std::printf("appended to %s\n", metrics.path().c_str());
+  }
+  return 0;
+}

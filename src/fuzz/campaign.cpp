@@ -11,15 +11,18 @@
 
 #include "campaign/checkpoint.h"
 #include "campaign/crash_archive.h"
+#include "fuzz/vm_pool.h"
 
 namespace iris::fuzz {
 namespace {
 
-/// One cell's VM stack. Construction is a pure function of config, and
-/// giving every cell its own stack is what makes cell results
-/// independent of sharding — reusing a manager across cells leaks
-/// hypervisor-global state (e.g. device/timer histories) into later
-/// cells' coverage.
+/// One cell's throwaway VM stack (the reuse_vm_stacks == false path).
+/// Construction is a pure function of config; naively reusing a manager
+/// across cells would leak hypervisor-global state (device/timer
+/// histories, coverage registry, clock) into later cells' results. The
+/// pooled path reuses stacks anyway — safely — because PooledVm::reset()
+/// provably reconstructs this exact post-construction state
+/// (hv::state_digest equality, asserted in debug builds).
 struct CellVm {
   explicit CellVm(const CampaignConfig& config)
       : hv(config.hv_seed, config.async_noise_prob), manager(hv) {}
@@ -85,21 +88,42 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   const bool all_resumed =
       std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
 
+  // Per-worker pooled VM stacks (the default): one Hypervisor/Manager
+  // per worker for the whole grid, reset to the post-construction state
+  // between cells. Slots are created lazily, so a fully-resumed run
+  // builds none.
+  std::optional<VmPool> pool;
+  if (config_.reuse_vm_stacks) {
+    pool.emplace(workers, config_.hv_seed, config_.async_noise_prob);
+  }
+
   // Record each workload's behavior once up front: recording is a pure
   // function of (workload, config), so the cells can share the trace.
   // A fully-resumed run skips this; the archive phase below records
-  // lazily for the workloads that actually have crash buckets.
+  // lazily for the workloads that actually have crash buckets. The
+  // record stacks ride the pool too (worker 0's slot — safe: this
+  // lambda only runs on the main thread strictly before the workers
+  // start or after they join) instead of building two throwaway stacks
+  // per workload.
   std::map<guest::Workload, VmBehavior> behaviors;
   auto ensure_behavior =
-      [&behaviors, this](guest::Workload workload) -> const VmBehavior& {
+      [&behaviors, &pool, this](guest::Workload workload) -> const VmBehavior& {
     auto it = behaviors.find(workload);
     if (it == behaviors.end()) {
-      hv::Hypervisor record_hv(config_.hv_seed, config_.async_noise_prob);
-      Manager recorder(record_hv);
+      std::optional<CellVm> throwaway;
+      Manager* recorder = nullptr;
+      if (pool) {
+        PooledVm& slot = pool->worker(0);
+        slot.reset();
+        recorder = &slot.manager();
+      } else {
+        throwaway.emplace(config_);
+        recorder = &throwaway->manager;
+      }
       it = behaviors
                .emplace(workload,
-                        recorder.record_workload(workload, config_.record_exits,
-                                                 config_.record_seed))
+                        recorder->record_workload(workload, config_.record_exits,
+                                                  config_.record_seed))
                .first;
     }
     return it->second;
@@ -149,10 +173,24 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       if (done[i] != 0) continue;  // recovered from the checkpoint
       if (!claim_budget()) return;
       const TestCaseSpec& spec = grid[i];
-      CellVm vm(config_);
-      Fuzzer fuzzer(vm.manager, config_.fuzzer);
+      // One cell body, two stack sources: a reset pooled slot or a
+      // throwaway CellVm (provably equivalent — see PooledVm::reset).
+      std::optional<CellVm> throwaway;
+      hv::Hypervisor* cell_hv = nullptr;
+      Manager* cell_manager = nullptr;
+      if (pool) {
+        PooledVm& slot = pool->worker(worker_index);
+        slot.reset();
+        cell_hv = &slot.hv();
+        cell_manager = &slot.manager();
+      } else {
+        throwaway.emplace(config_);
+        cell_hv = &throwaway->hv;
+        cell_manager = &throwaway->manager;
+      }
+      Fuzzer fuzzer(*cell_manager, config_.fuzzer);
       out.results[i] = fuzzer.run_test_case(spec, behaviors.at(spec.workload));
-      cell_cov[i] = cell_coverage(vm.hv.coverage());
+      cell_cov[i] = cell_coverage(cell_hv->coverage());
       done[i] = 1;
       journal_cell(i);
     }
@@ -161,10 +199,10 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   if (workers == 1) {
     work(0);
   } else {
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
-    for (auto& t : pool) t.join();
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) threads.emplace_back(work, w);
+    for (auto& t : threads) t.join();
   }
 
   out.elapsed_seconds =

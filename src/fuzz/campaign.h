@@ -13,9 +13,12 @@
 // Determinism contract: with async_noise_prob == 0 the merged coverage
 // and the deduplicated crash set are a pure function of the spec grid
 // and the configured seeds — identical for any worker count. Each
-// workload's behavior is recorded exactly once on its own VM stack,
-// and each cell fuzzes it on a fresh hypervisor constructed with the
-// same seed, so sharding cannot change results.
+// workload's behavior is recorded exactly once, and each cell fuzzes it
+// on a hypervisor in the exact post-construction state for the same
+// seed — either a freshly built stack, or (the default) a pooled
+// per-worker stack returned to that state by PooledVm::reset(), whose
+// equivalence with a fresh stack is asserted via hv::state_digest.
+// Either way, sharding cannot change results.
 #pragma once
 
 #include <cstdint>
@@ -60,6 +63,15 @@ struct CampaignConfig {
   std::uint64_t record_exits = 150;
   std::uint64_t record_seed = 3;
   Fuzzer::Config fuzzer;
+
+  /// Give each worker one long-lived Hypervisor/Manager stack reset
+  /// between cells (fuzz::VmPool) instead of constructing a fresh stack
+  /// per cell. Results are byte-identical either way — the flag is
+  /// excluded from the campaign fingerprint, like the worker count —
+  /// so it is purely a throughput knob (skips ~4K eager EPT inserts and
+  /// the domain launches per cell). Off buys nothing but is kept as the
+  /// reference path for the reset-vs-fresh equivalence suite.
+  bool reuse_vm_stacks = true;
 
   // --- Persistence (src/campaign/). All off by default.
 

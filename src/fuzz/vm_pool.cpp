@@ -1,0 +1,28 @@
+#include "fuzz/vm_pool.h"
+
+#include <cassert>
+
+namespace iris::fuzz {
+
+PooledVm::PooledVm(std::uint64_t hv_seed, double async_noise_prob)
+    : hv_seed_(hv_seed),
+      async_noise_prob_(async_noise_prob),
+      hv_(hv_seed, async_noise_prob),
+      manager_(hv_),
+      fresh_digest_(hv::state_digest(hv_)) {}
+
+void PooledVm::reset() {
+  // Manager first: tearing down the replayer restores the hook chain it
+  // saved, keeping teardown leak-free even though the hypervisor reset
+  // clears the hooks wholesale right after.
+  manager_.reset();
+  hv_.reset(hv_seed_, async_noise_prob_);
+  manager_.rebind();
+  ++resets_;
+  // The determinism proof: a reset stack is indistinguishable from a
+  // fresh one, so a cell cannot observe which it ran on.
+  assert(hv::state_digest(hv_) == fresh_digest_ &&
+         "PooledVm::reset left residual hypervisor state");
+}
+
+}  // namespace iris::fuzz

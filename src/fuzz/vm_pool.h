@@ -1,0 +1,90 @@
+// Pooled per-worker VM stacks (ROADMAP "Per-cell VM reuse").
+//
+// A campaign cell needs a Hypervisor/Manager stack in exactly the state
+// construction leaves it in — that is what makes cell results a pure
+// function of (spec, config) and therefore sharding- and
+// resume-independent. Building that state from scratch costs ~4K eager
+// EPT identity-map inserts per domain plus domain launches, paid once
+// per grid cell. A PooledVm pays it once per worker: reset() returns
+// the long-lived stack to the exact post-construction state
+// (Hypervisor::reset + Manager::reset + hypercall rebind), and debug
+// builds assert hv::state_digest(reset stack) == the digest captured at
+// construction — the "pooled reuse leaks hypervisor-global state into
+// later cells" hazard is checked, not hoped for.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "iris/manager.h"
+
+namespace iris::fuzz {
+
+/// One worker's long-lived Hypervisor/Manager stack.
+class PooledVm {
+ public:
+  PooledVm(std::uint64_t hv_seed, double async_noise_prob);
+
+  PooledVm(const PooledVm&) = delete;
+  PooledVm& operator=(const PooledVm&) = delete;
+
+  [[nodiscard]] hv::Hypervisor& hv() noexcept { return hv_; }
+  [[nodiscard]] Manager& manager() noexcept { return manager_; }
+
+  /// Restore the stack to the exact state `PooledVm(hv_seed, noise)`
+  /// constructs. Asserts digest equality with the fresh stack in debug
+  /// builds; any build can compare digests via fresh_digest().
+  void reset();
+
+  /// hv::state_digest of the stack right after construction — the value
+  /// every reset() must reproduce.
+  [[nodiscard]] std::uint64_t fresh_digest() const noexcept {
+    return fresh_digest_;
+  }
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+
+ private:
+  std::uint64_t hv_seed_;
+  double async_noise_prob_;
+  hv::Hypervisor hv_;
+  Manager manager_;
+  std::uint64_t fresh_digest_;
+  std::uint64_t resets_ = 0;
+};
+
+/// Fixed-size pool of per-worker stacks, created lazily: a fully
+/// checkpoint-resumed campaign that never runs a cell never builds one.
+/// Thread contract: slot w is touched only by worker w (plus the main
+/// thread strictly before workers start / after they join), so no
+/// locking is needed; the slot table never reallocates.
+class VmPool {
+ public:
+  VmPool(std::size_t workers, std::uint64_t hv_seed, double async_noise_prob)
+      : hv_seed_(hv_seed),
+        async_noise_prob_(async_noise_prob),
+        slots_(workers) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  /// The given worker's stack, constructed on first use.
+  [[nodiscard]] PooledVm& worker(std::size_t index) {
+    auto& slot = slots_.at(index);
+    if (!slot) slot = std::make_unique<PooledVm>(hv_seed_, async_noise_prob_);
+    return *slot;
+  }
+
+  /// Stacks actually constructed (observability for tests/benches).
+  [[nodiscard]] std::size_t constructed() const noexcept {
+    std::size_t n = 0;
+    for (const auto& slot : slots_) n += slot != nullptr ? 1 : 0;
+    return n;
+  }
+
+ private:
+  std::uint64_t hv_seed_;
+  double async_noise_prob_;
+  std::vector<std::unique_ptr<PooledVm>> slots_;
+};
+
+}  // namespace iris::fuzz

@@ -19,7 +19,25 @@ Domain::Domain(std::uint32_t id, DomainRole role, std::uint64_t ram_bytes)
   add_vcpu();
   // Identity-map the first 16 MiB eagerly (BIOS/boot range); the rest of
   // RAM populates on demand through EPT-violation handling.
-  ept_.identity_map(16ULL * 1024 * 1024 / mem::kPageSize);
+  ept_.identity_map(kEagerIdentityFrames);
+}
+
+void Domain::recycle(std::uint32_t id, DomainRole role, std::uint64_t ram_bytes) {
+  id_ = id;
+  role_ = role;
+  if (ram_.size() != ram_bytes) {
+    ram_ = mem::AddressSpace(ram_bytes);
+  } else {
+    ram_.reset();
+  }
+  ept_.reset_identity(kEagerIdentityFrames);
+  pio_.clear();
+  mmio_.clear();
+  vpt_.reset();
+  irq_.reset();
+  vcpus_.resize(1);
+  // In-place reset keeps the HvVcpu address stable for handler closures.
+  *vcpus_[0] = HvVcpu(id_);
 }
 
 HvVcpu& Domain::add_vcpu() {

@@ -95,6 +95,11 @@ struct DomainSnapshot {
   mem::AddressSpace::Snapshot ram_pages;
 };
 
+/// Guest-frame count of the eager identity map every domain starts with
+/// (the BIOS/boot range; the rest of RAM populates on demand).
+inline constexpr std::uint64_t kEagerIdentityFrames =
+    16ULL * 1024 * 1024 / mem::kPageSize;
+
 class Domain {
  public:
   Domain(std::uint32_t id, DomainRole role, std::uint64_t ram_bytes = 1ULL << 30);
@@ -102,17 +107,32 @@ class Domain {
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   [[nodiscard]] DomainRole role() const noexcept { return role_; }
 
+  /// Return the domain to the state `Domain(id, role, ram_bytes)` would
+  /// construct — under a new identity — WITHOUT rebuilding the eager EPT
+  /// identity map (reset_identity prunes instead of re-inserting ~4K
+  /// entries). I/O registrations are dropped (device state lives in the
+  /// handler closures); the hypervisor re-registers the platform when it
+  /// hands the domain out again. The vCPU object is reset in place, so
+  /// pointers captured by MMIO closures stay valid.
+  void recycle(std::uint32_t id, DomainRole role, std::uint64_t ram_bytes);
+
   [[nodiscard]] HvVcpu& vcpu(std::size_t i = 0) { return *vcpus_.at(i); }
   [[nodiscard]] const HvVcpu& vcpu(std::size_t i = 0) const { return *vcpus_.at(i); }
   [[nodiscard]] std::size_t vcpu_count() const noexcept { return vcpus_.size(); }
   HvVcpu& add_vcpu();
 
   [[nodiscard]] mem::AddressSpace& ram() noexcept { return ram_; }
+  [[nodiscard]] const mem::AddressSpace& ram() const noexcept { return ram_; }
   [[nodiscard]] mem::Ept& ept() noexcept { return ept_; }
+  [[nodiscard]] const mem::Ept& ept() const noexcept { return ept_; }
   [[nodiscard]] mem::PioSpace& pio() noexcept { return pio_; }
+  [[nodiscard]] const mem::PioSpace& pio() const noexcept { return pio_; }
   [[nodiscard]] mem::MmioSpace& mmio() noexcept { return mmio_; }
+  [[nodiscard]] const mem::MmioSpace& mmio() const noexcept { return mmio_; }
   [[nodiscard]] Vpt& vpt() noexcept { return vpt_; }
+  [[nodiscard]] const Vpt& vpt() const noexcept { return vpt_; }
   [[nodiscard]] IrqChip& irq() noexcept { return irq_; }
+  [[nodiscard]] const IrqChip& irq() const noexcept { return irq_; }
 
   /// Capture / restore the snapshot used to unbias record-vs-replay
   /// accuracy comparisons (paper §VI-B).

@@ -89,28 +89,59 @@ Hypervisor::Hypervisor(std::uint64_t noise_seed, double async_noise_prob)
   create_domain(DomainRole::kControl);
 }
 
+void Hypervisor::register_platform(Domain& dom) {
+  if (dom.role() == DomainRole::kControl) return;
+  register_pc_platform(dom.pio(), coverage_);
+  // The vLAPIC window is MMIO-visible; route it to vcpu 0's APIC.
+  HvVcpu* vcpu0 = &dom.vcpu(0);
+  CoverageMap* cov = &coverage_;
+  dom.mmio().register_range(
+      mem::kApicMmioBase, mem::kApicMmioSize, "vlapic",
+      [vcpu0, cov](std::uint64_t gpa, bool is_write, std::uint8_t,
+                   std::uint64_t value) -> mem::IoResult {
+        const auto offset = static_cast<std::uint32_t>(gpa - mem::kApicMmioBase);
+        if (is_write) {
+          vcpu0->lapic.write(offset, static_cast<std::uint32_t>(value), *cov);
+          return {true, 0};
+        }
+        return {true, vcpu0->lapic.read(offset, *cov)};
+      });
+}
+
 Domain& Hypervisor::create_domain(DomainRole role, std::uint64_t ram_bytes) {
   const auto id = static_cast<std::uint32_t>(domains_.size());
-  domains_.push_back(std::make_unique<Domain>(id, role, ram_bytes));
-  Domain& dom = *domains_.back();
-  if (role != DomainRole::kControl) {
-    register_pc_platform(dom.pio(), coverage_);
-    // The vLAPIC window is MMIO-visible; route it to vcpu 0's APIC.
-    HvVcpu* vcpu0 = &dom.vcpu(0);
-    CoverageMap* cov = &coverage_;
-    dom.mmio().register_range(
-        mem::kApicMmioBase, mem::kApicMmioSize, "vlapic",
-        [vcpu0, cov](std::uint64_t gpa, bool is_write, std::uint8_t,
-                     std::uint64_t value) -> mem::IoResult {
-          const auto offset = static_cast<std::uint32_t>(gpa - mem::kApicMmioBase);
-          if (is_write) {
-            vcpu0->lapic.write(offset, static_cast<std::uint32_t>(value), *cov);
-            return {true, 0};
-          }
-          return {true, vcpu0->lapic.read(offset, *cov)};
-        });
+  if (!parked_.empty()) {
+    // Recycle a parked domain: same fresh state, none of the eager
+    // EPT-identity-map cost.
+    domains_.push_back(std::move(parked_.back()));
+    parked_.pop_back();
+    domains_.back()->recycle(id, role, ram_bytes);
+  } else {
+    domains_.push_back(std::make_unique<Domain>(id, role, ram_bytes));
   }
+  Domain& dom = *domains_.back();
+  register_platform(dom);
   return dom;
+}
+
+void Hypervisor::reset(std::uint64_t noise_seed, double async_noise_prob) {
+  // Park every DomU for recycling; Dom0 is reset in place so domain 0
+  // exists throughout, exactly as after construction.
+  for (std::size_t i = 1; i < domains_.size(); ++i) {
+    parked_.push_back(std::move(domains_[i]));
+  }
+  domains_.resize(1);
+  domains_[0]->recycle(0, DomainRole::kControl, domains_[0]->ram().size());
+
+  clock_.reset();
+  log_.clear();
+  coverage_.reset();
+  failures_.reset();
+  noise_rng_.reseed(noise_seed);
+  async_noise_prob_ = async_noise_prob;
+  hang_threshold_ = kDefaultHangThreshold;
+  hooks_ = InstrumentationHooks{};
+  hypercalls_.clear();
 }
 
 Domain* Hypervisor::domain(std::uint32_t id) noexcept {

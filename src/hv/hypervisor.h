@@ -158,7 +158,19 @@ class Hypervisor {
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
 
-  /// Create a domain. Dom0 is created implicitly as domain 0.
+  /// Full-fidelity reset: return the hypervisor to the exact state
+  /// `Hypervisor(noise_seed, async_noise_prob)` constructs — clock,
+  /// coverage, failures, log, noise stream, hooks, hypercall table, and
+  /// a single freshly reset Dom0 — WITHOUT paying for the expensive
+  /// parts again. Domains beyond Dom0 are parked for reuse:
+  /// create_domain() recycles them in place, skipping the ~4K eager EPT
+  /// identity-map inserts a from-scratch domain costs. This is the
+  /// pooled-VM-stack protocol (ROADMAP "Per-cell VM reuse"); equivalence
+  /// with a fresh stack is checked by state_digest() in debug builds.
+  void reset(std::uint64_t noise_seed, double async_noise_prob);
+
+  /// Create a domain. Dom0 is created implicitly as domain 0. After a
+  /// reset(), parked domains are recycled instead of built from scratch.
   Domain& create_domain(DomainRole role, std::uint64_t ram_bytes = 1ULL << 30);
   [[nodiscard]] Domain* domain(std::uint32_t id) noexcept;
   [[nodiscard]] std::size_t domain_count() const noexcept { return domains_.size(); }
@@ -199,12 +211,29 @@ class Hypervisor {
 
   // --- Services. ---
   [[nodiscard]] CoverageMap& coverage() noexcept { return coverage_; }
+  [[nodiscard]] const CoverageMap& coverage() const noexcept { return coverage_; }
   [[nodiscard]] FailureManager& failures() noexcept { return failures_; }
+  [[nodiscard]] const FailureManager& failures() const noexcept { return failures_; }
   [[nodiscard]] RingLog& log() noexcept { return log_; }
+  [[nodiscard]] const RingLog& log() const noexcept { return log_; }
   [[nodiscard]] sim::Clock& clock() noexcept { return clock_; }
+  [[nodiscard]] const sim::Clock& clock() const noexcept { return clock_; }
   [[nodiscard]] const sim::CostModel& costs() const noexcept { return costs_; }
   [[nodiscard]] InstrumentationHooks& hooks() noexcept { return hooks_; }
+  [[nodiscard]] const InstrumentationHooks& hooks() const noexcept { return hooks_; }
   [[nodiscard]] Rng& noise_rng() noexcept { return noise_rng_; }
+  [[nodiscard]] const Rng& noise_rng() const noexcept { return noise_rng_; }
+  [[nodiscard]] const Domain* domain(std::uint32_t id) const noexcept {
+    return id < domains_.size() ? domains_[id].get() : nullptr;
+  }
+  /// Registered hypercall numbers (reset-equivalence accounting).
+  [[nodiscard]] std::size_t hypercall_count() const noexcept {
+    return hypercalls_.size();
+  }
+  /// Domains parked by reset() and awaiting recycling.
+  [[nodiscard]] std::size_t parked_domain_count() const noexcept {
+    return parked_.size();
+  }
 
   void set_async_noise_prob(double p) noexcept { async_noise_prob_ = p; }
   [[nodiscard]] double async_noise_prob() const noexcept { return async_noise_prob_; }
@@ -216,10 +245,13 @@ class Hypervisor {
  private:
   friend class HandlerContext;
 
+  static constexpr std::uint32_t kDefaultHangThreshold = 1000;
+
   void dispatch(HandlerContext& ctx, vtx::ExitReason reason);
   void async_noise(HandlerContext& ctx);
   void interrupt_assist(HandlerContext& ctx, HandleOutcome& outcome);
   bool validate_guest_context(HandlerContext& ctx);
+  void register_platform(Domain& dom);
 
   sim::Clock clock_;
   sim::CostModel costs_;
@@ -228,11 +260,26 @@ class Hypervisor {
   FailureManager failures_;
   Rng noise_rng_;
   double async_noise_prob_;
-  std::uint32_t hang_threshold_ = 1000;
+  std::uint32_t hang_threshold_ = kDefaultHangThreshold;
   InstrumentationHooks hooks_;
   std::vector<std::unique_ptr<Domain>> domains_;
+  /// Domains parked by reset(), recycled by create_domain().
+  std::vector<std::unique_ptr<Domain>> parked_;
   std::unordered_map<std::uint64_t, HypercallFn> hypercalls_;
 };
+
+/// Deterministic digest of every behavior-relevant piece of hypervisor
+/// state: clock, coverage registry, failures, log, noise stream, hook
+/// presence, hypercall table size, and the full per-domain state (RAM
+/// contents, EPT, I/O registries, vLAPIC/IRQ/timer, vCPU register files,
+/// VMCS). Two hypervisors with equal digests handle identical exit
+/// sequences identically — the reset-stack ≡ fresh-stack proof obligation
+/// of the pooled VM stacks (asserted in debug builds on every
+/// PooledVm::reset, and directly testable in any build).
+[[nodiscard]] std::uint64_t state_digest(const Hypervisor& hv);
+
+/// Per-domain component of state_digest (exposed for focused tests).
+[[nodiscard]] std::uint64_t state_digest(const Domain& dom);
 
 /// Hypercall numbers (Xen-flavored; §V-C).
 inline constexpr std::uint64_t kHypercallConsoleIo = 18;

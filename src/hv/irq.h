@@ -38,6 +38,15 @@ class IrqChip {
 
   void reset();
 
+  /// Hash of the queued vectors + window request (reset equivalence).
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0x49525121ULL ^ (want_window_ ? 1 : 0);
+    for (const std::uint8_t v : queue_) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
  private:
   std::deque<std::uint8_t> queue_;
   bool want_window_ = false;

@@ -173,6 +173,25 @@ std::optional<std::uint8_t> Vlapic::highest_bit(const VectorBitmap& bm) noexcept
   return std::nullopt;
 }
 
+std::uint64_t Vlapic::digest() const noexcept {
+  auto mix = [](std::uint64_t h, std::uint64_t v) {
+    return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  };
+  std::uint64_t h = mix(0x4c415049ULL, id_);
+  h = mix(h, tpr_);
+  h = mix(h, svr_);
+  h = mix(h, esr_);
+  h = mix(h, (static_cast<std::uint64_t>(icr_high_) << 32) | icr_low_);
+  h = mix(h, (static_cast<std::uint64_t>(lvt_timer_) << 32) | lvt_lint0_);
+  h = mix(h, (static_cast<std::uint64_t>(lvt_lint1_) << 32) | lvt_error_);
+  h = mix(h, (static_cast<std::uint64_t>(timer_init_) << 32) | timer_divide_);
+  for (int w = 0; w < kVectorWords; ++w) {
+    h = mix(h, (static_cast<std::uint64_t>(irr_[static_cast<std::size_t>(w)]) << 32) |
+                   isr_[static_cast<std::size_t>(w)]);
+  }
+  return h;
+}
+
 void Vlapic::reset() {
   tpr_ = 0;
   svr_ = 0xFF;

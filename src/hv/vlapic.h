@@ -64,6 +64,9 @@ class Vlapic {
 
   void reset();
 
+  /// Hash of the full register state (reset-vs-fresh equivalence).
+  [[nodiscard]] std::uint64_t digest() const noexcept;
+
  private:
   static constexpr int kVectorWords = 8;  // 256 bits
   using VectorBitmap = std::array<std::uint32_t, kVectorWords>;

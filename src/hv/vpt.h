@@ -32,6 +32,8 @@ class Vpt {
 
   [[nodiscard]] std::uint64_t missed_ticks() const noexcept { return missed_; }
   [[nodiscard]] std::uint8_t vector() const noexcept { return vector_; }
+  [[nodiscard]] std::uint64_t pending_ticks() const noexcept { return pending_ticks_; }
+  [[nodiscard]] std::uint64_t last_tick_tsc() const noexcept { return last_tick_tsc_; }
 
   void reset(std::uint64_t tsc = 0) {
     last_tick_tsc_ = tsc;

@@ -6,6 +6,24 @@ namespace iris {
 
 Manager::Manager(hv::Hypervisor& hv) : hv_(&hv) { register_hypercall(); }
 
+void Manager::reset() {
+  // Destruction order matters: tearing the replayer/recorder down while
+  // the hypervisor still holds their chained hooks restores the saved
+  // hook sets cleanly (Hypervisor::reset() clears hooks wholesale right
+  // after, but a leak-free teardown keeps this usable on its own).
+  replayer_.reset();
+  if (hypercall_recorder_) {
+    hypercall_recorder_->detach();
+    hypercall_recorder_.reset();
+  }
+  db_ = SeedDb{};
+  mode_ = Mode::kOff;
+  test_vm_ = nullptr;
+  dummy_vm_ = nullptr;
+  test_snapshot_.reset();
+  last_recorded_name_.clear();
+}
+
 hv::Domain& Manager::test_vm() {
   if (test_vm_ == nullptr) {
     test_vm_ = &hv_->create_domain(hv::DomainRole::kTest);

@@ -46,6 +46,18 @@ class Manager {
 
   explicit Manager(hv::Hypervisor& hv);
 
+  /// Return the manager to its freshly-constructed state: the replayer
+  /// and any hypercall recorder are torn down (restoring the hooks they
+  /// chained), the seed DB and snapshots dropped, and the domain
+  /// pointers forgotten. Does NOT touch the hypervisor — the pooled-VM
+  /// reset protocol calls this first, then Hypervisor::reset(), then
+  /// rebind() to re-register the xc_vmcs_fuzzing hypercall.
+  void reset();
+
+  /// Re-register the hypercall backend after a Hypervisor::reset()
+  /// cleared the hypercall table.
+  void rebind() { register_hypercall(); }
+
   /// Create and launch the test VM (the DomU whose workloads are
   /// recorded). Idempotent.
   [[nodiscard]] hv::Domain& test_vm();

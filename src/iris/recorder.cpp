@@ -1,5 +1,7 @@
 #include "iris/recorder.h"
 
+#include <algorithm>
+
 namespace iris {
 
 std::string_view to_string(CoverageSource source) noexcept {
@@ -58,15 +60,22 @@ void Recorder::on_exit_start(hv::HvVcpu& vcpu) {
   // buffering the GPR block (§V-A). Coverage hits under kIris get
   // cleaned out of the per-exit block set.
   hv_->coverage().hit(hv::Component::kIris, 1, 4);
-  current_ = {};
-  current_metrics_ = {};
+  if (in_exit_) {
+    // An exit that never reached finish_exit: discard its open record.
+    items_arena_.resize(cur_item_start_);
+    mem_arena_.resize(cur_mem_start_);
+    vmwrites_arena_.resize(cur_vmwrite_start_);
+  }
   in_exit_ = true;
+  cur_item_start_ = items_arena_.size();
+  cur_mem_start_ = mem_arena_.size();
+  cur_vmwrite_start_ = vmwrites_arena_.size();
+  cur_vmcs_count_ = 0;
 
-  current_.items.reserve(vcpu::kNumGprs + config_.max_vmcs_items);
   for (int i = 0; i < vcpu::kNumGprs; ++i) {
-    current_.items.push_back(SeedItem{SeedItemKind::kGpr,
-                                      static_cast<std::uint8_t>(i),
-                                      vcpu.saved_gprs[static_cast<std::size_t>(i)]});
+    items_arena_.push_back(SeedItem{SeedItemKind::kGpr,
+                                    static_cast<std::uint8_t>(i),
+                                    vcpu.saved_gprs[static_cast<std::size_t>(i)]});
   }
   const std::uint64_t cost =
       hv_->costs().record_callback_per_item * vcpu::kNumGprs;
@@ -77,15 +86,17 @@ void Recorder::on_exit_start(hv::HvVcpu& vcpu) {
 void Recorder::on_vmread(vtx::VmcsField field, std::uint64_t value) {
   if (!in_exit_) return;
   hv_->coverage().hit(hv::Component::kIris, 2, 2);
-  if (current_.vmcs_count() >= config_.max_vmcs_items) return;
+  if (cur_vmcs_count_ >= config_.max_vmcs_items) return;
   const auto compact = vtx::compact_index(field);
   if (!compact) return;
   if (config_.dedup_fields) {
-    for (const auto& item : current_.items) {
+    for (std::size_t i = cur_item_start_; i < items_arena_.size(); ++i) {
+      const SeedItem& item = items_arena_[i];
       if (!item.is_gpr() && item.encoding == *compact) return;
     }
   }
-  current_.items.push_back(SeedItem{SeedItemKind::kVmcsField, *compact, value});
+  items_arena_.push_back(SeedItem{SeedItemKind::kVmcsField, *compact, value});
+  ++cur_vmcs_count_;
   hv_->clock().advance(hv_->costs().record_callback_per_item);
   overhead_cycles_ += hv_->costs().record_callback_per_item;
 }
@@ -93,7 +104,7 @@ void Recorder::on_vmread(vtx::VmcsField field, std::uint64_t value) {
 void Recorder::on_vmwrite(vtx::VmcsField field, std::uint64_t value) {
   if (!in_exit_ || !config_.capture_metrics) return;
   hv_->coverage().hit(hv::Component::kIris, 3, 2);
-  current_metrics_.vmwrites.emplace_back(field, value);
+  vmwrites_arena_.emplace_back(field, value);
   hv_->clock().advance(hv_->costs().record_callback_per_item);
   overhead_cycles_ += hv_->costs().record_callback_per_item;
 }
@@ -101,12 +112,12 @@ void Recorder::on_vmwrite(vtx::VmcsField field, std::uint64_t value) {
 void Recorder::on_mem_read(std::uint64_t gpa, std::span<const std::uint8_t> data) {
   if (!in_exit_ || !config_.record_guest_memory) return;
   hv_->coverage().hit(hv::Component::kIris, 4, 3);
-  if (current_.memory.size() >= config_.max_memory_chunks) return;
+  if (mem_arena_.size() - cur_mem_start_ >= config_.max_memory_chunks) return;
   MemChunk chunk;
   chunk.gpa = gpa;
   const std::size_t len = std::min(data.size(), config_.max_chunk_bytes);
   chunk.bytes.assign(data.begin(), data.begin() + static_cast<std::ptrdiff_t>(len));
-  current_.memory.push_back(std::move(chunk));
+  mem_arena_.push_back(std::move(chunk));
   // EPT-assisted capture modeled as one callback per chunk (§IX).
   hv_->clock().advance(hv_->costs().record_callback_per_item * 4);
   overhead_cycles_ += hv_->costs().record_callback_per_item * 4;
@@ -115,10 +126,23 @@ void Recorder::on_mem_read(std::uint64_t gpa, std::span<const std::uint8_t> data
 void Recorder::finish_exit(const hv::HandleOutcome& outcome) {
   if (!in_exit_) return;
   in_exit_ = false;
-  current_.reason = outcome.dispatched_reason;
+  ExitRec rec;
+  rec.reason = outcome.dispatched_reason;
+  rec.item_start = static_cast<std::uint32_t>(cur_item_start_);
+  rec.item_count =
+      static_cast<std::uint32_t>(items_arena_.size() - cur_item_start_);
+  rec.mem_start = static_cast<std::uint32_t>(cur_mem_start_);
+  rec.mem_count = static_cast<std::uint32_t>(mem_arena_.size() - cur_mem_start_);
+  rec.vmwrite_start = static_cast<std::uint32_t>(cur_vmwrite_start_);
+  rec.vmwrite_count =
+      static_cast<std::uint32_t>(vmwrites_arena_.size() - cur_vmwrite_start_);
   if (config_.capture_metrics) {
-    current_metrics_.coverage = outcome.coverage;
-    current_metrics_.cycles = outcome.cycles;
+    rec.cov_start = static_cast<std::uint32_t>(cov_arena_.size());
+    cov_arena_.insert(cov_arena_.end(), outcome.coverage.blocks.begin(),
+                      outcome.coverage.blocks.end());
+    rec.cov_count = static_cast<std::uint32_t>(outcome.coverage.blocks.size());
+    rec.cov_loc = outcome.coverage.loc;
+    rec.cycles = outcome.cycles;
     if (config_.coverage_source == CoverageSource::kGcov) {
       // Bitmap export to the shared memory area (§V-A).
       hv_->clock().advance(hv_->costs().record_coverage_flush);
@@ -130,9 +154,40 @@ void Recorder::finish_exit(const hv::HandleOutcome& outcome) {
       overhead_cycles_ += hv_->costs().record_coverage_flush / 8;
     }
   }
-  trace_.push_back(RecordedExit{std::move(current_), std::move(current_metrics_)});
-  current_ = {};
-  current_metrics_ = {};
+  exits_.push_back(rec);
+}
+
+VmBehavior Recorder::take_trace() {
+  VmBehavior out;
+  out.reserve(exits_.size());
+  for (const ExitRec& rec : exits_) {
+    RecordedExit e;
+    e.seed.reason = rec.reason;
+    e.seed.items.assign(items_arena_.begin() + rec.item_start,
+                        items_arena_.begin() + rec.item_start + rec.item_count);
+    e.seed.memory.assign(mem_arena_.begin() + rec.mem_start,
+                         mem_arena_.begin() + rec.mem_start + rec.mem_count);
+    e.metrics.vmwrites.assign(
+        vmwrites_arena_.begin() + rec.vmwrite_start,
+        vmwrites_arena_.begin() + rec.vmwrite_start + rec.vmwrite_count);
+    e.metrics.coverage.blocks.assign(
+        cov_arena_.begin() + rec.cov_start,
+        cov_arena_.begin() + rec.cov_start + rec.cov_count);
+    e.metrics.coverage.loc = rec.cov_loc;
+    e.metrics.cycles = rec.cycles;
+    out.push_back(std::move(e));
+  }
+  clear();
+  return out;
+}
+
+void Recorder::clear() {
+  items_arena_.clear();
+  mem_arena_.clear();
+  vmwrites_arena_.clear();
+  cov_arena_.clear();
+  exits_.clear();
+  in_exit_ = false;
 }
 
 VmBehavior record_workload(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu,
@@ -140,9 +195,13 @@ VmBehavior record_workload(hv::Hypervisor& hv, hv::Domain& dom, hv::HvVcpu& vcpu
                            Recorder::Config config) {
   Recorder recorder(hv, config);
   recorder.attach();
+  // The outcome buffer is reused across all n exits: with the recorder's
+  // behavior-level arenas, the record loop is steady-state
+  // allocation-free, matching the replay loop.
+  hv::HandleOutcome outcome;
   for (std::uint64_t i = 0; i < n; ++i) {
     const auto exit = program.next(hv, dom, vcpu);
-    const auto outcome = hv.process_exit(dom, vcpu, exit);
+    hv.process_exit_into(dom, vcpu, exit, outcome);
     recorder.finish_exit(outcome);
     if (outcome.failure == hv::FailureKind::kHypervisorCrash ||
         outcome.failure == hv::FailureKind::kVmCrash) {

@@ -73,9 +73,15 @@ class Recorder {
   /// outcome's coverage and timing, append to the trace.
   void finish_exit(const hv::HandleOutcome& outcome);
 
-  [[nodiscard]] const VmBehavior& trace() const noexcept { return trace_; }
-  [[nodiscard]] VmBehavior take_trace() noexcept { return std::move(trace_); }
-  void clear() { trace_.clear(); }
+  /// Exits recorded so far (the arena's trace length).
+  [[nodiscard]] std::size_t exit_count() const noexcept { return exits_.size(); }
+
+  /// Materialize the recorded trace and empty the arena (capacity kept).
+  /// The per-seed vectors are allocated here, once, off the record hot
+  /// loop — the loop itself appends into behavior-level arenas and is
+  /// steady-state allocation-free, like replay.
+  [[nodiscard]] VmBehavior take_trace();
+  void clear();
 
   /// Cycles the recording callbacks themselves consumed (the §VI-D
   /// overhead experiment isolates this).
@@ -84,6 +90,18 @@ class Recorder {
   }
 
  private:
+  /// Arena offsets of one recorded exit; spans into the shared buffers
+  /// below. take_trace() turns these into owning RecordedExit values.
+  struct ExitRec {
+    vtx::ExitReason reason = vtx::ExitReason::kPreemptionTimer;
+    std::uint32_t item_start = 0, item_count = 0;
+    std::uint32_t mem_start = 0, mem_count = 0;
+    std::uint32_t vmwrite_start = 0, vmwrite_count = 0;
+    std::uint32_t cov_start = 0, cov_count = 0;
+    std::uint32_t cov_loc = 0;
+    std::uint64_t cycles = 0;
+  };
+
   void on_exit_start(hv::HvVcpu& vcpu);
   void on_vmread(vtx::VmcsField field, std::uint64_t value);
   void on_vmwrite(vtx::VmcsField field, std::uint64_t value);
@@ -94,11 +112,24 @@ class Recorder {
   bool attached_ = false;
   hv::InstrumentationHooks saved_;
 
-  VmSeed current_;
-  SeedMetrics current_metrics_;
   bool in_exit_ = false;
   std::uint64_t overhead_cycles_ = 0;
-  VmBehavior trace_;
+
+  // Behavior-level arenas (ROADMAP "Recorder-side buffer reuse"): all
+  // seeds' items / memory chunks / VMWRITE pairs / coverage blocks live
+  // in four flat buffers, so recording an exit is push_backs into
+  // already-grown storage instead of one fresh vector per seed.
+  std::vector<SeedItem> items_arena_;
+  std::vector<MemChunk> mem_arena_;
+  std::vector<std::pair<vtx::VmcsField, std::uint64_t>> vmwrites_arena_;
+  std::vector<hv::BlockKey> cov_arena_;
+  std::vector<ExitRec> exits_;
+
+  // In-flight exit state (offsets of the open record).
+  std::size_t cur_item_start_ = 0;
+  std::size_t cur_mem_start_ = 0;
+  std::size_t cur_vmwrite_start_ = 0;
+  std::size_t cur_vmcs_count_ = 0;
 };
 
 /// Record `n` exits of `program` running on the test VM: the standard

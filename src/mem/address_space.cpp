@@ -16,6 +16,7 @@ AddressSpace::Page* AddressSpace::page_for_write(std::uint64_t gfn) {
     slot.data = std::make_shared<Page>(*slot.data);
   }
   slot.dirty_gen = ++write_gen_;
+  journal_touch(gfn, slot);
   return slot.data.get();
 }
 
@@ -75,10 +76,44 @@ bool AddressSpace::write_u64(std::uint64_t gpa, std::uint64_t value) {
   return write(gpa, buf);
 }
 
+std::uint64_t AddressSpace::content_digest() const {
+  std::uint64_t h = 0;
+  for (const auto& [gfn, slot] : pages_) {
+    const Page& page = *slot.data;
+    std::uint64_t ph = 0x52414d21ULL;
+    bool nonzero = false;
+    for (std::size_t i = 0; i < page.size(); i += 8) {
+      std::uint64_t word = 0;
+      std::memcpy(&word, page.data() + i, 8);
+      nonzero |= word != 0;
+      ph ^= word + 0x9e3779b97f4a7c15ULL + (ph << 6) + (ph >> 2);
+    }
+    if (!nonzero) continue;  // reads identically to an absent page
+    ph ^= gfn + 0x9e3779b97f4a7c15ULL + (ph << 6) + (ph >> 2);
+    h ^= ph;  // XOR: independent of map iteration order
+  }
+  return h;
+}
+
 AddressSpace::Snapshot AddressSpace::snapshot_pages() const {
+  // A journal that outgrew the resident set (many epochs of churn)
+  // stops paying for itself: compact it. Older snapshots' positions
+  // become invalid — the reset generation bump routes their restores to
+  // the full scan instead.
+  if (journal_.size() > 1024 && journal_.size() > 4 * pages_.size()) {
+    journal_.clear();
+    ++journal_reset_gen_;
+  }
+  // New epoch: the first post-capture change of every slot re-journals
+  // it, so this capture's restore set is exactly journal_[pos..].
+  ++journal_epoch_;
+  journaled_this_epoch_.clear();
+
   Snapshot snap;
   snap.capture_gen = write_gen_;
   snap.membership_gen = membership_gen_;
+  snap.journal_pos = journal_.size();
+  snap.journal_reset_gen = journal_reset_gen_;
   snap.pages.reserve(pages_.size());
   for (const auto& [gfn, slot] : pages_) {
     snap.pages.emplace(gfn, slot.data);
@@ -91,6 +126,52 @@ void AddressSpace::restore_pages(const Snapshot& snap) {
   // capture (dirty_gen is monotonic and bumped on every content change),
   // so only dirtied pages are compared and reverted.
   bool erased = false;
+  if (snap.journal_reset_gen == journal_reset_gen_) {
+    // Fast path: every slot dirtied OR dropped since the capture has a
+    // journal entry at or after the capture position (the capture
+    // bumped the epoch, forcing first-event re-journaling), so the walk
+    // is O(dirtied) regardless of how many pages are resident — and it
+    // subsumes the membership re-insertion scan: captured pages missing
+    // from the map were necessarily erased after the capture, hence
+    // journaled in this range.
+    ++journaled_restores_;
+    const std::size_t end = journal_.size();  // entries we append don't re-run
+    for (std::size_t i = snap.journal_pos; i < end; ++i) {
+      const std::uint64_t gfn = journal_[i];
+      const auto it = pages_.find(gfn);
+      const auto captured = snap.pages.find(gfn);
+      if (it == pages_.end()) {
+        if (captured != snap.pages.end()) {
+          // Erased since the capture (reinsert the captured buffer).
+          PageSlot& slot = pages_[gfn];
+          slot.data = captured->second;
+          slot.dirty_gen = ++write_gen_;
+          journal_touch(gfn, slot);
+        }
+        continue;
+      }
+      PageSlot& slot = it->second;
+      if (slot.dirty_gen <= snap.capture_gen) continue;
+      if (captured == snap.pages.end()) {
+        // Materialized after the capture: not part of the snapshot.
+        pages_.erase(it);
+        journal_gfn(gfn);  // later restores of other snapshots see the drop
+        erased = true;
+        continue;
+      }
+      if (slot.data != captured->second) {
+        slot.data = captured->second;
+        slot.dirty_gen = ++write_gen_;
+        journal_touch(gfn, slot);
+      }
+    }
+    if (erased) ++membership_gen_;
+    return;
+  }
+  // The journal was cleared (reset/compaction) after this snapshot's
+  // capture; its position is meaningless. Degrade to the scan of all
+  // resident slots — slower, never wrong.
+  ++full_scan_restores_;
   for (auto it = pages_.begin(); it != pages_.end();) {
     PageSlot& slot = it->second;
     if (slot.dirty_gen <= snap.capture_gen) {
@@ -100,6 +181,7 @@ void AddressSpace::restore_pages(const Snapshot& snap) {
     const auto captured = snap.pages.find(it->first);
     if (captured == snap.pages.end()) {
       // Materialized after the capture: not part of the snapshot.
+      journal_gfn(it->first);  // keep journal-valid snapshots informed
       it = pages_.erase(it);
       erased = true;
       continue;
@@ -107,6 +189,7 @@ void AddressSpace::restore_pages(const Snapshot& snap) {
     if (slot.data != captured->second) {
       slot.data = captured->second;
       slot.dirty_gen = ++write_gen_;
+      journal_touch(it->first, slot);
     }
     ++it;
   }
@@ -122,6 +205,7 @@ void AddressSpace::restore_pages(const Snapshot& snap) {
       if (inserted) {
         it->second.data = page;
         it->second.dirty_gen = ++write_gen_;
+        journal_touch(gfn, it->second);
       }
     }
   }

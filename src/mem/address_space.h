@@ -13,12 +13,24 @@
 // bumped on page_for_write, and restore_pages() reverts only the pages
 // dirtied since the capture — the paper's §IV-B snapshot revert at
 // mutant-fuzzing rates instead of full-RAM rebuild rates.
+//
+// Restore is O(dirtied), not O(resident): the space keeps a dirty-slot
+// journal — every slot's first content change after a capture appends
+// its gfn — and each snapshot remembers its journal position, so
+// restore_pages() walks only the gfns journaled since the capture. A
+// RAM-heavy guest with thousands of resident pages reverts in time
+// proportional to the mutant's working set. The journal is an epoch
+// log: capture bumps the epoch, a slot is journaled at most once per
+// epoch, and a cleared journal (reset / compaction) invalidates older
+// snapshots' positions, which then fall back to the generation-checked
+// full scan — slower, never wrong.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace iris::mem {
@@ -38,6 +50,8 @@ class AddressSpace {
     std::unordered_map<std::uint64_t, std::shared_ptr<Page>> pages;
     std::uint64_t capture_gen = 0;     ///< write generation at capture
     std::uint64_t membership_gen = 0;  ///< page-drop generation at capture
+    std::uint64_t journal_pos = 0;     ///< dirty-journal length at capture
+    std::uint64_t journal_reset_gen = 0;  ///< journal-clear generation at capture
 
     [[nodiscard]] std::size_t resident_pages() const noexcept {
       return pages.size();
@@ -75,6 +89,13 @@ class AddressSpace {
   void reset() {
     pages_.clear();
     ++membership_gen_;
+    // Journal entries all point at erased slots now; clear them and
+    // invalidate older snapshots' positions (they fall back to the full
+    // scan, which over an empty map is the membership re-insert only).
+    journal_.clear();
+    journaled_this_epoch_.clear();
+    ++journal_reset_gen_;
+    ++journal_epoch_;
   }
 
   /// Capture the materialized page set as shared CoW references (VM
@@ -86,14 +107,59 @@ class AddressSpace {
   /// Revert to `snap`, touching only the pages dirtied since its
   /// capture: pages written since are re-pointed at the snapshot's
   /// buffers, pages materialized since are dropped, and pages lost to a
-  /// reset() are re-inserted.
+  /// reset() are re-inserted. When the snapshot's dirty-journal position
+  /// is still valid this walks only the journaled slots (O(dirtied));
+  /// otherwise it degrades to the generation-checked scan of all
+  /// resident slots.
   void restore_pages(const Snapshot& snap);
+
+  /// Order-independent hash of the RAM contents. All-zero pages hash
+  /// like unmaterialized ones (both read as zero), so the digest tracks
+  /// observable memory, not materialization history.
+  [[nodiscard]] std::uint64_t content_digest() const;
+
+  // --- Dirty-journal observability (tests and benches). ---
+
+  /// Entries currently in the dirty-slot journal.
+  [[nodiscard]] std::size_t journal_entries() const noexcept {
+    return journal_.size();
+  }
+  /// Restores served by the O(dirtied) journal walk.
+  [[nodiscard]] std::uint64_t journaled_restores() const noexcept {
+    return journaled_restores_;
+  }
+  /// Restores that fell back to the full resident-slot scan.
+  [[nodiscard]] std::uint64_t full_scan_restores() const noexcept {
+    return full_scan_restores_;
+  }
 
  private:
   struct PageSlot {
     std::shared_ptr<Page> data;   ///< cloned on write while shared (CoW)
     std::uint64_t dirty_gen = 0;  ///< write_gen_ at last content change
+    std::uint64_t journal_epoch = 0;  ///< epoch of the slot's last journal entry
   };
+
+  /// Append `gfn` to the dirty journal unless it was already journaled
+  /// in the current epoch. Called on every content change AND every
+  /// erase, so the invariant holds: any slot dirtied or dropped after a
+  /// capture has a journal entry at or after that capture's position
+  /// (captures bump the epoch and clear the per-epoch set, so the first
+  /// post-capture event always re-journals). The per-epoch set — not
+  /// just the slot's epoch stamp — is what keeps a
+  /// materialize/erase/re-materialize loop from appending one entry per
+  /// round: the dedup survives the slot's death.
+  void journal_gfn(std::uint64_t gfn) {
+    if (journaled_this_epoch_.insert(gfn).second) {
+      journal_.push_back(gfn);
+    }
+  }
+  void journal_touch(std::uint64_t gfn, PageSlot& slot) {
+    if (slot.journal_epoch != journal_epoch_) {
+      slot.journal_epoch = journal_epoch_;
+      journal_gfn(gfn);
+    }
+  }
 
   Page* page_for_write(std::uint64_t gfn);
   [[nodiscard]] const Page* page_for_read(std::uint64_t gfn) const noexcept;
@@ -105,6 +171,17 @@ class AddressSpace {
   /// a snapshot captured before the current value may reference pages
   /// missing from the map, so its restore must run the insertion scan.
   std::uint64_t membership_gen_ = 0;
+
+  /// Dirty-slot journal: gfns in first-dirtied order, at most one entry
+  /// per slot per epoch. Compacted when it outgrows the resident set.
+  /// Mutable so capture (logically const: page contents are untouched)
+  /// can bump the epoch and compact the log.
+  mutable std::vector<std::uint64_t> journal_;
+  mutable std::unordered_set<std::uint64_t> journaled_this_epoch_;
+  mutable std::uint64_t journal_epoch_ = 1;
+  mutable std::uint64_t journal_reset_gen_ = 0;
+  std::uint64_t journaled_restores_ = 0;
+  std::uint64_t full_scan_restores_ = 0;
 };
 
 }  // namespace iris::mem

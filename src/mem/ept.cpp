@@ -132,4 +132,83 @@ void Ept::identity_map(std::uint64_t frames, EptPerms perms) {
   }
 }
 
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+/// Post-order walk restoring one node's subtree to the identity map.
+/// Returns true when the subtree still holds any mapping (so the caller
+/// keeps the child pointer).
+bool Ept::reset_node(Node& node, int level, std::uint64_t base,
+                     std::uint64_t frames, std::size_t& mapped) {
+  bool any = false;
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    auto& entry = node.entries[i];
+    const std::uint64_t gfn = base | (static_cast<std::uint64_t>(i)
+                                      << (level * kBitsPerLevel));
+    if (level > 0) {
+      if (!entry.child) continue;
+      if (reset_node(*entry.child, level - 1, gfn, frames, mapped)) {
+        any = true;
+      } else {
+        entry.child.reset();  // prune emptied interior nodes
+      }
+      continue;
+    }
+    if (gfn >= frames) {
+      if (entry.present || entry.misconfigured) {
+        if (entry.present) --mapped;
+        entry = {};
+      }
+      continue;
+    }
+    // Inside the identity range: force the construction-time mapping
+    // back, whatever happened to the entry (unmap, poison, permission
+    // churn). Sequential slot writes within already-allocated PT nodes
+    // — no walks, no node allocation (the nodes exist because
+    // identity_map(frames) ran at construction, the stated
+    // precondition).
+    if (!entry.present) ++mapped;
+    entry.present = true;
+    entry.misconfigured = false;
+    entry.host_frame = gfn;
+    entry.perms = EptPerms{};
+    any = true;
+  }
+  return any;
+}
+
+std::uint64_t Ept::digest_node(const Node& node, int level, std::uint64_t base) {
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < node.entries.size(); ++i) {
+    const auto& entry = node.entries[i];
+    const std::uint64_t gfn = base | (static_cast<std::uint64_t>(i)
+                                      << (level * kBitsPerLevel));
+    if (level > 0) {
+      if (entry.child) h ^= digest_node(*entry.child, level - 1, gfn);
+      continue;
+    }
+    if (!entry.present && !entry.misconfigured) continue;
+    std::uint64_t e = mix(0x45505421ULL, gfn);
+    e = mix(e, entry.host_frame);
+    e = mix(e, (entry.present ? 1u : 0u) | (entry.misconfigured ? 2u : 0u) |
+                   (static_cast<std::uint64_t>(entry.perms.bits()) << 2));
+    h ^= e;  // XOR: independent of traversal order
+  }
+  return h;
+}
+
+void Ept::reset_identity(std::uint64_t frames) {
+  reset_node(*root_, kLevels - 1, 0, frames, mapped_);
+}
+
+std::uint64_t Ept::digest() const {
+  return mix(digest_node(*root_, kLevels - 1, 0), mapped_);
+}
+
 }  // namespace iris::mem

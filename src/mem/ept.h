@@ -79,8 +79,26 @@ class Ept {
   /// Identity-map `frames` guest frames starting at 0 (RAM setup).
   void identity_map(std::uint64_t frames, EptPerms perms = {});
 
+  /// Return the table to the state identity_map(frames) left it in
+  /// without re-inserting the identity range: leaves at or above
+  /// `frames` are unmapped, leaves below are re-pointed at the identity
+  /// frame with default permissions, and emptied interior nodes are
+  /// pruned. O(populated nodes) — on-demand mappings are sparse — versus
+  /// the ~4K inserts of a from-scratch identity map (the per-cell cost
+  /// the pooled VM stacks avoid).
+  void reset_identity(std::uint64_t frames);
+
+  /// Order-independent digest of the mapped leaves (gfn, hfn, perms,
+  /// misconfig) — the reset-vs-fresh equivalence check's view of the
+  /// table.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   struct Node;
+  static bool reset_node(Node& node, int level, std::uint64_t base,
+                         std::uint64_t frames, std::size_t& mapped);
+  static std::uint64_t digest_node(const Node& node, int level,
+                                   std::uint64_t base);
   std::unique_ptr<Node> root_;
   std::size_t mapped_ = 0;
 };

@@ -61,6 +61,27 @@ class PioSpace {
 
   [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
 
+  /// Drop every registration (device state lives in the handler
+  /// closures, so this also discards it — pooled-VM reset re-registers
+  /// the platform from scratch).
+  void clear() noexcept { ranges_.clear(); }
+
+  /// Hash of the registered ranges (base, count, device name). Handler
+  /// closures are opaque; registration identity is what reset
+  /// equivalence can and does check.
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0x50494f21ULL;
+    for (const auto& [base, range] : ranges_) {
+      h ^= (static_cast<std::uint64_t>(base) << 16 | range.count) +
+           0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      for (const char c : range.device) {
+        h ^= static_cast<std::uint8_t>(c) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+    }
+    return h;
+  }
+
  private:
   struct Range {
     std::uint16_t base;
@@ -86,6 +107,24 @@ class MmioSpace {
 
   [[nodiscard]] bool covers(std::uint64_t gpa) const;
   [[nodiscard]] std::optional<std::string> owner(std::uint64_t gpa) const;
+  [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+
+  /// Drop every registration (see PioSpace::clear).
+  void clear() noexcept { ranges_.clear(); }
+
+  /// Hash of the registered ranges (see PioSpace::digest).
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0x4d4d494fULL;
+    for (const auto& [base, range] : ranges_) {
+      h ^= base + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      h ^= range.length + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+      for (const char c : range.device) {
+        h ^= static_cast<std::uint8_t>(c) + 0x9e3779b97f4a7c15ULL + (h << 6) +
+             (h >> 2);
+      }
+    }
+    return h;
+  }
 
  private:
   struct Range {

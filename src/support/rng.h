@@ -65,6 +65,17 @@ class Rng {
   /// Fork a statistically independent child stream (for sub-components).
   Rng fork() noexcept { return Rng(next() ^ 0x9e3779b97f4a7c15ULL); }
 
+  /// Hash of the generator state: lets reset-equivalence checks assert
+  /// a re-seeded stream matches a freshly seeded one without exposing
+  /// (or consuming) the state itself.
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h = 0x524e4721ULL;
+    for (const std::uint64_t s : s_) {
+      h ^= s + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+
  private:
   std::uint64_t s_[4]{};
 };

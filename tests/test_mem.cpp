@@ -164,6 +164,142 @@ TEST(AddressSpace, RepeatedRestoreInAFuzzLoopShape) {
   }
 }
 
+TEST(AddressSpace, JournaledRestoreOnlyVisitsDirtiedSlots) {
+  // The O(dirtied) contract: with many resident pages, a restore after
+  // dirtying a handful must run on the journal fast path, and the
+  // journal must hold entries for the dirtied slots only.
+  AddressSpace as(1 << 24);
+  for (std::uint64_t page = 0; page < 2048; ++page) {
+    as.write_u64(page << 12, page + 1);
+  }
+  const auto snap = as.snapshot_pages();
+  const std::size_t entries_at_capture = as.journal_entries();
+
+  as.write_u64(0x3000, 0xAA);
+  as.write_u64(0x3008, 0xBB);  // same page: journaled once
+  as.write_u64(0x9000, 0xCC);
+  EXPECT_EQ(as.journal_entries(), entries_at_capture + 2u);
+
+  const auto before = as.journaled_restores();
+  as.restore_pages(snap);
+  EXPECT_EQ(as.journaled_restores(), before + 1u);
+  EXPECT_EQ(as.full_scan_restores(), 0u);
+  EXPECT_EQ(as.read_u64(0x3000), 0x3u + 1u);
+  EXPECT_EQ(as.read_u64(0x9000), 0x9u + 1u);
+}
+
+TEST(AddressSpace, JournalSurvivesInterleavedSnapshotResetRestore) {
+  // Interleaved captures, restores of both vintages, and a reset() that
+  // clears the journal: every path must produce the same bytes as the
+  // ground-truth dump, with the reset-invalidated snapshot falling back
+  // to the generation-checked full scan.
+  AddressSpace as(1 << 16);
+  as.write_u64(0x0000, 1);
+  as.write_u64(0x4000, 2);
+  const auto snap_a = as.snapshot_pages();
+  const auto image_a = dump(as);
+
+  as.write_u64(0x4000, 3);
+  as.write_u64(0x8000, 4);
+  const auto snap_b = as.snapshot_pages();
+  const auto image_b = dump(as);
+
+  as.restore_pages(snap_a);  // journal path
+  EXPECT_EQ(dump(as), image_a);
+  EXPECT_EQ(as.full_scan_restores(), 0u);
+
+  as.restore_pages(snap_b);  // journal path, membership re-insert of 0x8000
+  EXPECT_EQ(dump(as), image_b);
+  EXPECT_EQ(as.full_scan_restores(), 0u);
+
+  as.reset();  // clears the journal: both snapshots' positions invalid
+  as.write_u64(0xC000, 5);
+  as.restore_pages(snap_a);  // generation-checked fallback
+  EXPECT_EQ(dump(as), image_a);
+  EXPECT_EQ(as.full_scan_restores(), 1u);
+
+  // Post-reset captures journal afresh and ride the fast path again.
+  as.write_u64(0x0000, 6);
+  const auto snap_c = as.snapshot_pages();
+  const auto image_c = dump(as);
+  as.write_u64(0x0000, 7);
+  const auto journaled_before = as.journaled_restores();
+  as.restore_pages(snap_c);
+  EXPECT_EQ(dump(as), image_c);
+  EXPECT_EQ(as.journaled_restores(), journaled_before + 1u);
+}
+
+TEST(AddressSpace, JournalDoesNotGrowInTheMutantHotLoop) {
+  // One capture, many dirty+restore rounds over a fixed working set:
+  // the journal must stay bounded by the working set, not grow per
+  // round (a slot is journaled at most once per capture epoch).
+  AddressSpace as(1 << 16);
+  for (std::uint64_t gpa = 0; gpa < (1 << 16); gpa += kPageSize) {
+    as.write_u64(gpa, gpa + 1);
+  }
+  const auto snap = as.snapshot_pages();
+  const auto image = dump(as);
+  const std::size_t entries_at_capture = as.journal_entries();
+  for (int round = 0; round < 200; ++round) {
+    as.write_u64(static_cast<std::uint64_t>(round % 4) * kPageSize,
+                 0xBEEF0000ULL + static_cast<std::uint64_t>(round));
+    as.restore_pages(snap);
+  }
+  EXPECT_EQ(dump(as), image);
+  EXPECT_LE(as.journal_entries(), entries_at_capture + 4u);
+  EXPECT_EQ(as.full_scan_restores(), 0u);
+}
+
+TEST(AddressSpace, JournalStaysBoundedWhenMutantsMaterializeNewPages) {
+  // The nastier hot-loop shape: every round materializes a page that is
+  // NOT part of the snapshot (restore must erase it) and the slot's
+  // re-creation forgets its epoch stamp. The per-epoch dedup set must
+  // keep the journal bounded anyway, and the erase must be journaled so
+  // the fast path — which subsumes the membership re-insert scan —
+  // still restores other snapshots correctly.
+  AddressSpace as(1 << 20);
+  for (std::uint64_t page = 0; page < 64; ++page) {
+    as.write_u64(page << 12, page + 1);
+  }
+  const auto snap = as.snapshot_pages();
+  const auto image = dump(as);
+  const std::size_t entries_at_capture = as.journal_entries();
+  for (int round = 0; round < 300; ++round) {
+    as.write_u64(0x80000, static_cast<std::uint64_t>(round));  // new page
+    as.write_u64(0x1000, static_cast<std::uint64_t>(round));   // snapshot page
+    as.restore_pages(snap);
+  }
+  EXPECT_EQ(dump(as), image);
+  EXPECT_EQ(as.resident_pages(), 64u);
+  EXPECT_EQ(as.full_scan_restores(), 0u);
+  // Working set: the new page + the dirtied snapshot page — two
+  // journal entries total, not two per round.
+  EXPECT_LE(as.journal_entries(), entries_at_capture + 2u);
+}
+
+TEST(AddressSpace, JournalCompactionFallsBackThenRecovers) {
+  // Grow the journal past the compaction threshold with many captures
+  // over a churning working set; a pre-compaction snapshot must still
+  // restore correctly (via the fallback), and a fresh capture must ride
+  // the journal again.
+  AddressSpace as(1 << 20);
+  as.write_u64(0x1000, 42);
+  const auto old_snap = as.snapshot_pages();
+  const auto old_image = dump(as);
+
+  for (int epoch = 0; epoch < 2000; ++epoch) {
+    as.write_u64(0x2000, static_cast<std::uint64_t>(epoch));
+    (void)as.snapshot_pages();  // each capture opens a new journal epoch
+  }
+  // The compaction heuristic (journal > max(1024, 4x resident)) must
+  // have fired at least once for 2000 epochs over ~2 resident pages.
+  EXPECT_LT(as.journal_entries(), 2000u);
+
+  as.restore_pages(old_snap);
+  EXPECT_EQ(dump(as), old_image);
+  EXPECT_GE(as.full_scan_restores(), 1u);
+}
+
 TEST(Ept, UnmappedAccessViolates) {
   Ept ept;
   const auto result = ept.translate(0x5000, EptAccess::kRead);
@@ -225,6 +361,33 @@ TEST(Ept, IdentityMapRange) {
     EXPECT_EQ(r.host_frame, gfn);
   }
   EXPECT_EQ(ept.translate(64ULL << 12, EptAccess::kRead).status,
+            EptWalkStatus::kViolation);
+}
+
+TEST(Ept, ResetIdentityMatchesFreshIdentityMap) {
+  Ept fresh;
+  fresh.identity_map(4096);
+
+  Ept used;
+  used.identity_map(4096);
+  // On-demand populate, permission churn, poison — everything the
+  // EPT-violation handler and the failure tests can do to a table.
+  used.map(0x2'0000, 0x2'0000, EptPerms{});
+  used.map(0x9'9999, 0x1234, EptPerms{true, false, false});
+  used.protect(7, EptPerms{true, true, false});
+  used.poison_misconfig(9);
+  used.unmap(11);
+  EXPECT_NE(used.digest(), fresh.digest());
+
+  used.reset_identity(4096);
+  EXPECT_EQ(used.digest(), fresh.digest());
+  EXPECT_EQ(used.mapped_frames(), fresh.mapped_frames());
+  // Spot-check behavior, not just the digest.
+  EXPECT_EQ(used.translate(11ULL << 12, EptAccess::kRead).status,
+            EptWalkStatus::kOk);
+  EXPECT_EQ(used.translate(9ULL << 12, EptAccess::kRead).status,
+            EptWalkStatus::kOk);
+  EXPECT_EQ(used.translate(0x2'0000ULL << 12, EptAccess::kRead).status,
             EptWalkStatus::kViolation);
 }
 
