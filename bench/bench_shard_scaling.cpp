@@ -1,0 +1,166 @@
+// Multi-process shard scaling — what the grid-lease protocol buys.
+//
+// Forks N real shard processes (1, 2, 4) against one lease directory,
+// each running DistributedCampaign over the same Table I grid, waits
+// for all of them, reduces their journals, and verifies the reduce is
+// byte-identical to a plain single-process CampaignRunner run. Reports
+// cells/sec per process count plus the lease protocol's overhead: the
+// slowdown of a 1-process distributed run (leases, per-cell journal,
+// done markers) relative to the plain in-memory run.
+//
+// Results are appended to BENCH_PR5.json:
+//   shard.cells_per_second_p1 / _p2 / _p4
+//   shard.speedup_p2 / _p4        (vs the 1-process distributed run)
+//   shard.lease_overhead_pct      (1-process distributed vs plain)
+//   shard.identical               (1.0 when every reduce matched)
+//   shard.host_cpus               (speedup is bounded by this: on a
+//                                  1-CPU container p2 is honestly ~1x)
+//
+//   $ ./bench_shard_scaling [mutants] [seed]
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "campaign/checkpoint.h"
+#include "campaign/distributed.h"
+#include "campaign/reducer.h"
+#include "fuzz/campaign.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace iris;
+
+fuzz::CampaignConfig bench_config(std::uint64_t seed) {
+  fuzz::CampaignConfig config;
+  config.workers = 1;
+  config.hv_seed = seed;
+  config.record_exits = 500;
+  config.record_seed = seed;
+  return config;
+}
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Run `procs` forked shard processes to completion over one lease dir;
+/// returns wall seconds for the whole fleet.
+double run_fleet(const fs::path& dir, std::size_t procs,
+                 const std::vector<fuzz::TestCaseSpec>& grid,
+                 const fuzz::CampaignConfig& config) {
+  const double started = now_seconds();
+  std::vector<pid_t> pids;
+  for (std::size_t p = 0; p < procs; ++p) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      campaign::ShardConfig shard;
+      shard.lease_dir = dir.string();
+      shard.shard_id = "p" + std::to_string(p);
+      shard.advisory_shards = procs;
+      auto run = campaign::DistributedCampaign(shard, config).run(grid);
+      _exit(run.ok() && run.value().result.persistence_error.empty() ? 0 : 1);
+    }
+    pids.push_back(pid);
+  }
+  bool ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    ok = ok && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  }
+  if (!ok) {
+    std::fprintf(stderr, "a shard process failed\n");
+    std::exit(1);
+  }
+  return now_seconds() - started;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t mutants =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  const auto grid =
+      fuzz::make_table1_grid({guest::Workload::kCpuBound}, mutants, seed);
+  const auto config = bench_config(seed);
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  std::printf("shard scaling: %zu cells, M=%zu, forked shard processes, "
+              "%u host CPU(s)\n\n",
+              grid.size(), mutants, cpus);
+
+  // Plain single-process reference: the bytes every reduce must match,
+  // and the baseline the lease overhead is measured against.
+  auto plain_config = config;
+  auto warm = fuzz::CampaignRunner(plain_config)
+                  .run(fuzz::make_table1_grid({guest::Workload::kCpuBound}, 50,
+                                              seed));  // warm-up
+  (void)warm;
+  const double plain_started = now_seconds();
+  const auto plain = fuzz::CampaignRunner(plain_config).run(grid);
+  const double plain_seconds = now_seconds() - plain_started;
+  const auto reference = campaign::canonical_result_bytes(plain);
+
+  const fs::path root =
+      fs::temp_directory_path() / ("iris-bench-shards-" + std::to_string(getpid()));
+  fs::remove_all(root);
+
+  bench::JsonMetrics metrics("BENCH_PR5.json");
+  bool identical = true;
+  double p1_seconds = 0.0, p1_cells_per_sec = 0.0;
+  for (const std::size_t procs : {1u, 2u, 4u}) {
+    const fs::path dir = root / ("p" + std::to_string(procs));
+    fs::create_directories(dir);
+    const double seconds = run_fleet(dir, procs, grid, config);
+
+    auto reduced = campaign::reduce_journals(
+        campaign::DistributedCampaign::shard_journals(dir.string()), grid,
+        config);
+    const bool match = reduced.ok() && reduced.value().result.complete &&
+                       campaign::canonical_result_bytes(reduced.value().result) ==
+                           reference;
+    identical = identical && match;
+
+    const double cells_per_sec = static_cast<double>(grid.size()) / seconds;
+    if (procs == 1) {
+      p1_seconds = seconds;
+      p1_cells_per_sec = cells_per_sec;
+    }
+    std::printf("  %zu process(es): %6.2f cells/s (%.3f s, %.2fx)  reduce %s\n",
+                procs, cells_per_sec, seconds, p1_seconds / seconds,
+                match ? "identical" : "DIVERGED");
+    metrics.set("shard.cells_per_second_p" + std::to_string(procs),
+                cells_per_sec);
+    if (procs > 1) {
+      metrics.set("shard.speedup_p" + std::to_string(procs),
+                  cells_per_sec / p1_cells_per_sec);
+    }
+  }
+
+  const double lease_overhead_pct =
+      plain_seconds > 0.0 ? 100.0 * (p1_seconds - plain_seconds) / plain_seconds
+                          : 0.0;
+  std::printf("\n  plain single process: %.3f s; lease+journal overhead at 1 "
+              "process: %.1f%%\n",
+              plain_seconds, lease_overhead_pct);
+  metrics.set("shard.lease_overhead_pct", lease_overhead_pct);
+  metrics.set("shard.identical", identical ? 1.0 : 0.0);
+  metrics.set("shard.host_cpus", static_cast<double>(cpus));
+  if (metrics.flush()) {
+    std::printf("(appended to %s)\n", metrics.path().c_str());
+  }
+  fs::remove_all(root);
+  return identical ? 0 : 1;
+}

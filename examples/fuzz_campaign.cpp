@@ -12,64 +12,51 @@
 // byte-identical result); with a cell budget, the run stops cleanly
 // after N cells (exit code 3 = "more to do — run me again"); with an
 // archive dir, every crash bucket gets a replayable reproducer for
-// crash_triage.
+// crash_triage. A persistence failure never poisons the in-memory
+// results, but it is never silent either: the report still prints and
+// the process exits 4.
+//
+// Distributed mode splits one grid across *processes*: every shard
+// claims cell ranges through lease files in --lease-dir (grid-lease
+// protocol, see src/campaign/grid_lease.h), journals its cells to its
+// own checkpoint there, and `reduce` folds all shard journals into the
+// single-process-identical campaign result. Kill a shard and relaunch
+// it with the same --shard-of: it adopts its own leases and journal;
+// leave it dead and its unfinished ranges expire after --lease-ttl for
+// the surviving shards (or a later relaunch) to reclaim.
 //
 //   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
 //                     [checkpoint-file] [cell-budget] [crash-archive-dir]
+//                     [--corpus <dir>] [--lease-dir <dir>]
+//                     [--shard-of <k>/<n>] [--lease-ttl <sec>]
+//                     [--range-size <cells>]
+//   $ ./fuzz_campaign reduce <lease-dir> [workload] [mutants] [seed]
+//                     [--corpus <dir>]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "campaign/checkpoint.h"
+#include "campaign/distributed.h"
+#include "campaign/reducer.h"
 #include "fuzz/campaign.h"
 
-int main(int argc, char** argv) {
-  using namespace iris;
+namespace {
 
-  const std::string workload_name = argc > 1 ? argv[1] : "CPU-bound";
-  const std::size_t mutants = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1000;
-  const std::uint64_t seed = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 7;
-  const std::size_t workers = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 1;
+using namespace iris;
 
-  const auto workload = guest::workload_from_string(workload_name);
-  if (!workload) {
-    std::fprintf(stderr, "unknown workload '%s'\n", workload_name.c_str());
-    return 1;
-  }
+// Exit codes: 0 = complete, 1 = usage or reduce error, 3 = cells still
+// pending (budget stop / reduce of a part-done campaign), 4 =
+// persistence error (results printed, but the journal or archive is not
+// to be trusted).
+constexpr int kExitUsage = 1;
+constexpr int kExitPending = 3;
+constexpr int kExitPersistence = 4;
 
-  fuzz::CampaignConfig config;
-  config.workers = workers;
-  config.hv_seed = seed;
-  config.record_exits = 2000;
-  config.record_seed = seed;
-  if (argc > 5) config.checkpoint_path = argv[5];
-  if (argc > 6) config.cell_budget = std::strtoull(argv[6], nullptr, 10);
-  if (argc > 7) config.crash_archive_dir = argv[7];
-  const auto grid = fuzz::make_table1_grid({*workload}, mutants, seed);
-  std::printf("fuzzing %s: %zu grid cells, M=%zu per cell, %zu worker(s)\n",
-              workload_name.c_str(), grid.size(), mutants, workers);
-  if (!config.checkpoint_path.empty()) {
-    std::printf("checkpoint: %s%s\n", config.checkpoint_path.c_str(),
-                config.cell_budget != 0 ? " (budgeted)" : "");
-  }
-  std::printf("\n");
-
-  fuzz::CampaignRunner runner(config);
-  const auto campaign = runner.run(grid);
-
-  if (!campaign.persistence_error.empty()) {
-    std::fprintf(stderr, "persistence error: %s\n",
-                 campaign.persistence_error.c_str());
-    return 1;
-  }
-  if (campaign.cells_resumed > 0) {
-    std::printf("resumed %zu cell(s) from the checkpoint\n",
-                campaign.cells_resumed);
-  }
-  if (!campaign.complete) {
-    std::printf("cell budget exhausted with cells still pending — "
-                "rerun with the same checkpoint to resume\n");
-  }
-
+void print_result(const fuzz::CampaignResult& campaign,
+                  bool archive_enabled) {
   std::printf("%-12s %-6s %10s %10s %8s %8s %8s\n", "reason", "area", "base LOC",
               "new LOC", "gain%", "VM-crash", "HV-crash");
   for (std::size_t i = 0; i < campaign.results.size(); ++i) {
@@ -102,8 +89,7 @@ int main(int argc, char** argv) {
               campaign.merged_coverage.size(), campaign.merged_loc);
   std::printf("crashes: %zu archived -> %zu unique buckets%s\n",
               campaign.total_crashes, campaign.unique_crashes.size(),
-              config.crash_archive_dir.empty() ? ""
-                                               : " (reproducers written)");
+              archive_enabled ? " (reproducers written)" : "");
   for (const auto& bucket : campaign.unique_crashes) {
     std::printf("  [%zux] %s on %s mutating %s item %u\n    %s\n",
                 bucket.occurrences,
@@ -112,5 +98,249 @@ int main(int argc, char** argv) {
                 bucket.key.item_kind == SeedItemKind::kGpr ? "GPR" : "VMCS",
                 bucket.key.encoding, bucket.first.log_line.c_str());
   }
-  return campaign.complete ? 0 : 3;
+}
+
+void print_result_hash(const fuzz::CampaignResult& campaign) {
+  const auto bytes = campaign::canonical_result_bytes(campaign);
+  std::printf("result hash: %016llx\n",
+              static_cast<unsigned long long>(fnv1a(bytes)));
+}
+
+struct Cli {
+  std::vector<std::string> positional;
+  std::string corpus_dir;
+  std::string lease_dir;
+  std::string shard_of;  // "<k>/<n>"
+  double lease_ttl = 30.0;
+  std::size_t range_size = 0;
+  bool ok = true;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        cli.ok = false;
+        return "";
+      }
+      return argv[++i];
+    };
+    if (arg == "--corpus") {
+      cli.corpus_dir = value();
+    } else if (arg == "--lease-dir") {
+      cli.lease_dir = value();
+    } else if (arg == "--shard-of") {
+      cli.shard_of = value();
+    } else if (arg == "--lease-ttl") {
+      cli.lease_ttl = std::strtod(value(), nullptr);
+    } else if (arg == "--range-size") {
+      cli.range_size = std::strtoull(value(), nullptr, 10);
+    } else if (arg.starts_with("--")) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      cli.ok = false;
+    } else {
+      cli.positional.push_back(arg);
+    }
+  }
+  return cli;
+}
+
+/// The grid and config every mode (run, shard, reduce) must agree on.
+/// `args` are the positional arguments after any subcommand.
+struct Campaign {
+  fuzz::CampaignConfig config;
+  std::vector<fuzz::TestCaseSpec> grid;
+  std::string workload_name;
+  std::size_t mutants = 0;
+  bool ok = false;
+};
+
+Campaign build_campaign(const std::vector<std::string>& args, std::size_t base,
+                        const Cli& cli) {
+  Campaign c;
+  auto at = [&](std::size_t i) -> const char* {
+    return base + i < args.size() ? args[base + i].c_str() : nullptr;
+  };
+  c.workload_name = at(0) != nullptr ? at(0) : "CPU-bound";
+  c.mutants = at(1) != nullptr ? std::strtoull(at(1), nullptr, 10) : 1000;
+  const std::uint64_t seed =
+      at(2) != nullptr ? std::strtoull(at(2), nullptr, 10) : 7;
+
+  const auto workload = guest::workload_from_string(c.workload_name);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", c.workload_name.c_str());
+    return c;
+  }
+  c.config.hv_seed = seed;
+  c.config.record_exits = 2000;
+  c.config.record_seed = seed;
+  c.config.corpus_dir = cli.corpus_dir;
+  c.grid = fuzz::make_table1_grid({*workload}, c.mutants, seed);
+  c.ok = true;
+  return c;
+}
+
+int cmd_reduce(const Cli& cli) {
+  if (cli.positional.size() < 2) {
+    std::fprintf(stderr, "reduce needs a lease directory\n");
+    return kExitUsage;
+  }
+  const std::string& lease_dir = cli.positional[1];
+  Campaign c = build_campaign(cli.positional, 2, cli);
+  if (!c.ok) return kExitUsage;
+
+  const auto journals = campaign::DistributedCampaign::shard_journals(lease_dir);
+  if (journals.empty()) {
+    std::fprintf(stderr, "no shard journals in %s\n", lease_dir.c_str());
+    return kExitUsage;
+  }
+  auto reduced = campaign::reduce_journals(journals, c.grid, c.config);
+  if (!reduced.ok()) {
+    std::fprintf(stderr, "reduce failed: %s\n",
+                 reduced.error().message.c_str());
+    return kExitUsage;
+  }
+  const auto& report = reduced.value();
+  std::printf("reduced %zu shard journal(s): %zu cell records, "
+              "%zu duplicate(s) deduplicated\n\n",
+              report.journals, report.cells_loaded, report.duplicate_cells);
+  print_result(report.result, false);
+  if (!report.missing.empty()) {
+    std::printf("\n%zu cell(s) still pending — shards still running, or a "
+                "dead shard's ranges await reclaim\n",
+                report.missing.size());
+    return kExitPending;
+  }
+  print_result_hash(report.result);
+  return 0;
+}
+
+int cmd_shard(const Cli& cli, Campaign& c) {
+  std::size_t shard_index = 0, shard_count = 1;
+  const char* slash = std::strchr(cli.shard_of.c_str(), '/');
+  if (slash == nullptr) {
+    std::fprintf(stderr, "--shard-of wants <k>/<n>, e.g. 0/3\n");
+    return kExitUsage;
+  }
+  shard_index = std::strtoull(cli.shard_of.c_str(), nullptr, 10);
+  shard_count = std::strtoull(slash + 1, nullptr, 10);
+  if (shard_count == 0 || shard_index >= shard_count) {
+    std::fprintf(stderr, "--shard-of %s: need k < n\n", cli.shard_of.c_str());
+    return kExitUsage;
+  }
+
+  campaign::ShardConfig shard;
+  shard.lease_dir = cli.lease_dir;
+  shard.shard_id = std::to_string(shard_index) + "-of-" +
+                   std::to_string(shard_count);
+  shard.range_size = cli.range_size;
+  shard.advisory_shards = shard_count;
+  shard.lease_ttl_seconds = cli.lease_ttl;
+
+  std::printf("shard %s on %s: %zu grid cells, M=%zu per cell\n",
+              shard.shard_id.c_str(), shard.lease_dir.c_str(), c.grid.size(),
+              c.mutants);
+  auto run = campaign::DistributedCampaign(shard, c.config).run(c.grid);
+  if (!run.ok()) {
+    std::fprintf(stderr, "shard failed: %s\n", run.error().message.c_str());
+    return kExitUsage;
+  }
+  const auto& result = run.value().result;
+  const auto& lease = run.value().lease;
+  std::size_t journaled = 0;
+  for (const auto flag : result.cells_completed) journaled += flag != 0 ? 1 : 0;
+  std::printf("shard %s done: %zu cell(s) journaled (%zu resumed) in %zu "
+              "pass(es); leases: %zu claimed, %zu adopted, %zu reclaimed, "
+              "%zu denied, %zu ranges finished\n",
+              shard.shard_id.c_str(), journaled, result.cells_resumed,
+              run.value().passes, lease.claims, lease.adoptions,
+              lease.reclaims, lease.denials, lease.completed_ranges);
+  std::printf("journal: %s\nrun `%s reduce %s ...` once all shards are done\n",
+              run.value().journal_path.c_str(), "fuzz_campaign",
+              shard.lease_dir.c_str());
+  if (!result.persistence_error.empty()) {
+    std::fprintf(stderr, "persistence error: %s\n",
+                 result.persistence_error.c_str());
+    return kExitPersistence;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli = parse_cli(argc, argv);
+  if (!cli.ok) return kExitUsage;
+
+  if (!cli.positional.empty() && cli.positional[0] == "reduce") {
+    return cmd_reduce(cli);
+  }
+
+  Campaign c = build_campaign(cli.positional, 0, cli);
+  if (!c.ok) return kExitUsage;
+  auto pos = [&](std::size_t i) -> const char* {
+    return i < cli.positional.size() ? cli.positional[i].c_str() : nullptr;
+  };
+  c.config.workers = pos(3) != nullptr ? std::strtoull(pos(3), nullptr, 10) : 1;
+  if (pos(4) != nullptr) c.config.checkpoint_path = pos(4);
+  if (pos(5) != nullptr) c.config.cell_budget = std::strtoull(pos(5), nullptr, 10);
+  if (pos(6) != nullptr) c.config.crash_archive_dir = pos(6);
+
+  if (!cli.lease_dir.empty() || !cli.shard_of.empty()) {
+    if (cli.lease_dir.empty() || cli.shard_of.empty()) {
+      std::fprintf(stderr, "distributed mode needs both --lease-dir and "
+                           "--shard-of\n");
+      return kExitUsage;
+    }
+    // The shard journals into the lease directory; a positional
+    // checkpoint path would silently go unused, so reject it.
+    if (!c.config.checkpoint_path.empty()) {
+      std::fprintf(stderr, "drop the checkpoint-file argument in distributed "
+                           "mode: each shard journals into --lease-dir\n");
+      return kExitUsage;
+    }
+    return cmd_shard(cli, c);
+  }
+
+  std::printf("fuzzing %s: %zu grid cells, M=%zu per cell, %zu worker(s)\n",
+              c.workload_name.c_str(), c.grid.size(), c.mutants,
+              c.config.workers);
+  if (!c.config.checkpoint_path.empty()) {
+    std::printf("checkpoint: %s%s\n", c.config.checkpoint_path.c_str(),
+                c.config.cell_budget != 0 ? " (budgeted)" : "");
+  }
+  if (!c.config.corpus_dir.empty()) {
+    std::printf("corpus sync: %s (<= %zu imports, %zu mutants each)\n",
+                c.config.corpus_dir.c_str(), c.config.corpus_max_imports,
+                c.config.import_mutants);
+  }
+  std::printf("\n");
+
+  fuzz::CampaignRunner runner(c.config);
+  const auto campaign = runner.run(c.grid);
+
+  if (campaign.cells_resumed > 0) {
+    std::printf("resumed %zu cell(s) from the checkpoint\n",
+                campaign.cells_resumed);
+  }
+  if (!campaign.complete) {
+    std::printf("cell budget exhausted with cells still pending — "
+                "rerun with the same checkpoint to resume\n");
+  }
+
+  print_result(campaign, !c.config.crash_archive_dir.empty());
+  if (campaign.complete) print_result_hash(campaign);
+
+  // A persistence failure does not invalidate the (in-memory) results
+  // above, but the checkpoint/archive cannot be trusted — make that a
+  // loud, distinct exit instead of reporting a healthy run.
+  if (!campaign.persistence_error.empty()) {
+    std::fprintf(stderr, "persistence error: %s\n",
+                 campaign.persistence_error.c_str());
+    return kExitPersistence;
+  }
+  return campaign.complete ? 0 : kExitPending;
 }

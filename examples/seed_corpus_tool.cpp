@@ -8,13 +8,17 @@
 //   $ ./seed_corpus_tool replay <file> <workload>
 //   $ ./seed_corpus_tool export <file> <corpus-dir>
 //   $ ./seed_corpus_tool merge  <dst-corpus-dir> <src-corpus-dir>...
+//   $ ./seed_corpus_tool minimize <corpus-dir> [--dry-run] [workload] [hv-seed]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <map>
+#include <unordered_set>
+#include <vector>
 
 #include "campaign/corpus_store.h"
+#include "fuzz/vm_pool.h"
 #include "iris/manager.h"
 
 namespace {
@@ -112,6 +116,143 @@ int cmd_merge(int count, char** dirs) {
   return 0;
 }
 
+// A CorpusStore only ever grows: every synced worker publishes its
+// discoveries and nothing retires them, so mature corpora carry many
+// entries whose hypervisor blocks are fully dominated by other entries.
+// Minimization replays every entry the way campaign corpus sync uses
+// it: walk a recorded behavior to the first exit with the entry's
+// reason (the linked state s1) and submit the entry there — submitting
+// out-of-context from s0 would make every entry fail the same entry
+// checks and measure nothing. The per-entry coverage then feeds a
+// greedy set cover (largest uncovered-LOC gain first, ties broken by
+// entry name so the result is deterministic); the dominated rest is
+// deleted — or only reported, with --dry-run.
+int cmd_minimize(const char* dir, bool dry_run, const char* workload_name,
+                 std::uint64_t hv_seed) {
+  using namespace iris;
+  const auto workload = guest::workload_from_string(workload_name);
+  if (!workload) {
+    std::fprintf(stderr, "unknown workload '%s'\n", workload_name);
+    return 1;
+  }
+  campaign::CorpusStore store(dir);
+  const auto names = store.list();
+  if (names.empty()) {
+    std::fprintf(stderr, "%s has no corpus entries\n", dir);
+    return 1;
+  }
+
+  // One pooled stack: the context behavior is recorded once, and every
+  // entry is measured from an identically reset state (the order
+  // entries are measured in cannot change what they cover).
+  fuzz::VmPool pool(1, hv_seed, 0.0);
+  pool.worker(0).reset();
+  const VmBehavior behavior =
+      pool.worker(0).manager().record_workload(*workload, 500, hv_seed);
+  std::map<vtx::ExitReason, std::size_t> target_of;
+  for (std::size_t i = 0; i < behavior.size(); ++i) {
+    target_of.emplace(behavior[i].seed.reason, i);
+  }
+
+  struct Measured {
+    std::string name;
+    /// Blocks the entry's submission hit, with LOC weights captured at
+    /// measurement time (vm.reset() wipes the map's registry, so the
+    /// weights must travel with the blocks).
+    std::vector<std::pair<hv::BlockKey, std::uint8_t>> blocks;
+  };
+  std::vector<Measured> entries;
+  std::size_t skipped = 0;
+  for (const auto& name : names) {
+    auto entry = store.read_entry(name);
+    if (!entry.ok()) {
+      ++skipped;
+      continue;
+    }
+    fuzz::PooledVm& vm = pool.worker(0);
+    vm.reset();
+    Manager& manager = vm.manager();
+    manager.reset_dummy_vm();
+    if (!manager.enable_replay()) {
+      std::fprintf(stderr, "cannot arm the replayer\n");
+      return 1;
+    }
+    // Walk to the linked state for the entry's exit reason (s0 if the
+    // context behavior never exits with it), then measure the entry.
+    const auto target = target_of.find(entry.value().seed.reason);
+    const std::size_t prefix = target != target_of.end() ? target->second : 0;
+    bool walked = true;
+    for (std::size_t i = 0; i < prefix && walked; ++i) {
+      walked = manager.submit_seed(behavior[i].seed).failure ==
+               hv::FailureKind::kNone;
+    }
+    if (!walked) {
+      ++skipped;
+      continue;
+    }
+    const auto outcome = manager.submit_seed(entry.value().seed);
+    Measured measured;
+    measured.name = name;
+    measured.blocks.reserve(outcome.coverage.blocks.size());
+    const hv::CoverageMap& cov = vm.hv().coverage();
+    for (const hv::BlockKey block : outcome.coverage.blocks) {
+      measured.blocks.emplace_back(block, cov.loc_of(block));
+    }
+    entries.push_back(std::move(measured));
+  }
+
+  // Greedy set cover over the merged per-entry coverage, LOC-weighted.
+  auto gain_of = [](const Measured& m,
+                    const std::unordered_set<hv::BlockKey>& covered) {
+    std::uint32_t gain = 0;
+    for (const auto& [block, loc] : m.blocks) {
+      if (!covered.contains(block)) gain += loc;
+    }
+    return gain;
+  };
+  std::unordered_set<hv::BlockKey> covered;
+  std::vector<char> kept(entries.size(), 0);
+  std::uint32_t kept_loc = 0;
+  for (;;) {
+    std::size_t best = entries.size();
+    std::uint32_t best_gain = 0;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (kept[i] != 0) continue;
+      const std::uint32_t gain = gain_of(entries[i], covered);
+      if (gain > best_gain) {  // names are sorted: first max wins ties
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == entries.size()) break;  // every pending entry is dominated
+    kept[best] = 1;
+    kept_loc += best_gain;
+    for (const auto& [block, loc] : entries[best].blocks) covered.insert(block);
+  }
+
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (kept[i] != 0) continue;
+    ++dropped;
+    if (dry_run) {
+      std::printf("  would drop %s (dominated)\n", entries[i].name.c_str());
+      continue;
+    }
+    std::error_code ec;
+    std::filesystem::remove(std::filesystem::path(dir) / entries[i].name, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot remove %s\n", entries[i].name.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: kept %zu of %zu entries (%u LOC, %zu blocks); %s%zu "
+              "dominated entries%s\n",
+              dir, entries.size() - dropped, entries.size(), kept_loc,
+              covered.size(), dry_run ? "would drop " : "dropped ", dropped,
+              skipped != 0 ? " (unmeasurable entries left untouched)" : "");
+  return 0;
+}
+
 int cmd_info(const char* path) {
   using namespace iris;
   auto db = SeedDb::load_file(path);
@@ -185,13 +326,31 @@ int main(int argc, char** argv) {
   if (argc >= 4 && std::strcmp(argv[1], "merge") == 0) {
     return cmd_merge(argc - 2, argv + 2);
   }
+  if (argc >= 3 && std::strcmp(argv[1], "minimize") == 0) {
+    bool dry_run = false;
+    const char* workload = "CPU-bound";
+    std::uint64_t hv_seed = 17;
+    bool have_workload = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--dry-run") == 0) {
+        dry_run = true;
+      } else if (!have_workload) {
+        workload = argv[i];
+        have_workload = true;
+      } else {
+        hv_seed = std::strtoull(argv[i], nullptr, 10);
+      }
+    }
+    return cmd_minimize(argv[2], dry_run, workload, hv_seed);
+  }
   std::fprintf(stderr,
                "usage:\n"
                "  %s record <file> <workload> <exits> [seed]\n"
                "  %s info   <file>\n"
                "  %s replay <file> <workload>\n"
                "  %s export <file> <corpus-dir>\n"
-               "  %s merge  <dst-corpus-dir> <src-corpus-dir>...\n",
-               argv[0], argv[0], argv[0], argv[0], argv[0]);
+               "  %s merge  <dst-corpus-dir> <src-corpus-dir>...\n"
+               "  %s minimize <corpus-dir> [--dry-run] [workload] [hv-seed]\n",
+               argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
   return 1;
 }

@@ -11,8 +11,15 @@ namespace iris::campaign {
 namespace {
 
 constexpr std::uint32_t kJournalMagic = 0x4952434B;  // "IRCK"
-constexpr std::uint16_t kJournalVersion = 1;
+// v2 (PR 5): every record payload is prefixed with a type byte so the
+// journal can carry sync-epoch records next to completed cells. v1
+// journals are refused, not migrated — a campaign simply starts a fresh
+// journal (they are progress caches, not archives).
+constexpr std::uint16_t kJournalVersion = 2;
 constexpr std::size_t kHeaderBytes = 4 + 2 + 8;
+
+constexpr std::uint8_t kRecordCell = 0;
+constexpr std::uint8_t kRecordSyncEpoch = 1;
 
 void serialize_mutation(const fuzz::AppliedMutation& m, ByteWriter& out) {
   out.u64(m.item_index);
@@ -225,11 +232,20 @@ std::uint64_t campaign_fingerprint(const std::vector<fuzz::TestCaseSpec>& grid,
   w.u8(replay.write_writable_fields ? 1 : 0);
   w.u64(replay.batch_size);
   w.u8(replay.replay_guest_memory ? 1 : 0);
+  // Corpus-sync determinants. The import *set* is deliberately not
+  // hashed — it is frozen into a journaled sync epoch instead, so one
+  // checkpoint stays resumable while the shared store keeps growing.
+  const bool sync_enabled =
+      !config.corpus_dir.empty() || config.pinned_imports.has_value();
+  w.u8(sync_enabled ? 1 : 0);
+  w.u64(config.corpus_max_imports);
+  w.u64(config.import_mutants);
   return fnv1a(w.data());
 }
 
 void serialize_checkpoint_cell(const CheckpointCell& cell, ByteWriter& out) {
   out.u64(cell.index);
+  out.u32(cell.sync_epoch);
   serialize_cell_result(cell.result, out);
   out.u32(static_cast<std::uint32_t>(cell.coverage.size()));
   for (const auto& [block, loc] : cell.coverage) {
@@ -241,6 +257,8 @@ void serialize_checkpoint_cell(const CheckpointCell& cell, ByteWriter& out) {
 Result<CheckpointCell> deserialize_checkpoint_cell(ByteReader& in) {
   auto index = in.u64();
   if (!index.ok()) return index.error();
+  auto sync_epoch = in.u32();
+  if (!sync_epoch.ok()) return sync_epoch.error();
   auto result = deserialize_cell_result(in);
   if (!result.ok()) return result.error();
   auto block_count = in.u32();
@@ -250,6 +268,7 @@ Result<CheckpointCell> deserialize_checkpoint_cell(ByteReader& in) {
   }
   CheckpointCell cell;
   cell.index = index.value();
+  cell.sync_epoch = sync_epoch.value();
   cell.result = std::move(result).take();
   cell.coverage.reserve(block_count.value());
   for (std::uint32_t i = 0; i < block_count.value(); ++i) {
@@ -264,12 +283,58 @@ Result<CheckpointCell> deserialize_checkpoint_cell(ByteReader& in) {
   return cell;
 }
 
+std::uint64_t checkpoint_cell_checksum(const CheckpointCell& cell) {
+  ByteWriter w;
+  serialize_checkpoint_cell(cell, w);
+  return fnv1a(w.data());
+}
+
+void serialize_sync_epoch(const SyncEpochRecord& record, ByteWriter& out) {
+  out.u32(record.epoch);
+  out.u32(static_cast<std::uint32_t>(record.imports.size()));
+  for (const auto& seed : record.imports) seed.serialize(out);
+}
+
+Result<SyncEpochRecord> deserialize_sync_epoch(ByteReader& in) {
+  auto epoch = in.u32();
+  auto count = in.u32();
+  if (!epoch.ok() || !count.ok()) return Error{62, "truncated sync epoch"};
+  // A serialized seed costs at least its reason + two counts; reject
+  // counts the remaining bytes cannot possibly satisfy before reserving.
+  if (count.value() > in.remaining() / 6) {
+    return Error{63, "import count overruns sync epoch"};
+  }
+  SyncEpochRecord record;
+  record.epoch = epoch.value();
+  record.imports.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto seed = VmSeed::deserialize(in);
+    if (!seed.ok()) return seed.error();
+    record.imports.push_back(std::move(seed).take());
+  }
+  return record;
+}
+
 Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
                                                     std::uint64_t fingerprint) {
+  return open_impl(path, fingerprint, /*read_only=*/false);
+}
+
+Result<CampaignCheckpoint> CampaignCheckpoint::open_readonly(
+    const std::string& path, std::uint64_t fingerprint) {
+  return open_impl(path, fingerprint, /*read_only=*/true);
+}
+
+Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
+    const std::string& path, std::uint64_t fingerprint, bool read_only) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const bool exists = fs::exists(path, ec);
   const auto file_size = exists ? fs::file_size(path, ec) : 0;
+
+  if (read_only && (!exists || file_size < kHeaderBytes)) {
+    return Error{65, path + " is not an existing campaign checkpoint"};
+  }
 
   // A nonempty file too small to hold our header is not something this
   // code ever leaves behind (the header is written in one stream write);
@@ -289,7 +354,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
     out.write(reinterpret_cast<const char*>(header.data().data()),
               static_cast<std::streamsize>(header.size()));
     if (!out) return Error{56, "checkpoint header write failed: " + path};
-    return CampaignCheckpoint(path, {});
+    return CampaignCheckpoint(path, {}, {});
   }
 
   auto bytes = read_file_bytes(path);
@@ -300,9 +365,12 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
   auto magic = r.u32();
   auto version = r.u16();
   auto stored_fp = r.u64();
-  if (!magic.ok() || magic.value() != kJournalMagic || !version.ok() ||
-      version.value() != kJournalVersion) {
+  if (!magic.ok() || magic.value() != kJournalMagic || !version.ok()) {
     return Error{57, path + " is not a campaign checkpoint"};
+  }
+  if (version.value() != kJournalVersion) {
+    return Error{64, path + " uses unsupported checkpoint version " +
+                         std::to_string(version.value())};
   }
   if (!stored_fp.ok() || stored_fp.value() != fingerprint) {
     return Error{58, path + " belongs to a different campaign"};
@@ -311,6 +379,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
   // Replay intact records; stop at the first torn or corrupt one and
   // truncate it (and anything after it) away.
   std::vector<CheckpointCell> cells;
+  std::vector<SyncEpochRecord> epochs;
   std::size_t offset = kHeaderBytes;
   while (offset + 12 <= data.size()) {
     ByteReader frame{std::span(data).subspan(offset, 12)};
@@ -321,25 +390,39 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
         std::span(data).subspan(offset + 12, len);
     if (fnv1a(payload) != checksum) break;
     ByteReader pr(payload);
-    auto cell = deserialize_checkpoint_cell(pr);
-    if (!cell.ok() || !pr.exhausted()) break;
-    cells.push_back(std::move(cell).take());
+    auto type = pr.u8();
+    if (!type.ok()) break;
+    if (type.value() == kRecordCell) {
+      auto cell = deserialize_checkpoint_cell(pr);
+      if (!cell.ok() || !pr.exhausted()) break;
+      cells.push_back(std::move(cell).take());
+    } else if (type.value() == kRecordSyncEpoch) {
+      auto epoch = deserialize_sync_epoch(pr);
+      if (!epoch.ok() || !pr.exhausted()) break;
+      epochs.push_back(std::move(epoch).take());
+    } else {
+      break;  // unknown record type: treat as a corrupt tail
+    }
     offset += 12 + len;
   }
-  if (offset < data.size()) {
+  // An observer ignores the torn tail instead of truncating it: it may
+  // be a record a live writer simply has not finished flushing.
+  if (!read_only && offset < data.size()) {
     fs::resize_file(path, offset, ec);
     if (ec) return Error{59, "cannot truncate torn checkpoint tail: " + path};
   }
-  return CampaignCheckpoint(path, std::move(cells));
+  return CampaignCheckpoint(path, std::move(cells), std::move(epochs));
 }
 
-Status CampaignCheckpoint::append(const CheckpointCell& cell) {
-  ByteWriter payload;
-  serialize_checkpoint_cell(cell, payload);
+Status CampaignCheckpoint::append_record(std::uint8_t type,
+                                         const ByteWriter& payload) {
   ByteWriter record;
-  record.u32(static_cast<std::uint32_t>(payload.size()));
-  record.u64(fnv1a(payload.data()));
-  record.bytes(payload.data());
+  record.u32(static_cast<std::uint32_t>(payload.size() + 1));
+  ByteWriter typed;
+  typed.u8(type);
+  typed.bytes(payload.data());
+  record.u64(fnv1a(typed.data()));
+  record.bytes(typed.data());
 
   std::ofstream out(path_, std::ios::binary | std::ios::app);
   if (!out) return Error{60, "cannot append to checkpoint " + path_};
@@ -347,6 +430,26 @@ Status CampaignCheckpoint::append(const CheckpointCell& cell) {
             static_cast<std::streamsize>(record.size()));
   out.flush();
   if (!out) return Error{61, "checkpoint append failed: " + path_};
+  return {};
+}
+
+Status CampaignCheckpoint::append(const CheckpointCell& cell) {
+  ByteWriter payload;
+  serialize_checkpoint_cell(cell, payload);
+  if (auto status = append_record(kRecordCell, payload); !status.ok()) {
+    return status;
+  }
+  cells_.push_back(cell);
+  return {};
+}
+
+Status CampaignCheckpoint::append_epoch(const SyncEpochRecord& record) {
+  ByteWriter payload;
+  serialize_sync_epoch(record, payload);
+  if (auto status = append_record(kRecordSyncEpoch, payload); !status.ok()) {
+    return status;
+  }
+  epochs_.push_back(record);
   return {};
 }
 

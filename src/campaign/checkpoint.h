@@ -12,6 +12,8 @@
 // Journal layout (little-endian, via support/serialize.h):
 //   header:  magic "IRCK" (u32), version (u16), fingerprint (u64)
 //   record*: payload_len (u32), fnv1a(payload) (u64), payload
+//   payload: type (u8) + body — type 0 = completed cell, type 1 = sync
+//            epoch (the frozen corpus-import set of a synced campaign)
 // The fingerprint hashes the spec grid and every config field that
 // feeds cell results, so a checkpoint can never be resumed against a
 // different campaign. Records are checksummed individually: a process
@@ -61,12 +63,31 @@ std::uint64_t campaign_fingerprint(const std::vector<fuzz::TestCaseSpec>& grid,
 /// blocks (key + LOC weight) its fresh hypervisor registered.
 struct CheckpointCell {
   std::size_t index = 0;
+  /// Sync epoch the cell's corpus imports came from (0 = sync off).
+  std::uint32_t sync_epoch = 0;
   fuzz::TestCaseResult result;
   std::vector<std::pair<hv::BlockKey, std::uint8_t>> coverage;
 };
 
 void serialize_checkpoint_cell(const CheckpointCell& cell, ByteWriter& out);
 Result<CheckpointCell> deserialize_checkpoint_cell(ByteReader& in);
+
+/// Checksum of a journaled cell, as used by the reducer's conflict
+/// detection: two journals completing the same grid index must agree on
+/// this value or the merge is a hard error.
+std::uint64_t checkpoint_cell_checksum(const CheckpointCell& cell);
+
+/// A frozen corpus-import set. Written once, before any synced cell, so
+/// a resumed (or re-sharded) run replays exactly the same imports no
+/// matter how the shared store has changed since. Self-contained: the
+/// full seeds travel in the journal, not references into the store.
+struct SyncEpochRecord {
+  std::uint32_t epoch = 1;
+  std::vector<VmSeed> imports;  ///< deterministic order (sorted entry names)
+};
+
+void serialize_sync_epoch(const SyncEpochRecord& record, ByteWriter& out);
+Result<SyncEpochRecord> deserialize_sync_epoch(ByteReader& in);
 
 class CampaignCheckpoint {
  public:
@@ -77,22 +98,49 @@ class CampaignCheckpoint {
   static Result<CampaignCheckpoint> open(const std::string& path,
                                          std::uint64_t fingerprint);
 
+  /// Observer variant for journals another (live) process may still be
+  /// appending to — e.g. the reducer probing shard journals mid-run.
+  /// Identical validation, but nothing is created or written: a missing
+  /// journal is an error, and a torn tail (possibly just a record the
+  /// writer has not finished flushing) is ignored, never truncated.
+  static Result<CampaignCheckpoint> open_readonly(const std::string& path,
+                                                  std::uint64_t fingerprint);
+
   /// Cells recovered from the journal at open(), in journal order.
   [[nodiscard]] const std::vector<CheckpointCell>& cells() const noexcept {
     return cells_;
   }
 
+  /// Sync epochs recovered from the journal at open(), in journal order
+  /// (empty for non-synced campaigns).
+  [[nodiscard]] const std::vector<SyncEpochRecord>& epochs() const noexcept {
+    return epochs_;
+  }
+
   /// Append one completed cell and flush it to disk.
   Status append(const CheckpointCell& cell);
+
+  /// Append one sync epoch and flush it to disk.
+  Status append_epoch(const SyncEpochRecord& record);
 
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
-  CampaignCheckpoint(std::string path, std::vector<CheckpointCell> cells)
-      : path_(std::move(path)), cells_(std::move(cells)) {}
+  CampaignCheckpoint(std::string path, std::vector<CheckpointCell> cells,
+                     std::vector<SyncEpochRecord> epochs)
+      : path_(std::move(path)),
+        cells_(std::move(cells)),
+        epochs_(std::move(epochs)) {}
+
+  static Result<CampaignCheckpoint> open_impl(const std::string& path,
+                                              std::uint64_t fingerprint,
+                                              bool read_only);
+
+  Status append_record(std::uint8_t type, const ByteWriter& payload);
 
   std::string path_;
   std::vector<CheckpointCell> cells_;
+  std::vector<SyncEpochRecord> epochs_;
 };
 
 }  // namespace iris::campaign

@@ -1,0 +1,158 @@
+#include "campaign/distributed.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/checkpoint.h"
+#include "campaign/corpus_store.h"
+#include "support/fs_atomic.h"
+
+namespace iris::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kEpochFile[] = "corpus-epoch.bin";
+
+/// The published epoch's import set, or an error if the file is absent
+/// or invalid.
+Result<std::vector<VmSeed>> read_epoch(const fs::path& path) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  ByteReader r(bytes.value());
+  auto epoch = deserialize_sync_epoch(r);
+  if (!epoch.ok() || !r.exhausted()) {
+    return Error{78, path.string() + " is not a valid corpus epoch"};
+  }
+  return std::move(epoch).take().imports;
+}
+
+/// Pin one corpus-sync epoch for the whole lease directory. The first
+/// shard to arrive snapshots the store (sorted entry names, capped) and
+/// publishes it *exclusively*: the bytes land in a shard-unique temp
+/// file and are hard-linked into place — link fails if the target
+/// exists, so of any number of racing shards (each possibly seeing a
+/// different snapshot of a growing store) exactly one epoch wins with
+/// complete bytes, and every loser loads the winner's file. A last-wins
+/// rename here would let two shards fuzz different import sets and turn
+/// the whole campaign into a reducer conflict.
+Result<std::vector<VmSeed>> pin_epoch(const std::string& lease_dir,
+                                      const std::string& shard_id,
+                                      const fuzz::CampaignConfig& config) {
+  const fs::path path = fs::path(lease_dir) / kEpochFile;
+  std::error_code ec;
+  fs::create_directories(lease_dir, ec);  // pinning precedes GridLease::open
+  if (fs::exists(path, ec)) return read_epoch(path);
+
+  std::vector<VmSeed> imports;
+  const CorpusStore store(config.corpus_dir);
+  for (const auto& name : store.list()) {
+    if (imports.size() >= config.corpus_max_imports) break;
+    auto entry = store.read_entry(name);
+    if (!entry.ok()) continue;
+    imports.push_back(std::move(entry).take().seed);
+  }
+  ByteWriter w;
+  serialize_sync_epoch(SyncEpochRecord{1, imports}, w);
+
+  const fs::path tmp =
+      fs::path(lease_dir) / (".corpus-epoch." + shard_id + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Error{80, "cannot write " + tmp.string()};
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out) return Error{80, "cannot write " + tmp.string()};
+  }
+  fs::create_hard_link(tmp, path, ec);
+  std::error_code cleanup;
+  fs::remove(tmp, cleanup);
+  if (!ec) return imports;      // this shard's snapshot won
+  return read_epoch(path);      // lost the race: adopt the winner's
+}
+
+}  // namespace
+
+std::string DistributedCampaign::journal_path(const std::string& lease_dir,
+                                              const std::string& shard_id) {
+  return (fs::path(lease_dir) / ("shard-" + shard_id + ".ckpt")).string();
+}
+
+std::vector<std::string> DistributedCampaign::shard_journals(
+    const std::string& lease_dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  fs::directory_iterator it(lease_dir, ec);
+  if (ec) return paths;
+  for (const auto& dirent : it) {
+    const std::string name = dirent.path().filename().string();
+    if (name.starts_with("shard-") && name.ends_with(".ckpt")) {
+      paths.push_back(dirent.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::size_t DistributedCampaign::auto_range_size(std::size_t cells,
+                                                 std::size_t advisory_shards) {
+  const std::size_t shards = std::max<std::size_t>(advisory_shards, 1);
+  return std::max<std::size_t>(1, cells / (4 * shards));
+}
+
+Result<ShardRun> DistributedCampaign::run(
+    const std::vector<fuzz::TestCaseSpec>& grid) {
+  if (grid.empty()) return Error{79, "cannot shard an empty grid"};
+
+  fuzz::CampaignConfig config = base_;
+  // Pin the sync epoch before fingerprinting is not required — the
+  // fingerprint hashes whether sync is on and its parameters, never the
+  // import set — but it must happen before any cell runs.
+  if (!config.corpus_dir.empty() && !config.pinned_imports.has_value()) {
+    auto pinned = pin_epoch(shard_.lease_dir, shard_.shard_id, config);
+    if (!pinned.ok()) return pinned.error();
+    config.pinned_imports = std::move(pinned).take();
+  }
+
+  GridLeaseConfig lease_config;
+  lease_config.dir = shard_.lease_dir;
+  lease_config.shard_id = shard_.shard_id;
+  lease_config.total_cells = grid.size();
+  lease_config.range_size =
+      shard_.range_size != 0
+          ? shard_.range_size
+          : auto_range_size(grid.size(), shard_.advisory_shards);
+  lease_config.ttl_seconds = shard_.lease_ttl_seconds;
+  lease_config.fingerprint = campaign_fingerprint(grid, config);
+  auto lease = GridLease::open(lease_config);
+  if (!lease.ok()) return lease.error();
+
+  ShardRun out;
+  out.journal_path = journal_path(shard_.lease_dir, shard_.shard_id);
+  config.gate = lease.value().get();
+  config.checkpoint_path = out.journal_path;
+
+  // Claim sweeps until nothing is claimable: a pass that executes zero
+  // new cells means every pending cell sits behind a live peer's lease
+  // (or the grid is finished). A later reclaim would need a later
+  // sweep, which a relaunch (or a peer) provides — sweeping forever
+  // here would turn one dead shard into N spinning ones. A cell budget
+  // is a deliberate kill switch, so it forces a single pass.
+  for (;;) {
+    ++out.passes;
+    fuzz::CampaignRunner runner(config);
+    out.result = runner.run(grid);
+    if (!out.result.persistence_error.empty()) break;
+    if (out.result.complete || config.cell_budget != 0) break;
+    std::size_t journaled = 0;
+    for (const auto flag : out.result.cells_completed) {
+      journaled += flag != 0 ? 1 : 0;
+    }
+    if (journaled <= out.result.cells_resumed) break;  // no new cells
+  }
+  out.lease = lease.value()->stats();
+  return out;
+}
+
+}  // namespace iris::campaign

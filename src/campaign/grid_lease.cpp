@@ -1,0 +1,247 @@
+#include "campaign/grid_lease.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "support/fs_atomic.h"
+#include "support/serialize.h"
+
+namespace iris::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint32_t kMetaMagic = 0x4952474D;   // "IRGM"
+constexpr std::uint32_t kLeaseMagic = 0x49524C53;  // "IRLS"
+
+void serialize_meta(const GridLeaseConfig& config, ByteWriter& out) {
+  out.u32(kMetaMagic);
+  out.u64(config.fingerprint);
+  out.u64(config.total_cells);
+  out.u64(config.range_size);
+}
+
+/// Lease / done-marker payload: which campaign, which range, whose.
+void serialize_lease(const GridLeaseConfig& config, std::size_t range,
+                     ByteWriter& out) {
+  out.u32(kLeaseMagic);
+  out.u64(config.fingerprint);
+  out.u64(range);
+  out.str(config.shard_id);
+}
+
+/// Shard id stored in a lease file; empty when the file is unreadable
+/// or torn (a torn lease still counts as held until it goes stale).
+std::string lease_owner(const std::string& path) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return {};
+  ByteReader r(bytes.value());
+  auto magic = r.u32();
+  auto fingerprint = r.u64();
+  auto range = r.u64();
+  auto owner = r.str();
+  if (!magic.ok() || magic.value() != kLeaseMagic || !fingerprint.ok() ||
+      !range.ok() || !owner.ok()) {
+    return {};
+  }
+  return std::move(owner).take();
+}
+
+}  // namespace
+
+GridLease::GridLease(GridLeaseConfig config)
+    : config_(std::move(config)),
+      held_(range_count(), 0),
+      completed_count_(range_count(), 0),
+      completed_mask_(range_count()),
+      last_refresh_(std::chrono::steady_clock::now()) {}
+
+std::size_t GridLease::range_count() const noexcept {
+  return (config_.total_cells + config_.range_size - 1) / config_.range_size;
+}
+
+std::size_t GridLease::range_len(std::size_t range) const noexcept {
+  const std::size_t begin = range * config_.range_size;
+  const std::size_t end =
+      std::min(begin + config_.range_size, config_.total_cells);
+  return end - begin;
+}
+
+std::string GridLease::lease_path(std::size_t range) const {
+  return (fs::path(config_.dir) / ("lease-" + std::to_string(range) + ".lock"))
+      .string();
+}
+
+std::string GridLease::done_path(std::size_t range) const {
+  return (fs::path(config_.dir) / ("done-" + std::to_string(range))).string();
+}
+
+Result<std::unique_ptr<GridLease>> GridLease::open(const GridLeaseConfig& config) {
+  if (config.total_cells == 0 || config.range_size == 0) {
+    return Error{70, "grid lease needs a non-empty grid and range size"};
+  }
+  if (config.shard_id.empty()) {
+    return Error{71, "grid lease needs a shard id"};
+  }
+  std::error_code ec;
+  fs::create_directories(config.dir, ec);
+  if (ec) return Error{72, "cannot create lease dir " + config.dir};
+
+  // Pin the campaign identity and grid geometry. Exactly one shard wins
+  // the exclusive create; everyone else validates what it wrote.
+  ByteWriter meta;
+  serialize_meta(config, meta);
+  const std::string meta_path = (fs::path(config.dir) / "grid.meta").string();
+  std::unique_ptr<GridLease> lease(new GridLease(config));
+  if (!lease->exclusive_create(meta_path, meta.data())) {
+    auto bytes = read_file_bytes(meta_path);
+    if (!bytes.ok() || bytes.value() != meta.data()) {
+      return Error{73, meta_path +
+                           " pins a different campaign or grid geometry; "
+                           "use a fresh lease directory"};
+    }
+  }
+  return lease;
+}
+
+bool GridLease::exclusive_create(const std::string& path,
+                                 std::span<const std::uint8_t> payload) {
+  // "wbx" = O_CREAT | O_EXCL: the atomic claim primitive. The payload
+  // lands after the create; a shard killed inside this window leaves a
+  // torn lease that simply expires like any other.
+  std::FILE* f = std::fopen(path.c_str(), "wbx");
+  if (f == nullptr) return false;
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool GridLease::acquire(std::size_t range) {
+  const std::string path = lease_path(range);
+  ByteWriter payload;
+  serialize_lease(config_, range, payload);
+
+  // Fast path: nobody holds the range.
+  if (exclusive_create(path, payload.data())) {
+    ++stats_.claims;
+    return true;
+  }
+
+  // Our own lease from a previous incarnation? Adopt it immediately —
+  // a relaunched shard must not wait out its own TTL.
+  if (lease_owner(path) == config_.shard_id) {
+    std::error_code ec;
+    fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+    ++stats_.adoptions;
+    return true;
+  }
+
+  // A peer holds it. Only a stale lease (no heartbeat for ttl) may be
+  // reclaimed, and only through the rename-aside dance: rename is
+  // atomic, so of any number of concurrent stealers exactly one sees
+  // its rename succeed and proceeds to re-create the lease.
+  std::error_code ec;
+  const auto written = fs::last_write_time(path, ec);
+  if (ec) return false;  // vanished: owner finished or a stealer won; retry later
+  const auto age = fs::file_time_type::clock::now() - written;
+  if (std::chrono::duration<double>(age).count() <= config_.ttl_seconds) {
+    return false;
+  }
+  const std::string aside = path + ".stale." + config_.shard_id;
+  fs::rename(path, aside, ec);
+  if (ec) return false;  // another stealer got there first
+  fs::remove(aside, ec);
+  if (!exclusive_create(path, payload.data())) {
+    return false;  // lost the re-create race
+  }
+  ++stats_.reclaims;
+  return true;
+}
+
+bool GridLease::try_claim(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t r = range_of(index);
+  if (r >= held_.size()) return false;
+  if (held_[r] != 0) return true;
+  std::error_code ec;
+  if (fs::exists(done_path(r), ec)) {
+    ++stats_.denials;
+    return false;
+  }
+  if (acquire(r)) {
+    held_[r] = 1;
+    // A range adopted after a restart may already be partially (or even
+    // fully) journaled; publish the done marker the dead incarnation
+    // never got to write.
+    if (completed_count_[r] == range_len(r)) publish_done(r);
+    return true;
+  }
+  ++stats_.denials;
+  return false;
+}
+
+void GridLease::completed(std::size_t index) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t r = range_of(index);
+  if (r >= held_.size()) return;
+  auto& mask = completed_mask_[r];
+  if (mask.empty()) mask.assign(range_len(r), 0);
+  const std::size_t offset = index - r * config_.range_size;
+  if (mask[offset] != 0) return;
+  mask[offset] = 1;
+  ++completed_count_[r];
+  if (completed_count_[r] != range_len(r)) return;
+  if (held_[r] != 0) {
+    publish_done(r);
+  } else if (lease_owner(lease_path(r)) == config_.shard_id) {
+    // A previous incarnation of this shard journaled the whole range
+    // but was killed before publishing the marker; retire its lease now
+    // so no peer wastes a reclaim re-running finished work.
+    held_[r] = 1;
+    publish_done(r);
+  }
+}
+
+void GridLease::publish_done(std::size_t range) {
+  // Atomically retire the lease into the done marker. If the lease is
+  // gone (stolen after a long stall), fall back to creating the marker
+  // directly; if someone else already published it, nothing to do.
+  std::error_code ec;
+  fs::rename(lease_path(range), done_path(range), ec);
+  if (ec && !fs::exists(done_path(range), ec)) {
+    ByteWriter payload;
+    serialize_lease(config_, range, payload);
+    (void)exclusive_create(done_path(range), payload.data());
+  }
+  held_[range] = 0;
+  ++stats_.completed_ranges;
+}
+
+void GridLease::heartbeat() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const double since =
+      std::chrono::duration<double>(now - last_refresh_).count();
+  if (since < config_.ttl_seconds / 4.0) return;
+  last_refresh_ = now;
+  ++stats_.heartbeats;
+  std::error_code ec;
+  for (std::size_t r = 0; r < held_.size(); ++r) {
+    if (held_[r] == 0) continue;
+    fs::last_write_time(lease_path(r), fs::file_time_type::clock::now(), ec);
+  }
+}
+
+GridLeaseStats GridLease::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool GridLease::holds(std::size_t range) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return range < held_.size() && held_[range] != 0;
+}
+
+}  // namespace iris::campaign

@@ -1,0 +1,121 @@
+// Grid-lease protocol: multi-process sharding of one campaign grid.
+//
+// N independent processes split a grid by claiming disjoint *cell
+// ranges* through lease files in a shared lease directory (normally the
+// checkpoint directory). The protocol needs nothing but a shared
+// filesystem:
+//
+//   grid.meta      exclusive-created once; pins (fingerprint, cell
+//                  count, range size) so shards of different campaigns
+//                  or disagreeing geometries cannot share a directory.
+//   lease-<r>.lock claim on range r. Acquired by exclusive create
+//                  (fopen "wbx" — atomic on POSIX), refreshed by mtime
+//                  heartbeat while the shard works, adopted instantly
+//                  when the stored shard id matches ours (a relaunched
+//                  shard picks up its own leases without waiting), and
+//                  reclaimed once stale: a stealer atomically renames
+//                  the expired lease aside — exactly one racer's rename
+//                  succeeds — then exclusive-creates its own.
+//   done-<r>       range r is fully journaled. Published by atomically
+//                  renaming the lease into the marker, so a range is
+//                  never both leased and done. Done ranges are final:
+//                  they are skipped, never reclaimed.
+//
+// A killed shard therefore costs nothing but its unfinished ranges'
+// TTL: every cell it completed is in its (append-only, torn-tail-safe)
+// journal, and every cell it did not is re-claimable. Re-running a cell
+// twice is harmless by the determinism contract — both executions
+// journal byte-identical results, which campaign::reduce_journals
+// deduplicates (and *verifies*: diverging duplicates are a hard error).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fuzz/campaign.h"
+#include "support/result.h"
+
+namespace iris::campaign {
+
+struct GridLeaseConfig {
+  /// Shared lease directory (created if missing).
+  std::string dir;
+  /// Unique shard identity. Part of lease file payloads and steal-temp
+  /// names, so it must be filesystem-safe ([A-Za-z0-9._-]).
+  std::string shard_id;
+  /// Grid size; fixed per directory by grid.meta.
+  std::size_t total_cells = 0;
+  /// Cells per lease. Smaller ranges balance better, larger ranges
+  /// amortize the (one-file-create) claim cost over more cells.
+  std::size_t range_size = 1;
+  /// A lease whose mtime is older than this is considered abandoned and
+  /// may be reclaimed. Must comfortably exceed the slowest cell plus
+  /// the heartbeat interval (ttl/4).
+  double ttl_seconds = 30.0;
+  /// Campaign identity (campaign::campaign_fingerprint); pinned in
+  /// grid.meta so foreign campaigns cannot mix journals in one
+  /// directory.
+  std::uint64_t fingerprint = 0;
+};
+
+struct GridLeaseStats {
+  std::size_t claims = 0;        ///< ranges acquired fresh
+  std::size_t adoptions = 0;     ///< own leases re-adopted after a restart
+  std::size_t reclaims = 0;      ///< stale leases stolen from dead shards
+  std::size_t denials = 0;       ///< claims lost to a live peer or done marker
+  std::size_t completed_ranges = 0;  ///< done markers this shard published
+  std::size_t heartbeats = 0;    ///< mtime refresh sweeps performed
+};
+
+/// One shard's view of the lease directory. Thread-safe: a
+/// CampaignRunner calls it from every worker thread.
+class GridLease final : public fuzz::CellGate {
+ public:
+  /// Validate / initialize the lease directory and build a gate for one
+  /// shard. Fails if grid.meta exists with a different fingerprint or
+  /// geometry.
+  static Result<std::unique_ptr<GridLease>> open(const GridLeaseConfig& config);
+
+  bool try_claim(std::size_t index) override;
+  void completed(std::size_t index) override;
+  void heartbeat() override;
+
+  [[nodiscard]] GridLeaseStats stats() const;
+  [[nodiscard]] const GridLeaseConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t range_count() const noexcept;
+  [[nodiscard]] bool holds(std::size_t range) const;
+
+  /// Lease / done-marker paths for a range (exposed for tests and
+  /// tooling that ages or inspects the protocol's files).
+  [[nodiscard]] std::string lease_path(std::size_t range) const;
+  [[nodiscard]] std::string done_path(std::size_t range) const;
+
+ private:
+  explicit GridLease(GridLeaseConfig config);
+
+  [[nodiscard]] std::size_t range_of(std::size_t index) const noexcept {
+    return index / config_.range_size;
+  }
+  [[nodiscard]] std::size_t range_len(std::size_t range) const noexcept;
+
+  // All three run under mutex_.
+  bool acquire(std::size_t range);
+  bool exclusive_create(const std::string& path,
+                        std::span<const std::uint8_t> payload);
+  void publish_done(std::size_t range);
+
+  GridLeaseConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<std::uint8_t> held_;
+  std::vector<std::uint32_t> completed_count_;
+  std::vector<std::vector<std::uint8_t>> completed_mask_;
+  std::chrono::steady_clock::time_point last_refresh_;
+  GridLeaseStats stats_;
+};
+
+}  // namespace iris::campaign

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "campaign/checkpoint.h"
+#include "campaign/corpus_store.h"
 #include "campaign/crash_archive.h"
 #include "fuzz/vm_pool.h"
 
@@ -49,6 +50,53 @@ std::vector<std::pair<hv::BlockKey, std::uint8_t>> cell_coverage(
 
 }  // namespace
 
+void finalize_campaign_result(
+    const std::vector<std::vector<std::pair<hv::BlockKey, std::uint8_t>>>&
+        cell_coverage,
+    CampaignResult& out) {
+  // --- Merge the per-cell coverage in grid order (union; weights are
+  // static), accumulating the total LOC as blocks are first inserted.
+  out.merged_coverage.clear();
+  out.merged_loc = 0;
+  for (const auto& blocks : cell_coverage) {
+    for (const auto& [block, loc] : blocks) {
+      if (out.merged_coverage.emplace(block, loc).second) {
+        out.merged_loc += loc;
+      }
+    }
+  }
+
+  // --- Aggregate counters and crash dedup, in grid order. ---
+  out.unique_crashes.clear();
+  out.total_crashes = 0;
+  out.cells_ran = 0;
+  out.executed = 0;
+  out.vm_crashes = 0;
+  out.hv_crashes = 0;
+  out.hangs = 0;
+  std::map<CrashKey, std::size_t> buckets;  // key -> index in unique_crashes
+  for (std::size_t i = 0; i < out.results.size(); ++i) {
+    const TestCaseResult& r = out.results[i];
+    if (r.ran) ++out.cells_ran;
+    out.executed += r.executed;
+    out.vm_crashes += r.vm_crashes;
+    out.hv_crashes += r.hv_crashes;
+    out.hangs += r.hangs;
+    for (const CrashRecord& crash : r.crashes) {
+      ++out.total_crashes;
+      const SeedItem& mutated = crash.mutant.items[crash.mutation.item_index];
+      const CrashKey key{crash.kind, r.spec.reason, mutated.kind,
+                         mutated.encoding};
+      auto [it, inserted] = buckets.emplace(key, out.unique_crashes.size());
+      if (inserted) {
+        out.unique_crashes.push_back(DedupedCrash{key, crash, i, 1});
+      } else {
+        ++out.unique_crashes[it->second].occurrences;
+      }
+    }
+  }
+}
+
 CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   CampaignResult out;
   out.results.resize(grid.size());
@@ -85,8 +133,46 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     }
   }
 
-  const bool all_resumed =
-      std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
+  // --- Resolve the corpus-sync epoch. Priority: an epoch already in the
+  // journal (a resumed run replays exactly the imports the first run
+  // froze), then a pinned set from the distributed layer (all shards of
+  // one grid share one epoch file), then a fresh snapshot of the shared
+  // store in deterministic (sorted entry name) order. The epoch is
+  // journaled *before* any cell, so even a run killed after one cell
+  // leaves its import set on disk.
+  std::vector<VmSeed> imports;
+  std::uint32_t sync_epoch = 0;
+  const bool sync_enabled =
+      !config_.corpus_dir.empty() || config_.pinned_imports.has_value();
+  if (sync_enabled) {
+    if (checkpoint && !checkpoint->epochs().empty()) {
+      imports = checkpoint->epochs().back().imports;
+      sync_epoch = checkpoint->epochs().back().epoch;
+    } else {
+      if (config_.pinned_imports.has_value()) {
+        imports = *config_.pinned_imports;
+        if (imports.size() > config_.corpus_max_imports) {
+          imports.resize(config_.corpus_max_imports);
+        }
+      } else {
+        const campaign::CorpusStore store(config_.corpus_dir);
+        for (const auto& name : store.list()) {
+          if (imports.size() >= config_.corpus_max_imports) break;
+          auto entry = store.read_entry(name);
+          if (!entry.ok()) continue;  // corrupt entries never kill a run
+          imports.push_back(std::move(entry).take().seed);
+        }
+      }
+      sync_epoch = 1;
+      if (checkpoint) {
+        const auto status =
+            checkpoint->append_epoch(campaign::SyncEpochRecord{sync_epoch, imports});
+        if (!status.ok() && out.persistence_error.empty()) {
+          out.persistence_error = status.error().message;
+        }
+      }
+    }
+  }
 
   // Per-worker pooled VM stacks (the default): one Hypervisor/Manager
   // per worker for the whole grid, reset to the post-construction state
@@ -97,23 +183,26 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     pool.emplace(workers, config_.hv_seed, config_.async_noise_prob);
   }
 
-  // Record each workload's behavior once up front: recording is a pure
-  // function of (workload, config), so the cells can share the trace.
-  // A fully-resumed run skips this; the archive phase below records
-  // lazily for the workloads that actually have crash buckets. The
-  // record stacks ride the pool too (worker 0's slot — safe: this
-  // lambda only runs on the main thread strictly before the workers
-  // start or after they join) instead of building two throwaway stacks
-  // per workload.
+  // Record each workload's behavior on first need, on the needing
+  // worker's own stack (slot w belongs to worker w; the archive phase
+  // below calls with worker 0 from the main thread after the join).
+  // Recording is a pure function of (workload, config) — identical
+  // bytes whichever worker records, a fact the pool's reset-fidelity
+  // digest asserts — so laziness cannot change results; it only avoids
+  // recording workloads whose cells this run never executes (fully
+  // resumed grids, ranges denied by a distributed gate).
+  std::mutex behaviors_mutex;
   std::map<guest::Workload, VmBehavior> behaviors;
-  auto ensure_behavior =
-      [&behaviors, &pool, this](guest::Workload workload) -> const VmBehavior& {
+  auto ensure_behavior = [&behaviors, &behaviors_mutex, &pool, this](
+                             guest::Workload workload,
+                             std::size_t worker_index) -> const VmBehavior& {
+    const std::lock_guard<std::mutex> lock(behaviors_mutex);
     auto it = behaviors.find(workload);
     if (it == behaviors.end()) {
       std::optional<CellVm> throwaway;
       Manager* recorder = nullptr;
       if (pool) {
-        PooledVm& slot = pool->worker(0);
+        PooledVm& slot = pool->worker(worker_index);
         slot.reset();
         recorder = &slot.manager();
       } else {
@@ -126,11 +215,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                                                   config_.record_seed))
                .first;
     }
-    return it->second;
+    return it->second;  // map references stay valid across inserts
   };
-  if (!all_resumed) {
-    for (const TestCaseSpec& spec : grid) ensure_behavior(spec.workload);
-  }
 
   const auto started = std::chrono::steady_clock::now();
 
@@ -154,10 +240,12 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   };
 
   std::mutex journal_mutex;
-  auto journal_cell = [&](std::size_t index) {
-    if (!checkpoint) return;
+  /// True iff the cell's record reached this shard's journal.
+  auto journal_cell = [&](std::size_t index) -> bool {
+    if (!checkpoint) return false;
     campaign::CheckpointCell cell;
     cell.index = index;
+    cell.sync_epoch = sync_epoch;
     cell.result = out.results[index];
     cell.coverage = cell_cov[index];
     const std::lock_guard<std::mutex> lock(journal_mutex);
@@ -165,14 +253,30 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       if (out.persistence_error.empty()) {
         out.persistence_error = status.error().message;
       }
+      return false;
     }
+    return true;
   };
+
+  // Tell a distributed gate about every cell this shard's own journal
+  // already covers, so it can finish (and mark done) ranges a previous
+  // incarnation of this shard left half-complete.
+  if (config_.gate != nullptr) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (done[i] != 0) config_.gate->completed(i);
+    }
+  }
 
   auto work = [&](std::size_t worker_index) {
     for (std::size_t i = worker_index; i < grid.size(); i += workers) {
       if (done[i] != 0) continue;  // recovered from the checkpoint
+      if (config_.gate != nullptr) {
+        config_.gate->heartbeat();
+        if (!config_.gate->try_claim(i)) continue;  // another shard's range
+      }
       if (!claim_budget()) return;
       const TestCaseSpec& spec = grid[i];
+      const VmBehavior& behavior = ensure_behavior(spec.workload, worker_index);
       // One cell body, two stack sources: a reset pooled slot or a
       // throwaway CellVm (provably equivalent — see PooledVm::reset).
       std::optional<CellVm> throwaway;
@@ -189,10 +293,17 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         cell_manager = &throwaway->manager;
       }
       Fuzzer fuzzer(*cell_manager, config_.fuzzer);
-      out.results[i] = fuzzer.run_test_case(spec, behaviors.at(spec.workload));
+      out.results[i] =
+          fuzzer.run_test_case(spec, behavior, imports,
+                               sync_enabled ? config_.import_mutants : 0);
       cell_cov[i] = cell_coverage(cell_hv->coverage());
       done[i] = 1;
-      journal_cell(i);
+      const bool journaled = journal_cell(i);
+      // Only journaled cells may retire toward a (final) done marker:
+      // the reducer can only ever see journaled results, so a cell lost
+      // to a persistence failure must leave its range claimable for a
+      // shard whose journal works.
+      if (config_.gate != nullptr && journaled) config_.gate->completed(i);
     }
   };
 
@@ -212,38 +323,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
   out.cells_completed.assign(done.begin(), done.end());
 
-  // --- Merge the per-cell coverage in grid order (union; weights are
-  // static), accumulating the total LOC as blocks are first inserted.
-  for (const auto& blocks : cell_cov) {
-    for (const auto& [block, loc] : blocks) {
-      if (out.merged_coverage.emplace(block, loc).second) {
-        out.merged_loc += loc;
-      }
-    }
-  }
-
-  // --- Aggregate counters and crash dedup, in grid order. ---
-  std::map<CrashKey, std::size_t> buckets;  // key -> index in unique_crashes
-  for (std::size_t i = 0; i < out.results.size(); ++i) {
-    const TestCaseResult& r = out.results[i];
-    if (r.ran) ++out.cells_ran;
-    out.executed += r.executed;
-    out.vm_crashes += r.vm_crashes;
-    out.hv_crashes += r.hv_crashes;
-    out.hangs += r.hangs;
-    for (const CrashRecord& crash : r.crashes) {
-      ++out.total_crashes;
-      const SeedItem& mutated = crash.mutant.items[crash.mutation.item_index];
-      const CrashKey key{crash.kind, r.spec.reason, mutated.kind,
-                         mutated.encoding};
-      auto [it, inserted] = buckets.emplace(key, out.unique_crashes.size());
-      if (inserted) {
-        out.unique_crashes.push_back(DedupedCrash{key, crash, i, 1});
-      } else {
-        ++out.unique_crashes[it->second].occurrences;
-      }
-    }
-  }
+  // --- Merge phase, shared with the distributed reducer. ---
+  finalize_campaign_result(cell_cov, out);
 
   // --- One replayable reproducer per crash bucket. ---
   if (!config_.crash_archive_dir.empty()) {
@@ -256,7 +337,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     record_error(archive.init());
     for (const DedupedCrash& bucket : out.unique_crashes) {
       const TestCaseResult& cell = out.results[bucket.spec_index];
-      const VmBehavior& behavior = ensure_behavior(cell.spec.workload);
+      const VmBehavior& behavior = ensure_behavior(cell.spec.workload, 0);
       campaign::CrashReproducer repro;
       repro.key = bucket.key;
       repro.spec = cell.spec;

@@ -22,13 +22,37 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fuzz/fuzzer.h"
 
 namespace iris::fuzz {
+
+/// Distributed-mode cell gate. When CampaignConfig::gate is set, the
+/// runner consults it before executing each pending cell, so several
+/// *processes* can split one grid: a gate implementation (e.g.
+/// campaign::GridLease) claims disjoint cell ranges through atomic lease
+/// files and answers try_claim accordingly. The gate never changes what
+/// a cell computes — only whether this process runs it — so any union of
+/// gated shard runs reduces to the ungated single-process result.
+class CellGate {
+ public:
+  virtual ~CellGate() = default;
+  /// May this shard run cell `index`? false = another shard owns its
+  /// range (skip it; the runner will not retry within this pass).
+  virtual bool try_claim(std::size_t index) = 0;
+  /// Cell `index` has a *journaled* result — executed and appended just
+  /// now, or recovered from this shard's checkpoint (called for every
+  /// resumed cell before workers start). Never called for a cell whose
+  /// journal append failed: only journaled cells may retire a range.
+  virtual void completed(std::size_t index) = 0;
+  /// Liveness signal between cells (lease mtime refresh).
+  virtual void heartbeat() = 0;
+};
 
 /// Identity of a deduplicated crash: what failed, on which exit reason,
 /// when which seed field was mutated. The paper's triage buckets.
@@ -84,6 +108,30 @@ struct CampaignConfig {
   /// Models a killed worker for checkpoint tests and lets operators
   /// time-slice a long campaign across invocations.
   std::size_t cell_budget = 0;
+
+  // --- Deterministic campaign corpus sync. Off by default.
+
+  /// Shared CorpusStore directory to seed extra mutation targets from.
+  /// Empty = off. Cells fuzz every imported seed whose exit reason
+  /// matches theirs, in addition to VMseed_R. The import set is frozen
+  /// into a *sync epoch* the first time a campaign touches the store and
+  /// journaled in the checkpoint, so resumed or re-sharded runs replay
+  /// exactly the same imports even if the store has grown since.
+  std::string corpus_dir;
+  /// Cap on imported seeds per epoch (store order: sorted entry names).
+  std::size_t corpus_max_imports = 64;
+  /// Bit-flip mutants submitted per matching imported seed per cell.
+  std::size_t import_mutants = 64;
+  /// Pre-resolved epoch import set (overrides scanning corpus_dir). The
+  /// distributed layer pins one epoch in the lease directory and hands
+  /// it to every shard through this field, so all shards agree even if
+  /// the store mutates mid-campaign.
+  std::optional<std::vector<VmSeed>> pinned_imports;
+
+  /// Distributed-mode cell gate (not owned; must outlive run()). Like
+  /// the worker count, the gate is excluded from the campaign
+  /// fingerprint: it decides where cells run, never what they compute.
+  CellGate* gate = nullptr;
 };
 
 struct CampaignResult {
@@ -128,6 +176,17 @@ struct CampaignResult {
   /// falls back to in-memory operation.
   std::string persistence_error;
 };
+
+/// Merge phase shared by CampaignRunner and campaign::reduce_journals:
+/// folds the per-cell coverage lists (grid order) into merged_coverage /
+/// merged_loc and recomputes the aggregate counters and deduplicated
+/// crash buckets from out.results. Keeping this in one place is what
+/// makes "reduce M shard journals" provably identical to "run one
+/// process": both feed the same per-cell results through the same fold.
+void finalize_campaign_result(
+    const std::vector<std::vector<std::pair<hv::BlockKey, std::uint8_t>>>&
+        cell_coverage,
+    CampaignResult& out);
 
 class CampaignRunner {
  public:

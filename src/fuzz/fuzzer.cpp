@@ -21,6 +21,12 @@ bool Fuzzer::walk_to_target(const VmBehavior& w, std::size_t target) {
 }
 
 TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior& w) {
+  return run_test_case(spec, w, {}, 0);
+}
+
+TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior& w,
+                                     std::span<const VmSeed> imports,
+                                     std::size_t import_mutants) {
   TestCaseResult result;
   result.spec = spec;
 
@@ -52,45 +58,64 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
   const auto s1 = dummy.snapshot();
 
   // Hot loop: the mutant seed and outcome buffers are reused across all
-  // M submissions (zero steady-state allocations on the happy path).
+  // submissions (zero steady-state allocations on the happy path). The
+  // per-cell mutant index keeps counting across targets so every
+  // archived CrashRecord stays uniquely addressable within the cell.
   VmSeed mutant;
   hv::HandleOutcome outcome;
-  for (std::size_t m = 0; m < spec.mutants; ++m) {
-    AppliedMutation applied;
-    if (!mutator.mutate_into(target_seed, spec.area, mutant, &applied)) {
-      break;  // no items in this area (cannot happen for GPR)
-    }
-    ++result.executed;
+  std::size_t mutant_index = 0;
+  // Submit `count` single-bit-flip mutants of `base` from s1. kNoItems
+  // means `base` has nothing to mutate in this area (skip the target);
+  // kAbort means the replayer could not be re-armed after a crash, so
+  // the cell must stop entirely.
+  enum class TargetOutcome { kDone, kNoItems, kAbort };
+  auto fuzz_target = [&](const VmSeed& base, std::size_t count) {
+    for (std::size_t m = 0; m < count; ++m) {
+      AppliedMutation applied;
+      if (!mutator.mutate_into(base, spec.area, mutant, &applied)) {
+        return TargetOutcome::kNoItems;  // cannot happen for GPR
+      }
+      ++result.executed;
+      const std::size_t index = mutant_index++;
 
-    manager_->submit_seed_into(mutant, outcome);
-    result.new_loc += covered.add(outcome.coverage);
+      manager_->submit_seed_into(mutant, outcome);
+      result.new_loc += covered.add(outcome.coverage);
 
-    switch (outcome.failure) {
-      case hv::FailureKind::kNone:
-        continue;
-      case hv::FailureKind::kVmCrash:
-        ++result.vm_crashes;
-        if (outcome.cause == hv::FailureCause::kEntryCheckViolation) {
-          ++result.entry_check_rejections;
-        }
-        break;
-      case hv::FailureKind::kHypervisorCrash:
-        ++result.hv_crashes;
-        break;
-      case hv::FailureKind::kVmHang:
-      case hv::FailureKind::kHypervisorHang:
-        ++result.hangs;
-        break;
+      switch (outcome.failure) {
+        case hv::FailureKind::kNone:
+          continue;
+        case hv::FailureKind::kVmCrash:
+          ++result.vm_crashes;
+          if (outcome.cause == hv::FailureCause::kEntryCheckViolation) {
+            ++result.entry_check_rejections;
+          }
+          break;
+        case hv::FailureKind::kHypervisorCrash:
+          ++result.hv_crashes;
+          break;
+        case hv::FailureKind::kVmHang:
+        case hv::FailureKind::kHypervisorHang:
+          ++result.hangs;
+          break;
+      }
+      if (result.crashes.size() < config_.max_archived_crashes) {
+        result.crashes.push_back(CrashRecord{mutant, applied, outcome.failure,
+                                             outcome.failure_reason, index});
+      }
+      // Recover: clear failure state and restore the dummy VM to s1
+      // (delta restore: only pages dirtied since s1 are touched).
+      manager_->hv().failures().reset();
+      dummy.restore(s1);
+      if (!manager_->rearm_replay(config_.replay)) return TargetOutcome::kAbort;
     }
-    if (result.crashes.size() < config_.max_archived_crashes) {
-      result.crashes.push_back(CrashRecord{mutant, applied, outcome.failure,
-                                           outcome.failure_reason, m});
+    return TargetOutcome::kDone;
+  };
+
+  if (fuzz_target(target_seed, spec.mutants) != TargetOutcome::kAbort) {
+    for (const VmSeed& import : imports) {
+      if (import.reason != spec.reason) continue;
+      if (fuzz_target(import, import_mutants) == TargetOutcome::kAbort) break;
     }
-    // Recover: clear failure state and restore the dummy VM to s1
-    // (delta restore: only pages dirtied since s1 are touched).
-    manager_->hv().failures().reset();
-    dummy.restore(s1);
-    if (!manager_->rearm_replay(config_.replay)) break;
   }
 
   result.coverage_increase_pct =

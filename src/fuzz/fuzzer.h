@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,6 +76,17 @@ class Fuzzer {
   /// Run one test case against a recorded behavior `w` (which must be
   /// the recording of spec.workload).
   TestCaseResult run_test_case(const TestCaseSpec& spec, const VmBehavior& w);
+
+  /// Corpus-synced variant: after the M bit-flip mutants of VMseed_R,
+  /// every seed in `imports` whose exit reason matches spec.reason is
+  /// fuzzed from the same linked state s1 with `import_mutants` bit
+  /// flips. Imports are fuzzed in span order with the cell's single RNG
+  /// stream, so the result is a pure function of
+  /// (spec, w, imports, import_mutants) — the determinism contract the
+  /// campaign's sync epochs rely on.
+  TestCaseResult run_test_case(const TestCaseSpec& spec, const VmBehavior& w,
+                               std::span<const VmSeed> imports,
+                               std::size_t import_mutants);
 
   /// Run the full Table I grid for one workload: every exit reason
   /// present in `w`, both areas.
