@@ -10,20 +10,121 @@
 // Wall-clock throughput (mutants/sec) and the Domain snapshot-restore
 // cost are appended to BENCH_PR2.json for trajectory tracking.
 //
+// Profile-matrix mode (--profiles <name,...>) instead times the
+// CPU-bound grid once per named VMX capability profile and appends
+// mutants/sec per profile to BENCH_PR6.json — CI holds the baseline
+// profile to the pre-matrix throughput floor, so the profile
+// indirection must stay free on the hot path.
+//
 //   $ ./bench_table1_fuzzer [mutants] [seed] [trace_exits]
+//   $ ./bench_table1_fuzzer --profiles <name,...> [mutants] [seed] [trace_exits]
 #include <chrono>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_json.h"
 #include "bench_util.h"
 #include "fuzz/fuzzer.h"
 
+namespace {
+
+/// Profile-matrix mode: per-profile Table I throughput, one recording +
+/// grid per profile, everything else identical to the default mode's
+/// CPU-bound column.
+int run_profile_matrix(const std::string& list, std::size_t mutants,
+                       std::uint64_t seed, std::uint64_t exits) {
+  using namespace iris;
+  std::vector<const vtx::VmxCapabilityProfile*> profiles;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    start = comma + 1;
+    if (name.empty()) continue;
+    const auto id = vtx::profile_id_from_string(name);
+    if (!id) {
+      std::fprintf(stderr, "unknown capability profile '%s'; available:\n",
+                   name.c_str());
+      for (const auto& p : vtx::profile_library()) {
+        std::fprintf(stderr, "  %-24s %s\n", std::string(p.name).c_str(),
+                     std::string(p.summary).c_str());
+      }
+      return 1;
+    }
+    profiles.push_back(&vtx::profile_by_id(*id));
+  }
+  if (profiles.empty()) {
+    std::fprintf(stderr, "--profiles needs at least one profile name\n");
+    return 1;
+  }
+
+  bench::print_header("Table I throughput per VMX capability profile");
+  std::printf("M=%zu mutants per cell; CPU-bound traces of %llu exits\n\n",
+              mutants, static_cast<unsigned long long>(exits));
+  std::printf("%-24s %12s %12s %10s\n", "profile", "mutants", "mutants/s",
+              "seconds");
+
+  bench::JsonMetrics metrics("BENCH_PR6.json");
+  for (const auto* profile : profiles) {
+    hv::Hypervisor hypervisor(seed, 0.0, *profile);
+    Manager manager(hypervisor);
+    const VmBehavior& behavior =
+        manager.record_workload(guest::Workload::kCpuBound, exits, seed);
+    fuzz::Fuzzer fuzzer(manager);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto grid =
+        fuzzer.run_grid(guest::Workload::kCpuBound, behavior, mutants, seed);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::size_t executed = 0;
+    for (const auto& cell : grid) executed += cell.executed;
+    const double rate =
+        secs > 0.0 ? static_cast<double>(executed) / secs : 0.0;
+    const std::string key = "profiles." + std::string(profile->name);
+    metrics.set(key + ".mutants_executed", static_cast<double>(executed));
+    metrics.set(key + ".mutants_per_second", rate);
+    std::printf("%-24s %12zu %12.0f %9.3fs\n",
+                std::string(profile->name).c_str(), executed, rate, secs);
+  }
+  if (metrics.flush()) {
+    std::printf("\nappended to %s\n", metrics.path().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace iris;
+  // Peel off --profiles <list> first; the remaining arguments keep their
+  // positional meaning in both modes.
+  std::string profile_list;
+  bool profile_mode = false;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profiles") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--profiles needs a value\n");
+        return 1;
+      }
+      profile_list = argv[++i];
+      profile_mode = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   const std::size_t mutants =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;  // paper: 10000
   const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
   const std::uint64_t exits = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2000;
+
+  if (profile_mode) return run_profile_matrix(profile_list, mutants, seed, exits);
 
   bench::print_header("Table I: fuzzer coverage gains per test case");
   std::printf("M=%zu mutants per cell (paper: 10000); traces of %llu exits\n\n",

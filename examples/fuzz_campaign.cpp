@@ -25,13 +25,19 @@
 // leave it dead and its unfinished ranges expire after --lease-ttl for
 // the surviving shards (or a later relaunch) to reclaim.
 //
+// Profile-matrix mode (--profiles baseline,strict-fixed-crs,...) runs
+// the same Table I grid once per named VMX capability profile —
+// identical mutant streams, divergent results where the modeled CPU's
+// capabilities actually matter — and prints a per-profile result hash
+// next to the campaign hash.
+//
 //   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
 //                     [checkpoint-file] [cell-budget] [crash-archive-dir]
-//                     [--corpus <dir>] [--lease-dir <dir>]
-//                     [--shard-of <k>/<n>] [--lease-ttl <sec>]
-//                     [--range-size <cells>]
+//                     [--corpus <dir>] [--profiles <name,...>]
+//                     [--lease-dir <dir>] [--shard-of <k>/<n>]
+//                     [--lease-ttl <sec>] [--range-size <cells>]
 //   $ ./fuzz_campaign reduce <lease-dir> [workload] [mutants] [seed]
-//                     [--corpus <dir>]
+//                     [--corpus <dir>] [--profiles <name,...>]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -113,8 +119,41 @@ struct Cli {
   std::string shard_of;  // "<k>/<n>"
   double lease_ttl = 30.0;
   std::size_t range_size = 0;
+  std::vector<vtx::ProfileId> profiles;  // empty = baseline-only grid
   bool ok = true;
 };
+
+/// Parse a comma-separated profile list; an unknown name is a usage
+/// error that lists every available profile.
+std::vector<vtx::ProfileId> parse_profiles(const std::string& list, bool& ok) {
+  std::vector<vtx::ProfileId> profiles;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    std::size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(start, comma - start);
+    start = comma + 1;
+    if (name.empty()) continue;
+    const auto id = vtx::profile_id_from_string(name);
+    if (!id) {
+      std::fprintf(stderr, "unknown capability profile '%s'; available:\n",
+                   name.c_str());
+      for (const auto& profile : vtx::profile_library()) {
+        std::fprintf(stderr, "  %-24s %s\n",
+                     std::string(profile.name).c_str(),
+                     std::string(profile.summary).c_str());
+      }
+      ok = false;
+      return {};
+    }
+    profiles.push_back(*id);
+  }
+  if (profiles.empty()) {
+    std::fprintf(stderr, "--profiles needs at least one profile name\n");
+    ok = false;
+  }
+  return profiles;
+}
 
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
@@ -138,6 +177,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.lease_ttl = std::strtod(value(), nullptr);
     } else if (arg == "--range-size") {
       cli.range_size = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--profiles") {
+      cli.profiles = parse_profiles(value(), cli.ok);
     } else if (arg.starts_with("--")) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       cli.ok = false;
@@ -178,9 +219,35 @@ Campaign build_campaign(const std::vector<std::string>& args, std::size_t base,
   c.config.record_exits = 2000;
   c.config.record_seed = seed;
   c.config.corpus_dir = cli.corpus_dir;
-  c.grid = fuzz::make_table1_grid({*workload}, c.mutants, seed);
+  c.grid = cli.profiles.empty()
+               ? fuzz::make_table1_grid({*workload}, c.mutants, seed)
+               : fuzz::make_profile_grid({*workload}, c.mutants, seed,
+                                         cli.profiles);
   c.ok = true;
   return c;
+}
+
+/// Per-profile result hashes: fnv1a over the canonical cell-result
+/// bytes of each profile's slice of the grid, in grid order. Lets the
+/// profile-matrix CI job assert "strict-fixed-crs diverged from
+/// baseline" without re-deriving grid offsets.
+void print_profile_hashes(const fuzz::CampaignResult& campaign) {
+  std::vector<vtx::ProfileId> order;
+  for (const auto& r : campaign.results) {
+    bool seen = false;
+    for (const auto id : order) seen = seen || id == r.spec.profile;
+    if (!seen) order.push_back(r.spec.profile);
+  }
+  if (order.size() < 2) return;
+  for (const auto id : order) {
+    ByteWriter bytes;
+    for (const auto& r : campaign.results) {
+      if (r.spec.profile == id) campaign::serialize_cell_result(r, bytes);
+    }
+    std::printf("profile %s hash: %016llx\n",
+                std::string(vtx::to_string(id)).c_str(),
+                static_cast<unsigned long long>(fnv1a(bytes.data())));
+  }
 }
 
 int cmd_reduce(const Cli& cli) {
@@ -215,6 +282,7 @@ int cmd_reduce(const Cli& cli) {
     return kExitPending;
   }
   print_result_hash(report.result);
+  print_profile_hashes(report.result);
   return 0;
 }
 
@@ -332,7 +400,10 @@ int main(int argc, char** argv) {
   }
 
   print_result(campaign, !c.config.crash_archive_dir.empty());
-  if (campaign.complete) print_result_hash(campaign);
+  if (campaign.complete) {
+    print_result_hash(campaign);
+    print_profile_hashes(campaign);
+  }
 
   // A persistence failure does not invalidate the (in-memory) results
   // above, but the checkpoint/archive cannot be trusted — make that a

@@ -4,6 +4,7 @@
 // face of the Fig 3 "VM seed DB" plus the src/campaign/ corpus layer.
 //
 //   $ ./seed_corpus_tool record <file> <workload> <exits> [seed]
+//                        [--profile <name>]
 //   $ ./seed_corpus_tool info   <file>
 //   $ ./seed_corpus_tool replay <file> <workload>
 //   $ ./seed_corpus_tool export <file> <corpus-dir>
@@ -24,14 +25,18 @@
 namespace {
 
 int cmd_record(const char* path, const char* workload_name, std::uint64_t exits,
-               std::uint64_t seed) {
+               std::uint64_t seed, const iris::vtx::VmxCapabilityProfile& profile) {
   using namespace iris;
   const auto workload = guest::workload_from_string(workload_name);
   if (!workload) {
     std::fprintf(stderr, "unknown workload '%s'\n", workload_name);
     return 1;
   }
-  hv::Hypervisor hypervisor(seed, 0.02);
+  // Record against the chosen modeled CPU: every captured seed carries
+  // the profile id, so a later replay knows which capability profile
+  // produced it. Campaigns record on baseline regardless — this knob is
+  // for standalone corpus experiments.
+  hv::Hypervisor hypervisor(seed, 0.02, profile);
   Manager manager(hypervisor);
   // Merge into an existing corpus when present. A file that exists but
   // does not parse is surfaced, never silently overwritten — it may be
@@ -310,12 +315,42 @@ int cmd_replay(const char* path, const char* name) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strip `--profile <name>` wherever it appears; everything else keeps
+  // its positional meaning.
+  const iris::vtx::VmxCapabilityProfile* profile =
+      &iris::vtx::baseline_profile();
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--profile needs a value\n");
+        return 1;
+      }
+      const auto id = iris::vtx::profile_id_from_string(argv[++i]);
+      if (!id) {
+        std::fprintf(stderr, "unknown capability profile '%s'; available:\n",
+                     argv[i]);
+        for (const auto& p : iris::vtx::profile_library()) {
+          std::fprintf(stderr, "  %-24s %s\n", std::string(p.name).c_str(),
+                       std::string(p.summary).c_str());
+        }
+        return 1;
+      }
+      profile = &iris::vtx::profile_by_id(*id);
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
+
   if (argc >= 3 && std::strcmp(argv[1], "info") == 0) {
     return cmd_info(argv[2]);
   }
   if (argc >= 5 && std::strcmp(argv[1], "record") == 0) {
     return cmd_record(argv[2], argv[3], std::strtoull(argv[4], nullptr, 10),
-                      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42);
+                      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42,
+                      *profile);
   }
   if (argc >= 4 && std::strcmp(argv[1], "replay") == 0) {
     return cmd_replay(argv[2], argv[3]);
@@ -345,7 +380,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage:\n"
-               "  %s record <file> <workload> <exits> [seed]\n"
+               "  %s record <file> <workload> <exits> [seed] [--profile <name>]\n"
                "  %s info   <file>\n"
                "  %s replay <file> <workload>\n"
                "  %s export <file> <corpus-dir>\n"

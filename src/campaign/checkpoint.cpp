@@ -15,7 +15,15 @@ constexpr std::uint32_t kJournalMagic = 0x4952434B;  // "IRCK"
 // journal can carry sync-epoch records next to completed cells. v1
 // journals are refused, not migrated — a campaign simply starts a fresh
 // journal (they are progress caches, not archives).
-constexpr std::uint16_t kJournalVersion = 2;
+// v3 (PR 6): cell records carry capability-profile ids in their specs.
+// A journal's version states which wire the campaign used: legacy
+// single-profile campaigns keep writing v2 (bit-identical to PR 5), a
+// profile-matrix campaign writes v3. open() refuses a version/config
+// mismatch up front with an explicit journal-version error, so the
+// operator sees "wrong journal version", never a baffling
+// "belongs to a different campaign" fingerprint mismatch.
+constexpr std::uint16_t kJournalVersionLegacy = 2;
+constexpr std::uint16_t kJournalVersionProfiled = 3;
 constexpr std::size_t kHeaderBytes = 4 + 2 + 8;
 
 constexpr std::uint8_t kRecordCell = 0;
@@ -47,11 +55,19 @@ Result<fuzz::AppliedMutation> deserialize_mutation(ByteReader& in) {
 }  // namespace
 
 void serialize_spec(const fuzz::TestCaseSpec& spec, ByteWriter& out) {
-  out.u8(static_cast<std::uint8_t>(spec.workload));
+  // Bit 7 of the workload byte flags a trailing capability-profile
+  // byte. Workload ids are tiny, so the flag is unambiguous — and a
+  // baseline spec keeps the exact pre-profile byte layout, which is
+  // what keeps legacy fingerprints, canonical result bytes, and v2
+  // journals bit-identical.
+  const bool profiled = spec.profile != vtx::ProfileId::kBaseline;
+  out.u8(static_cast<std::uint8_t>(spec.workload) |
+         static_cast<std::uint8_t>(profiled ? 0x80 : 0));
   out.u16(static_cast<std::uint16_t>(spec.reason));
   out.u8(static_cast<std::uint8_t>(spec.area));
   out.u64(spec.mutants);
   out.u64(spec.rng_seed);
+  if (profiled) out.u8(static_cast<std::uint8_t>(spec.profile));
 }
 
 Result<fuzz::TestCaseSpec> deserialize_spec(ByteReader& in) {
@@ -64,7 +80,9 @@ Result<fuzz::TestCaseSpec> deserialize_spec(ByteReader& in) {
       !rng_seed.ok()) {
     return Error{42, "truncated test-case spec"};
   }
-  if (workload.value() >= guest::kNumWorkloads) {
+  const bool profiled = (workload.value() & 0x80) != 0;
+  const std::uint8_t workload_raw = workload.value() & 0x7F;
+  if (workload_raw >= guest::kNumWorkloads) {
     return Error{43, "bad workload in spec"};
   }
   if (!vtx::is_defined_reason(reason.value())) {
@@ -74,11 +92,22 @@ Result<fuzz::TestCaseSpec> deserialize_spec(ByteReader& in) {
     return Error{45, "bad mutation area in spec"};
   }
   fuzz::TestCaseSpec spec;
-  spec.workload = static_cast<guest::Workload>(workload.value());
+  spec.workload = static_cast<guest::Workload>(workload_raw);
   spec.reason = static_cast<vtx::ExitReason>(reason.value());
   spec.area = static_cast<fuzz::MutationArea>(area.value());
   spec.mutants = mutants.value();
   spec.rng_seed = rng_seed.value();
+  if (profiled) {
+    auto profile = in.u8();
+    if (!profile.ok()) return Error{42, "truncated test-case spec"};
+    if (!vtx::is_valid_profile_id(profile.value()) ||
+        profile.value() == static_cast<std::uint8_t>(vtx::ProfileId::kBaseline)) {
+      // Our writer never flags a baseline profile; a flagged one is
+      // corruption (and accepting it would break round-trip identity).
+      return Error{68, "bad capability profile in spec"};
+    }
+    spec.profile = static_cast<vtx::ProfileId>(profile.value());
+  }
   return spec;
 }
 
@@ -315,18 +344,27 @@ Result<SyncEpochRecord> deserialize_sync_epoch(ByteReader& in) {
   return record;
 }
 
+bool grid_uses_profiles(const std::vector<fuzz::TestCaseSpec>& grid) {
+  for (const auto& spec : grid) {
+    if (spec.profile != vtx::ProfileId::kBaseline) return true;
+  }
+  return false;
+}
+
 Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
-                                                    std::uint64_t fingerprint) {
-  return open_impl(path, fingerprint, /*read_only=*/false);
+                                                    std::uint64_t fingerprint,
+                                                    bool profile_matrix) {
+  return open_impl(path, fingerprint, /*read_only=*/false, profile_matrix);
 }
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open_readonly(
-    const std::string& path, std::uint64_t fingerprint) {
-  return open_impl(path, fingerprint, /*read_only=*/true);
+    const std::string& path, std::uint64_t fingerprint, bool profile_matrix) {
+  return open_impl(path, fingerprint, /*read_only=*/true, profile_matrix);
 }
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
-    const std::string& path, std::uint64_t fingerprint, bool read_only) {
+    const std::string& path, std::uint64_t fingerprint, bool read_only,
+    bool profile_matrix) {
   namespace fs = std::filesystem;
   std::error_code ec;
   const bool exists = fs::exists(path, ec);
@@ -347,7 +385,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   if (!exists || file_size < kHeaderBytes) {
     ByteWriter header;
     header.u32(kJournalMagic);
-    header.u16(kJournalVersion);
+    header.u16(profile_matrix ? kJournalVersionProfiled : kJournalVersionLegacy);
     header.u64(fingerprint);
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out) return Error{55, "cannot create checkpoint " + path};
@@ -368,9 +406,24 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   if (!magic.ok() || magic.value() != kJournalMagic || !version.ok()) {
     return Error{57, path + " is not a campaign checkpoint"};
   }
-  if (version.value() != kJournalVersion) {
+  if (version.value() != kJournalVersionLegacy &&
+      version.value() != kJournalVersionProfiled) {
     return Error{64, path + " uses unsupported checkpoint version " +
                          std::to_string(version.value())};
+  }
+  // Version/config agreement is checked BEFORE the fingerprint: a
+  // profile-matrix grid also changes the fingerprint, and without this
+  // check the operator would only see an opaque "different campaign"
+  // error where the real problem is the journal version.
+  if (version.value() == kJournalVersionLegacy && profile_matrix) {
+    return Error{66, path + " uses journal version 2 (single-profile) but this "
+                         "campaign enables the capability-profile matrix; "
+                         "remove the journal or rerun without --profiles"};
+  }
+  if (version.value() == kJournalVersionProfiled && !profile_matrix) {
+    return Error{67, path + " uses journal version 3 (capability-profile "
+                         "matrix) but this campaign is single-profile; "
+                         "remove the journal or rerun with --profiles"};
   }
   if (!stored_fp.ok() || stored_fp.value() != fingerprint) {
     return Error{58, path + " belongs to a different campaign"};

@@ -55,9 +55,16 @@ std::vector<std::uint8_t> canonical_result_bytes(const fuzz::CampaignResult& res
 
 /// Fingerprint of (grid, config): every input that determines cell
 /// results. Worker count and persistence paths are excluded (they must
-/// not affect results).
+/// not affect results). Non-baseline spec profiles flow in through the
+/// self-describing spec serialization, so a profile-matrix grid can
+/// never collide with its baseline counterpart.
 std::uint64_t campaign_fingerprint(const std::vector<fuzz::TestCaseSpec>& grid,
                                    const fuzz::CampaignConfig& config);
+
+/// True if any spec in `grid` targets a non-baseline capability
+/// profile — the condition under which a campaign writes (and requires)
+/// a version-3 profile-matrix journal.
+bool grid_uses_profiles(const std::vector<fuzz::TestCaseSpec>& grid);
 
 /// One journaled cell: its grid index, full result, and the coverage
 /// blocks (key + LOC weight) its fresh hypervisor registered.
@@ -95,8 +102,15 @@ class CampaignCheckpoint {
   /// by `fingerprint`. Loads every intact record; a torn or corrupt
   /// tail is truncated away so later appends extend a valid journal. A
   /// journal written by a different campaign is an error.
+  /// `profile_matrix` declares whether the campaign fuzzes non-baseline
+  /// capability profiles: fresh journals are created at version 3 iff it
+  /// is set, and an existing journal whose version disagrees with it is
+  /// rejected with an explicit journal-version error naming the path
+  /// (checked before the fingerprint, which would also mismatch but
+  /// opaquely).
   static Result<CampaignCheckpoint> open(const std::string& path,
-                                         std::uint64_t fingerprint);
+                                         std::uint64_t fingerprint,
+                                         bool profile_matrix = false);
 
   /// Observer variant for journals another (live) process may still be
   /// appending to — e.g. the reducer probing shard journals mid-run.
@@ -104,7 +118,8 @@ class CampaignCheckpoint {
   /// journal is an error, and a torn tail (possibly just a record the
   /// writer has not finished flushing) is ignored, never truncated.
   static Result<CampaignCheckpoint> open_readonly(const std::string& path,
-                                                  std::uint64_t fingerprint);
+                                                  std::uint64_t fingerprint,
+                                                  bool profile_matrix = false);
 
   /// Cells recovered from the journal at open(), in journal order.
   [[nodiscard]] const std::vector<CheckpointCell>& cells() const noexcept {
@@ -134,7 +149,8 @@ class CampaignCheckpoint {
 
   static Result<CampaignCheckpoint> open_impl(const std::string& path,
                                               std::uint64_t fingerprint,
-                                              bool read_only);
+                                              bool read_only,
+                                              bool profile_matrix);
 
   Status append_record(std::uint8_t type, const ByteWriter& payload);
 

@@ -71,6 +71,9 @@ void CrashArchive::serialize_reproducer(const CrashReproducer& repro,
                                         ByteWriter& out) {
   out.u32(kReproducerMagic);
   serialize_key(repro.key, out);
+  // The spec wire is self-describing (bit 7 of the workload byte flags a
+  // trailing capability-profile id), so profile-matrix reproducers need
+  // no format change here and pre-profile archives parse as baseline.
   serialize_spec(repro.spec, out);
   out.u64(repro.hv_seed);
   out.u64(std::bit_cast<std::uint64_t>(repro.async_noise_prob));

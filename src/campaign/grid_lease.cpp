@@ -18,6 +18,10 @@ constexpr std::uint32_t kLeaseMagic = 0x49524C53;  // "IRLS"
 
 void serialize_meta(const GridLeaseConfig& config, ByteWriter& out) {
   out.u32(kMetaMagic);
+  // The campaign fingerprint already hashes every spec, including
+  // non-baseline capability profiles (self-describing spec wire), so a
+  // profile-matrix grid gets its own grid.meta identity with no format
+  // change here.
   out.u64(config.fingerprint);
   out.u64(config.total_cells);
   out.u64(config.range_size);

@@ -38,7 +38,9 @@ Result<ReduceReport> reduce_journals(
     // Read-only: live shards may still be appending, and an observer
     // must neither truncate a half-flushed record out from under its
     // writer nor mutate anything else about the campaign.
-    auto journal = CampaignCheckpoint::open_readonly(path, fingerprint);
+    auto journal =
+        CampaignCheckpoint::open_readonly(path, fingerprint,
+                                          grid_uses_profiles(grid));
     if (!journal.ok()) return journal.error();
 
     for (const SyncEpochRecord& epoch : journal.value().epochs()) {

@@ -26,7 +26,9 @@ namespace {
 /// (hv::state_digest equality, asserted in debug builds).
 struct CellVm {
   explicit CellVm(const CampaignConfig& config)
-      : hv(config.hv_seed, config.async_noise_prob), manager(hv) {}
+      : CellVm(config, vtx::baseline_profile()) {}
+  CellVm(const CampaignConfig& config, const vtx::VmxCapabilityProfile& profile)
+      : hv(config.hv_seed, config.async_noise_prob, profile), manager(hv) {}
 
   hv::Hypervisor hv;
   Manager manager;
@@ -118,7 +120,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       grid.size());
   if (!config_.checkpoint_path.empty()) {
     auto opened = campaign::CampaignCheckpoint::open(
-        config_.checkpoint_path, campaign::campaign_fingerprint(grid, config_));
+        config_.checkpoint_path, campaign::campaign_fingerprint(grid, config_),
+        campaign::grid_uses_profiles(grid));
     if (opened.ok()) {
       checkpoint = std::move(opened).take();
       for (const auto& cell : checkpoint->cells()) {
@@ -199,6 +202,12 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     const std::lock_guard<std::mutex> lock(behaviors_mutex);
     auto it = behaviors.find(workload);
     if (it == behaviors.end()) {
+      // Record once, always on the BASELINE profile, whatever profile
+      // the requesting cell fuzzes against: the capability matrix is
+      // record-once/replay-everywhere, so every profile's cells mutate
+      // the identical recorded behavior. (The cell body re-resets its
+      // stack to the spec's profile before fuzzing, so this costs the
+      // profiled cell nothing it wasn't already paying.)
       std::optional<CellVm> throwaway;
       Manager* recorder = nullptr;
       if (pool) {
@@ -279,16 +288,18 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       const VmBehavior& behavior = ensure_behavior(spec.workload, worker_index);
       // One cell body, two stack sources: a reset pooled slot or a
       // throwaway CellVm (provably equivalent — see PooledVm::reset).
+      // Either stack is built for the cell's capability profile.
+      const vtx::VmxCapabilityProfile& profile = vtx::profile_by_id(spec.profile);
       std::optional<CellVm> throwaway;
       hv::Hypervisor* cell_hv = nullptr;
       Manager* cell_manager = nullptr;
       if (pool) {
         PooledVm& slot = pool->worker(worker_index);
-        slot.reset();
+        slot.reset(profile);
         cell_hv = &slot.hv();
         cell_manager = &slot.manager();
       } else {
-        throwaway.emplace(config_);
+        throwaway.emplace(config_, profile);
         cell_hv = &throwaway->hv;
         cell_manager = &throwaway->manager;
       }

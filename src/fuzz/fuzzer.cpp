@@ -149,6 +149,21 @@ std::vector<TestCaseSpec> make_table1_grid(
   return grid;
 }
 
+std::vector<TestCaseSpec> make_profile_grid(
+    const std::vector<guest::Workload>& workloads, std::size_t mutants,
+    std::uint64_t rng_seed, const std::vector<vtx::ProfileId>& profiles) {
+  const auto base = make_table1_grid(workloads, mutants, rng_seed);
+  std::vector<TestCaseSpec> grid;
+  grid.reserve(base.size() * profiles.size());
+  for (const auto profile : profiles) {
+    for (TestCaseSpec spec : base) {
+      spec.profile = profile;
+      grid.push_back(spec);
+    }
+  }
+  return grid;
+}
+
 std::vector<TestCaseResult> Fuzzer::run_grid(guest::Workload workload,
                                              const VmBehavior& w, std::size_t mutants,
                                              std::uint64_t rng_seed) {

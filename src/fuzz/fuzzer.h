@@ -19,6 +19,7 @@
 
 #include "fuzz/mutator.h"
 #include "iris/manager.h"
+#include "vtx/capability_profile.h"
 
 namespace iris::fuzz {
 
@@ -29,6 +30,11 @@ struct TestCaseSpec {
   MutationArea area = MutationArea::kVmcs;
   std::size_t mutants = 10'000;  ///< the paper's M
   std::uint64_t rng_seed = 1;
+  /// Capability profile of the modeled CPU the cell fuzzes against —
+  /// the fourth grid dimension. Deliberately NOT mixed into rng_seed:
+  /// every profile fuzzes the identical mutant stream, so per-profile
+  /// result divergence measures capability behavior, nothing else.
+  vtx::ProfileId profile = vtx::ProfileId::kBaseline;
 };
 
 /// A crashing (or hanging) mutant, archived for triage (paper §VII-3).
@@ -46,6 +52,14 @@ struct CrashRecord {
 std::vector<TestCaseSpec> make_table1_grid(
     const std::vector<guest::Workload>& workloads, std::size_t mutants,
     std::uint64_t rng_seed);
+
+/// Capability-matrix grid: the Table I grid repeated once per profile
+/// (profile-major order, so a baseline-only list reproduces
+/// make_table1_grid exactly). Each profile's cells share rng seeds with
+/// the baseline's — see TestCaseSpec::profile.
+std::vector<TestCaseSpec> make_profile_grid(
+    const std::vector<guest::Workload>& workloads, std::size_t mutants,
+    std::uint64_t rng_seed, const std::vector<vtx::ProfileId>& profiles);
 
 struct TestCaseResult {
   TestCaseSpec spec;

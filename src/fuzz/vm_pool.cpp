@@ -11,18 +11,35 @@ PooledVm::PooledVm(std::uint64_t hv_seed, double async_noise_prob)
       manager_(hv_),
       fresh_digest_(hv::state_digest(hv_)) {}
 
-void PooledVm::reset() {
+void PooledVm::reset() { reset(vtx::baseline_profile()); }
+
+void PooledVm::reset(const vtx::VmxCapabilityProfile& profile) {
   // Manager first: tearing down the replayer restores the hook chain it
   // saved, keeping teardown leak-free even though the hypervisor reset
   // clears the hooks wholesale right after.
   manager_.reset();
-  hv_.reset(hv_seed_, async_noise_prob_);
+  hv_.reset(hv_seed_, async_noise_prob_, profile);
   manager_.rebind();
   ++resets_;
   // The determinism proof: a reset stack is indistinguishable from a
-  // fresh one, so a cell cannot observe which it ran on.
-  assert(hv::state_digest(hv_) == fresh_digest_ &&
+  // fresh one built for the same profile, so a cell cannot observe
+  // which it ran on. state_digest hashes the profile itself, so a
+  // stale-profile reset cannot slip through on a mask coincidence.
+  assert(hv::state_digest(hv_) == fresh_digest(profile) &&
          "PooledVm::reset left residual hypervisor state");
+}
+
+std::uint64_t PooledVm::fresh_digest(const vtx::VmxCapabilityProfile& profile) {
+  if (profile.is_baseline()) return fresh_digest_;
+  const auto [it, inserted] = profile_digests_.try_emplace(profile.id, 0);
+  if (inserted) {
+    // Throwaway fresh stack: one Hypervisor + Manager construction per
+    // (slot, profile), the same shape the ctor digested for baseline.
+    hv::Hypervisor reference(hv_seed_, async_noise_prob_, profile);
+    Manager reference_manager(reference);
+    it->second = hv::state_digest(reference);
+  }
+  return it->second;
 }
 
 }  // namespace iris::fuzz

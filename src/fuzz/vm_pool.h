@@ -14,10 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
 #include "iris/manager.h"
+#include "vtx/capability_profile.h"
 
 namespace iris::fuzz {
 
@@ -33,15 +35,26 @@ class PooledVm {
   [[nodiscard]] Manager& manager() noexcept { return manager_; }
 
   /// Restore the stack to the exact state `PooledVm(hv_seed, noise)`
-  /// constructs. Asserts digest equality with the fresh stack in debug
-  /// builds; any build can compare digests via fresh_digest().
+  /// constructs (baseline capability profile). Asserts digest equality
+  /// with the fresh stack in debug builds; any build can compare
+  /// digests via fresh_digest().
   void reset();
 
-  /// hv::state_digest of the stack right after construction — the value
-  /// every reset() must reproduce.
+  /// Profile-matrix variant: restore the stack to the state a fresh
+  /// `Hypervisor(hv_seed, noise, profile)` stack would be in. The
+  /// reference digest for each profile is computed once per slot from a
+  /// genuinely fresh throwaway stack, then memoized — so the reset≡fresh
+  /// assertion stays as strong as the baseline one, and a baseline-only
+  /// campaign never pays for a throwaway build.
+  void reset(const vtx::VmxCapabilityProfile& profile);
+
+  /// hv::state_digest of a fresh baseline stack — the value every
+  /// reset() must reproduce.
   [[nodiscard]] std::uint64_t fresh_digest() const noexcept {
     return fresh_digest_;
   }
+  /// Memoized fresh-stack digest for `profile` (computed on first use).
+  [[nodiscard]] std::uint64_t fresh_digest(const vtx::VmxCapabilityProfile& profile);
   [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
 
  private:
@@ -51,6 +64,8 @@ class PooledVm {
   Manager manager_;
   std::uint64_t fresh_digest_;
   std::uint64_t resets_ = 0;
+  /// Fresh-stack reference digests per non-baseline profile.
+  std::map<vtx::ProfileId, std::uint64_t> profile_digests_;
 };
 
 /// Fixed-size pool of per-worker stacks, created lazily: a fully

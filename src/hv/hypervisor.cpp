@@ -83,8 +83,10 @@ void HandlerContext::advance_rip() {
 // Hypervisor
 // ---------------------------------------------------------------------------
 
-Hypervisor::Hypervisor(std::uint64_t noise_seed, double async_noise_prob)
-    : failures_(log_), noise_rng_(noise_seed), async_noise_prob_(async_noise_prob) {
+Hypervisor::Hypervisor(std::uint64_t noise_seed, double async_noise_prob,
+                       const vtx::VmxCapabilityProfile& profile)
+    : profile_(&profile), failures_(log_), noise_rng_(noise_seed),
+      async_noise_prob_(async_noise_prob) {
   // Dom0 always exists (runs the IRIS CLI; paper §VI testbed).
   create_domain(DomainRole::kControl);
 }
@@ -124,6 +126,12 @@ Domain& Hypervisor::create_domain(DomainRole role, std::uint64_t ram_bytes) {
   return dom;
 }
 
+void Hypervisor::reset(std::uint64_t noise_seed, double async_noise_prob,
+                       const vtx::VmxCapabilityProfile& profile) {
+  profile_ = &profile;
+  reset(noise_seed, async_noise_prob);
+}
+
 void Hypervisor::reset(std::uint64_t noise_seed, double async_noise_prob) {
   // Park every DomU for recycling; Dom0 is reset in place so domain 0
   // exists throughout, exactly as after construction.
@@ -156,23 +164,33 @@ bool Hypervisor::launch(Domain& dom, std::size_t vcpu_index) {
   if (!vcpu.vmx.vmclear(vcpu.vmcs).succeeded()) return false;
   if (!vcpu.vmx.vmptrld(vcpu.vmcs).succeeded()) return false;
 
-  // Control fields the modeled Xen build programs.
+  // Control fields the modeled Xen build programs, clamped through the
+  // capability profile exactly as a VMM folds its desired controls
+  // through the IA32_VMX_* MSRs (the baseline profile clamps nothing).
+  const vtx::VmxCapabilityProfile& prof = *profile_;
+  vcpu.vmx.set_capability_profile(prof);
   vcpu.vmcs.hw_write(VmcsField::kPinBasedVmExecControl,
-                     vtx::kPinExternalInterruptExiting | vtx::kPinNmiExiting);
+                     prof.pin_based.apply(vtx::kPinExternalInterruptExiting |
+                                          vtx::kPinNmiExiting));
   vcpu.vmcs.hw_write(VmcsField::kCpuBasedVmExecControl,
-                     vtx::kCpuHltExiting | vtx::kCpuRdtscExiting |
-                         vtx::kCpuUseIoBitmaps | vtx::kCpuUseMsrBitmaps |
-                         vtx::kCpuSecondaryControls);
+                     prof.proc_based.apply(vtx::kCpuHltExiting | vtx::kCpuRdtscExiting |
+                                           vtx::kCpuUseIoBitmaps |
+                                           vtx::kCpuUseMsrBitmaps |
+                                           vtx::kCpuSecondaryControls));
   vcpu.vmcs.hw_write(VmcsField::kSecondaryVmExecControl,
-                     vtx::kCpu2VirtualizeApicAccesses | vtx::kCpu2EnableEpt);
+                     prof.proc_based2.apply(vtx::kCpu2VirtualizeApicAccesses |
+                                            vtx::kCpu2EnableEpt));
+  vcpu.vmcs.hw_write(VmcsField::kVmEntryControls, prof.vm_entry.apply(0));
+  vcpu.vmcs.hw_write(VmcsField::kVmExitControls, prof.vm_exit.apply(0));
   vcpu.vmcs.hw_write(VmcsField::kVmcsLinkPointer, ~0ULL);
   vcpu.vmcs.hw_write(VmcsField::kCr0GuestHostMask,
                      vtx::kCr0Pe | vtx::kCr0Pg | vtx::kCr0Ne);
   vcpu.vmcs.hw_write(VmcsField::kCr4GuestHostMask, vtx::kCr4Vmxe | vtx::kCr4Pae);
 
-  // Initial guest state: the architectural reset state, with the fixed
-  // CR0 bits VMX demands.
-  vcpu.regs.cr0 |= vtx::kCr0Ne;
+  // Initial guest state: the architectural reset state, with the CR0/CR4
+  // bits the profile's fixed-bit MSRs demand (baseline: CR0.NE only).
+  vcpu.regs.cr0 = prof.apply_cr0(vcpu.regs.cr0);
+  vcpu.regs.cr4 = prof.apply_cr4(vcpu.regs.cr4);
   vcpu.regs.rflags |= 0x2;
   vcpu::save_guest_state(vcpu.regs, vcpu.vmcs);
   vcpu.vmcs.hw_write(VmcsField::kGuestActivityState, vtx::kActivityActive);

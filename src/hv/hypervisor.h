@@ -30,6 +30,7 @@
 #include "sim/cost_model.h"
 #include "support/ring_log.h"
 #include "support/rng.h"
+#include "vtx/capability_profile.h"
 #include "vtx/exit_reason.h"
 
 namespace iris::hv {
@@ -152,8 +153,12 @@ class Hypervisor {
   /// `async_noise_prob` is the per-exit probability that an async event
   /// (timer tick / device interrupt) perturbs the exit path — the source
   /// of the paper's ≤30-LOC coverage noise (Fig 7). Zero disables it.
+  /// `profile` selects the modeled CPU's VMX capability MSRs: launch()
+  /// clamps its control fields through it and VM entry validates against
+  /// it. Must outlive the hypervisor (library profiles are static).
   explicit Hypervisor(std::uint64_t noise_seed = 0x1715,
-                      double async_noise_prob = 0.02);
+                      double async_noise_prob = 0.02,
+                      const vtx::VmxCapabilityProfile& profile = vtx::baseline_profile());
 
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
@@ -168,6 +173,17 @@ class Hypervisor {
   /// pooled-VM-stack protocol (ROADMAP "Per-cell VM reuse"); equivalence
   /// with a fresh stack is checked by state_digest() in debug builds.
   void reset(std::uint64_t noise_seed, double async_noise_prob);
+
+  /// Reset variant that also swaps the capability profile — the pooled
+  /// VM stacks use it to retarget one stack at a different modeled CPU
+  /// between campaign cells.
+  void reset(std::uint64_t noise_seed, double async_noise_prob,
+             const vtx::VmxCapabilityProfile& profile);
+
+  /// The modeled CPU's capability profile.
+  [[nodiscard]] const vtx::VmxCapabilityProfile& capability_profile() const noexcept {
+    return *profile_;
+  }
 
   /// Create a domain. Dom0 is created implicitly as domain 0. After a
   /// reset(), parked domains are recycled instead of built from scratch.
@@ -246,6 +262,9 @@ class Hypervisor {
   friend class HandlerContext;
 
   static constexpr std::uint32_t kDefaultHangThreshold = 1000;
+
+  /// Never null; points into the static profile library.
+  const vtx::VmxCapabilityProfile* profile_;
 
   void dispatch(HandlerContext& ctx, vtx::ExitReason reason);
   void async_noise(HandlerContext& ctx);

@@ -111,6 +111,19 @@ std::uint64_t state_digest(const Hypervisor& hv) {
   m.mix(hv.hang_threshold());
   m.mix(hv.noise_rng().digest());
 
+  // Capability profile: id plus the full mask set, so a pooled reset
+  // that retargets a stack at a different modeled CPU can never pass
+  // the reset≡fresh assertion against the wrong reference digest.
+  const vtx::VmxCapabilityProfile& prof = hv.capability_profile();
+  m.mix(static_cast<std::uint64_t>(prof.id));
+  for (const vtx::BitDefs* defs :
+       {&prof.pin_based, &prof.proc_based, &prof.proc_based2, &prof.vm_exit,
+        &prof.vm_entry, &prof.cr0_fixed, &prof.cr4_fixed}) {
+    m.mix(defs->must_one);
+    m.mix(defs->may_one);
+  }
+  m.mix(prof.activity_state_support);
+
   // Hook presence (the replayer/recorder leave these installed when a
   // cell aborts mid-flight; a clean reset must clear them).
   const InstrumentationHooks& hooks = hv.hooks();

@@ -160,9 +160,14 @@ void Recorder::finish_exit(const hv::HandleOutcome& outcome) {
 VmBehavior Recorder::take_trace() {
   VmBehavior out;
   out.reserve(exits_.size());
+  // Stamp every seed with the recording CPU's capability profile: the
+  // campaign records once (under the baseline) and replays against many
+  // profiles, so provenance must live in the seed, not the session.
+  const vtx::ProfileId profile = hv_->capability_profile().id;
   for (const ExitRec& rec : exits_) {
     RecordedExit e;
     e.seed.reason = rec.reason;
+    e.seed.profile = profile;
     e.seed.items.assign(items_arena_.begin() + rec.item_start,
                         items_arena_.begin() + rec.item_start + rec.item_count);
     e.seed.memory.assign(mem_arena_.begin() + rec.mem_start,

@@ -22,9 +22,14 @@ bool Replayer::arm() {
   // Arm the continuous exit loop: activate the VMX-preemption timer with
   // a zero value so the CPU preempts the dummy VM before it executes a
   // single guest instruction (§V-B).
+  // desired | timer is folded through the profile's pin-based masks,
+  // like any VMM programming a control word (a no-op for every library
+  // profile: all of them support the preemption timer, since replay is
+  // impossible without it).
   const std::uint64_t pin = vcpu.vmcs.hw_read(vtx::VmcsField::kPinBasedVmExecControl);
   vcpu.vmcs.hw_write(vtx::VmcsField::kPinBasedVmExecControl,
-                     pin | vtx::kPinActivatePreemptionTimer);
+                     hv_->capability_profile().pin_based.apply(
+                         pin | vtx::kPinActivatePreemptionTimer));
   vcpu.vmcs.hw_write(vtx::VmcsField::kPreemptionTimerValue, 0);
   install_hooks();
   armed_ = true;

@@ -34,7 +34,13 @@ std::size_t VmSeed::gpr_count() const noexcept {
 std::size_t VmSeed::vmcs_count() const noexcept { return items.size() - gpr_count(); }
 
 void VmSeed::serialize(ByteWriter& out) const {
-  out.u16(static_cast<std::uint16_t>(reason));
+  // Bit 15 of the reason word flags a trailing capability-profile byte.
+  // Exit reasons are 7-bit, so the flag is unambiguous, and baseline
+  // seeds stay byte-identical to the pre-profile wire format.
+  const bool profiled = profile != vtx::ProfileId::kBaseline;
+  out.u16(static_cast<std::uint16_t>(reason) |
+          static_cast<std::uint16_t>(profiled ? 0x8000 : 0));
+  if (profiled) out.u8(static_cast<std::uint8_t>(profile));
   out.u16(static_cast<std::uint16_t>(items.size()));
   for (const auto& item : items) {
     out.u8(static_cast<std::uint8_t>(item.kind));
@@ -53,10 +59,22 @@ Result<VmSeed> VmSeed::deserialize(ByteReader& in) {
   VmSeed seed;
   auto reason = in.u16();
   if (!reason.ok()) return reason.error();
-  if (!vtx::is_defined_reason(reason.value())) {
+  if (reason.value() & 0x8000) {
+    auto profile = in.u8();
+    if (!profile.ok()) return Error{10, "truncated capability-profile id"};
+    if (!vtx::is_valid_profile_id(profile.value()) ||
+        profile.value() == static_cast<std::uint8_t>(vtx::ProfileId::kBaseline)) {
+      // A flagged baseline byte never comes from our writer; treat it
+      // as corruption so serialize(deserialize(x)) == x holds.
+      return Error{10, "bad capability-profile id in seed"};
+    }
+    seed.profile = static_cast<vtx::ProfileId>(profile.value());
+  }
+  const std::uint16_t reason_raw = reason.value() & 0x7FFF;
+  if (!vtx::is_defined_reason(reason_raw)) {
     return Error{1, "undefined exit reason in seed"};
   }
-  seed.reason = static_cast<vtx::ExitReason>(reason.value());
+  seed.reason = static_cast<vtx::ExitReason>(reason_raw);
   auto count = in.u16();
   if (!count.ok()) return count.error();
   // Each item is exactly kSeedItemBytes on the wire; reject a count the

@@ -21,6 +21,7 @@
 #include "support/result.h"
 #include "support/serialize.h"
 #include "vcpu/regs.h"
+#include "vtx/capability_profile.h"
 #include "vtx/exit_reason.h"
 #include "vtx/vmcs_fields.h"
 
@@ -69,6 +70,13 @@ struct VmSeed {
   /// and fuzzer can target seeds by reason; also present among the VMCS
   /// items as the VM_EXIT_REASON read).
   vtx::ExitReason reason = vtx::ExitReason::kPreemptionTimer;
+  /// Capability profile of the CPU the seed was recorded on —
+  /// provenance for record-once/replay-everywhere campaigns. On the
+  /// wire this rides in bit 15 of the reason word plus one trailing
+  /// byte, but ONLY for non-baseline profiles: baseline seeds (and
+  /// every pre-profile corpus file) keep the legacy byte layout, and
+  /// old readers never see the flag bit.
+  vtx::ProfileId profile = vtx::ProfileId::kBaseline;
   std::vector<SeedItem> items;
   /// Optional §IX extension: guest memory touched during handling.
   /// Empty under the paper's baseline configuration.
@@ -87,7 +95,8 @@ struct VmSeed {
   [[nodiscard]] std::size_t byte_size() const noexcept {
     std::size_t mem = 2;  // chunk count
     for (const auto& chunk : memory) mem += 12 + chunk.bytes.size();
-    return 4 + items.size() * kSeedItemBytes + mem;  // reason:2 count:2 + items
+    const std::size_t prof = profile == vtx::ProfileId::kBaseline ? 0 : 1;
+    return 4 + prof + items.size() * kSeedItemBytes + mem;  // reason:2 count:2 + items
   }
 
   void serialize(ByteWriter& out) const;

@@ -1,0 +1,133 @@
+// The built-in capability-profile library.
+//
+// Each entry models one plausible CPU generation / SKU the fuzzing
+// campaign can replay a recorded behavior against. The baseline entry
+// must reproduce the pre-profile model bit-for-bit: its control BitDefs
+// are fully permissive (the recorder captures control words through the
+// vmread seam, so mutated seeds write arbitrary control values that the
+// idealized CPU always accepted) and its CR0/CR4 fixed bits equal the
+// constants the entry checks hardcoded before this refactor.
+#include "vtx/capability_profile.h"
+
+#include <array>
+
+#include "vtx/vmx.h"
+
+namespace iris::vtx {
+namespace {
+
+/// All control fields are 32 bits wide; a permissive BitDefs still
+/// rejects nothing within the field width.
+constexpr BitDefs kAnyControl{0, 0xFFFFFFFFULL};
+
+/// Legacy CR4 validity mask: bits 0..22 defined except bit 11 — the
+/// complement is exactly the pre-profile `kCr4Reserved` constant.
+constexpr std::uint64_t kCr4LegalMask = ((1ULL << 23) - 1) & ~(1ULL << 11);
+
+constexpr std::array<VmxCapabilityProfile, static_cast<std::size_t>(ProfileId::kCount)>
+    kLibrary = {{
+        {
+            .id = ProfileId::kBaseline,
+            .name = "baseline",
+            .summary = "idealized pre-profile CPU; accepts every control word",
+            .pin_based = kAnyControl,
+            .proc_based = kAnyControl,
+            .proc_based2 = kAnyControl,
+            .vm_exit = kAnyControl,
+            .vm_entry = kAnyControl,
+            .cr0_fixed = {kCr0Ne, ~0ULL},
+            .cr4_fixed = {0, kCr4LegalMask},
+        },
+        {
+            .id = ProfileId::kNoTprShadow,
+            .name = "no-tpr-shadow",
+            .summary = "older core: \"use TPR shadow\" not implemented",
+            .pin_based = kAnyControl,
+            .proc_based = {0, 0xFFFFFFFFULL & ~kCpuUseTprShadow},
+            .proc_based2 = kAnyControl,
+            .vm_exit = kAnyControl,
+            .vm_entry = kAnyControl,
+            .cr0_fixed = {kCr0Ne, ~0ULL},
+            .cr4_fixed = {0, kCr4LegalMask},
+        },
+        {
+            .id = ProfileId::kNoUnrestrictedGuest,
+            .name = "no-unrestricted-guest",
+            .summary = "no unrestricted guest: CR0.PE and CR0.PG fixed to 1",
+            .pin_based = kAnyControl,
+            .proc_based = kAnyControl,
+            .proc_based2 = {0, 0xFFFFFFFFULL & ~kCpu2UnrestrictedGuest},
+            .vm_exit = kAnyControl,
+            .vm_entry = kAnyControl,
+            .cr0_fixed = {kCr0Ne | kCr0Pe | kCr0Pg, ~0ULL},
+            .cr4_fixed = {0, kCr4LegalMask},
+        },
+        {
+            .id = ProfileId::kMinimalSecondaryCtls,
+            .name = "minimal-secondary-ctls",
+            .summary = "secondary processor controls support EPT and nothing else",
+            .pin_based = kAnyControl,
+            .proc_based = kAnyControl,
+            .proc_based2 = {0, kCpu2EnableEpt},
+            .vm_exit = kAnyControl,
+            .vm_entry = kAnyControl,
+            .cr0_fixed = {kCr0Ne, ~0ULL},
+            .cr4_fixed = {0, kCr4LegalMask},
+        },
+        {
+            .id = ProfileId::kStrictFixedCrs,
+            .name = "strict-fixed-crs",
+            .summary = "server-class fixed bits: CR0.PE/ET/NE/PG and CR4.VMXE forced to 1",
+            .pin_based = kAnyControl,
+            .proc_based = kAnyControl,
+            .proc_based2 = kAnyControl,
+            .vm_exit = kAnyControl,
+            .vm_entry = kAnyControl,
+            .cr0_fixed = {kCr0Pe | kCr0Et | kCr0Ne | kCr0Pg, ~0ULL},
+            .cr4_fixed = {kCr4Vmxe, kCr4LegalMask},
+        },
+        {
+            .id = ProfileId::kMandatoryBitmaps,
+            .name = "mandatory-bitmaps",
+            .summary = "I/O+MSR bitmaps, secondary controls, and pin exits forced on",
+            .pin_based = {kPinExternalInterruptExiting | kPinNmiExiting, 0xFFFFFFFFULL},
+            .proc_based = {kCpuUseIoBitmaps | kCpuUseMsrBitmaps | kCpuSecondaryControls,
+                           0xFFFFFFFFULL},
+            .proc_based2 = kAnyControl,
+            .vm_exit = kAnyControl,
+            .vm_entry = kAnyControl,
+            .cr0_fixed = {kCr0Ne, ~0ULL},
+            .cr4_fixed = {0, kCr4LegalMask},
+        },
+    }};
+
+}  // namespace
+
+std::string_view to_string(ProfileId id) noexcept {
+  return is_valid_profile_id(static_cast<std::uint8_t>(id))
+             ? kLibrary[static_cast<std::size_t>(id)].name
+             : "invalid-profile";
+}
+
+const VmxCapabilityProfile& baseline_profile() noexcept {
+  return kLibrary[0];
+}
+
+std::span<const VmxCapabilityProfile> profile_library() noexcept {
+  return kLibrary;
+}
+
+const VmxCapabilityProfile& profile_by_id(ProfileId id) noexcept {
+  return is_valid_profile_id(static_cast<std::uint8_t>(id))
+             ? kLibrary[static_cast<std::size_t>(id)]
+             : kLibrary[0];
+}
+
+std::optional<ProfileId> profile_id_from_string(std::string_view name) noexcept {
+  for (const auto& profile : kLibrary) {
+    if (profile.name == name) return profile.id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iris::vtx

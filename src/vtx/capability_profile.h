@@ -1,0 +1,137 @@
+// VMX capability profiles: the allowed-0/allowed-1 control constraints a
+// logical processor advertises through its capability MSRs.
+//
+// Real hardware reports, per control field, which bits software may
+// clear (allowed-0) and which it may set (allowed-1) via the
+// IA32_VMX_*_CTLS MSR pairs (SDM Vol. 3, A.3-A.5), plus the CR0/CR4
+// fixed-bit MSRs (A.7/A.8). A VMM must fold every control word through
+// these masks before VM entry; entry with an out-of-range control word
+// fails. Fiasco models the pairs as `Vmx_info::Bit_defs` — a must-be-one
+// word and a may-be-one word with an `apply()` that clamps a value into
+// range — and this header follows that idiom.
+//
+// Until this refactor the model baked in exactly one idealized CPU, so
+// the control-field entry checks were unreachable. A profile makes the
+// CPU an explicit parameter: the hypervisor clamps its launch controls
+// through the active profile, VM entry validates every control word and
+// the CR0/CR4 fixed bits against it, and the fuzz campaign treats the
+// profile as one more grid dimension (one recorded behavior replayed
+// against many modeled CPUs).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace iris::vtx {
+
+/// One allowed-0/allowed-1 mask pair (Fiasco `Bit_defs` idiom).
+///
+/// `must_one` holds the bits hardware forces to 1 (their allowed-0
+/// setting is fixed); `may_one` holds the bits software is permitted to
+/// set. A value `v` is in range iff it keeps every must-be-one bit and
+/// sets nothing outside may-be-one.
+struct BitDefs {
+  std::uint64_t must_one = 0;      ///< allowed-0 fixed: bits forced to 1
+  std::uint64_t may_one = ~0ULL;   ///< allowed-1: bits software may set
+
+  /// Clamp a desired value into the supported range (Fiasco `apply`):
+  /// force the must-be-one bits on, strip unsupported bits.
+  [[nodiscard]] constexpr std::uint64_t apply(std::uint64_t v) const noexcept {
+    return (v | must_one) & may_one;
+  }
+
+  /// True iff `v` satisfies both constraint directions.
+  [[nodiscard]] constexpr bool allows(std::uint64_t v) const noexcept {
+    return (v & must_one) == must_one && (v & ~may_one) == 0;
+  }
+
+  /// Must-be-one bits `v` clears (allowed-0 violations), as a mask.
+  [[nodiscard]] constexpr std::uint64_t missing_ones(std::uint64_t v) const noexcept {
+    return must_one & ~v;
+  }
+
+  /// Must-be-zero bits `v` sets (allowed-1 violations), as a mask.
+  [[nodiscard]] constexpr std::uint64_t forbidden_ones(std::uint64_t v) const noexcept {
+    return v & ~may_one;
+  }
+
+  /// Decode an IA32_VMX_*_CTLS-style MSR value: low 32 bits report the
+  /// allowed-0 settings (must-be-one), high 32 bits the allowed-1.
+  [[nodiscard]] static constexpr BitDefs from_msr(std::uint64_t msr) noexcept {
+    return BitDefs{msr & 0xFFFFFFFFULL, msr >> 32};
+  }
+};
+
+/// Stable on-wire identifier of a library profile. Seeds, checkpoint
+/// cells, and crash reproducers persist this byte, so values are
+/// append-only: never renumber, never reuse.
+enum class ProfileId : std::uint8_t {
+  kBaseline = 0,             ///< the pre-profile idealized CPU
+  kNoTprShadow = 1,          ///< CPU without the "use TPR shadow" control
+  kNoUnrestrictedGuest = 2,  ///< no unrestricted guest: CR0.PE/PG fixed 1
+  kMinimalSecondaryCtls = 3, ///< secondary controls support EPT only
+  kStrictFixedCrs = 4,       ///< server-class CR0/CR4 fixed-bit set
+  kMandatoryBitmaps = 5,     ///< I/O+MSR bitmaps and pin exits forced on
+  kCount,
+};
+
+[[nodiscard]] constexpr bool is_valid_profile_id(std::uint8_t raw) noexcept {
+  return raw < static_cast<std::uint8_t>(ProfileId::kCount);
+}
+
+[[nodiscard]] std::string_view to_string(ProfileId id) noexcept;
+
+/// The modeled CPU: one BitDefs pair per VMX control field, the CR0/CR4
+/// fixed bits, and the misc capabilities the entry checks consult.
+struct VmxCapabilityProfile {
+  ProfileId id = ProfileId::kBaseline;
+  std::string_view name = "baseline";
+  std::string_view summary;
+
+  BitDefs pin_based;    ///< IA32_VMX_PINBASED_CTLS
+  BitDefs proc_based;   ///< IA32_VMX_PROCBASED_CTLS
+  BitDefs proc_based2;  ///< IA32_VMX_PROCBASED_CTLS2
+  BitDefs vm_exit;      ///< IA32_VMX_EXIT_CTLS
+  BitDefs vm_entry;     ///< IA32_VMX_ENTRY_CTLS
+
+  BitDefs cr0_fixed;  ///< IA32_VMX_CR0_FIXED0/1
+  BitDefs cr4_fixed;  ///< IA32_VMX_CR4_FIXED0/1
+
+  /// IA32_VMX_MISC subset: bit N set = guest activity state N is
+  /// supported as a VM-entry target (SDM A.6 bits 6:8 analogue).
+  std::uint64_t activity_state_support = 0xF;
+
+  /// Fold a desired guest CR0/CR4 through the fixed-bit MSRs — what a
+  /// VMM does before loading guest control registers.
+  [[nodiscard]] constexpr std::uint64_t apply_cr0(std::uint64_t v) const noexcept {
+    return cr0_fixed.apply(v);
+  }
+  [[nodiscard]] constexpr std::uint64_t apply_cr4(std::uint64_t v) const noexcept {
+    return cr4_fixed.apply(v);
+  }
+
+  [[nodiscard]] bool is_baseline() const noexcept {
+    return id == ProfileId::kBaseline;
+  }
+};
+
+/// The pre-refactor idealized CPU. Control BitDefs are fully permissive
+/// (recorded seeds may carry arbitrary control words that must keep
+/// entering), CR0 fixes NE to 1 and CR4 masks the legacy reserved bits —
+/// exactly the constants the entry checks used before profiles existed,
+/// so every baseline figure stays bit-identical.
+[[nodiscard]] const VmxCapabilityProfile& baseline_profile() noexcept;
+
+/// All built-in profiles, indexed by ProfileId.
+[[nodiscard]] std::span<const VmxCapabilityProfile> profile_library() noexcept;
+
+/// Library lookup by persisted id (callers validate with
+/// is_valid_profile_id before trusting wire bytes).
+[[nodiscard]] const VmxCapabilityProfile& profile_by_id(ProfileId id) noexcept;
+
+/// CLI-facing lookup; nullopt for unknown names.
+[[nodiscard]] std::optional<ProfileId> profile_id_from_string(std::string_view name) noexcept;
+
+}  // namespace iris::vtx

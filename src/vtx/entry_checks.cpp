@@ -1,6 +1,9 @@
 #include "vtx/entry_checks.h"
 
 #include <sstream>
+#include <string>
+
+#include "vtx/vmx.h"
 
 namespace iris::vtx {
 namespace {
@@ -8,6 +11,24 @@ namespace {
 void add(std::vector<EntryCheckViolation>& out, std::string rule, VmcsField field,
          std::uint64_t value) {
   out.push_back(EntryCheckViolation{std::move(rule), field, value});
+}
+
+/// One violation per cleared must-be-one CR bit, lowest bit first. The
+/// baseline profile fixes only CR0.NE, which keeps its historical rule
+/// string; every other fixed bit is profile-specific.
+void check_fixed_ones(std::vector<EntryCheckViolation>& out, const char* reg,
+                      const BitDefs& fixed, VmcsField field, std::uint64_t value) {
+  std::uint64_t missing = fixed.missing_ones(value);
+  for (int bit = 0; missing != 0; ++bit, missing >>= 1) {
+    if (!(missing & 1)) continue;
+    if (field == VmcsField::kGuestCr0 && (1ULL << bit) == kCr0Ne) {
+      add(out, "CR0.NE fixed to 1 under VMX", field, value);
+    } else {
+      add(out, std::string(reg) + " bit " + std::to_string(bit) +
+                   " fixed to 1 by capability profile",
+          field, value);
+    }
+  }
 }
 
 /// Segment AR-byte helpers (SDM 24.4.1 layout: type[3:0], S[4], DPL[6:5],
@@ -24,7 +45,8 @@ bool is_canonical(std::uint64_t addr) {
 
 }  // namespace
 
-std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs) {
+std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs,
+                                                   const VmxCapabilityProfile& profile) {
   std::vector<EntryCheckViolation> v;
 
   const std::uint64_t cr0 = vmcs.hw_read(VmcsField::kGuestCr0);
@@ -41,18 +63,22 @@ std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs) {
   if ((cr0 & kCr0Nw) && !(cr0 & kCr0Cd)) {
     add(v, "CR0.NW=1 requires CR0.CD=1", VmcsField::kGuestCr0, cr0);
   }
-  // Fixed-1 bits per IA32_VMX_CR0_FIXED0 without unrestricted guest:
-  // NE must be 1 (PE/PG handled above only when inconsistent, since the
-  // modeled hypervisor runs HVM guests that legitimately start in real
-  // mode under the shadow of the guest/host mask).
-  if (!(cr0 & kCr0Ne)) {
-    add(v, "CR0.NE fixed to 1 under VMX", VmcsField::kGuestCr0, cr0);
+  // Fixed-1 bits per the profile's IA32_VMX_CR0_FIXED0 (the baseline
+  // fixes only NE: the modeled hypervisor runs HVM guests that
+  // legitimately start in real mode under the shadow of the guest/host
+  // mask, so PE/PG are handled above only when inconsistent — unless a
+  // profile without unrestricted guest pins them).
+  check_fixed_ones(v, "CR0", profile.cr0_fixed, VmcsField::kGuestCr0, cr0);
+  if (profile.cr0_fixed.forbidden_ones(cr0) != 0) {
+    add(v, "CR0 has bits fixed to 0 by capability profile", VmcsField::kGuestCr0, cr0);
   }
-  // CR4 reserved bits (model: bits above 22 reserved, bit 11 reserved).
-  constexpr std::uint64_t kCr4Reserved = ~((1ULL << 23) - 1) | (1ULL << 11);
-  if (cr4 & kCr4Reserved) {
+  // CR4 validity per IA32_VMX_CR4_FIXED1: anything outside the
+  // profile's may-be-one mask is reserved (the baseline mask reproduces
+  // the legacy "bits above 22 and bit 11" constant exactly).
+  if (profile.cr4_fixed.forbidden_ones(cr4) != 0) {
     add(v, "CR4 reserved bit set", VmcsField::kGuestCr4, cr4);
   }
+  check_fixed_ones(v, "CR4", profile.cr4_fixed, VmcsField::kGuestCr4, cr4);
   if ((efer & kEferLma) != 0 && !(cr0 & kCr0Pg)) {
     add(v, "EFER.LMA=1 requires CR0.PG=1", VmcsField::kGuestIa32Efer, efer);
   }
@@ -141,6 +167,11 @@ std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs) {
   const std::uint64_t activity = vmcs.hw_read(VmcsField::kGuestActivityState);
   if (activity > kActivityWaitSipi) {
     add(v, "activity state must be 0..3", VmcsField::kGuestActivityState, activity);
+  } else if (!((profile.activity_state_support >> activity) & 1)) {
+    // IA32_VMX_MISC analogue: a CPU may lack HLT/shutdown/wait-for-SIPI
+    // as VM-entry activity states.
+    add(v, "activity state not supported by capability profile",
+        VmcsField::kGuestActivityState, activity);
   }
   const std::uint64_t intr = vmcs.hw_read(VmcsField::kGuestInterruptibility);
   if (intr & ~0xFULL) {
@@ -165,6 +196,42 @@ std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs) {
     add(v, "VMCS link pointer must be FFFFFFFF_FFFFFFFF", VmcsField::kVmcsLinkPointer,
         link);
   }
+
+  return v;
+}
+
+std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs) {
+  return check_guest_state(vmcs, baseline_profile());
+}
+
+std::vector<EntryCheckViolation> check_control_fields(const Vmcs& vmcs,
+                                                      const VmxCapabilityProfile& profile) {
+  std::vector<EntryCheckViolation> v;
+
+  const auto check = [&v, &vmcs](const char* label, const BitDefs& defs,
+                                 VmcsField field) {
+    const std::uint64_t value = vmcs.hw_read(field);
+    if (defs.missing_ones(value) != 0) {
+      add(v, std::string(label) + " allowed-0 violation: must-be-one bit cleared", field,
+          value);
+    }
+    if (defs.forbidden_ones(value) != 0) {
+      add(v, std::string(label) + " allowed-1 violation: must-be-zero bit set", field,
+          value);
+    }
+  };
+
+  check("pin-based controls", profile.pin_based, VmcsField::kPinBasedVmExecControl);
+  check("primary processor-based controls", profile.proc_based,
+        VmcsField::kCpuBasedVmExecControl);
+  // Secondary controls are consulted only when the primary control
+  // activates them (SDM 26.2.1.1).
+  if (vmcs.hw_read(VmcsField::kCpuBasedVmExecControl) & kCpuSecondaryControls) {
+    check("secondary processor-based controls", profile.proc_based2,
+          VmcsField::kSecondaryVmExecControl);
+  }
+  check("VM-exit controls", profile.vm_exit, VmcsField::kVmExitControls);
+  check("VM-entry controls", profile.vm_entry, VmcsField::kVmEntryControls);
 
   return v;
 }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "vtx/capability_profile.h"
 #include "vtx/vmcs.h"
 
 namespace iris::vtx {
@@ -64,8 +65,23 @@ inline constexpr std::uint64_t kEferLme = 1ULL << 8;
 inline constexpr std::uint64_t kEferLma = 1ULL << 10;
 
 /// Run the modeled subset of the SDM 26.3 guest-state checks against the
-/// current VMCS contents. Empty result means the entry may proceed.
+/// current VMCS contents, validating CR0/CR4 fixed bits and the activity
+/// state against `profile`. Empty result means the entry may proceed.
+[[nodiscard]] std::vector<EntryCheckViolation> check_guest_state(
+    const Vmcs& vmcs, const VmxCapabilityProfile& profile);
+
+/// Baseline-profile convenience overload (the pre-profile behavior).
 [[nodiscard]] std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs);
+
+/// SDM 26.2.1 subset: validate the five VM-execution/entry/exit control
+/// words against the profile's allowed-0/allowed-1 pairs. On real
+/// hardware a violation is VMfailValid error 7 ("VM entry with invalid
+/// control fields"); the model folds it into the entry-failure path so
+/// triage sees per-rule violations like the guest-state checks.
+/// Secondary controls are validated only when the primary control
+/// activates them, as on hardware.
+[[nodiscard]] std::vector<EntryCheckViolation> check_control_fields(
+    const Vmcs& vmcs, const VmxCapabilityProfile& profile);
 
 /// Human-readable one-line rendering (Xen-log style) of a violation set.
 [[nodiscard]] std::string describe(const std::vector<EntryCheckViolation>& violations);

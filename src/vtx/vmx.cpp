@@ -58,7 +58,17 @@ EntryResult VmxCpu::enter(bool launch) {
     return result;
   }
 
-  result.violations = check_guest_state(*current_);
+  // SDM 26.2 ordering: control-field validation against the capability
+  // profile runs before the guest-state checks. Real hardware reports a
+  // control violation as VMfailValid error 7; the model folds both
+  // families into one entry-failure signal so triage sees the per-rule
+  // violations either way (the baseline profile accepts every control
+  // word, keeping this path unreachable pre-profile).
+  const VmxCapabilityProfile& profile = capability_profile();
+  result.violations = check_control_fields(*current_, profile);
+  if (result.violations.empty()) {
+    result.violations = check_guest_state(*current_, profile);
+  }
   if (!result.violations.empty()) {
     // Entry fails after the instruction succeeds: the CPU reports a
     // reason-33 exit with the "entry failure" bit (31) set (SDM 26.7).

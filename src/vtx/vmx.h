@@ -34,6 +34,7 @@ inline constexpr std::uint64_t kCpuInvlpgExiting = 1ULL << 9;
 inline constexpr std::uint64_t kCpuRdtscExiting = 1ULL << 12;
 inline constexpr std::uint64_t kCpuCr3LoadExiting = 1ULL << 15;
 inline constexpr std::uint64_t kCpuCr3StoreExiting = 1ULL << 16;
+inline constexpr std::uint64_t kCpuUseTprShadow = 1ULL << 21;
 inline constexpr std::uint64_t kCpuUseIoBitmaps = 1ULL << 25;
 inline constexpr std::uint64_t kCpuUseMsrBitmaps = 1ULL << 28;
 inline constexpr std::uint64_t kCpuSecondaryControls = 1ULL << 31;
@@ -92,11 +93,23 @@ class VmxCpu {
   [[nodiscard]] Vmcs* current_vmcs() noexcept { return current_; }
   [[nodiscard]] const Vmcs* current_vmcs() const noexcept { return current_; }
 
+  /// Select the modeled CPU's capability profile (the IA32_VMX_* MSR
+  /// contents). VM entry validates control fields and CR0/CR4 fixed
+  /// bits against it. `profile` must outlive the VmxCpu — library
+  /// profiles are static, so pass those.
+  void set_capability_profile(const VmxCapabilityProfile& profile) noexcept {
+    profile_ = &profile;
+  }
+  [[nodiscard]] const VmxCapabilityProfile& capability_profile() const noexcept {
+    return profile_ != nullptr ? *profile_ : baseline_profile();
+  }
+
  private:
   EntryResult enter(bool launch);
 
   bool vmxon_ = false;
   Vmcs* current_ = nullptr;
+  const VmxCapabilityProfile* profile_ = nullptr;
 };
 
 }  // namespace iris::vtx

@@ -17,6 +17,10 @@ namespace {
 VmSeed sample_seed(std::uint64_t salt) {
   VmSeed seed;
   seed.reason = vtx::ExitReason::kRdtsc;
+  // Every third seed carries a non-baseline capability-profile id, so
+  // the truncation/bit-flip sweeps below also cover the flagged wire
+  // variant (bit 15 of the reason word + trailing profile byte).
+  if (salt % 3 == 1) seed.profile = vtx::ProfileId::kStrictFixedCrs;
   for (std::uint8_t g = 0; g < 4; ++g) {
     seed.items.push_back(SeedItem{SeedItemKind::kGpr, g, salt * 31 + g});
   }
@@ -126,6 +130,47 @@ TEST(SeedDbHardening, TrailingGarbageRejected) {
   auto bytes = sample_db().serialize();
   bytes.push_back(0x42);
   EXPECT_FALSE(SeedDb::deserialize(bytes).ok());
+}
+
+TEST(SeedDbHardening, ProfiledSeedWireIsValidated) {
+  // Flag bit set but the stream ends before the profile byte.
+  ByteWriter truncated;
+  truncated.u16(static_cast<std::uint16_t>(vtx::ExitReason::kRdtsc) | 0x8000);
+  ByteReader rt(truncated.data());
+  EXPECT_FALSE(VmSeed::deserialize(rt).ok());
+
+  // Flagged profile byte outside the library: corruption, not a seed.
+  ByteWriter invalid;
+  invalid.u16(static_cast<std::uint16_t>(vtx::ExitReason::kRdtsc) | 0x8000);
+  invalid.u8(0xEE);
+  invalid.u16(0);  // items
+  invalid.u16(0);  // memory chunks
+  ByteReader ri(invalid.data());
+  EXPECT_FALSE(VmSeed::deserialize(ri).ok());
+
+  // A flagged *baseline* byte never comes from our writer; rejecting it
+  // keeps serialize∘deserialize an identity on the wire.
+  ByteWriter flagged;
+  flagged.u16(static_cast<std::uint16_t>(vtx::ExitReason::kRdtsc) | 0x8000);
+  flagged.u8(0);
+  flagged.u16(0);
+  flagged.u16(0);
+  ByteReader rf(flagged.data());
+  EXPECT_FALSE(VmSeed::deserialize(rf).ok());
+
+  // The straight profiled round trip, item for item.
+  VmSeed seed = sample_seed(1);
+  ASSERT_NE(seed.profile, vtx::ProfileId::kBaseline);
+  ByteWriter out;
+  seed.serialize(out);
+  EXPECT_EQ(out.size(), seed.byte_size());
+  ByteReader in(out.data());
+  auto back = VmSeed::deserialize(in);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().profile, seed.profile);
+  ByteWriter again;
+  back.value().serialize(again);
+  EXPECT_EQ(again.data(), out.data());
 }
 
 }  // namespace
