@@ -1,0 +1,140 @@
+// Sandboxed-cell execution overhead — what fault containment costs.
+//
+// Runs one Table I campaign three ways over the identical grid:
+//   1. the raw fuzzer hot loop (bench_table1_fuzzer's measurement, so
+//      the "sandbox off costs nothing" claim is checked against the
+//      same number CI has always tracked),
+//   2. CampaignRunner with sandbox_cells off (the default), and
+//   3. CampaignRunner with sandbox_cells on — every cell forked,
+//      watchdog-supervised, and piped back through the IRSB frame.
+// The sandboxed result must be byte-identical to the in-process one
+// (campaign::canonical_result_bytes); the bench fails hard otherwise.
+//
+// Results are appended to BENCH_PR7.json:
+//   table1.mutants_per_second          raw hot loop (floor-checked in CI)
+//   sandbox.mutants_per_second_off     campaign, in-process cells
+//   sandbox.mutants_per_second_on      campaign, forked cells
+//   sandbox.overhead_pct               wall-clock cost of the fork+pipe
+//   sandbox.identical                  1.0 when the bytes matched
+//   sandbox.host_cpus
+//
+//   $ ./bench_sandbox_overhead [mutants] [seed]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "campaign/checkpoint.h"
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+
+namespace {
+
+using namespace iris;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+fuzz::CampaignConfig campaign_config(std::uint64_t seed, bool sandbox) {
+  fuzz::CampaignConfig config;
+  config.workers = 1;
+  config.hv_seed = seed;
+  config.record_exits = 500;
+  config.record_seed = seed;
+  config.sandbox_cells = sandbox;
+  return config;
+}
+
+std::size_t executed_mutants(const fuzz::CampaignResult& result) {
+  std::size_t total = 0;
+  for (const auto& cell : result.results) total += cell.executed;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t mutants =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  const auto grid =
+      fuzz::make_table1_grid({guest::Workload::kCpuBound}, mutants, seed);
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  bench::print_header("sandboxed-cell overhead (fork + watchdog + result pipe)");
+  std::printf("%zu cells, M=%zu, 1 worker, %u host CPU(s)\n\n", grid.size(),
+              mutants, cpus);
+
+  // --- 1. Raw fuzzer hot loop: the number every CI floor tracks. ---
+  double hot_rate = 0.0;
+  {
+    bench::Experiment exp(seed, 0.0);
+    const VmBehavior& behavior = exp.manager.record_workload(
+        guest::Workload::kCpuBound, 500, seed);
+    fuzz::Fuzzer fuzzer(exp.manager);
+    const double t0 = now_seconds();
+    const auto results =
+        fuzzer.run_grid(guest::Workload::kCpuBound, behavior, mutants, seed);
+    const double wall = now_seconds() - t0;
+    std::size_t total = 0;
+    for (const auto& r : results) total += r.executed;
+    hot_rate = wall > 0.0 ? static_cast<double>(total) / wall : 0.0;
+    std::printf("fuzzer hot loop:    %8.0f mutants/s\n", hot_rate);
+  }
+
+  // --- 2 + 3. The same campaign with and without the sandbox. ---
+  {
+    auto warm = fuzz::CampaignRunner(campaign_config(seed, false))
+                    .run(fuzz::make_table1_grid({guest::Workload::kCpuBound},
+                                                50, seed));
+    (void)warm;
+  }
+  const double off_started = now_seconds();
+  const auto off = fuzz::CampaignRunner(campaign_config(seed, false)).run(grid);
+  const double off_seconds = now_seconds() - off_started;
+
+  const double on_started = now_seconds();
+  const auto on = fuzz::CampaignRunner(campaign_config(seed, true)).run(grid);
+  const double on_seconds = now_seconds() - on_started;
+
+  const std::size_t total = executed_mutants(off);
+  const double off_rate =
+      off_seconds > 0.0 ? static_cast<double>(total) / off_seconds : 0.0;
+  const double on_rate =
+      on_seconds > 0.0 ? static_cast<double>(total) / on_seconds : 0.0;
+  const double overhead_pct =
+      off_seconds > 0.0 ? 100.0 * (on_seconds - off_seconds) / off_seconds
+                        : 0.0;
+  const bool identical = campaign::canonical_result_bytes(off) ==
+                         campaign::canonical_result_bytes(on);
+
+  std::printf("campaign, sandbox off: %8.0f mutants/s (%.3f s)\n", off_rate,
+              off_seconds);
+  std::printf("campaign, sandbox on:  %8.0f mutants/s (%.3f s)\n", on_rate,
+              on_seconds);
+  std::printf("sandbox overhead:      %+7.1f%%  (fork + IRSB pipe per cell)\n",
+              overhead_pct);
+  std::printf("byte-identical:        %s\n", identical ? "yes" : "NO");
+  if (!identical || !off.complete || !on.complete || on.harness_faults != 0) {
+    std::fprintf(stderr,
+                 "sandboxed campaign diverged from in-process execution\n");
+    return 1;
+  }
+
+  bench::JsonMetrics metrics("BENCH_PR7.json");
+  metrics.set("table1.mutants_per_second", hot_rate);
+  metrics.set("sandbox.mutants_per_second_off", off_rate);
+  metrics.set("sandbox.mutants_per_second_on", on_rate);
+  metrics.set("sandbox.overhead_pct", overhead_pct);
+  metrics.set("sandbox.identical", identical ? 1.0 : 0.0);
+  metrics.set("sandbox.host_cpus", cpus);
+  if (metrics.flush()) {
+    std::printf("\nappended to %s\n", metrics.path().c_str());
+  }
+  return 0;
+}

@@ -6,8 +6,12 @@
 // (fuzz_campaign's crash-archive-dir argument): each reproducer is
 // re-executed on a fresh VM stack — replay the behavior prefix to the
 // target state, submit the mutated seed — and the observed failure is
-// checked against the archived bucket. Exit code 2 = some reproducer
-// no longer fails the way the campaign saw it.
+// checked against the archived bucket. A corrupt or truncated
+// reproducer file is skipped with a warning, never aborts the sweep.
+// Exit codes: 0 = every parseable reproducer re-failed as archived,
+// 2 = some reproducer mismatched or its prefix failed, 3 = no
+// mismatches but some reproducer files were corrupt (skipped and
+// counted).
 //
 //   $ ./crash_triage [mutants] [seed]
 //   $ ./crash_triage replay <crash-archive-dir>
@@ -31,11 +35,15 @@ int cmd_replay_archive(const char* dir) {
   }
   std::printf("replaying %zu reproducer(s) from %s\n\n", names.size(), dir);
   std::size_t matched = 0;
+  std::size_t corrupt = 0;
   for (const auto& name : names) {
     auto repro = archive.load(name);
     if (!repro.ok()) {
-      std::printf("  %-40s LOAD FAILED: %s\n", name.c_str(),
-                  repro.error().message.c_str());
+      // A torn or corrupt reproducer (half-written archive, bit rot) is
+      // that file's problem, not the sweep's: warn, count, move on.
+      ++corrupt;
+      std::fprintf(stderr, "  %-40s SKIPPED (corrupt): %s\n", name.c_str(),
+                   repro.error().message.c_str());
       continue;
     }
     const auto verdict = campaign::CrashArchive::replay(repro.value());
@@ -47,9 +55,13 @@ int cmd_replay_archive(const char* dir) {
                 std::string(hv::to_string(repro.value().key.kind)).c_str(),
                 std::string(hv::to_string(verdict.observed)).c_str());
   }
-  std::printf("\n%zu/%zu reproducers re-failed with their archived kind\n",
-              matched, names.size());
-  return matched == names.size() ? 0 : 2;
+  const std::size_t parseable = names.size() - corrupt;
+  std::printf("\n%zu/%zu reproducers re-failed with their archived kind",
+              matched, parseable);
+  if (corrupt > 0) std::printf(" (%zu corrupt file(s) skipped)", corrupt);
+  std::printf("\n");
+  if (matched != parseable) return 2;
+  return corrupt > 0 ? 3 : 0;
 }
 
 }  // namespace

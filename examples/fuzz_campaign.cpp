@@ -31,13 +31,24 @@
 // capabilities actually matter — and prints a per-profile result hash
 // next to the campaign hash.
 //
+// Sandbox mode (--sandbox) forks each cell into a watchdog-supervised
+// child: a harness death (SIGSEGV, deadline overrun, torn result pipe)
+// becomes a retried-then-quarantined *poisoned cell* instead of shard
+// death, and clean cells stay byte-identical to in-process execution.
+// --failpoints (or IRIS_FAILPOINTS) injects deterministic faults for
+// testing — see src/support/failpoints.h for the rule grammar.
+//
 //   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
 //                     [checkpoint-file] [cell-budget] [crash-archive-dir]
 //                     [--corpus <dir>] [--profiles <name,...>]
 //                     [--lease-dir <dir>] [--shard-of <k>/<n>]
 //                     [--lease-ttl <sec>] [--range-size <cells>]
+//                     [--sandbox] [--cell-deadline <sec>]
+//                     [--cell-retries <n>] [--failpoints <spec>]
 //   $ ./fuzz_campaign reduce <lease-dir> [workload] [mutants] [seed]
 //                     [--corpus <dir>] [--profiles <name,...>]
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +59,7 @@
 #include "campaign/distributed.h"
 #include "campaign/reducer.h"
 #include "fuzz/campaign.h"
+#include "support/failpoints.h"
 
 namespace {
 
@@ -56,17 +68,52 @@ using namespace iris;
 // Exit codes: 0 = complete, 1 = usage or reduce error, 3 = cells still
 // pending (budget stop / reduce of a part-done campaign), 4 =
 // persistence error (results printed, but the journal or archive is not
-// to be trusted).
+// to be trusted), 5 = interrupted by SIGTERM/SIGINT (in-flight cell
+// finished and journaled; resume with the same checkpoint), 6 = every
+// remaining cell is quarantined (poisoned) — the campaign is as done as
+// it will ever get, with holes honestly reported.
 constexpr int kExitUsage = 1;
 constexpr int kExitPending = 3;
 constexpr int kExitPersistence = 4;
+constexpr int kExitInterrupted = 5;
+constexpr int kExitPoisoned = 6;
+
+/// Raised by SIGTERM/SIGINT; polled by workers between cells.
+std::atomic<bool> g_stop{false};
+
+void on_stop_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+void install_stop_handlers() {
+  std::signal(SIGTERM, on_stop_signal);
+  std::signal(SIGINT, on_stop_signal);
+}
+
+void print_poisoned(const fuzz::CampaignResult& campaign) {
+  if (campaign.poisoned_cells.empty()) return;
+  std::printf("\n%zu poisoned cell(s) — every sandboxed attempt faulted:\n",
+              campaign.poisoned_cells.size());
+  for (const auto& poison : campaign.poisoned_cells) {
+    std::printf("  cell %zu after %u attempt(s): %s\n", poison.index,
+                poison.attempts, poison.fault.describe().c_str());
+  }
+}
 
 void print_result(const fuzz::CampaignResult& campaign,
                   bool archive_enabled) {
+  std::vector<std::uint8_t> poisoned(campaign.results.size(), 0);
+  for (const auto& poison : campaign.poisoned_cells) {
+    if (poison.index < poisoned.size()) poisoned[poison.index] = 1;
+  }
   std::printf("%-12s %-6s %10s %10s %8s %8s %8s\n", "reason", "area", "base LOC",
               "new LOC", "gain%", "VM-crash", "HV-crash");
   for (std::size_t i = 0; i < campaign.results.size(); ++i) {
     const auto& r = campaign.results[i];
+    if (poisoned[i] != 0) {
+      std::printf("%-12s %-6s %10s\n",
+                  std::string(vtx::to_string(r.spec.reason)).c_str(),
+                  std::string(fuzz::to_string(r.spec.area)).c_str(), "POISONED");
+      continue;
+    }
     if (i < campaign.cells_completed.size() && campaign.cells_completed[i] == 0) {
       std::printf("%-12s %-6s %10s\n",
                   std::string(vtx::to_string(r.spec.reason)).c_str(),
@@ -120,6 +167,9 @@ struct Cli {
   double lease_ttl = 30.0;
   std::size_t range_size = 0;
   std::vector<vtx::ProfileId> profiles;  // empty = baseline-only grid
+  bool sandbox = false;
+  double cell_deadline = 120.0;
+  std::size_t cell_retries = 2;
   bool ok = true;
 };
 
@@ -179,6 +229,18 @@ Cli parse_cli(int argc, char** argv) {
       cli.range_size = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--profiles") {
       cli.profiles = parse_profiles(value(), cli.ok);
+    } else if (arg == "--sandbox") {
+      cli.sandbox = true;
+    } else if (arg == "--cell-deadline") {
+      cli.cell_deadline = std::strtod(value(), nullptr);
+    } else if (arg == "--cell-retries") {
+      cli.cell_retries = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--failpoints") {
+      if (const auto status = support::failpoints::configure(value());
+          !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.error().message.c_str());
+        cli.ok = false;
+      }
     } else if (arg.starts_with("--")) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       cli.ok = false;
@@ -219,6 +281,10 @@ Campaign build_campaign(const std::vector<std::string>& args, std::size_t base,
   c.config.record_exits = 2000;
   c.config.record_seed = seed;
   c.config.corpus_dir = cli.corpus_dir;
+  c.config.sandbox_cells = cli.sandbox;
+  c.config.cell_deadline_seconds = cli.cell_deadline;
+  c.config.cell_retries = cli.cell_retries;
+  c.config.stop = &g_stop;
   c.grid = cli.profiles.empty()
                ? fuzz::make_table1_grid({*workload}, c.mutants, seed)
                : fuzz::make_profile_grid({*workload}, c.mutants, seed,
@@ -272,18 +338,28 @@ int cmd_reduce(const Cli& cli) {
   }
   const auto& report = reduced.value();
   std::printf("reduced %zu shard journal(s): %zu cell records, "
-              "%zu duplicate(s) deduplicated\n\n",
+              "%zu duplicate(s) deduplicated\n",
               report.journals, report.cells_loaded, report.duplicate_cells);
+  if (report.poison_records > 0) {
+    std::printf("poison records: %zu read, %zu overridden by a clean "
+                "completion\n",
+                report.poison_records, report.overridden_poisons);
+  }
+  std::printf("\n");
   print_result(report.result, false);
+  print_poisoned(report.result);
   if (!report.missing.empty()) {
     std::printf("\n%zu cell(s) still pending — shards still running, or a "
                 "dead shard's ranges await reclaim\n",
                 report.missing.size());
     return kExitPending;
   }
+  // Every cell is accounted for (clean or quarantined): the result hash
+  // is final and deterministic, so print it either way; the exit code
+  // still refuses to call a holed campaign a success.
   print_result_hash(report.result);
   print_profile_hashes(report.result);
-  return 0;
+  return report.poisoned.empty() ? 0 : kExitPoisoned;
 }
 
 int cmd_shard(const Cli& cli, Campaign& c) {
@@ -326,20 +402,31 @@ int cmd_shard(const Cli& cli, Campaign& c) {
               shard.shard_id.c_str(), journaled, result.cells_resumed,
               run.value().passes, lease.claims, lease.adoptions,
               lease.reclaims, lease.denials, lease.completed_ranges);
+  if (lease.lost_leases > 0) {
+    std::printf("lost %zu lease(s) to peers (stalled past the TTL)\n",
+                lease.lost_leases);
+  }
+  print_poisoned(result);
   std::printf("journal: %s\nrun `%s reduce %s ...` once all shards are done\n",
               run.value().journal_path.c_str(), "fuzz_campaign",
               shard.lease_dir.c_str());
+  if (result.interrupted) {
+    std::fprintf(stderr, "interrupted: in-flight cells journaled, held "
+                         "leases released; relaunch this shard to resume\n");
+    return kExitInterrupted;
+  }
   if (!result.persistence_error.empty()) {
     std::fprintf(stderr, "persistence error: %s\n",
                  result.persistence_error.c_str());
     return kExitPersistence;
   }
-  return 0;
+  return result.poisoned_cells.empty() ? 0 : kExitPoisoned;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  install_stop_handlers();
   Cli cli = parse_cli(argc, argv);
   if (!cli.ok) return kExitUsage;
 
@@ -385,6 +472,11 @@ int main(int argc, char** argv) {
                 c.config.corpus_dir.c_str(), c.config.corpus_max_imports,
                 c.config.import_mutants);
   }
+  if (c.config.sandbox_cells) {
+    std::printf("sandbox: forked cells, %.0fs deadline, %zu retr%s\n",
+                c.config.cell_deadline_seconds, c.config.cell_retries,
+                c.config.cell_retries == 1 ? "y" : "ies");
+  }
   std::printf("\n");
 
   fuzz::CampaignRunner runner(c.config);
@@ -394,17 +486,39 @@ int main(int argc, char** argv) {
     std::printf("resumed %zu cell(s) from the checkpoint\n",
                 campaign.cells_resumed);
   }
-  if (!campaign.complete) {
+  std::size_t journaled = 0;
+  for (const auto flag : campaign.cells_completed) {
+    journaled += flag != 0 ? 1 : 0;
+  }
+  // All cells accounted for = completed or quarantined; only then is
+  // the result hash final.
+  const bool all_accounted =
+      journaled + campaign.poisoned_cells.size() == campaign.results.size();
+  if (campaign.interrupted) {
+    std::printf("interrupted — in-flight cells finished and journaled; "
+                "rerun with the same checkpoint to resume\n");
+  } else if (!campaign.complete && !all_accounted) {
     std::printf("cell budget exhausted with cells still pending — "
                 "rerun with the same checkpoint to resume\n");
   }
 
   print_result(campaign, !c.config.crash_archive_dir.empty());
-  if (campaign.complete) {
+  print_poisoned(campaign);
+  if (campaign.harness_faults > 0) {
+    std::printf("harness faults: %zu (retried or quarantined)\n",
+                campaign.harness_faults);
+  }
+  if (all_accounted && !campaign.interrupted) {
     print_result_hash(campaign);
     print_profile_hashes(campaign);
   }
 
+  // Exit-code priority: an interruption first (the operator asked for
+  // it and will resume), then a persistence failure (nothing on disk is
+  // to be trusted), then pending cells, then quarantined cells — a
+  // fully-accounted campaign with holes is as done as it gets, but it
+  // is not a success.
+  if (campaign.interrupted) return kExitInterrupted;
   // A persistence failure does not invalidate the (in-memory) results
   // above, but the checkpoint/archive cannot be trusted — make that a
   // loud, distinct exit instead of reporting a healthy run.
@@ -413,5 +527,6 @@ int main(int argc, char** argv) {
                  campaign.persistence_error.c_str());
     return kExitPersistence;
   }
-  return campaign.complete ? 0 : kExitPending;
+  if (!all_accounted) return kExitPending;
+  return campaign.poisoned_cells.empty() ? 0 : kExitPoisoned;
 }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <bit>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 
+#include "support/failpoints.h"
 #include "support/fs_atomic.h"
+#include "support/retry.h"
 
 namespace iris::campaign {
 namespace {
@@ -22,12 +25,30 @@ constexpr std::uint32_t kJournalMagic = 0x4952434B;  // "IRCK"
 // mismatch up front with an explicit journal-version error, so the
 // operator sees "wrong journal version", never a baffling
 // "belongs to a different campaign" fingerprint mismatch.
+// v4 (PR 7): fault-contained (sandboxed-cell) campaigns may journal
+// poisoned-cell records next to completed cells. Gated exactly like v3:
+// written iff the campaign sandboxes cells, refused on mismatch with an
+// explicit message. v4 subsumes v3 — the spec wire is self-describing —
+// so sandbox + profile matrix is still just v4, and observers
+// (open_readonly) accept v4 regardless of their own declared mode.
 constexpr std::uint16_t kJournalVersionLegacy = 2;
 constexpr std::uint16_t kJournalVersionProfiled = 3;
+constexpr std::uint16_t kJournalVersionFaultContained = 4;
 constexpr std::size_t kHeaderBytes = 4 + 2 + 8;
 
 constexpr std::uint8_t kRecordCell = 0;
 constexpr std::uint8_t kRecordSyncEpoch = 1;
+constexpr std::uint8_t kRecordPoison = 2;
+
+/// Append retries: shared policy for every journal write. Transient
+/// errnos (EINTR/ESTALE/EAGAIN/EBUSY) get a few jittered-backoff
+/// retries; ENOSPC and friends fail fast so the runner can degrade to
+/// in-memory completion instead of stalling the campaign in a hopeless
+/// retry loop.
+const support::RetryPolicy& journal_retry_policy() {
+  static const support::RetryPolicy policy{};
+  return policy;
+}
 
 void serialize_mutation(const fuzz::AppliedMutation& m, ByteWriter& out) {
   out.u64(m.item_index);
@@ -344,6 +365,37 @@ Result<SyncEpochRecord> deserialize_sync_epoch(ByteReader& in) {
   return record;
 }
 
+void serialize_poison(const PoisonRecord& record, ByteWriter& out) {
+  out.u64(record.index);
+  out.u32(record.attempts);
+  out.u8(record.fault_kind);
+  out.u32(std::bit_cast<std::uint32_t>(record.detail));
+  out.str(record.message);
+}
+
+Result<PoisonRecord> deserialize_poison(ByteReader& in) {
+  auto index = in.u64();
+  auto attempts = in.u32();
+  auto fault_kind = in.u8();
+  auto detail = in.u32();
+  auto message = in.str();
+  if (!index.ok() || !attempts.ok() || !fault_kind.ok() || !detail.ok() ||
+      !message.ok()) {
+    return Error{82, "truncated poison record"};
+  }
+  if (fault_kind.value() >
+      static_cast<std::uint8_t>(fuzz::HarnessFault::Kind::kProtocol)) {
+    return Error{83, "bad fault kind in poison record"};
+  }
+  PoisonRecord record;
+  record.index = index.value();
+  record.attempts = attempts.value();
+  record.fault_kind = fault_kind.value();
+  record.detail = std::bit_cast<std::int32_t>(detail.value());
+  record.message = std::move(message).take();
+  return record;
+}
+
 bool grid_uses_profiles(const std::vector<fuzz::TestCaseSpec>& grid) {
   for (const auto& spec : grid) {
     if (spec.profile != vtx::ProfileId::kBaseline) return true;
@@ -353,19 +405,28 @@ bool grid_uses_profiles(const std::vector<fuzz::TestCaseSpec>& grid) {
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
                                                     std::uint64_t fingerprint,
-                                                    bool profile_matrix) {
-  return open_impl(path, fingerprint, /*read_only=*/false, profile_matrix);
+                                                    bool profile_matrix,
+                                                    bool fault_contained) {
+  return open_impl(path, fingerprint, /*read_only=*/false, profile_matrix,
+                   fault_contained);
 }
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open_readonly(
     const std::string& path, std::uint64_t fingerprint, bool profile_matrix) {
-  return open_impl(path, fingerprint, /*read_only=*/true, profile_matrix);
+  return open_impl(path, fingerprint, /*read_only=*/true, profile_matrix,
+                   /*fault_contained=*/false);
 }
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
     const std::string& path, std::uint64_t fingerprint, bool read_only,
-    bool profile_matrix) {
+    bool profile_matrix, bool fault_contained) {
   namespace fs = std::filesystem;
+  // v4 subsumes v3: a sandboxed campaign always writes v4, whether or
+  // not its grid also uses the profile matrix.
+  const std::uint16_t required =
+      fault_contained ? kJournalVersionFaultContained
+                      : (profile_matrix ? kJournalVersionProfiled
+                                        : kJournalVersionLegacy);
   std::error_code ec;
   const bool exists = fs::exists(path, ec);
   const auto file_size = exists ? fs::file_size(path, ec) : 0;
@@ -385,16 +446,32 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   if (!exists || file_size < kHeaderBytes) {
     ByteWriter header;
     header.u32(kJournalMagic);
-    header.u16(profile_matrix ? kJournalVersionProfiled : kJournalVersionLegacy);
+    header.u16(required);
     header.u64(fingerprint);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) return Error{55, "cannot create checkpoint " + path};
-    out.write(reinterpret_cast<const char*>(header.data().data()),
-              static_cast<std::streamsize>(header.size()));
-    if (!out) return Error{56, "checkpoint header write failed: " + path};
-    return CampaignCheckpoint(path, {}, {});
+    const auto write_header = [&]() -> Status {
+      if (auto injected = support::failpoints::fs_error("checkpoint_open")) {
+        return *injected;
+      }
+      errno = 0;
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (!out) return Error{55, "cannot create checkpoint " + path, errno};
+      out.write(reinterpret_cast<const char*>(header.data().data()),
+                static_cast<std::streamsize>(header.size()));
+      if (!out) {
+        return Error{56, "checkpoint header write failed: " + path, errno};
+      }
+      return {};
+    };
+    if (auto status = support::retry_io(journal_retry_policy(), write_header);
+        !status.ok()) {
+      return status.error();
+    }
+    return CampaignCheckpoint(path, {}, {}, {});
   }
 
+  if (auto injected = support::failpoints::fs_error("checkpoint_open")) {
+    return *injected;
+  }
   auto bytes = read_file_bytes(path);
   if (!bytes.ok()) return bytes.error();
   const auto& data = bytes.value();
@@ -406,21 +483,41 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   if (!magic.ok() || magic.value() != kJournalMagic || !version.ok()) {
     return Error{57, path + " is not a campaign checkpoint"};
   }
-  if (version.value() != kJournalVersionLegacy &&
-      version.value() != kJournalVersionProfiled) {
+  if (version.value() < kJournalVersionLegacy ||
+      version.value() > kJournalVersionFaultContained) {
     return Error{64, path + " uses unsupported checkpoint version " +
                          std::to_string(version.value())};
   }
   // Version/config agreement is checked BEFORE the fingerprint: a
   // profile-matrix grid also changes the fingerprint, and without this
   // check the operator would only see an opaque "different campaign"
-  // error where the real problem is the journal version.
-  if (version.value() == kJournalVersionLegacy && profile_matrix) {
-    return Error{66, path + " uses journal version 2 (single-profile) but this "
-                         "campaign enables the capability-profile matrix; "
-                         "remove the journal or rerun without --profiles"};
-  }
-  if (version.value() == kJournalVersionProfiled && !profile_matrix) {
+  // error where the real problem is the journal version. Writers demand
+  // an exact version match (a resumed campaign must keep writing the
+  // wire it started with); observers accept their declared version OR
+  // v4, since reducing a fault-contained campaign must not require
+  // re-declaring how its shards executed their cells.
+  const bool acceptable =
+      version.value() == required ||
+      (read_only && version.value() == kJournalVersionFaultContained);
+  if (!acceptable) {
+    if (version.value() == kJournalVersionFaultContained) {
+      return Error{81, path + " uses journal version 4 (fault-contained "
+                           "sandboxed cells) but this campaign does not "
+                           "enable --sandbox; remove the journal or rerun "
+                           "with --sandbox"};
+    }
+    if (fault_contained) {
+      return Error{81, path + " uses journal version " +
+                           std::to_string(version.value()) +
+                           " but this campaign sandboxes cells (journal "
+                           "version 4); remove the journal or rerun without "
+                           "--sandbox"};
+    }
+    if (version.value() == kJournalVersionLegacy && profile_matrix) {
+      return Error{66, path + " uses journal version 2 (single-profile) but this "
+                           "campaign enables the capability-profile matrix; "
+                           "remove the journal or rerun without --profiles"};
+    }
     return Error{67, path + " uses journal version 3 (capability-profile "
                          "matrix) but this campaign is single-profile; "
                          "remove the journal or rerun with --profiles"};
@@ -433,6 +530,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   // truncate it (and anything after it) away.
   std::vector<CheckpointCell> cells;
   std::vector<SyncEpochRecord> epochs;
+  std::vector<PoisonRecord> poisons;
   std::size_t offset = kHeaderBytes;
   while (offset + 12 <= data.size()) {
     ByteReader frame{std::span(data).subspan(offset, 12)};
@@ -453,6 +551,11 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
       auto epoch = deserialize_sync_epoch(pr);
       if (!epoch.ok() || !pr.exhausted()) break;
       epochs.push_back(std::move(epoch).take());
+    } else if (type.value() == kRecordPoison &&
+               version.value() == kJournalVersionFaultContained) {
+      auto poison = deserialize_poison(pr);
+      if (!poison.ok() || !pr.exhausted()) break;
+      poisons.push_back(std::move(poison).take());
     } else {
       break;  // unknown record type: treat as a corrupt tail
     }
@@ -464,7 +567,8 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
     fs::resize_file(path, offset, ec);
     if (ec) return Error{59, "cannot truncate torn checkpoint tail: " + path};
   }
-  return CampaignCheckpoint(path, std::move(cells), std::move(epochs));
+  return CampaignCheckpoint(path, std::move(cells), std::move(epochs),
+                            std::move(poisons));
 }
 
 Status CampaignCheckpoint::append_record(std::uint8_t type,
@@ -477,13 +581,20 @@ Status CampaignCheckpoint::append_record(std::uint8_t type,
   record.u64(fnv1a(typed.data()));
   record.bytes(typed.data());
 
-  std::ofstream out(path_, std::ios::binary | std::ios::app);
-  if (!out) return Error{60, "cannot append to checkpoint " + path_};
-  out.write(reinterpret_cast<const char*>(record.data().data()),
-            static_cast<std::streamsize>(record.size()));
-  out.flush();
-  if (!out) return Error{61, "checkpoint append failed: " + path_};
-  return {};
+  const auto write_once = [&]() -> Status {
+    if (auto injected = support::failpoints::fs_error("checkpoint_append")) {
+      return *injected;
+    }
+    errno = 0;
+    std::ofstream out(path_, std::ios::binary | std::ios::app);
+    if (!out) return Error{60, "cannot append to checkpoint " + path_, errno};
+    out.write(reinterpret_cast<const char*>(record.data().data()),
+              static_cast<std::streamsize>(record.size()));
+    out.flush();
+    if (!out) return Error{61, "checkpoint append failed: " + path_, errno};
+    return {};
+  };
+  return support::retry_io(journal_retry_policy(), write_once);
 }
 
 Status CampaignCheckpoint::append(const CheckpointCell& cell) {
@@ -503,6 +614,16 @@ Status CampaignCheckpoint::append_epoch(const SyncEpochRecord& record) {
     return status;
   }
   epochs_.push_back(record);
+  return {};
+}
+
+Status CampaignCheckpoint::append_poison(const PoisonRecord& record) {
+  ByteWriter payload;
+  serialize_poison(record, payload);
+  if (auto status = append_record(kRecordPoison, payload); !status.ok()) {
+    return status;
+  }
+  poisons_.push_back(record);
   return {};
 }
 

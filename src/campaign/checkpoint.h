@@ -96,6 +96,23 @@ struct SyncEpochRecord {
 void serialize_sync_epoch(const SyncEpochRecord& record, ByteWriter& out);
 Result<SyncEpochRecord> deserialize_sync_epoch(ByteReader& in);
 
+/// A quarantined grid cell: the sandboxed harness died (signal, nonzero
+/// exit, watchdog deadline, or a torn result pipe) on every one of
+/// `attempts` executions, so the cell has no result — and never will
+/// from this journal. Poison records are journaled like completed cells
+/// so resume skips the cell, grid leases retire its range instead of
+/// reclaiming it forever, and reduce_journals reports it honestly.
+struct PoisonRecord {
+  std::uint64_t index = 0;
+  std::uint32_t attempts = 0;
+  std::uint8_t fault_kind = 0;  ///< fuzz::HarnessFault::Kind
+  std::int32_t detail = 0;      ///< signal number / exit code
+  std::string message;          ///< human-readable fault summary
+};
+
+void serialize_poison(const PoisonRecord& record, ByteWriter& out);
+Result<PoisonRecord> deserialize_poison(ByteReader& in);
+
 class CampaignCheckpoint {
  public:
   /// Open (or create) the journal at `path` for the campaign identified
@@ -107,16 +124,23 @@ class CampaignCheckpoint {
   /// is set, and an existing journal whose version disagrees with it is
   /// rejected with an explicit journal-version error naming the path
   /// (checked before the fingerprint, which would also mismatch but
-  /// opaquely).
+  /// opaquely). `fault_contained` declares sandboxed-cell execution —
+  /// the only mode that can journal poison records — and gates version 4
+  /// the same way (v4 subsumes v3: the spec wire is self-describing, so
+  /// a sandboxed profile-matrix campaign is still just v4).
   static Result<CampaignCheckpoint> open(const std::string& path,
                                          std::uint64_t fingerprint,
-                                         bool profile_matrix = false);
+                                         bool profile_matrix = false,
+                                         bool fault_contained = false);
 
   /// Observer variant for journals another (live) process may still be
   /// appending to — e.g. the reducer probing shard journals mid-run.
   /// Identical validation, but nothing is created or written: a missing
   /// journal is an error, and a torn tail (possibly just a record the
   /// writer has not finished flushing) is ignored, never truncated.
+  /// Observers additionally accept v4 journals whatever their own mode:
+  /// reducing a sandboxed campaign must not require re-declaring how the
+  /// shards executed their cells.
   static Result<CampaignCheckpoint> open_readonly(const std::string& path,
                                                   std::uint64_t fingerprint,
                                                   bool profile_matrix = false);
@@ -132,31 +156,46 @@ class CampaignCheckpoint {
     return epochs_;
   }
 
-  /// Append one completed cell and flush it to disk.
+  /// Poison records recovered from the journal at open(), in journal
+  /// order (only ever present in v4 journals).
+  [[nodiscard]] const std::vector<PoisonRecord>& poisons() const noexcept {
+    return poisons_;
+  }
+
+  /// Append one completed cell and flush it to disk. Transient-errno
+  /// failures are retried under the shared campaign RetryPolicy before
+  /// being reported.
   Status append(const CheckpointCell& cell);
 
   /// Append one sync epoch and flush it to disk.
   Status append_epoch(const SyncEpochRecord& record);
 
+  /// Append one poisoned-cell record and flush it to disk.
+  Status append_poison(const PoisonRecord& record);
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   CampaignCheckpoint(std::string path, std::vector<CheckpointCell> cells,
-                     std::vector<SyncEpochRecord> epochs)
+                     std::vector<SyncEpochRecord> epochs,
+                     std::vector<PoisonRecord> poisons)
       : path_(std::move(path)),
         cells_(std::move(cells)),
-        epochs_(std::move(epochs)) {}
+        epochs_(std::move(epochs)),
+        poisons_(std::move(poisons)) {}
 
   static Result<CampaignCheckpoint> open_impl(const std::string& path,
                                               std::uint64_t fingerprint,
                                               bool read_only,
-                                              bool profile_matrix);
+                                              bool profile_matrix,
+                                              bool fault_contained);
 
   Status append_record(std::uint8_t type, const ByteWriter& payload);
 
   std::string path_;
   std::vector<CheckpointCell> cells_;
   std::vector<SyncEpochRecord> epochs_;
+  std::vector<PoisonRecord> poisons_;
 };
 
 }  // namespace iris::campaign

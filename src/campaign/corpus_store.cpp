@@ -5,7 +5,9 @@
 #include <filesystem>
 #include <fstream>
 
+#include "support/failpoints.h"
 #include "support/fs_atomic.h"
+#include "support/retry.h"
 
 namespace iris::campaign {
 namespace {
@@ -72,7 +74,15 @@ Result<fuzz::CorpusEntry> CorpusStore::deserialize_entry(ByteReader& in) {
 Status CorpusStore::write_entry(const fuzz::CorpusEntry& entry) const {
   ByteWriter w;
   serialize_entry(entry, w);
-  return write_file_atomic(dir_, entry_name(entry.seed), w.data());
+  // Shared-store writes ride the campaign retry policy: transient
+  // contention (EBUSY/ESTALE on network filesystems) retries, permanent
+  // conditions surface to the caller.
+  return support::retry_io(support::RetryPolicy{}, [&]() -> Status {
+    if (auto injected = support::failpoints::fs_error("corpus_write")) {
+      return *injected;
+    }
+    return write_file_atomic(dir_, entry_name(entry.seed), w.data());
+  });
 }
 
 bool CorpusStore::contains(const VmSeed& seed) const {
@@ -94,8 +104,18 @@ std::vector<std::string> CorpusStore::list() const {
 }
 
 Result<fuzz::CorpusEntry> CorpusStore::read_entry(const std::string& name) const {
-  auto bytes = read_file_bytes(fs::path(dir_) / name);
-  if (!bytes.ok()) return bytes.error();
+  Result<std::vector<std::uint8_t>> bytes = Error{};
+  const auto read_once = [&]() -> Status {
+    if (auto injected = support::failpoints::fs_error("corpus_read")) {
+      return *injected;
+    }
+    bytes = read_file_bytes(fs::path(dir_) / name);
+    return bytes.ok() ? Status{} : Status{bytes.error()};
+  };
+  if (auto status = support::retry_io(support::RetryPolicy{}, read_once);
+      !status.ok()) {
+    return status.error();
+  }
   ByteReader r(bytes.value());
   return deserialize_entry(r);
 }

@@ -1,12 +1,15 @@
 #include "campaign/distributed.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 
 #include "campaign/checkpoint.h"
 #include "campaign/corpus_store.h"
+#include "support/failpoints.h"
 #include "support/fs_atomic.h"
+#include "support/retry.h"
 
 namespace iris::campaign {
 namespace {
@@ -58,12 +61,21 @@ Result<std::vector<VmSeed>> pin_epoch(const std::string& lease_dir,
 
   const fs::path tmp =
       fs::path(lease_dir) / (".corpus-epoch." + shard_id + ".tmp");
-  {
+  const auto write_tmp = [&]() -> Status {
+    if (auto injected = support::failpoints::fs_error("epoch_pin")) {
+      return *injected;
+    }
+    errno = 0;
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Error{80, "cannot write " + tmp.string()};
+    if (!out) return Error{80, "cannot write " + tmp.string(), errno};
     out.write(reinterpret_cast<const char*>(w.data().data()),
               static_cast<std::streamsize>(w.size()));
-    if (!out) return Error{80, "cannot write " + tmp.string()};
+    if (!out) return Error{80, "cannot write " + tmp.string(), errno};
+    return {};
+  };
+  if (auto status = support::retry_io(support::RetryPolicy{}, write_tmp);
+      !status.ok()) {
+    return status.error();
   }
   fs::create_hard_link(tmp, path, ec);
   std::error_code cleanup;
@@ -143,6 +155,7 @@ Result<ShardRun> DistributedCampaign::run(
     ++out.passes;
     fuzz::CampaignRunner runner(config);
     out.result = runner.run(grid);
+    if (out.result.interrupted) break;
     if (!out.result.persistence_error.empty()) break;
     if (out.result.complete || config.cell_budget != 0) break;
     std::size_t journaled = 0;
@@ -151,6 +164,9 @@ Result<ShardRun> DistributedCampaign::run(
     }
     if (journaled <= out.result.cells_resumed) break;  // no new cells
   }
+  // A graceful stop hands the shard's unfinished ranges back
+  // immediately: peers claim them now instead of waiting out the TTL.
+  if (out.result.interrupted) lease.value()->release_held();
   out.lease = lease.value()->stats();
   return out;
 }

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "support/failpoints.h"
 #include "support/fs_atomic.h"
 #include "support/serialize.h"
 
@@ -231,11 +232,50 @@ void GridLease::heartbeat() {
   if (since < config_.ttl_seconds / 4.0) return;
   last_refresh_ = now;
   ++stats_.heartbeats;
-  std::error_code ec;
   for (std::size_t r = 0; r < held_.size(); ++r) {
     if (held_[r] == 0) continue;
-    fs::last_write_time(lease_path(r), fs::file_time_type::clock::now(), ec);
+    // A refresh is only valid on a lease we still own. A stalled shard
+    // can outlive its TTL: a peer renames the lease aside and re-creates
+    // it under its own id — blindly refreshing the mtime then would keep
+    // a *peer's* lease alive while both shards run the range. Verify
+    // ownership first, and on any failure drop the range: the cells this
+    // shard already journaled stay valid (the reducer dedups verified
+    // duplicates), it just stops claiming inside a range it lost.
+    const std::string path = lease_path(r);
+    bool lost = support::failpoints::fs_error("lease_heartbeat", r).has_value();
+    if (!lost && lease_owner(path) != config_.shard_id) lost = true;
+    if (!lost) {
+      std::error_code ec;
+      fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+      if (ec) lost = true;
+    }
+    if (lost) {
+      held_[r] = 0;
+      ++stats_.lost_leases;
+      std::fprintf(stderr,
+                   "grid-lease: shard %s lost lease on range %zu "
+                   "(stolen or unwritable); abandoning the range\n",
+                   config_.shard_id.c_str(), r);
+    }
   }
+}
+
+std::size_t GridLease::release_held() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t released = 0;
+  for (std::size_t r = 0; r < held_.size(); ++r) {
+    if (held_[r] == 0) continue;
+    const std::string path = lease_path(r);
+    // Only remove what is verifiably still ours — racing a stealer here
+    // must never delete the peer's fresh lease.
+    if (lease_owner(path) == config_.shard_id) {
+      std::error_code ec;
+      fs::remove(path, ec);
+      if (!ec) ++released;
+    }
+    held_[r] = 0;
+  }
+  return released;
 }
 
 GridLeaseStats GridLease::stats() const {

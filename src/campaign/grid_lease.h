@@ -70,6 +70,7 @@ struct GridLeaseStats {
   std::size_t denials = 0;       ///< claims lost to a live peer or done marker
   std::size_t completed_ranges = 0;  ///< done markers this shard published
   std::size_t heartbeats = 0;    ///< mtime refresh sweeps performed
+  std::size_t lost_leases = 0;   ///< held leases found stolen/unwritable
 };
 
 /// One shard's view of the lease directory. Thread-safe: a
@@ -83,7 +84,18 @@ class GridLease final : public fuzz::CellGate {
 
   bool try_claim(std::size_t index) override;
   void completed(std::size_t index) override;
+  /// Refresh held leases' mtimes — after verifying each lease file still
+  /// names this shard. A lease found stolen (a peer reclaimed it after a
+  /// stall) or unwritable is *dropped*: the shard stops claiming inside
+  /// the range and counts a lost_leases stat, instead of silently
+  /// keeping a peer's lease alive or working a range it no longer owns.
   void heartbeat() override;
+
+  /// Graceful-shutdown handoff: remove every lease this shard still
+  /// holds (after verifying ownership) so peers can claim the ranges
+  /// immediately instead of waiting out the TTL. Returns the number of
+  /// leases released. Done markers are untouched — they are final.
+  std::size_t release_held();
 
   [[nodiscard]] GridLeaseStats stats() const;
   [[nodiscard]] const GridLeaseConfig& config() const noexcept { return config_; }

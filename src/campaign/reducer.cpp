@@ -1,5 +1,6 @@
 #include "campaign/reducer.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <utility>
 
@@ -21,6 +22,7 @@ Result<ReduceReport> reduce_journals(
   std::vector<std::vector<std::pair<hv::BlockKey, std::uint8_t>>> cell_cov(
       grid.size());
   std::vector<std::uint8_t> covered(grid.size(), 0);
+  std::vector<std::uint8_t> poisoned_at(grid.size(), 0);
   /// First journal to complete each cell, with its record checksum —
   /// the conflict-detection ledger.
   std::vector<std::pair<const std::string*, std::uint64_t>> first_seen(
@@ -85,12 +87,46 @@ Result<ReduceReport> reduce_journals(
       report.result.results[cell.index] = cell.result;
       cell_cov[cell.index] = cell.coverage;
     }
+
+    for (const PoisonRecord& poison : journal.value().poisons()) {
+      if (poison.index >= grid.size()) {
+        return Error{76, path + " journals cell " +
+                             std::to_string(poison.index) +
+                             " outside the " + std::to_string(grid.size()) +
+                             "-cell grid"};
+      }
+      ++report.poison_records;
+      if (poisoned_at[poison.index] != 0) continue;  // dedup across shards
+      poisoned_at[poison.index] = 1;
+      fuzz::HarnessFault fault;
+      fault.kind = static_cast<fuzz::HarnessFault::Kind>(poison.fault_kind);
+      fault.detail = poison.detail;
+      report.poisoned.push_back(
+          fuzz::PoisonedCell{poison.index, poison.attempts, fault});
+    }
   }
 
+  // A clean completion beats a quarantine: the cell demonstrably runs,
+  // so another shard's poison record describes that shard's environment,
+  // not the cell. Count the override instead of carrying a lie.
+  std::erase_if(report.poisoned, [&](const fuzz::PoisonedCell& p) {
+    if (covered[p.index] == 0) return false;
+    ++report.overridden_poisons;
+    return true;
+  });
+  std::sort(report.poisoned.begin(), report.poisoned.end(),
+            [](const fuzz::PoisonedCell& a, const fuzz::PoisonedCell& b) {
+              return a.index < b.index;
+            });
+  report.result.poisoned_cells = report.poisoned;
+
+  // Missing = nobody journaled anything for the cell, not even a
+  // quarantine: a poisoned cell is accounted for — honestly absent —
+  // rather than silently awaited.
   for (std::size_t i = 0; i < grid.size(); ++i) {
-    if (covered[i] == 0) report.missing.push_back(i);
+    if (covered[i] == 0 && poisoned_at[i] == 0) report.missing.push_back(i);
   }
-  report.result.complete = report.missing.empty();
+  report.result.complete = report.missing.empty() && report.poisoned.empty();
   report.result.cells_completed.assign(covered.begin(), covered.end());
   report.result.workers_used = journal_paths.size();
 

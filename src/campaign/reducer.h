@@ -34,6 +34,13 @@ struct ReduceReport {
   std::size_t cells_loaded = 0;      ///< intact cell records read
   std::size_t duplicate_cells = 0;   ///< identical re-runs deduplicated
   std::vector<std::size_t> missing;  ///< grid indices no journal covers
+  /// Cells some shard quarantined and no shard completed (grid order,
+  /// deduplicated; also mirrored into result.poisoned_cells). A clean
+  /// result for the same index always wins — the cell plainly *can*
+  /// run — and such overridden quarantines are only counted.
+  std::vector<fuzz::PoisonedCell> poisoned;
+  std::size_t poison_records = 0;      ///< poison records read, pre-dedup
+  std::size_t overridden_poisons = 0;  ///< quarantines beaten by a clean cell
 };
 
 /// Merge the shard journals at `journal_paths` for the campaign

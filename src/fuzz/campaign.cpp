@@ -2,20 +2,37 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <climits>
+#include <csignal>
+#include <cstdio>
 #include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "campaign/checkpoint.h"
 #include "campaign/corpus_store.h"
 #include "campaign/crash_archive.h"
 #include "fuzz/vm_pool.h"
+#include "support/failpoints.h"
+#include "support/retry.h"
 
 namespace iris::fuzz {
 namespace {
+
+/// Frame magic on the sandbox result pipe ("IRSB"): magic u32, payload
+/// length u32, fnv1a(payload) u64, payload (a serialized
+/// CheckpointCell). Anything else — short read, bad checksum, trailing
+/// bytes — is a kProtocol harness fault, never a crash.
+constexpr std::uint32_t kSandboxFrameMagic = 0x49525342;
 
 /// One cell's throwaway VM stack (the reuse_vm_stacks == false path).
 /// Construction is a pure function of config; naively reusing a manager
@@ -51,6 +68,20 @@ std::vector<std::pair<hv::BlockKey, std::uint8_t>> cell_coverage(
 }
 
 }  // namespace
+
+std::string HarnessFault::describe() const {
+  switch (kind) {
+    case Kind::kSignal:
+      return "harness killed by signal " + std::to_string(detail);
+    case Kind::kExit:
+      return "harness exited with code " + std::to_string(detail);
+    case Kind::kDeadline:
+      return "harness overran the cell deadline (SIGKILLed)";
+    case Kind::kProtocol:
+      return "harness result pipe torn or corrupt";
+  }
+  return "unknown harness fault";
+}
 
 void finalize_campaign_result(
     const std::vector<std::vector<std::pair<hv::BlockKey, std::uint8_t>>>&
@@ -116,12 +147,13 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   // surfaced but never written to: the run proceeds in-memory.
   std::optional<campaign::CampaignCheckpoint> checkpoint;
   std::vector<char> done(grid.size(), 0);
+  std::vector<char> poisoned(grid.size(), 0);
   std::vector<std::vector<std::pair<hv::BlockKey, std::uint8_t>>> cell_cov(
       grid.size());
   if (!config_.checkpoint_path.empty()) {
     auto opened = campaign::CampaignCheckpoint::open(
         config_.checkpoint_path, campaign::campaign_fingerprint(grid, config_),
-        campaign::grid_uses_profiles(grid));
+        campaign::grid_uses_profiles(grid), config_.sandbox_cells);
     if (opened.ok()) {
       checkpoint = std::move(opened).take();
       for (const auto& cell : checkpoint->cells()) {
@@ -130,6 +162,22 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         out.results[cell.index] = cell.result;
         cell_cov[cell.index] = cell.coverage;
         ++out.cells_resumed;
+      }
+      // Quarantined cells resume as quarantined: the journal says every
+      // attempt faulted, so this run never re-executes them (a clean
+      // journaled result for the same index — impossible from one
+      // campaign, conceivable from a hand-merged journal — wins above).
+      for (const auto& poison : checkpoint->poisons()) {
+        if (poison.index >= grid.size() || done[poison.index] != 0 ||
+            poisoned[poison.index] != 0) {
+          continue;
+        }
+        poisoned[poison.index] = 1;
+        HarnessFault fault;
+        fault.kind = static_cast<HarnessFault::Kind>(poison.fault_kind);
+        fault.detail = poison.detail;
+        out.poisoned_cells.push_back(
+            PoisonedCell{poison.index, poison.attempts, fault});
       }
     } else {
       out.persistence_error = opened.error().message;
@@ -249,6 +297,11 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   };
 
   std::mutex journal_mutex;
+  // After the first post-retry (i.e. permanent: ENOSPC, EACCES, ...)
+  // append failure the journal is degraded: the campaign completes in
+  // memory without hammering a hopeless filesystem once per cell, and
+  // the recorded persistence_error surfaces at campaign end.
+  bool journal_degraded = false;
   /// True iff the cell's record reached this shard's journal.
   auto journal_cell = [&](std::size_t index) -> bool {
     if (!checkpoint) return false;
@@ -258,27 +311,230 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     cell.result = out.results[index];
     cell.coverage = cell_cov[index];
     const std::lock_guard<std::mutex> lock(journal_mutex);
+    if (journal_degraded) return false;
     if (const auto status = checkpoint->append(cell); !status.ok()) {
       if (out.persistence_error.empty()) {
         out.persistence_error = status.error().message;
       }
+      journal_degraded = true;
+      return false;
+    }
+    return true;
+  };
+  /// True iff the poison record reached this shard's journal. Also
+  /// accounts the quarantine in the in-memory result either way.
+  auto journal_poison = [&](const PoisonedCell& poison) -> bool {
+    const std::lock_guard<std::mutex> lock(journal_mutex);
+    out.poisoned_cells.push_back(poison);
+    if (!checkpoint || journal_degraded) return false;
+    campaign::PoisonRecord record;
+    record.index = poison.index;
+    record.attempts = poison.attempts;
+    record.fault_kind = static_cast<std::uint8_t>(poison.fault.kind);
+    record.detail = poison.fault.detail;
+    record.message = poison.fault.describe();
+    if (const auto status = checkpoint->append_poison(record); !status.ok()) {
+      if (out.persistence_error.empty()) {
+        out.persistence_error = status.error().message;
+      }
+      journal_degraded = true;
       return false;
     }
     return true;
   };
 
   // Tell a distributed gate about every cell this shard's own journal
-  // already covers, so it can finish (and mark done) ranges a previous
-  // incarnation of this shard left half-complete.
+  // already covers — completed or quarantined — so it can finish (and
+  // mark done) ranges a previous incarnation of this shard left
+  // half-complete instead of reclaiming a poisoned range forever.
   if (config_.gate != nullptr) {
     for (std::size_t i = 0; i < grid.size(); ++i) {
-      if (done[i] != 0) config_.gate->completed(i);
+      if (done[i] != 0 || poisoned[i] != 0) config_.gate->completed(i);
     }
   }
 
+  std::atomic<std::size_t> fault_count{0};
+  std::atomic<bool> saw_stop{false};
+
+  // One cell body, two stack sources: a reset pooled slot or a
+  // throwaway CellVm (provably equivalent — see PooledVm::reset).
+  // Either stack is built for the cell's capability profile. Shared by
+  // the in-process path and the sandboxed child, which is what makes
+  // "clean sandboxed cell ≡ in-process cell" a serialization round-trip
+  // property rather than a hope.
+  auto run_cell_body = [&](std::size_t i, std::size_t worker_index,
+                           const VmBehavior& behavior)
+      -> std::pair<TestCaseResult,
+                   std::vector<std::pair<hv::BlockKey, std::uint8_t>>> {
+    const TestCaseSpec& spec = grid[i];
+    const vtx::VmxCapabilityProfile& profile = vtx::profile_by_id(spec.profile);
+    std::optional<CellVm> throwaway;
+    hv::Hypervisor* cell_hv = nullptr;
+    Manager* cell_manager = nullptr;
+    if (pool) {
+      PooledVm& slot = pool->worker(worker_index);
+      slot.reset(profile);
+      cell_hv = &slot.hv();
+      cell_manager = &slot.manager();
+    } else {
+      throwaway.emplace(config_, profile);
+      cell_hv = &throwaway->hv;
+      cell_manager = &throwaway->manager;
+    }
+    Fuzzer fuzzer(*cell_manager, config_.fuzzer);
+    TestCaseResult result =
+        fuzzer.run_test_case(spec, behavior, imports,
+                             sync_enabled ? config_.import_mutants : 0);
+    auto cov = cell_coverage(cell_hv->coverage());
+    return {std::move(result), std::move(cov)};
+  };
+
+  // Sandboxed execution: fork, run the cell body in the child, pipe the
+  // serialized CheckpointCell back, supervise with a watchdog deadline.
+  // Returns nullopt on success (result stored), or the fault.
+  //
+  // Fork safety: the behavior was recorded (and any cell_exec failpoint
+  // evaluated) in the parent BEFORE forking, so the child never takes
+  // behaviors_mutex, journal_mutex, or the failpoint table mutex —
+  // another worker could be holding any of them at fork time.
+  auto run_cell_sandboxed = [&](std::size_t i, std::size_t worker_index,
+                                const VmBehavior& behavior)
+      -> std::optional<HarnessFault> {
+    std::optional<support::failpoints::Hit> injected;
+    if (support::failpoints::active()) {
+      injected = support::failpoints::evaluate("cell_exec", i);
+    }
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      return HarnessFault{HarnessFault::Kind::kProtocol, errno};
+    }
+    const ::pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return HarnessFault{HarnessFault::Kind::kProtocol, errno};
+    }
+    if (pid == 0) {
+      // --- Child: run the cell, deliver the framed result, _exit.
+      ::close(fds[0]);
+      if (injected) support::failpoints::execute_fatal(*injected);
+      auto [result, cov] = run_cell_body(i, worker_index, behavior);
+      campaign::CheckpointCell cell;
+      cell.index = i;
+      cell.sync_epoch = sync_epoch;
+      cell.result = std::move(result);
+      cell.coverage = std::move(cov);
+      ByteWriter payload;
+      campaign::serialize_checkpoint_cell(cell, payload);
+      ByteWriter frame;
+      frame.u32(kSandboxFrameMagic);
+      frame.u32(static_cast<std::uint32_t>(payload.size()));
+      frame.u64(fnv1a(payload.data()));
+      frame.bytes(payload.data());
+      const auto& bytes = frame.data();
+      std::size_t off = 0;
+      while (off < bytes.size()) {
+        const ::ssize_t n =
+            ::write(fds[1], bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          ::_exit(3);  // result undeliverable; parent records kExit
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      ::_exit(0);
+    }
+    // --- Parent: drain the pipe under the deadline, then reap.
+    ::close(fds[1]);
+    std::vector<std::uint8_t> buf;
+    bool deadline_hit = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(config_.cell_deadline_seconds));
+    for (;;) {
+      int timeout_ms = -1;
+      if (config_.cell_deadline_seconds > 0 && !deadline_hit) {
+        const auto remaining_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now())
+                .count();
+        timeout_ms = remaining_ms < 0
+                         ? 0
+                         : static_cast<int>(std::min<long long>(
+                               remaining_ms, INT_MAX));
+      }
+      struct ::pollfd pfd{fds[0], POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (rc == 0) {
+        // Watchdog: the cell overran its deadline. Kill and keep
+        // draining — EOF follows the death.
+        deadline_hit = true;
+        ::kill(pid, SIGKILL);
+        continue;
+      }
+      std::uint8_t chunk[4096];
+      const ::ssize_t n = ::read(fds[0], chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (n == 0) break;  // EOF: child finished writing or died
+      buf.insert(buf.end(), chunk, chunk + n);
+    }
+    ::close(fds[0]);
+    int status = 0;
+    while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (deadline_hit) {
+      return HarnessFault{HarnessFault::Kind::kDeadline, SIGKILL};
+    }
+    if (WIFSIGNALED(status)) {
+      return HarnessFault{HarnessFault::Kind::kSignal, WTERMSIG(status)};
+    }
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      return HarnessFault{HarnessFault::Kind::kExit,
+                          WIFEXITED(status) ? WEXITSTATUS(status) : -1};
+    }
+    // Exit 0: the frame must parse, checksum, and name this cell.
+    ByteReader r(buf);
+    auto magic = r.u32();
+    auto len = r.u32();
+    auto checksum = r.u64();
+    if (!magic.ok() || magic.value() != kSandboxFrameMagic || !len.ok() ||
+        !checksum.ok() || len.value() != r.remaining()) {
+      return HarnessFault{HarnessFault::Kind::kProtocol, 0};
+    }
+    const std::span<const std::uint8_t> payload =
+        std::span(buf).subspan(16);
+    if (fnv1a(payload) != checksum.value()) {
+      return HarnessFault{HarnessFault::Kind::kProtocol, 1};
+    }
+    ByteReader pr(payload);
+    auto cell = campaign::deserialize_checkpoint_cell(pr);
+    if (!cell.ok() || !pr.exhausted() || cell.value().index != i) {
+      return HarnessFault{HarnessFault::Kind::kProtocol, 2};
+    }
+    auto taken = std::move(cell).take();
+    out.results[i] = std::move(taken.result);
+    cell_cov[i] = std::move(taken.coverage);
+    return std::nullopt;
+  };
+
   auto work = [&](std::size_t worker_index) {
     for (std::size_t i = worker_index; i < grid.size(); i += workers) {
-      if (done[i] != 0) continue;  // recovered from the checkpoint
+      if (done[i] != 0 || poisoned[i] != 0) continue;  // journaled already
+      if (config_.stop != nullptr &&
+          config_.stop->load(std::memory_order_relaxed)) {
+        // Cooperative stop: the in-flight cell (if any) already
+        // finished and journaled; just stop claiming new ones.
+        saw_stop.store(true, std::memory_order_relaxed);
+        return;
+      }
       if (config_.gate != nullptr) {
         config_.gate->heartbeat();
         if (!config_.gate->try_claim(i)) continue;  // another shard's range
@@ -286,28 +542,47 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       if (!claim_budget()) return;
       const TestCaseSpec& spec = grid[i];
       const VmBehavior& behavior = ensure_behavior(spec.workload, worker_index);
-      // One cell body, two stack sources: a reset pooled slot or a
-      // throwaway CellVm (provably equivalent — see PooledVm::reset).
-      // Either stack is built for the cell's capability profile.
-      const vtx::VmxCapabilityProfile& profile = vtx::profile_by_id(spec.profile);
-      std::optional<CellVm> throwaway;
-      hv::Hypervisor* cell_hv = nullptr;
-      Manager* cell_manager = nullptr;
-      if (pool) {
-        PooledVm& slot = pool->worker(worker_index);
-        slot.reset(profile);
-        cell_hv = &slot.hv();
-        cell_manager = &slot.manager();
+      if (config_.sandbox_cells) {
+        // Fault containment: each attempt runs in a fresh child; faults
+        // are retried with jittered backoff, then quarantined.
+        const std::size_t max_attempts = 1 + config_.cell_retries;
+        std::optional<HarnessFault> fault;
+        for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+          fault = run_cell_sandboxed(i, worker_index, behavior);
+          if (!fault) break;
+          fault_count.fetch_add(1, std::memory_order_relaxed);
+          // Defensive: re-establish the worker's pooled stack from
+          // scratch after reaping a dead harness.
+          if (pool) pool->rebuild(worker_index);
+          if (attempt < max_attempts) {
+            support::RetryPolicy backoff;
+            backoff.base_delay_ms = config_.retry_base_backoff_ms;
+            backoff.multiplier = 2.0;
+            backoff.max_delay_ms = 2000.0;
+            backoff.jitter_seed =
+                0x9E3779B97F4A7C15ULL ^ (i * 0x100000001B3ULL);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(
+                    support::retry_delay_ms(backoff, attempt)));
+          }
+        }
+        if (fault) {
+          std::fprintf(stderr,
+                       "campaign: cell %zu poisoned after %zu attempts: %s\n",
+                       i, max_attempts, fault->describe().c_str());
+          poisoned[i] = 1;
+          const bool journaled = journal_poison(PoisonedCell{
+              i, static_cast<std::uint32_t>(max_attempts), *fault});
+          // A journaled quarantine retires the range exactly like a
+          // journaled result: the reducer will see and report it.
+          if (config_.gate != nullptr && journaled) config_.gate->completed(i);
+          continue;
+        }
       } else {
-        throwaway.emplace(config_, profile);
-        cell_hv = &throwaway->hv;
-        cell_manager = &throwaway->manager;
+        auto [result, cov] = run_cell_body(i, worker_index, behavior);
+        out.results[i] = std::move(result);
+        cell_cov[i] = std::move(cov);
       }
-      Fuzzer fuzzer(*cell_manager, config_.fuzzer);
-      out.results[i] =
-          fuzzer.run_test_case(spec, behavior, imports,
-                               sync_enabled ? config_.import_mutants : 0);
-      cell_cov[i] = cell_coverage(cell_hv->coverage());
       done[i] = 1;
       const bool journaled = journal_cell(i);
       // Only journaled cells may retire toward a (final) done marker:
@@ -330,9 +605,18 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   out.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
+  // A poisoned cell keeps done[i] == 0: the campaign outcome is
+  // honestly partial (complete == false, the cell's result a
+  // placeholder) even though the cell will never be re-run here.
   out.complete =
       std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
   out.cells_completed.assign(done.begin(), done.end());
+  out.harness_faults = fault_count.load(std::memory_order_relaxed);
+  out.interrupted = saw_stop.load(std::memory_order_relaxed);
+  std::sort(out.poisoned_cells.begin(), out.poisoned_cells.end(),
+            [](const PoisonedCell& a, const PoisonedCell& b) {
+              return a.index < b.index;
+            });
 
   // --- Merge phase, shared with the distributed reducer. ---
   finalize_campaign_result(cell_cov, out);

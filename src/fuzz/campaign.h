@@ -21,6 +21,7 @@
 // Either way, sharding cannot change results.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -31,6 +32,31 @@
 #include "fuzz/fuzzer.h"
 
 namespace iris::fuzz {
+
+/// How a sandboxed cell harness died. A fault is a property of the
+/// *harness execution*, not of the cell: the cell has no result, and the
+/// containment layer decides whether to retry or quarantine it.
+struct HarnessFault {
+  enum class Kind : std::uint8_t {
+    kSignal = 0,    ///< child killed by a signal (SIGSEGV, SIGABRT, ...)
+    kExit = 1,      ///< child exited nonzero without delivering a result
+    kDeadline = 2,  ///< watchdog deadline overran; child was SIGKILLed
+    kProtocol = 3,  ///< child exited 0 but the result pipe was torn/corrupt
+  };
+  Kind kind = Kind::kSignal;
+  /// Signal number (kSignal/kDeadline) or exit code (kExit).
+  int detail = 0;
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// A quarantined cell: every sandboxed execution attempt faulted, so the
+/// campaign carries it as an explicit hole instead of dying with it.
+struct PoisonedCell {
+  std::size_t index = 0;       ///< grid index
+  std::uint32_t attempts = 0;  ///< executions that all faulted
+  HarnessFault fault;          ///< the final attempt's fault
+};
 
 /// Distributed-mode cell gate. When CampaignConfig::gate is set, the
 /// runner consults it before executing each pending cell, so several
@@ -132,6 +158,32 @@ struct CampaignConfig {
   /// the worker count, the gate is excluded from the campaign
   /// fingerprint: it decides where cells run, never what they compute.
   CellGate* gate = nullptr;
+
+  // --- Fault containment (PR 7). Off by default; none of these fields
+  // enter the campaign fingerprint — like the worker count, they change
+  // where and how cells execute, never what a cell computes. A clean
+  // sandboxed cell is proven byte-identical to in-process execution.
+
+  /// Execute each cell in a forked, watchdog-supervised child process.
+  /// A harness death (signal / nonzero exit / deadline / torn result
+  /// pipe) becomes a journaled HarnessFault instead of shard death.
+  /// Requires a v4 checkpoint journal when checkpointing is on.
+  bool sandbox_cells = false;
+  /// Watchdog deadline per sandboxed cell execution; past it the child
+  /// is SIGKILLed and the attempt counts as a kDeadline fault. 0 = no
+  /// deadline.
+  double cell_deadline_seconds = 120.0;
+  /// Extra executions after a faulted attempt (with jittered exponential
+  /// backoff) before the cell is quarantined as poisoned. Total attempts
+  /// = 1 + cell_retries.
+  std::size_t cell_retries = 2;
+  /// Base backoff before the first retry; doubles per attempt, jittered.
+  double retry_base_backoff_ms = 10.0;
+
+  /// Cooperative stop flag (not owned; may be null). Set by a signal
+  /// handler: workers finish their in-flight cell, journal it, and stop
+  /// claiming new ones. The run returns incomplete, resumable as usual.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct CampaignResult {
@@ -175,6 +227,18 @@ struct CampaignResult {
   /// persistence is off or healthy. Results are still valid — the run
   /// falls back to in-memory operation.
   std::string persistence_error;
+
+  // --- Fault containment accounting (sandbox mode only).
+  /// Cells quarantined after exhausting their attempt budget, in grid
+  /// order. A poisoned cell's results[i] entry is a placeholder and its
+  /// cells_completed[i] flag is 0; `complete` is false whenever any cell
+  /// is poisoned — the campaign outcome is honestly partial.
+  std::vector<PoisonedCell> poisoned_cells;
+  /// Total harness faults observed (including ones later retried into
+  /// clean results).
+  std::size_t harness_faults = 0;
+  /// True when the run stopped early because config.stop was raised.
+  bool interrupted = false;
 };
 
 /// Merge phase shared by CampaignRunner and campaign::reduce_journals:

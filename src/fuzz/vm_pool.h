@@ -89,6 +89,14 @@ class VmPool {
     return *slot;
   }
 
+  /// Discard the given worker's stack; the next worker() call builds a
+  /// fresh one. Sandbox mode calls this after reaping a faulted cell
+  /// child: the parent's slot was never touched by the child (separate
+  /// address space), but a harness that just died is exactly when "reset
+  /// provably equals fresh" should be re-established from an actually
+  /// fresh stack rather than assumed.
+  void rebuild(std::size_t index) { slots_.at(index).reset(); }
+
   /// Stacks actually constructed (observability for tests/benches).
   [[nodiscard]] std::size_t constructed() const noexcept {
     std::size_t n = 0;

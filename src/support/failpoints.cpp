@@ -1,0 +1,283 @@
+#include "support/failpoints.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+namespace iris::support::failpoints {
+namespace {
+
+struct Rule {
+  std::string site;
+  Hit hit;
+  std::uint64_t cell = kAnyIndex;  ///< kAnyIndex = any cell
+  std::uint64_t after = 0;         ///< skip the first N matching hits
+  std::uint64_t count = ~0ULL;     ///< fire at most this many times
+  std::size_t counter_slot = 0;    ///< index into the shared counter page
+};
+
+constexpr std::size_t kMaxRules = 64;
+
+/// Hit counters shared across fork() so child retries observe the
+/// counts their dead siblings accumulated. One page, mapped once.
+struct SharedCounters {
+  std::uint64_t slots[kMaxRules];
+};
+
+SharedCounters* shared_counters() {
+  static SharedCounters* page = [] {
+    void* mem = ::mmap(nullptr, sizeof(SharedCounters),
+                       PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS,
+                       -1, 0);
+    if (mem == MAP_FAILED) {
+      // Degrade to process-local counters: failpoints still work, only
+      // cross-fork count sharing is lost.
+      static SharedCounters local{};
+      return &local;
+    }
+    return static_cast<SharedCounters*>(mem);
+  }();
+  return page;
+}
+
+std::mutex& table_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Rule>& rules() {
+  static std::vector<Rule> r;
+  return r;
+}
+
+std::atomic<bool>& armed_flag() {
+  static std::atomic<bool> armed{false};
+  return armed;
+}
+
+struct NamedInt {
+  const char* name;
+  int value;
+};
+
+constexpr NamedInt kErrnos[] = {
+    {"ENOSPC", ENOSPC}, {"EINTR", EINTR}, {"ESTALE", ESTALE},
+    {"EIO", EIO},       {"EAGAIN", EAGAIN}, {"EACCES", EACCES},
+    {"EROFS", EROFS},   {"EBUSY", EBUSY},
+};
+
+constexpr NamedInt kSignals[] = {
+    {"SEGV", SIGSEGV}, {"ABRT", SIGABRT}, {"BUS", SIGBUS},
+    {"KILL", SIGKILL}, {"ILL", SIGILL},   {"TERM", SIGTERM},
+};
+
+std::optional<int> lookup(std::span<const NamedInt> table,
+                          std::string_view name) {
+  for (const auto& entry : table) {
+    if (name == entry.name) return entry.value;
+  }
+  return std::nullopt;
+}
+
+const char* errno_name(int err) {
+  for (const auto& entry : kErrnos) {
+    if (entry.value == err) return entry.name;
+  }
+  return "errno";
+}
+
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return Error{91, "failpoints: empty number"};
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Error{91, "failpoints: bad number '" + std::string(text) + "'"};
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+Result<Rule> parse_rule(std::string_view text) {
+  Rule rule;
+  bool have_action = false;
+  std::size_t start = 0;
+  bool first = true;
+  while (start <= text.size()) {
+    std::size_t colon = text.find(':', start);
+    if (colon == std::string_view::npos) colon = text.size();
+    const std::string_view clause = text.substr(start, colon - start);
+    start = colon + 1;
+    if (clause.empty()) continue;
+    if (first) {
+      rule.site = std::string(clause);
+      first = false;
+      continue;
+    }
+    const std::size_t eq = clause.find('=');
+    const std::string_view key = clause.substr(0, eq);
+    const std::string_view value =
+        eq == std::string_view::npos ? std::string_view{}
+                                     : clause.substr(eq + 1);
+    if (key == "errno") {
+      const auto err = lookup(kErrnos, value);
+      if (!err) {
+        return Error{91, "failpoints: unknown errno '" + std::string(value) +
+                             "' (supported: ENOSPC EINTR ESTALE EIO EAGAIN "
+                             "EACCES EROFS EBUSY)"};
+      }
+      rule.hit = Hit{Hit::Action::kErrno, *err};
+      have_action = true;
+    } else if (key == "signal") {
+      const auto sig = lookup(kSignals, value);
+      if (!sig) {
+        return Error{91, "failpoints: unknown signal '" + std::string(value) +
+                             "' (supported: SEGV ABRT BUS KILL ILL TERM)"};
+      }
+      rule.hit = Hit{Hit::Action::kSignal, *sig};
+      have_action = true;
+    } else if (key == "hang") {
+      rule.hit = Hit{Hit::Action::kHang, 0};
+      have_action = true;
+    } else if (key == "exit") {
+      auto code = parse_u64(value);
+      if (!code.ok()) return code.error();
+      rule.hit = Hit{Hit::Action::kExit, static_cast<int>(code.value())};
+      have_action = true;
+    } else if (key == "cell") {
+      auto cell = parse_u64(value);
+      if (!cell.ok()) return cell.error();
+      rule.cell = cell.value();
+    } else if (key == "after") {
+      auto after = parse_u64(value);
+      if (!after.ok()) return after.error();
+      rule.after = after.value();
+    } else if (key == "count") {
+      auto count = parse_u64(value);
+      if (!count.ok()) return count.error();
+      rule.count = count.value();
+    } else {
+      return Error{91, "failpoints: unknown clause '" + std::string(clause) +
+                           "' in rule for site '" + rule.site + "'"};
+    }
+  }
+  if (rule.site.empty()) return Error{91, "failpoints: rule without a site"};
+  if (!have_action) {
+    return Error{91, "failpoints: rule for site '" + rule.site +
+                         "' has no action (errno=/signal=/hang/exit=)"};
+  }
+  return rule;
+}
+
+}  // namespace
+
+Status configure(std::string_view spec) {
+  std::vector<Rule> parsed;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t semi = spec.find(';', start);
+    if (semi == std::string_view::npos) semi = spec.size();
+    const std::string_view text = spec.substr(start, semi - start);
+    start = semi + 1;
+    if (text.empty()) continue;
+    auto rule = parse_rule(text);
+    if (!rule.ok()) return rule.error();
+    if (parsed.size() >= kMaxRules) {
+      return Error{91, "failpoints: more than 64 rules"};
+    }
+    parsed.push_back(std::move(rule).take());
+  }
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  SharedCounters* counters = shared_counters();
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    parsed[i].counter_slot = i;
+    counters->slots[i] = 0;
+  }
+  rules() = std::move(parsed);
+  armed_flag().store(!rules().empty(), std::memory_order_release);
+  return {};
+}
+
+void configure_from_env() {
+  const char* spec = std::getenv("IRIS_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return;
+  if (const auto status = configure(spec); !status.ok()) {
+    std::fprintf(stderr, "IRIS_FAILPOINTS ignored: %s\n",
+                 status.error().message.c_str());
+  }
+}
+
+void clear() {
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  rules().clear();
+  armed_flag().store(false, std::memory_order_release);
+}
+
+bool active() noexcept {
+  static std::once_flag env_once;
+  std::call_once(env_once, configure_from_env);
+  return armed_flag().load(std::memory_order_acquire);
+}
+
+std::optional<Hit> evaluate(std::string_view site, std::uint64_t index) {
+  if (!active()) return std::nullopt;
+  const std::lock_guard<std::mutex> lock(table_mutex());
+  SharedCounters* counters = shared_counters();
+  for (const Rule& rule : rules()) {
+    if (rule.site != site) continue;
+    if (rule.cell != kAnyIndex && rule.cell != index) continue;
+    // One shared counter per rule: hit number h fires iff
+    // after < h <= after + count. __atomic on the shared page keeps the
+    // count coherent across forked children.
+    const std::uint64_t hit = __atomic_add_fetch(
+        &counters->slots[rule.counter_slot], 1, __ATOMIC_RELAXED);
+    if (hit <= rule.after) continue;
+    // Subtract-compare, not after+count: the unbounded default count
+    // (~0) must not wrap the window shut.
+    if (hit - rule.after > rule.count) continue;
+    return rule.hit;
+  }
+  return std::nullopt;
+}
+
+std::optional<Error> fs_error(std::string_view site, std::uint64_t index) {
+  const auto hit = evaluate(site, index);
+  if (!hit) return std::nullopt;
+  if (hit->action == Hit::Action::kErrno) {
+    return Error{90,
+                 "injected " + std::string(site) + " failure (" +
+                     errno_name(hit->detail) + ")",
+                 hit->detail};
+  }
+  execute_fatal(*hit);
+}
+
+void execute_fatal(const Hit& hit) {
+  switch (hit.action) {
+    case Hit::Action::kSignal:
+      ::raise(hit.detail);
+      // An ignored/handled signal must still be fatal — the rule asked
+      // for a dead process, and the containment layer under test needs
+      // one.
+      ::_exit(128 + hit.detail);
+    case Hit::Action::kExit:
+      ::_exit(hit.detail);
+    case Hit::Action::kHang:
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    case Hit::Action::kErrno:
+      break;
+  }
+  ::_exit(125);  // unreachable for well-formed hits
+}
+
+}  // namespace iris::support::failpoints

@@ -1,0 +1,95 @@
+// Deterministic failpoints: injectable faults for hermetic robustness
+// tests.
+//
+// A fuzzer whose job is to surface faults must survive its own: torn
+// journal appends, ENOSPC mid-campaign, harness cells that segfault or
+// hang. None of those can be provoked reliably by real hardware in CI,
+// so the campaign's filesystem helpers and the sandboxed cell executor
+// consult named *failpoint sites*, and a test (or the IRIS_FAILPOINTS
+// environment variable) arms rules against them:
+//
+//   IRIS_FAILPOINTS="checkpoint_append:errno=ENOSPC:after=100;
+//                    cell_exec:signal=SEGV:cell=17;cell_exec:hang:cell=23"
+//   (one string; shown wrapped here — whitespace around ';' is not part
+//   of the grammar, so join the rules without it)
+//
+// Rule grammar (';'-separated rules, ':'-separated clauses):
+//   <site>                 site the rule arms (first clause, mandatory)
+//   errno=<NAME>           action: fail with this errno (ENOSPC, EINTR,
+//                          ESTALE, EIO, EAGAIN, EACCES, EROFS, EBUSY)
+//   signal=<NAME>          action: raise this signal in the evaluating
+//                          process (SEGV, ABRT, BUS, KILL, ILL, TERM)
+//   hang                   action: block forever (until a watchdog kills
+//                          the process)
+//   exit=<code>            action: _exit(code) immediately
+//   cell=<K>               filter: only for grid-cell index K
+//   after=<N>              filter: skip the first N matching hits
+//   count=<M>              filter: fire at most M times (then disarm)
+//
+// Hit counters live in a MAP_SHARED anonymous page, so rules keep their
+// state across fork(): a `count=1` segfault injected into a sandboxed
+// cell fires in the first child and is spent for the retry — exactly
+// the transient-fault shape the containment layer must recover from.
+//
+// Sites are evaluated only on cold paths (per file operation, per
+// sandboxed cell launch); with no rules configured the check is one
+// relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "support/result.h"
+
+namespace iris::support::failpoints {
+
+/// What a fired rule wants done at the site.
+struct Hit {
+  enum class Action : std::uint8_t { kErrno, kSignal, kHang, kExit };
+  Action action = Action::kErrno;
+  int detail = 0;  ///< errno value, signal number, or exit code
+};
+
+/// Index wildcard for sites with no grid-cell identity.
+inline constexpr std::uint64_t kAnyIndex = ~0ULL;
+
+/// Replace the active rule table with the parse of `spec` (empty spec =
+/// disarm everything). Unknown sites are allowed — rules only fire where
+/// a matching site is evaluated — but malformed clauses are errors.
+Status configure(std::string_view spec);
+
+/// Arm from the IRIS_FAILPOINTS environment variable, if set. Called
+/// lazily by the first evaluate(); safe to call explicitly (tools that
+/// also take a --failpoints flag should call configure() after this).
+void configure_from_env();
+
+/// Disarm every rule.
+void clear();
+
+/// True if any rule is armed (cheap: one relaxed load).
+bool active() noexcept;
+
+/// Evaluate `site`. Returns the action of the first armed rule whose
+/// site and filters match, bumping its shared hit counter; nullopt
+/// when nothing fires. `index` is the grid-cell index where one exists.
+/// kHang is returned, never executed here — the caller decides where
+/// blocking is survivable. kSignal/kExit are likewise returned so
+/// process-fatal actions only ever run where the caller is a disposable
+/// child.
+std::optional<Hit> evaluate(std::string_view site,
+                            std::uint64_t index = kAnyIndex);
+
+/// Filesystem-site convenience: evaluate, and turn an errno action into
+/// the Error the helper should return (code 90, sys_errno set, message
+/// naming the site and errno). Signal actions are raised in-process
+/// (simulating a crash inside the helper); hang blocks; exit exits.
+std::optional<Error> fs_error(std::string_view site,
+                              std::uint64_t index = kAnyIndex);
+
+/// Execute a non-errno hit: raise the signal, _exit, or block forever.
+/// Used by the sandboxed cell path inside the forked child.
+[[noreturn]] void execute_fatal(const Hit& hit);
+
+}  // namespace iris::support::failpoints

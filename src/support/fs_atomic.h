@@ -3,6 +3,7 @@
 #pragma once
 
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -38,21 +39,26 @@ inline Status write_file_atomic(const std::filesystem::path& dir,
   const fs::path tmp = dir / ("." + name + suffix);
   const fs::path final_path = dir / name;
   {
+    // Stream failures capture errno so retry policies can classify the
+    // condition (EINTR/ESTALE retryable, ENOSPC not).
+    errno = 0;
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Error{20, "cannot open " + tmp.string()};
+    if (!out) return Error{20, "cannot open " + tmp.string(), errno};
     out.write(reinterpret_cast<const char*>(bytes.data()),
               static_cast<std::streamsize>(bytes.size()));
     if (!out) {
+      const int saved = errno;
       std::error_code ec;
       fs::remove(tmp, ec);
-      return Error{21, "write failed: " + tmp.string()};
+      return Error{21, "write failed: " + tmp.string(), saved};
     }
   }
   std::error_code ec;
   fs::rename(tmp, final_path, ec);
   if (ec) {
+    const int saved = ec.value();
     fs::remove(tmp, ec);
-    return Error{22, "rename failed: " + final_path.string()};
+    return Error{22, "rename failed: " + final_path.string(), saved};
   }
   return {};
 }
@@ -60,8 +66,9 @@ inline Status write_file_atomic(const std::filesystem::path& dir,
 /// Slurp a whole file; missing or unreadable files are an error value.
 inline Result<std::vector<std::uint8_t>> read_file_bytes(
     const std::filesystem::path& path) {
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Error{41, "cannot open " + path.string()};
+  if (!in) return Error{41, "cannot open " + path.string(), errno};
   return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
                                    std::istreambuf_iterator<char>());
 }

@@ -15,9 +15,16 @@
 namespace iris {
 
 /// Error payload carrying a machine-readable code plus human context.
+/// `sys_errno` optionally records the underlying OS errno (captured from
+/// a failed syscall, or injected by support/failpoints.h) so retry
+/// policies can tell transient conditions (EINTR, ESTALE) from
+/// permanent ones (ENOSPC, EACCES). It deliberately does not take part
+/// in equality: two errors that agree on code and message describe the
+/// same failure whichever syscall surfaced it.
 struct Error {
   int code = 0;
   std::string message;
+  int sys_errno = 0;
 
   friend bool operator==(const Error& a, const Error& b) {
     return a.code == b.code && a.message == b.message;
