@@ -1,0 +1,163 @@
+// Telemetry overhead — what observability costs the hot path.
+//
+// Runs one Table I campaign three ways over the identical grid:
+//   1. the raw fuzzer hot loop (bench_table1_fuzzer's measurement, so
+//      the "telemetry costs nothing" claim is checked against the same
+//      number CI has always floor-checked),
+//   2. CampaignRunner with telemetry dark (no status file, no trace
+//      sink, no progress callback — instrumentation sites still fire,
+//      but trace_active() is one relaxed load and metric adds are
+//      per-thread relaxed atomics),
+//   3. CampaignRunner with every telemetry channel lit: status file on
+//      an aggressive 50 ms cadence, a progress callback, and a JSONL
+//      trace stream receiving cell_start/cell_done per cell.
+// The lit result must be byte-identical to the dark one
+// (campaign::canonical_result_bytes); the bench fails hard otherwise.
+//
+// Results are appended to BENCH_PR8.json:
+//   table1.mutants_per_second            raw hot loop (floor-checked in CI)
+//   telemetry.mutants_per_second_off     campaign, telemetry dark
+//   telemetry.mutants_per_second_on      campaign, all channels lit
+//   telemetry.overhead_pct               wall-clock cost of observing
+//   telemetry.identical                  1.0 when the bytes matched
+//   telemetry.host_cpus
+//
+//   $ ./bench_telemetry_overhead [mutants] [seed]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <thread>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "campaign/checkpoint.h"
+#include "campaign/monitor.h"
+#include "fuzz/campaign.h"
+#include "fuzz/fuzzer.h"
+#include "support/telemetry.h"
+
+namespace {
+
+using namespace iris;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+fuzz::CampaignConfig campaign_config(std::uint64_t seed) {
+  fuzz::CampaignConfig config;
+  config.workers = 1;
+  config.hv_seed = seed;
+  config.record_exits = 500;
+  config.record_seed = seed;
+  return config;
+}
+
+std::size_t executed_mutants(const fuzz::CampaignResult& result) {
+  std::size_t total = 0;
+  for (const auto& cell : result.results) total += cell.executed;
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t mutants =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 20000;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 42;
+
+  const auto grid =
+      fuzz::make_table1_grid({guest::Workload::kCpuBound}, mutants, seed);
+  const unsigned cpus = std::max(1u, std::thread::hardware_concurrency());
+  bench::print_header("telemetry overhead (metrics + status file + trace)");
+  std::printf("%zu cells, M=%zu, 1 worker, %u host CPU(s)\n\n", grid.size(),
+              mutants, cpus);
+
+  // --- 1. Raw fuzzer hot loop: the number every CI floor tracks. ---
+  double hot_rate = 0.0;
+  {
+    bench::Experiment exp(seed, 0.0);
+    const VmBehavior& behavior = exp.manager.record_workload(
+        guest::Workload::kCpuBound, 500, seed);
+    fuzz::Fuzzer fuzzer(exp.manager);
+    const double t0 = now_seconds();
+    const auto results =
+        fuzzer.run_grid(guest::Workload::kCpuBound, behavior, mutants, seed);
+    const double wall = now_seconds() - t0;
+    std::size_t total = 0;
+    for (const auto& r : results) total += r.executed;
+    hot_rate = wall > 0.0 ? static_cast<double>(total) / wall : 0.0;
+    std::printf("fuzzer hot loop:       %8.0f mutants/s\n", hot_rate);
+  }
+
+  // --- 2 + 3. The same campaign dark and fully lit. ---
+  {
+    auto warm = fuzz::CampaignRunner(campaign_config(seed))
+                    .run(fuzz::make_table1_grid({guest::Workload::kCpuBound},
+                                                50, seed));
+    (void)warm;
+  }
+  const double off_started = now_seconds();
+  const auto off = fuzz::CampaignRunner(campaign_config(seed)).run(grid);
+  const double off_seconds = now_seconds() - off_started;
+
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "iris-bench-telemetry";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  auto lit = campaign_config(seed);
+  lit.status_path = (dir / "status-bench.json").string();
+  lit.status_interval_seconds = 0.05;
+  lit.shard_label = "bench";
+  std::size_t callbacks = 0;
+  lit.on_progress = [&](const campaign::ShardStatus&) { ++callbacks; };
+  if (!support::set_trace_path((dir / "trace-bench.jsonl").string(), "bench")
+           .ok()) {
+    std::fprintf(stderr, "cannot open trace stream under %s\n",
+                 dir.string().c_str());
+    return 1;
+  }
+  const double on_started = now_seconds();
+  const auto on = fuzz::CampaignRunner(lit).run(grid);
+  const double on_seconds = now_seconds() - on_started;
+  (void)support::set_trace_path("");
+
+  const std::size_t total = executed_mutants(off);
+  const double off_rate =
+      off_seconds > 0.0 ? static_cast<double>(total) / off_seconds : 0.0;
+  const double on_rate =
+      on_seconds > 0.0 ? static_cast<double>(total) / on_seconds : 0.0;
+  const double overhead_pct =
+      off_seconds > 0.0 ? 100.0 * (on_seconds - off_seconds) / off_seconds
+                        : 0.0;
+  const bool identical = campaign::canonical_result_bytes(off) ==
+                         campaign::canonical_result_bytes(on);
+
+  std::printf("campaign, telemetry off: %8.0f mutants/s (%.3f s)\n", off_rate,
+              off_seconds);
+  std::printf("campaign, telemetry on:  %8.0f mutants/s (%.3f s, "
+              "%zu progress callbacks)\n",
+              on_rate, on_seconds, callbacks);
+  std::printf("telemetry overhead:      %+7.1f%%  (status + trace + metrics)\n",
+              overhead_pct);
+  std::printf("byte-identical:          %s\n", identical ? "yes" : "NO");
+  if (!identical || !off.complete || !on.complete || callbacks == 0) {
+    std::fprintf(stderr, "instrumented campaign diverged from dark run\n");
+    return 1;
+  }
+
+  bench::JsonMetrics metrics("BENCH_PR8.json");
+  metrics.set("table1.mutants_per_second", hot_rate);
+  metrics.set("telemetry.mutants_per_second_off", off_rate);
+  metrics.set("telemetry.mutants_per_second_on", on_rate);
+  metrics.set("telemetry.overhead_pct", overhead_pct);
+  metrics.set("telemetry.identical", identical ? 1.0 : 0.0);
+  metrics.set("telemetry.host_cpus", cpus);
+  if (metrics.flush()) {
+    std::printf("\nappended to %s\n", metrics.path().c_str());
+  }
+  return 0;
+}

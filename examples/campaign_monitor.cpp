@@ -1,0 +1,169 @@
+// Live fleet monitor for distributed campaigns.
+//
+// Aggregates every shard's status-<shard>.json, the grid geometry from
+// grid.meta + done-<r> markers, and the tails of trace-<shard>.jsonl
+// streams in one lease directory into a fleet view: per-shard
+// throughput and state (live / done / stale-from-heartbeat-age), grid
+// completion %, crash/poison/lost-lease totals.
+//
+//   campaign_monitor <lease-dir>              one human-readable shot
+//   campaign_monitor <lease-dir> --once       one JSON object (scripting)
+//   campaign_monitor <lease-dir> --watch      redraw every --interval s
+//
+// Read-only by design: the monitor opens nothing for writing and can
+// watch a fleet it does not own. Exit codes: 0 fleet readable, 1 usage,
+// 2 lease directory unreadable.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "campaign/monitor.h"
+
+namespace {
+
+using iris::campaign::FleetView;
+using iris::campaign::ShardView;
+
+struct Cli {
+  std::string dir;
+  bool once = false;   ///< JSON instead of human text
+  bool watch = false;  ///< keep redrawing
+  double interval_seconds = 2.0;
+  double stale_seconds = 15.0;
+  std::size_t trace_tail = 8;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <lease-dir> [--once] [--watch] [--interval <sec>]\n"
+      "          [--stale <sec>] [--trace-tail <n>]\n"
+      "  --once        print one JSON fleet snapshot and exit\n"
+      "  --watch       redraw the human view every --interval seconds\n"
+      "  --interval    watch refresh cadence (default 2)\n"
+      "  --stale       heartbeat age that flags an unfinished shard as\n"
+      "                stale/presumed dead (default 15)\n"
+      "  --trace-tail  newest trace events shown per stream (default 8)\n",
+      argv0);
+}
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--once") {
+      cli.once = true;
+    } else if (arg == "--watch") {
+      cli.watch = true;
+    } else if (arg == "--interval") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.interval_seconds = std::strtod(v, nullptr);
+      if (cli.interval_seconds <= 0) return false;
+    } else if (arg == "--stale") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.stale_seconds = std::strtod(v, nullptr);
+      if (cli.stale_seconds <= 0) return false;
+    } else if (arg == "--trace-tail") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.trace_tail = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (!arg.starts_with("--") && cli.dir.empty()) {
+      cli.dir = arg;
+    } else {
+      return false;
+    }
+  }
+  return !cli.dir.empty() && !(cli.once && cli.watch);
+}
+
+void print_human(const FleetView& fleet, const Cli& cli) {
+  std::printf("fleet: %zu shard(s) — %zu live, %zu done, %zu stale\n",
+              fleet.shards.size(), fleet.live_shards, fleet.done_shards,
+              fleet.stale_shards);
+  if (fleet.ranges_total > 0) {
+    std::printf("grid: %.1f%% complete (%zu/%zu ranges, %zu cells)\n",
+                fleet.completion_pct, fleet.ranges_done, fleet.ranges_total,
+                fleet.cells_total);
+  } else {
+    std::printf("grid: %.1f%% complete (%zu/%zu cells)\n",
+                fleet.completion_pct, fleet.cells_done, fleet.cells_total);
+  }
+  std::printf(
+      "totals: %zu cells done, %zu mutants, %.0f mutants/s live, "
+      "%zu faults, %zu poisoned, %llu lost leases, %llu reclaims\n",
+      fleet.cells_done, fleet.executed, fleet.mutants_per_second,
+      fleet.harness_faults, fleet.cells_poisoned,
+      static_cast<unsigned long long>(fleet.lost_leases),
+      static_cast<unsigned long long>(fleet.lease_reclaims));
+  for (const ShardView& shard : fleet.shards) {
+    const auto& s = shard.status;
+    std::printf(
+        "  shard %-12s %-5s hb %5.1fs ago  %zu/%zu cells  "
+        "%8.0f mut/s  faults %zu  poisoned %zu\n",
+        s.shard_id.c_str(), iris::campaign::to_string(shard.state),
+        shard.heartbeat_age_seconds, s.cells_done, s.cells_total,
+        s.mutants_per_second, s.harness_faults, s.cells_poisoned);
+  }
+  if (!fleet.recent_events.empty()) {
+    std::printf("recent events:\n");
+    for (const auto& event : fleet.recent_events) {
+      const std::string* shard = event.field("shard");
+      std::printf("  [%s seq %llu ts %.0fus] %s",
+                  shard != nullptr ? shard->c_str() : "?",
+                  static_cast<unsigned long long>(event.seq), event.ts_us,
+                  event.event.c_str());
+      for (const auto& [key, text] : event.fields) {
+        if (key == "seq" || key == "ts_us" || key == "event" || key == "shard") {
+          continue;
+        }
+        std::printf(" %s=%s", key.c_str(), text.c_str());
+      }
+      std::printf("\n");
+    }
+  }
+  (void)cli;
+}
+
+int show(const Cli& cli) {
+  auto fleet = iris::campaign::aggregate_fleet(
+      cli.dir, cli.stale_seconds, iris::campaign::wall_clock_unix(),
+      cli.trace_tail);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "campaign_monitor: %s\n",
+                 fleet.error().message.c_str());
+    return 2;
+  }
+  if (cli.once) {
+    std::fputs(iris::campaign::render_fleet_json(fleet.value()).c_str(),
+               stdout);
+  } else {
+    print_human(fleet.value(), cli);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage(argv[0]);
+    return 1;
+  }
+  if (!cli.watch) return show(cli);
+  for (;;) {
+    // Clear + home between frames; plain escapes keep this dependency-free.
+    std::printf("\x1b[H\x1b[2J");
+    if (const int rc = show(cli); rc != 0) return rc;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cli.interval_seconds));
+  }
+}

@@ -13,8 +13,13 @@
 // mismatches but some reproducer files were corrupt (skipped and
 // counted).
 //
+// Each replay's wall time is reported per reproducer plus a total
+// summary, and (with --trace <path>) emitted as triage_replay /
+// triage_summary trace events for tooling.
+//
 //   $ ./crash_triage [mutants] [seed]
-//   $ ./crash_triage replay <crash-archive-dir>
+//   $ ./crash_triage replay <crash-archive-dir> [--trace <path>]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +27,7 @@
 
 #include "campaign/crash_archive.h"
 #include "fuzz/fuzzer.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -36,6 +42,8 @@ int cmd_replay_archive(const char* dir) {
   std::printf("replaying %zu reproducer(s) from %s\n\n", names.size(), dir);
   std::size_t matched = 0;
   std::size_t corrupt = 0;
+  double total_seconds = 0.0;
+  const auto sweep_started = std::chrono::steady_clock::now();
   for (const auto& name : names) {
     auto repro = archive.load(name);
     if (!repro.ok()) {
@@ -46,20 +54,55 @@ int cmd_replay_archive(const char* dir) {
                    repro.error().message.c_str());
       continue;
     }
+    const auto replay_started = std::chrono::steady_clock::now();
     const auto verdict = campaign::CrashArchive::replay(repro.value());
+    const double replay_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      replay_started)
+            .count();
+    total_seconds += replay_seconds;
     const char* status = !verdict.walked  ? "PREFIX FAILED"
                          : verdict.matches ? "REPRODUCED"
                                            : "KIND MISMATCH";
     if (verdict.matches) ++matched;
-    std::printf("  %-40s %s (expected %s, observed %s)\n", name.c_str(), status,
+    std::printf("  %-40s %s (expected %s, observed %s) [%.1f ms]\n",
+                name.c_str(), status,
                 std::string(hv::to_string(repro.value().key.kind)).c_str(),
-                std::string(hv::to_string(verdict.observed)).c_str());
+                std::string(hv::to_string(verdict.observed)).c_str(),
+                replay_seconds * 1000.0);
+    if (support::trace_active()) {
+      support::TraceEvent event("triage_replay");
+      event.str("reproducer", name)
+          .str("status", status)
+          .num("wall_ms", replay_seconds * 1000.0);
+      support::trace(std::move(event));
+    }
   }
+  const double sweep_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    sweep_started)
+          .count();
   const std::size_t parseable = names.size() - corrupt;
   std::printf("\n%zu/%zu reproducers re-failed with their archived kind",
               matched, parseable);
   if (corrupt > 0) std::printf(" (%zu corrupt file(s) skipped)", corrupt);
   std::printf("\n");
+  std::printf("timing: %.2fs replaying (%.1f ms/reproducer), %.2fs total "
+              "including archive reads\n",
+              total_seconds,
+              parseable > 0 ? total_seconds * 1000.0 /
+                                  static_cast<double>(parseable)
+                            : 0.0,
+              sweep_seconds);
+  if (support::trace_active()) {
+    support::TraceEvent event("triage_summary");
+    event.num("reproducers", static_cast<double>(names.size()))
+        .num("matched", static_cast<double>(matched))
+        .num("corrupt", static_cast<double>(corrupt))
+        .num("replay_seconds", total_seconds)
+        .num("total_seconds", sweep_seconds);
+    support::trace(std::move(event));
+  }
   if (matched != parseable) return 2;
   return corrupt > 0 ? 3 : 0;
 }
@@ -71,8 +114,17 @@ int main(int argc, char** argv) {
 
   if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
     if (argc < 3) {
-      std::fprintf(stderr, "usage: %s replay <crash-archive-dir>\n", argv[0]);
+      std::fprintf(stderr, "usage: %s replay <crash-archive-dir> "
+                           "[--trace <path>]\n", argv[0]);
       return 1;
+    }
+    if (argc >= 5 && std::strcmp(argv[3], "--trace") == 0) {
+      if (const auto status = support::set_trace_path(argv[4], "triage");
+          !status.ok()) {
+        std::fprintf(stderr, "cannot open trace stream: %s\n",
+                     status.error().message.c_str());
+        return 1;
+      }
     }
     return cmd_replay_archive(argv[2]);
   }

@@ -38,6 +38,14 @@
 // --failpoints (or IRIS_FAILPOINTS) injects deterministic faults for
 // testing — see src/support/failpoints.h for the rule grammar.
 //
+// Telemetry (all off the determinism path — results are bit-identical
+// with or without it): --trace appends structured JSONL events
+// (--trace auto picks trace-<shard>.jsonl in the lease dir, or
+// trace-local.jsonl); --status-interval <sec> sets the live-status
+// publish cadence and prints a one-line progress report on each beat
+// (silenced by --quiet). Distributed shards always publish
+// status-<shard>.json into the lease dir for campaign_monitor.
+//
 //   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
 //                     [checkpoint-file] [cell-budget] [crash-archive-dir]
 //                     [--corpus <dir>] [--profiles <name,...>]
@@ -45,6 +53,8 @@
 //                     [--lease-ttl <sec>] [--range-size <cells>]
 //                     [--sandbox] [--cell-deadline <sec>]
 //                     [--cell-retries <n>] [--failpoints <spec>]
+//                     [--trace <path|auto>] [--status-interval <sec>]
+//                     [--quiet]
 //   $ ./fuzz_campaign reduce <lease-dir> [workload] [mutants] [seed]
 //                     [--corpus <dir>] [--profiles <name,...>]
 #include <atomic>
@@ -52,14 +62,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "campaign/checkpoint.h"
 #include "campaign/distributed.h"
+#include "campaign/monitor.h"
 #include "campaign/reducer.h"
 #include "fuzz/campaign.h"
 #include "support/failpoints.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -170,6 +183,9 @@ struct Cli {
   bool sandbox = false;
   double cell_deadline = 120.0;
   std::size_t cell_retries = 2;
+  std::string trace_path;       // "auto" = trace-<shard>.jsonl
+  double status_interval = 0.0; // 0 = keep the config default
+  bool quiet = false;           // silence the periodic progress line
   bool ok = true;
 };
 
@@ -235,6 +251,17 @@ Cli parse_cli(int argc, char** argv) {
       cli.cell_deadline = std::strtod(value(), nullptr);
     } else if (arg == "--cell-retries") {
       cli.cell_retries = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--trace") {
+      cli.trace_path = value();
+    } else if (arg == "--status-interval") {
+      cli.status_interval = std::strtod(value(), nullptr);
+      if (cli.status_interval <= 0) {
+        std::fprintf(stderr, "--status-interval wants a positive number of "
+                             "seconds\n");
+        cli.ok = false;
+      }
+    } else if (arg == "--quiet") {
+      cli.quiet = true;
     } else if (arg == "--failpoints") {
       if (const auto status = support::failpoints::configure(value());
           !status.ok()) {
@@ -314,6 +341,60 @@ void print_profile_hashes(const fuzz::CampaignResult& campaign) {
                 std::string(vtx::to_string(id)).c_str(),
                 static_cast<unsigned long long>(fnv1a(bytes.data())));
   }
+}
+
+/// Shard label stamped on telemetry: "k-of-n" distributed, "local" else.
+std::string telemetry_label(const Cli& cli) {
+  if (!cli.shard_of.empty()) {
+    const std::size_t slash = cli.shard_of.find('/');
+    if (slash != std::string::npos) {
+      return cli.shard_of.substr(0, slash) + "-of-" +
+             cli.shard_of.substr(slash + 1);
+    }
+  }
+  return "local";
+}
+
+/// Wire --trace / --status-interval / the progress line into the
+/// campaign config. False = the requested trace sink cannot be opened.
+bool setup_telemetry(const Cli& cli, fuzz::CampaignConfig& config) {
+  const std::string label = telemetry_label(cli);
+  config.shard_label = label;
+  if (cli.status_interval > 0) {
+    config.status_interval_seconds = cli.status_interval;
+  }
+  if (cli.status_interval > 0 && !cli.quiet) {
+    // stderr, so the parseable campaign report on stdout stays clean.
+    config.on_progress = [](const campaign::ShardStatus& s) {
+      std::fprintf(stderr,
+                   "progress [%s]: %zu/%zu cells, %.0f mutants/s, "
+                   "%llu retries, %zu poisoned\n",
+                   s.shard_id.c_str(), s.cells_done, s.cells_total,
+                   s.mutants_per_second,
+                   static_cast<unsigned long long>(
+                       s.counter("campaign.cell_retries")),
+                   s.cells_poisoned);
+    };
+  }
+  if (cli.trace_path.empty()) return true;
+  std::string path = cli.trace_path;
+  if (path == "auto") {
+    const std::string name = "trace-" + label + ".jsonl";
+    path = cli.lease_dir.empty()
+               ? name
+               : (std::filesystem::path(cli.lease_dir) / name).string();
+  }
+  if (!cli.lease_dir.empty()) {
+    // The sink may precede the shard layer's own create_directories.
+    std::error_code ec;
+    std::filesystem::create_directories(cli.lease_dir, ec);
+  }
+  if (const auto status = support::set_trace_path(path, label); !status.ok()) {
+    std::fprintf(stderr, "cannot open trace stream: %s\n",
+                 status.error().message.c_str());
+    return false;
+  }
+  return true;
 }
 
 int cmd_reduce(const Cli& cli) {
@@ -443,6 +524,7 @@ int main(int argc, char** argv) {
   if (pos(4) != nullptr) c.config.checkpoint_path = pos(4);
   if (pos(5) != nullptr) c.config.cell_budget = std::strtoull(pos(5), nullptr, 10);
   if (pos(6) != nullptr) c.config.crash_archive_dir = pos(6);
+  if (!setup_telemetry(cli, c.config)) return kExitPersistence;
 
   if (!cli.lease_dir.empty() || !cli.shard_of.empty()) {
     if (cli.lease_dir.empty() || cli.shard_of.empty()) {

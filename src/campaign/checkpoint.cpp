@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <bit>
 #include <cerrno>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
 #include "support/failpoints.h"
 #include "support/fs_atomic.h"
 #include "support/retry.h"
+#include "support/telemetry.h"
 
 namespace iris::campaign {
 namespace {
@@ -594,7 +596,19 @@ Status CampaignCheckpoint::append_record(std::uint8_t type,
     if (!out) return Error{61, "checkpoint append failed: " + path_, errno};
     return {};
   };
-  return support::retry_io(journal_retry_policy(), write_once);
+  auto& reg = support::metrics();
+  static const support::MetricId appends = reg.counter_id("checkpoint.appends");
+  static const support::MetricId append_errors =
+      reg.counter_id("checkpoint.append_errors");
+  static const support::MetricId append_us =
+      reg.histogram_id("checkpoint.append_us");
+  const auto append_started = std::chrono::steady_clock::now();
+  const auto status = support::retry_io(journal_retry_policy(), write_once);
+  reg.observe(append_us, std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - append_started)
+                             .count());
+  reg.add(status.ok() ? appends : append_errors);
+  return status;
 }
 
 Status CampaignCheckpoint::append(const CheckpointCell& cell) {

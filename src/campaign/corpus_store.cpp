@@ -8,11 +8,18 @@
 #include "support/failpoints.h"
 #include "support/fs_atomic.h"
 #include "support/retry.h"
+#include "support/telemetry.h"
 
 namespace iris::campaign {
 namespace {
 
 namespace fs = std::filesystem;
+
+/// Shared-store traffic counters (reads/writes and their failures).
+void count_corpus(const char* name) {
+  auto& reg = support::metrics();
+  reg.add(reg.counter_id(name));
+}
 
 constexpr std::uint32_t kEntryMagic = 0x49524331;  // "IRC1"
 constexpr char kEntryPrefix[] = "seed-";
@@ -77,12 +84,14 @@ Status CorpusStore::write_entry(const fuzz::CorpusEntry& entry) const {
   // Shared-store writes ride the campaign retry policy: transient
   // contention (EBUSY/ESTALE on network filesystems) retries, permanent
   // conditions surface to the caller.
-  return support::retry_io(support::RetryPolicy{}, [&]() -> Status {
+  const auto status = support::retry_io(support::RetryPolicy{}, [&]() -> Status {
     if (auto injected = support::failpoints::fs_error("corpus_write")) {
       return *injected;
     }
     return write_file_atomic(dir_, entry_name(entry.seed), w.data());
   });
+  count_corpus(status.ok() ? "corpus.writes" : "corpus.write_errors");
+  return status;
 }
 
 bool CorpusStore::contains(const VmSeed& seed) const {
@@ -114,8 +123,10 @@ Result<fuzz::CorpusEntry> CorpusStore::read_entry(const std::string& name) const
   };
   if (auto status = support::retry_io(support::RetryPolicy{}, read_once);
       !status.ok()) {
+    count_corpus("corpus.read_errors");
     return status.error();
   }
+  count_corpus("corpus.reads");
   ByteReader r(bytes.value());
   return deserialize_entry(r);
 }

@@ -7,6 +7,7 @@
 
 #include "campaign/checkpoint.h"
 #include "campaign/corpus_store.h"
+#include "campaign/monitor.h"
 #include "support/failpoints.h"
 #include "support/fs_atomic.h"
 #include "support/retry.h"
@@ -144,6 +145,12 @@ Result<ShardRun> DistributedCampaign::run(
   out.journal_path = journal_path(shard_.lease_dir, shard_.shard_id);
   config.gate = lease.value().get();
   config.checkpoint_path = out.journal_path;
+  if (config.shard_label.empty()) config.shard_label = shard_.shard_id;
+  if (shard_.publish_status && config.status_path.empty()) {
+    config.status_path =
+        (fs::path(shard_.lease_dir) / status_file_name(shard_.shard_id))
+            .string();
+  }
 
   // Claim sweeps until nothing is claimable: a pass that executes zero
   // new cells means every pending cell sits behind a live peer's lease
@@ -168,6 +175,29 @@ Result<ShardRun> DistributedCampaign::run(
   // immediately: peers claim them now instead of waiting out the TTL.
   if (out.result.interrupted) lease.value()->release_held();
   out.lease = lease.value()->stats();
+  // Mark the last published status finished: this process will send no
+  // more heartbeats, and the monitor should report it done rather than
+  // ever aging it into "stale". (A SIGKILLed shard never gets here —
+  // exactly the case staleness detection exists for.)
+  if (!config.status_path.empty()) {
+    if (auto status = read_status_file(config.status_path); status.ok()) {
+      ShardStatus final_status = std::move(status).take();
+      final_status.finished = true;
+      final_status.heartbeat_unix = wall_clock_unix();
+      // The last pass's board only saw that pass (a resume-everything
+      // sweep executes zero new mutants); the final snapshot should
+      // instead account for everything this shard's journal covers.
+      std::size_t journaled = 0;
+      for (const auto flag : out.result.cells_completed) {
+        journaled += flag != 0 ? 1 : 0;
+      }
+      final_status.cells_done = journaled;
+      std::size_t executed = 0;
+      for (const auto& cell : out.result.results) executed += cell.executed;
+      final_status.executed = executed;
+      (void)write_status_file(config.status_path, final_status);
+    }
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "support/failpoints.h"
 #include "support/fs_atomic.h"
 #include "support/serialize.h"
+#include "support/telemetry.h"
 
 namespace iris::campaign {
 namespace {
@@ -16,6 +17,19 @@ namespace fs = std::filesystem;
 
 constexpr std::uint32_t kMetaMagic = 0x4952474D;   // "IRGM"
 constexpr std::uint32_t kLeaseMagic = 0x49524C53;  // "IRLS"
+
+void count_lease(const char* name) {
+  auto& reg = support::metrics();
+  reg.add(reg.counter_id(name));
+}
+
+/// Every successful range acquisition, tagged with how it was won.
+void trace_lease_claim(const char* mode, std::size_t range) {
+  if (!support::trace_active()) return;
+  support::TraceEvent event("lease_claim");
+  event.str("mode", mode).num("range", static_cast<double>(range));
+  support::trace(std::move(event));
+}
 
 void serialize_meta(const GridLeaseConfig& config, ByteWriter& out) {
   out.u32(kMetaMagic);
@@ -55,6 +69,22 @@ std::string lease_owner(const std::string& path) {
 }
 
 }  // namespace
+
+Result<GridMeta> read_grid_meta(const std::string& lease_dir) {
+  const std::string path = (fs::path(lease_dir) / "grid.meta").string();
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  ByteReader r(bytes.value());
+  auto magic = r.u32();
+  auto fingerprint = r.u64();
+  auto cells = r.u64();
+  auto range = r.u64();
+  if (!magic.ok() || magic.value() != kMetaMagic || !fingerprint.ok() ||
+      !cells.ok() || !range.ok() || !r.exhausted() || range.value() == 0) {
+    return Error{74, path + " is not a valid grid.meta"};
+  }
+  return GridMeta{fingerprint.value(), cells.value(), range.value()};
+}
 
 GridLease::GridLease(GridLeaseConfig config)
     : config_(std::move(config)),
@@ -131,6 +161,8 @@ bool GridLease::acquire(std::size_t range) {
   // Fast path: nobody holds the range.
   if (exclusive_create(path, payload.data())) {
     ++stats_.claims;
+    count_lease("lease.claims");
+    trace_lease_claim("claim", range);
     return true;
   }
 
@@ -140,6 +172,8 @@ bool GridLease::acquire(std::size_t range) {
     std::error_code ec;
     fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
     ++stats_.adoptions;
+    count_lease("lease.adoptions");
+    trace_lease_claim("adopt", range);
     return true;
   }
 
@@ -162,6 +196,8 @@ bool GridLease::acquire(std::size_t range) {
     return false;  // lost the re-create race
   }
   ++stats_.reclaims;
+  count_lease("lease.reclaims");
+  trace_lease_claim("reclaim", range);
   return true;
 }
 
@@ -173,6 +209,7 @@ bool GridLease::try_claim(std::size_t index) {
   std::error_code ec;
   if (fs::exists(done_path(r), ec)) {
     ++stats_.denials;
+    count_lease("lease.denials");
     return false;
   }
   if (acquire(r)) {
@@ -184,6 +221,7 @@ bool GridLease::try_claim(std::size_t index) {
     return true;
   }
   ++stats_.denials;
+  count_lease("lease.denials");
   return false;
 }
 
@@ -232,6 +270,7 @@ void GridLease::heartbeat() {
   if (since < config_.ttl_seconds / 4.0) return;
   last_refresh_ = now;
   ++stats_.heartbeats;
+  count_lease("lease.heartbeats");
   for (std::size_t r = 0; r < held_.size(); ++r) {
     if (held_[r] == 0) continue;
     // A refresh is only valid on a lease we still own. A stalled shard
@@ -252,6 +291,16 @@ void GridLease::heartbeat() {
     if (lost) {
       held_[r] = 0;
       ++stats_.lost_leases;
+      // Surfaced three ways so a fleet monitor can attribute it per
+      // shard: a registry counter (lands in the shard's status file), a
+      // trace event, and the original stderr warning.
+      count_lease("lease.lost");
+      if (support::trace_active()) {
+        support::TraceEvent event("lease_lost");
+        event.num("range", static_cast<double>(r))
+            .str("shard", config_.shard_id);
+        support::trace(std::move(event));
+      }
       std::fprintf(stderr,
                    "grid-lease: shard %s lost lease on range %zu "
                    "(stolen or unwritable); abandoning the range\n",

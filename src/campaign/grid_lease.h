@@ -63,6 +63,26 @@ struct GridLeaseConfig {
   std::uint64_t fingerprint = 0;
 };
 
+/// The geometry grid.meta pins for a lease directory. Read-only view
+/// for tooling (the fleet monitor derives grid completion % from it by
+/// counting done-<r> markers against range_count()).
+struct GridMeta {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t total_cells = 0;
+  std::uint64_t range_size = 0;
+
+  [[nodiscard]] std::size_t range_count() const noexcept {
+    return range_size == 0
+               ? 0
+               : static_cast<std::size_t>((total_cells + range_size - 1) /
+                                          range_size);
+  }
+};
+
+/// Parse `lease_dir`/grid.meta; an absent or foreign file is an error
+/// value, never a crash.
+Result<GridMeta> read_grid_meta(const std::string& lease_dir);
+
 struct GridLeaseStats {
   std::size_t claims = 0;        ///< ranges acquired fresh
   std::size_t adoptions = 0;     ///< own leases re-adopted after a restart

@@ -1,0 +1,133 @@
+// Fleet monitoring: live shard status files and their aggregation.
+//
+// Each shard of a campaign periodically publishes `status-<shard>.json`
+// into the lease directory — an atomic temp+rename rewrite (readers
+// never see a torn file) of a snapshot of its metrics registry, its
+// in-flight cells, and a wall-clock heartbeat. The files are pure
+// observability: nothing reads them back into campaign execution, so
+// they sit entirely off the determinism path.
+//
+// aggregate_fleet() is the read side: it folds every status file in a
+// lease directory, the grid geometry from grid.meta, the done-<r>
+// markers, and the tails of any trace-<shard>.jsonl streams into one
+// FleetView — per-shard throughput, grid completion %, crash/poison
+// totals, and stale-shard detection from heartbeat age. The
+// campaign_monitor example renders this view (--once JSON for
+// scripting, --watch for humans); tests drive it directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/result.h"
+#include "support/telemetry.h"
+
+namespace iris::campaign {
+
+/// One shard's self-reported status. Serialized as a flat JSON object
+/// (see render_status_json) so non-C++ tooling can consume it too.
+struct ShardStatus {
+  std::string shard_id;        ///< "0-of-3", or "local" for a lone process
+  std::uint64_t pid = 0;
+  double started_unix = 0.0;   ///< wall clock, seconds since the epoch
+  double heartbeat_unix = 0.0; ///< wall clock of this snapshot
+  bool finished = false;       ///< the run() this status describes ended
+
+  std::size_t cells_total = 0;
+  std::size_t cells_done = 0;     ///< journaled by this shard (incl. resumed)
+  std::size_t cells_resumed = 0;
+  std::size_t cells_poisoned = 0;
+  std::size_t harness_faults = 0;
+  std::size_t executed = 0;       ///< mutants executed this run
+  double elapsed_seconds = 0.0;
+  double mutants_per_second = 0.0;
+  /// Grid indexes currently executing, one per busy worker.
+  std::vector<std::size_t> in_flight;
+
+  /// Snapshot of the process metrics registry at publish time.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+};
+
+/// "status-<shard>.json" (the shard id is already filesystem-safe).
+std::string status_file_name(const std::string& shard_id);
+
+std::string render_status_json(const ShardStatus& status);
+
+/// Atomically publish `status` to `path` (temp + rename in the target
+/// directory). Best-effort by design: callers drop the Status after
+/// counting a failure — a sick status file must never sicken the
+/// campaign.
+Status write_status_file(const std::string& path, const ShardStatus& status);
+
+Result<ShardStatus> read_status_file(const std::string& path);
+
+/// One shard as the monitor classifies it.
+struct ShardView {
+  ShardStatus status;
+  double heartbeat_age_seconds = 0.0;
+  enum class State : std::uint8_t {
+    kLive = 0,   ///< heartbeat fresh, still working
+    kDone = 1,   ///< published a final (finished) status
+    kStale = 2,  ///< unfinished and silent past the threshold: presumed dead
+  };
+  State state = State::kLive;
+};
+
+const char* to_string(ShardView::State state);
+
+/// The aggregated fleet.
+struct FleetView {
+  std::vector<ShardView> shards;  ///< sorted by shard id
+
+  // Grid geometry + completion, from grid.meta and the done-<r> markers
+  // (accurate even while shards run: a done marker is published only
+  // for fully journaled ranges). Zero ranges_total = no grid.meta (not
+  // a distributed lease dir); completion then falls back to cells_done
+  // over cells_total from the statuses.
+  std::size_t cells_total = 0;
+  std::size_t ranges_total = 0;
+  std::size_t ranges_done = 0;
+  double completion_pct = 0.0;
+
+  // Sums over shards. cells_done can exceed cells_total when ranges
+  // were reclaimed and re-journaled — duplicates are the reducer's
+  // job, not the monitor's.
+  std::size_t cells_done = 0;
+  std::size_t cells_poisoned = 0;
+  std::size_t harness_faults = 0;
+  std::size_t executed = 0;
+  std::uint64_t lost_leases = 0;
+  std::uint64_t lease_reclaims = 0;
+  double mutants_per_second = 0.0;  ///< live shards only
+  std::size_t live_shards = 0;
+  std::size_t stale_shards = 0;
+  std::size_t done_shards = 0;
+
+  /// Newest trace events across every trace-*.jsonl in the directory,
+  /// oldest first, capped by aggregate_fleet's trace_tail.
+  std::vector<support::ParsedTraceEvent> recent_events;
+};
+
+/// Aggregate every status-*.json under `dir`. `now_unix` is the wall
+/// clock to age heartbeats against (pass wall_clock_unix(); tests pin
+/// it); a shard silent for more than `stale_after_seconds` without a
+/// final status is kStale. Errors only when the directory itself is
+/// unreadable — individual torn/corrupt files are skipped.
+Result<FleetView> aggregate_fleet(const std::string& dir,
+                                  double stale_after_seconds, double now_unix,
+                                  std::size_t trace_tail = 16);
+
+/// Render the fleet as one JSON object (each shard on its own line, so
+/// smoke tests can grep per-shard facts) — campaign_monitor --once.
+std::string render_fleet_json(const FleetView& fleet);
+
+/// Wall-clock seconds since the Unix epoch (status heartbeats must be
+/// comparable across processes, so steady_clock cannot serve).
+double wall_clock_unix();
+
+}  // namespace iris::campaign

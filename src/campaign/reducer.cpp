@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <utility>
 
+#include "support/telemetry.h"
+
 namespace iris::campaign {
 
 Result<ReduceReport> reduce_journals(
@@ -129,6 +131,13 @@ Result<ReduceReport> reduce_journals(
   report.result.complete = report.missing.empty() && report.poisoned.empty();
   report.result.cells_completed.assign(covered.begin(), covered.end());
   report.result.workers_used = journal_paths.size();
+
+  {
+    auto& reg = support::metrics();
+    reg.add(reg.counter_id("reduce.journals"), report.journals);
+    reg.add(reg.counter_id("reduce.cells"), report.cells_loaded);
+    reg.add(reg.counter_id("reduce.duplicates"), report.duplicate_cells);
+  }
 
   fuzz::finalize_campaign_result(cell_cov, report.result);
   return report;

@@ -21,9 +21,11 @@
 #include "campaign/checkpoint.h"
 #include "campaign/corpus_store.h"
 #include "campaign/crash_archive.h"
+#include "campaign/monitor.h"
 #include "fuzz/vm_pool.h"
 #include "support/failpoints.h"
 #include "support/retry.h"
+#include "support/telemetry.h"
 
 namespace iris::fuzz {
 namespace {
@@ -66,6 +68,126 @@ std::vector<std::pair<hv::BlockKey, std::uint8_t>> cell_coverage(
   }
   return blocks;
 }
+
+/// Metric ids used by the runner, registered once per run (registration
+/// is the cold path; every hot-side touch is an id-indexed relaxed add
+/// on a per-thread shard).
+struct CampaignMetrics {
+  support::MetricsRegistry& reg = support::metrics();
+  support::MetricId cells_done = reg.counter_id("campaign.cells_done");
+  support::MetricId cells_resumed = reg.counter_id("campaign.cells_resumed");
+  support::MetricId cells_poisoned = reg.counter_id("campaign.cells_poisoned");
+  support::MetricId harness_faults = reg.counter_id("campaign.harness_faults");
+  support::MetricId cell_retries = reg.counter_id("campaign.cell_retries");
+  support::MetricId mutants = reg.counter_id("campaign.mutants");
+  support::MetricId pool_rebuilds = reg.counter_id("pool.rebuilds");
+  support::MetricId sandbox_cell_us = reg.histogram_id("sandbox.cell_us");
+  support::MetricId cell_us = reg.histogram_id("campaign.cell_us");
+};
+
+/// Live status publication (CampaignConfig::status_path / on_progress).
+/// A pure observer: it reads counters the work loop maintains anyway
+/// and publishes on a wall-clock cadence, so enabling it cannot change
+/// what any cell computes — the telemetry determinism tests assert
+/// exactly that.
+class StatusBoard {
+ public:
+  static constexpr std::size_t kIdle = ~std::size_t{0};
+
+  StatusBoard(const CampaignConfig& config, std::size_t cells_total,
+              std::size_t workers)
+      : config_(config), cells_total_(cells_total), in_flight_(workers) {
+    for (auto& slot : in_flight_) slot.store(kIdle, std::memory_order_relaxed);
+    started_unix_ = campaign::wall_clock_unix();
+    started_ = std::chrono::steady_clock::now();
+  }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !config_.status_path.empty() || config_.on_progress != nullptr;
+  }
+
+  // Bumped by the work loop; relaxed is enough — publication is a
+  // monotonic progress report, not a synchronization point.
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> resumed{0};
+  std::atomic<std::size_t> poisoned{0};
+  std::atomic<std::size_t> faults{0};
+  std::atomic<std::size_t> executed{0};
+
+  void set_in_flight(std::size_t worker, std::size_t cell) {
+    if (!enabled() || worker >= in_flight_.size()) return;
+    in_flight_[worker].store(cell, std::memory_order_relaxed);
+  }
+
+  /// Workers call this between cells; publishes when the cadence is due.
+  void tick() {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (published_once_ &&
+        std::chrono::duration<double>(now - last_publish_).count() <
+            config_.status_interval_seconds) {
+      return;
+    }
+    publish_locked();
+  }
+
+  /// Unconditional publication (run start and run end).
+  void publish_now() {
+    if (!enabled()) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    publish_locked();
+  }
+
+ private:
+  void publish_locked() {
+    published_once_ = true;
+    last_publish_ = std::chrono::steady_clock::now();
+    campaign::ShardStatus status;
+    status.shard_id =
+        config_.shard_label.empty() ? "local" : config_.shard_label;
+    status.pid = static_cast<std::uint64_t>(::getpid());
+    status.started_unix = started_unix_;
+    status.heartbeat_unix = campaign::wall_clock_unix();
+    status.cells_total = cells_total_;
+    status.cells_done = done.load(std::memory_order_relaxed);
+    status.cells_resumed = resumed.load(std::memory_order_relaxed);
+    status.cells_poisoned = poisoned.load(std::memory_order_relaxed);
+    status.harness_faults = faults.load(std::memory_order_relaxed);
+    status.executed = executed.load(std::memory_order_relaxed);
+    status.elapsed_seconds =
+        std::chrono::duration<double>(last_publish_ - started_).count();
+    status.mutants_per_second =
+        status.elapsed_seconds > 0.0
+            ? static_cast<double>(status.executed) / status.elapsed_seconds
+            : 0.0;
+    for (const auto& slot : in_flight_) {
+      const std::size_t cell = slot.load(std::memory_order_relaxed);
+      if (cell != kIdle) status.in_flight.push_back(cell);
+    }
+    // The registry is process-global, so in a multi-run process the
+    // counters are process totals — exactly what a fleet monitor wants
+    // across a shard's claim passes.
+    const auto snap = support::metrics().snapshot();
+    status.counters = snap.counters;
+    status.gauges = snap.gauges;
+    if (!config_.status_path.empty()) {
+      // Best-effort by contract: a sick status file must never sicken
+      // the campaign.
+      (void)campaign::write_status_file(config_.status_path, status);
+    }
+    if (config_.on_progress) config_.on_progress(status);
+  }
+
+  const CampaignConfig& config_;
+  const std::size_t cells_total_;
+  std::vector<std::atomic<std::size_t>> in_flight_;
+  double started_unix_ = 0.0;
+  std::chrono::steady_clock::time_point started_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point last_publish_;
+  bool published_once_ = false;
+};
 
 }  // namespace
 
@@ -142,6 +264,9 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       std::clamp<std::size_t>(config_.workers, 1, grid.size());
   out.workers_used = workers;
 
+  CampaignMetrics mm;
+  StatusBoard board(config_, grid.size(), workers);
+
   // --- Recover completed cells from the checkpoint journal. A journal
   // that cannot be opened (foreign fingerprint, unreadable file) is
   // surfaced but never written to: the run proceeds in-memory.
@@ -183,6 +308,12 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       out.persistence_error = opened.error().message;
     }
   }
+  if (out.cells_resumed > 0) {
+    mm.reg.add(mm.cells_resumed, out.cells_resumed);
+    mm.reg.add(mm.cells_done, out.cells_resumed);
+    board.resumed.store(out.cells_resumed, std::memory_order_relaxed);
+    board.done.store(out.cells_resumed, std::memory_order_relaxed);
+  }
 
   // --- Resolve the corpus-sync epoch. Priority: an epoch already in the
   // journal (a resumed run replays exactly the imports the first run
@@ -223,7 +354,17 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         }
       }
     }
+    if (support::trace_active()) {
+      support::TraceEvent event("sync_epoch");
+      event.num("epoch", sync_epoch)
+          .num("imports", static_cast<double>(imports.size()));
+      support::trace(std::move(event));
+    }
   }
+
+  // First status publication before any cell runs, so a fleet monitor
+  // sees the shard the moment it starts (CI greps for this).
+  board.publish_now();
 
   // Per-worker pooled VM stacks (the default): one Hypervisor/Manager
   // per worker for the whole grid, reset to the post-construction state
@@ -317,6 +458,11 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         out.persistence_error = status.error().message;
       }
       journal_degraded = true;
+      if (support::trace_active()) {
+        support::TraceEvent event("degrade");
+        event.str("what", "checkpoint").str("error", status.error().message);
+        support::trace(std::move(event));
+      }
       return false;
     }
     return true;
@@ -338,6 +484,11 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         out.persistence_error = status.error().message;
       }
       journal_degraded = true;
+      if (support::trace_active()) {
+        support::TraceEvent event("degrade");
+        event.str("what", "checkpoint").str("error", status.error().message);
+        support::trace(std::move(event));
+      }
       return false;
     }
     return true;
@@ -535,6 +686,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         saw_stop.store(true, std::memory_order_relaxed);
         return;
       }
+      board.tick();
       if (config_.gate != nullptr) {
         config_.gate->heartbeat();
         if (!config_.gate->try_claim(i)) continue;  // another shard's range
@@ -542,18 +694,46 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       if (!claim_budget()) return;
       const TestCaseSpec& spec = grid[i];
       const VmBehavior& behavior = ensure_behavior(spec.workload, worker_index);
+      board.set_in_flight(worker_index, i);
+      if (support::trace_active()) {
+        support::TraceEvent event("cell_start");
+        event.num("cell", static_cast<double>(i))
+            .num("worker", static_cast<double>(worker_index));
+        support::trace(std::move(event));
+      }
+      const auto cell_started = std::chrono::steady_clock::now();
       if (config_.sandbox_cells) {
         // Fault containment: each attempt runs in a fresh child; faults
         // are retried with jittered backoff, then quarantined.
         const std::size_t max_attempts = 1 + config_.cell_retries;
         std::optional<HarnessFault> fault;
         for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+          const auto attempt_started = std::chrono::steady_clock::now();
           fault = run_cell_sandboxed(i, worker_index, behavior);
+          // Per-attempt fork + pipe + reap latency, faulted or not.
+          mm.reg.observe(
+              mm.sandbox_cell_us,
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - attempt_started)
+                  .count());
           if (!fault) break;
           fault_count.fetch_add(1, std::memory_order_relaxed);
+          board.faults.fetch_add(1, std::memory_order_relaxed);
+          mm.reg.add(mm.harness_faults);
+          if (support::trace_active()) {
+            support::TraceEvent event("harness_fault");
+            event.num("cell", static_cast<double>(i))
+                .num("attempt", static_cast<double>(attempt))
+                .num("kind", static_cast<double>(fault->kind))
+                .str("fault", fault->describe());
+            support::trace(std::move(event));
+          }
           // Defensive: re-establish the worker's pooled stack from
           // scratch after reaping a dead harness.
-          if (pool) pool->rebuild(worker_index);
+          if (pool) {
+            pool->rebuild(worker_index);
+            mm.reg.add(mm.pool_rebuilds);
+          }
           if (attempt < max_attempts) {
             support::RetryPolicy backoff;
             backoff.base_delay_ms = config_.retry_base_backoff_ms;
@@ -561,9 +741,17 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
             backoff.max_delay_ms = 2000.0;
             backoff.jitter_seed =
                 0x9E3779B97F4A7C15ULL ^ (i * 0x100000001B3ULL);
+            const double backoff_ms = support::retry_delay_ms(backoff, attempt);
+            mm.reg.add(mm.cell_retries);
+            if (support::trace_active()) {
+              support::TraceEvent event("retry");
+              event.num("cell", static_cast<double>(i))
+                  .num("attempt", static_cast<double>(attempt))
+                  .num("backoff_ms", backoff_ms);
+              support::trace(std::move(event));
+            }
             std::this_thread::sleep_for(
-                std::chrono::duration<double, std::milli>(
-                    support::retry_delay_ms(backoff, attempt)));
+                std::chrono::duration<double, std::milli>(backoff_ms));
           }
         }
         if (fault) {
@@ -571,6 +759,16 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                        "campaign: cell %zu poisoned after %zu attempts: %s\n",
                        i, max_attempts, fault->describe().c_str());
           poisoned[i] = 1;
+          board.poisoned.fetch_add(1, std::memory_order_relaxed);
+          mm.reg.add(mm.cells_poisoned);
+          if (support::trace_active()) {
+            support::TraceEvent event("quarantine");
+            event.num("cell", static_cast<double>(i))
+                .num("attempts", static_cast<double>(max_attempts))
+                .str("fault", fault->describe());
+            support::trace(std::move(event));
+          }
+          board.set_in_flight(worker_index, StatusBoard::kIdle);
           const bool journaled = journal_poison(PoisonedCell{
               i, static_cast<std::uint32_t>(max_attempts), *fault});
           // A journaled quarantine retires the range exactly like a
@@ -584,6 +782,27 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         cell_cov[i] = std::move(cov);
       }
       done[i] = 1;
+      const double cell_us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - cell_started)
+              .count();
+      const std::size_t cell_executed = out.results[i].executed;
+      board.done.fetch_add(1, std::memory_order_relaxed);
+      board.executed.fetch_add(cell_executed, std::memory_order_relaxed);
+      board.set_in_flight(worker_index, StatusBoard::kIdle);
+      mm.reg.add(mm.cells_done);
+      mm.reg.add(mm.mutants, cell_executed);
+      mm.reg.observe(mm.cell_us, cell_us);
+      if (support::trace_active()) {
+        const TestCaseResult& r = out.results[i];
+        support::TraceEvent event("cell_done");
+        event.num("cell", static_cast<double>(i))
+            .num("executed", static_cast<double>(r.executed))
+            .num("vm_crashes", static_cast<double>(r.vm_crashes))
+            .num("hv_crashes", static_cast<double>(r.hv_crashes))
+            .num("wall_ms", cell_us / 1000.0);
+        support::trace(std::move(event));
+      }
       const bool journaled = journal_cell(i);
       // Only journaled cells may retire toward a (final) done marker:
       // the reducer can only ever see journaled results, so a cell lost
@@ -657,6 +876,11 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       out.elapsed_seconds > 0.0
           ? static_cast<double>(out.executed) / out.elapsed_seconds
           : 0.0;
+  // Final publication with the run's closing counts. Not a "finished"
+  // status: a distributed shard runs several claim passes per shard
+  // lifetime, and only the layer that knows the last pass ended (the
+  // DistributedCampaign / the CLI) can say so.
+  board.publish_now();
   return out;
 }
 

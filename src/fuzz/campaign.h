@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +31,10 @@
 #include <vector>
 
 #include "fuzz/fuzzer.h"
+
+namespace iris::campaign {
+struct ShardStatus;  // campaign/monitor.h
+}
 
 namespace iris::fuzz {
 
@@ -184,6 +189,28 @@ struct CampaignConfig {
   /// handler: workers finish their in-flight cell, journal it, and stop
   /// claiming new ones. The run returns incomplete, resumable as usual.
   const std::atomic<bool>* stop = nullptr;
+
+  // --- Telemetry (PR 8). Pure observability, excluded from the
+  // campaign fingerprint like the worker count: publication reads
+  // counters the run maintains anyway and never feeds anything back
+  // into cell execution, so enabling it leaves
+  // campaign::canonical_result_bytes bit-identical (asserted in tests
+  // and CI).
+
+  /// Atomically rewrite a campaign::ShardStatus JSON snapshot here on
+  /// the status cadence (plus once at start and once at return). In
+  /// distributed mode the shard layer points this into the lease
+  /// directory (status-<shard>.json). Empty = off.
+  std::string status_path;
+  /// Minimum seconds between status publications; workers check the
+  /// cadence between cells, so slow cells stretch it.
+  double status_interval_seconds = 2.0;
+  /// Shard identity stamped into status snapshots ("local" if empty).
+  std::string shard_label;
+  /// Called with every published snapshot (same cadence as
+  /// status_path, either enables publishing). Drives fuzz_campaign's
+  /// one-line progress reports. Runs on a worker thread; keep it cheap.
+  std::function<void(const campaign::ShardStatus&)> on_progress;
 };
 
 struct CampaignResult {

@@ -1,6 +1,9 @@
 #include "fuzz/vm_pool.h"
 
 #include <cassert>
+#include <chrono>
+
+#include "support/telemetry.h"
 
 namespace iris::fuzz {
 
@@ -14,6 +17,7 @@ PooledVm::PooledVm(std::uint64_t hv_seed, double async_noise_prob)
 void PooledVm::reset() { reset(vtx::baseline_profile()); }
 
 void PooledVm::reset(const vtx::VmxCapabilityProfile& profile) {
+  const auto reset_started = std::chrono::steady_clock::now();
   // Manager first: tearing down the replayer restores the hook chain it
   // saved, keeping teardown leak-free even though the hypervisor reset
   // clears the hooks wholesale right after.
@@ -21,6 +25,16 @@ void PooledVm::reset(const vtx::VmxCapabilityProfile& profile) {
   hv_.reset(hv_seed_, async_noise_prob_, profile);
   manager_.rebind();
   ++resets_;
+  {
+    auto& reg = support::metrics();
+    static const support::MetricId resets = reg.counter_id("pool.resets");
+    static const support::MetricId reset_us = reg.histogram_id("pool.reset_us");
+    reg.add(resets);
+    reg.observe(reset_us,
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - reset_started)
+                    .count());
+  }
   // The determinism proof: a reset stack is indistinguishable from a
   // fresh one built for the same profile, so a cell cannot observe
   // which it ran on. state_digest hashes the profile itself, so a

@@ -14,6 +14,8 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include "support/telemetry.h"
+
 namespace iris::support::failpoints {
 namespace {
 
@@ -245,6 +247,11 @@ std::optional<Hit> evaluate(std::string_view site, std::uint64_t index) {
     // Subtract-compare, not after+count: the unbounded default count
     // (~0) must not wrap the window shut.
     if (hit - rule.after > rule.count) continue;
+    {
+      auto& reg = metrics();
+      static const MetricId hits = reg.counter_id("failpoints.hits");
+      reg.add(hits);
+    }
     return rule.hit;
   }
   return std::nullopt;

@@ -20,6 +20,7 @@
 #include <thread>
 
 #include "support/result.h"
+#include "support/telemetry.h"
 
 namespace iris::support {
 
@@ -69,6 +70,7 @@ Status retry_io(const RetryPolicy& policy, Op&& op) {
        !last.ok() && attempt < policy.max_attempts &&
        transient_errno(last.error().sys_errno);
        ++attempt) {
+    note_io_retry(last.error().sys_errno);
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         retry_delay_ms(policy, attempt)));
     last = op();
