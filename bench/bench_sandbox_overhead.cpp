@@ -10,12 +10,19 @@
 // The sandboxed result must be byte-identical to the in-process one
 // (campaign::canonical_result_bytes); the bench fails hard otherwise.
 //
+// A fourth leg re-runs the sandboxed campaign with per-cell rlimits
+// armed (generous enough never to fire): the setrlimit + new-handler
+// install per fork must be noise, and the bytes must stay identical.
+//
 // Results are appended to BENCH_PR7.json:
-//   table1.mutants_per_second          raw hot loop (floor-checked in CI)
-//   sandbox.mutants_per_second_off     campaign, in-process cells
-//   sandbox.mutants_per_second_on      campaign, forked cells
-//   sandbox.overhead_pct               wall-clock cost of the fork+pipe
-//   sandbox.identical                  1.0 when the bytes matched
+//   table1.mutants_per_second            raw hot loop (floor-checked in CI)
+//   sandbox.mutants_per_second_off       campaign, in-process cells
+//   sandbox.mutants_per_second_on        campaign, forked cells
+//   sandbox.mutants_per_second_rlimits   forked cells + rlimits armed
+//   sandbox.overhead_pct                 wall-clock cost of the fork+pipe
+//   sandbox.rlimits_overhead_pct         extra cost of arming the limits
+//   sandbox.identical                    1.0 when the bytes matched
+//   sandbox.rlimits_identical            1.0 when the rlimit leg matched
 //   sandbox.host_cpus
 //
 //   $ ./bench_sandbox_overhead [mutants] [seed]
@@ -102,27 +109,55 @@ int main(int argc, char** argv) {
   const auto on = fuzz::CampaignRunner(campaign_config(seed, true)).run(grid);
   const double on_seconds = now_seconds() - on_started;
 
+  // --- 4. Sandbox + rlimits: the PR 9 wall must cost nothing extra. ---
+  fuzz::CampaignConfig limited_config = campaign_config(seed, true);
+  limited_config.rlimit_cpu_seconds = 600;
+  if (fuzz::rlimit_as_supported()) limited_config.rlimit_as_mb = 16384;
+  limited_config.rlimit_core_mb = 0;
+  const double limited_started = now_seconds();
+  const auto limited = fuzz::CampaignRunner(limited_config).run(grid);
+  const double limited_seconds = now_seconds() - limited_started;
+
   const std::size_t total = executed_mutants(off);
   const double off_rate =
       off_seconds > 0.0 ? static_cast<double>(total) / off_seconds : 0.0;
   const double on_rate =
       on_seconds > 0.0 ? static_cast<double>(total) / on_seconds : 0.0;
+  const double limited_rate =
+      limited_seconds > 0.0 ? static_cast<double>(total) / limited_seconds
+                            : 0.0;
   const double overhead_pct =
       off_seconds > 0.0 ? 100.0 * (on_seconds - off_seconds) / off_seconds
                         : 0.0;
+  const double rlimits_overhead_pct =
+      on_seconds > 0.0 ? 100.0 * (limited_seconds - on_seconds) / on_seconds
+                       : 0.0;
   const bool identical = campaign::canonical_result_bytes(off) ==
                          campaign::canonical_result_bytes(on);
+  const bool rlimits_identical = campaign::canonical_result_bytes(off) ==
+                                 campaign::canonical_result_bytes(limited);
 
-  std::printf("campaign, sandbox off: %8.0f mutants/s (%.3f s)\n", off_rate,
+  std::printf("campaign, sandbox off:     %8.0f mutants/s (%.3f s)\n", off_rate,
               off_seconds);
-  std::printf("campaign, sandbox on:  %8.0f mutants/s (%.3f s)\n", on_rate,
+  std::printf("campaign, sandbox on:      %8.0f mutants/s (%.3f s)\n", on_rate,
               on_seconds);
+  std::printf("campaign, sandbox+rlimits: %8.0f mutants/s (%.3f s)\n",
+              limited_rate, limited_seconds);
   std::printf("sandbox overhead:      %+7.1f%%  (fork + IRSB pipe per cell)\n",
               overhead_pct);
-  std::printf("byte-identical:        %s\n", identical ? "yes" : "NO");
+  std::printf("rlimits overhead:      %+7.1f%%  (setrlimit per fork)\n",
+              rlimits_overhead_pct);
+  std::printf("byte-identical:        %s / %s (rlimits)\n",
+              identical ? "yes" : "NO", rlimits_identical ? "yes" : "NO");
   if (!identical || !off.complete || !on.complete || on.harness_faults != 0) {
     std::fprintf(stderr,
                  "sandboxed campaign diverged from in-process execution\n");
+    return 1;
+  }
+  if (!rlimits_identical || !limited.complete ||
+      limited.harness_faults != 0 || limited.rlimit_kills != 0) {
+    std::fprintf(stderr,
+                 "rlimit-armed campaign diverged from in-process execution\n");
     return 1;
   }
 
@@ -130,8 +165,11 @@ int main(int argc, char** argv) {
   metrics.set("table1.mutants_per_second", hot_rate);
   metrics.set("sandbox.mutants_per_second_off", off_rate);
   metrics.set("sandbox.mutants_per_second_on", on_rate);
+  metrics.set("sandbox.mutants_per_second_rlimits", limited_rate);
   metrics.set("sandbox.overhead_pct", overhead_pct);
+  metrics.set("sandbox.rlimits_overhead_pct", rlimits_overhead_pct);
   metrics.set("sandbox.identical", identical ? 1.0 : 0.0);
+  metrics.set("sandbox.rlimits_identical", rlimits_identical ? 1.0 : 0.0);
   metrics.set("sandbox.host_cpus", cpus);
   if (metrics.flush()) {
     std::printf("\nappended to %s\n", metrics.path().c_str());

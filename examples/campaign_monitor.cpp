@@ -102,14 +102,25 @@ void print_human(const FleetView& fleet, const Cli& cli) {
       fleet.harness_faults, fleet.cells_poisoned,
       static_cast<unsigned long long>(fleet.lost_leases),
       static_cast<unsigned long long>(fleet.lease_reclaims));
+  std::printf(
+      "faults: %llu rlimit kills, %llu model faults; re-probes: %llu "
+      "(%llu rehabilitated)\n",
+      static_cast<unsigned long long>(fleet.rlimit_kills),
+      static_cast<unsigned long long>(fleet.model_faults),
+      static_cast<unsigned long long>(fleet.reprobes),
+      static_cast<unsigned long long>(fleet.rehabilitated));
   for (const ShardView& shard : fleet.shards) {
     const auto& s = shard.status;
     std::printf(
         "  shard %-12s %-5s hb %5.1fs ago  %zu/%zu cells  "
-        "%8.0f mut/s  faults %zu  poisoned %zu\n",
+        "%8.0f mut/s  faults %zu  poisoned %zu  rlimit %llu  model %llu  "
+        "reprobed %llu\n",
         s.shard_id.c_str(), iris::campaign::to_string(shard.state),
         shard.heartbeat_age_seconds, s.cells_done, s.cells_total,
-        s.mutants_per_second, s.harness_faults, s.cells_poisoned);
+        s.mutants_per_second, s.harness_faults, s.cells_poisoned,
+        static_cast<unsigned long long>(s.counter("cell.rlimit_kills")),
+        static_cast<unsigned long long>(s.counter("fuzz.model_faults")),
+        static_cast<unsigned long long>(s.counter("poison.reprobes")));
   }
   if (!fleet.recent_events.empty()) {
     std::printf("recent events:\n");

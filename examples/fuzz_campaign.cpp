@@ -38,6 +38,17 @@
 // --failpoints (or IRIS_FAILPOINTS) injects deterministic faults for
 // testing — see src/support/failpoints.h for the rule grammar.
 //
+// Resource limits harden the sandbox wall: --rlimit-cpu and
+// --rlimit-as cap each forked cell's CPU seconds and address space
+// (the kernel kills a runaway before it starves the shard; the kill is
+// classified as a ResourceExhausted fault, distinct from crashes and
+// hangs), and --rlimit-core caps core dumps so a crashing grid does
+// not fill the disk. --reprobe re-examines every quarantined cell at
+// the end of the run with a degraded probe (fresh VM pool slot,
+// reduced mutant budget, tighter limits): a clean probe triggers a
+// full-fidelity re-run that rehabilitates the cell, a faulting probe
+// re-poisons it with its attempt history journaled.
+//
 // Telemetry (all off the determinism path — results are bit-identical
 // with or without it): --trace appends structured JSONL events
 // (--trace auto picks trace-<shard>.jsonl in the lease dir, or
@@ -53,6 +64,8 @@
 //                     [--lease-ttl <sec>] [--range-size <cells>]
 //                     [--sandbox] [--cell-deadline <sec>]
 //                     [--cell-retries <n>] [--failpoints <spec>]
+//                     [--rlimit-cpu <sec>] [--rlimit-as <MiB>]
+//                     [--rlimit-core <MiB>] [--reprobe]
 //                     [--trace <path|auto>] [--status-interval <sec>]
 //                     [--quiet]
 //   $ ./fuzz_campaign reduce <lease-dir> [workload] [mutants] [seed]
@@ -183,6 +196,10 @@ struct Cli {
   bool sandbox = false;
   double cell_deadline = 120.0;
   std::size_t cell_retries = 2;
+  std::uint64_t rlimit_cpu = 0;   // 0 = no per-cell CPU-seconds cap
+  std::uint64_t rlimit_as = 0;    // MiB; 0 = no address-space cap
+  std::int64_t rlimit_core = -1;  // MiB; -1 = inherit the process limit
+  bool reprobe = false;           // re-probe quarantined cells at end of run
   std::string trace_path;       // "auto" = trace-<shard>.jsonl
   double status_interval = 0.0; // 0 = keep the config default
   bool quiet = false;           // silence the periodic progress line
@@ -251,6 +268,14 @@ Cli parse_cli(int argc, char** argv) {
       cli.cell_deadline = std::strtod(value(), nullptr);
     } else if (arg == "--cell-retries") {
       cli.cell_retries = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--rlimit-cpu") {
+      cli.rlimit_cpu = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--rlimit-as") {
+      cli.rlimit_as = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--rlimit-core") {
+      cli.rlimit_core = std::strtoll(value(), nullptr, 10);
+    } else if (arg == "--reprobe") {
+      cli.reprobe = true;
     } else if (arg == "--trace") {
       cli.trace_path = value();
     } else if (arg == "--status-interval") {
@@ -311,6 +336,24 @@ Campaign build_campaign(const std::vector<std::string>& args, std::size_t base,
   c.config.sandbox_cells = cli.sandbox;
   c.config.cell_deadline_seconds = cli.cell_deadline;
   c.config.cell_retries = cli.cell_retries;
+  c.config.rlimit_cpu_seconds = cli.rlimit_cpu;
+  c.config.rlimit_as_mb = cli.rlimit_as;
+  c.config.rlimit_core_mb = cli.rlimit_core;
+  c.config.reprobe_poisoned = cli.reprobe;
+  if ((cli.rlimit_cpu != 0 || cli.rlimit_as != 0 || cli.rlimit_core >= 0 ||
+       cli.reprobe) &&
+      !cli.sandbox) {
+    std::fprintf(stderr, "--rlimit-* and --reprobe need --sandbox: resource "
+                         "limits and re-probes apply to forked cells only\n");
+    return c;
+  }
+  if (cli.rlimit_as != 0 && !fuzz::rlimit_as_supported()) {
+    // Sanitizer builds reserve terabytes of shadow address space; an
+    // RLIMIT_AS cap would kill every cell at startup, so the runner
+    // ignores it there. Say so instead of silently running uncapped.
+    std::fprintf(stderr, "note: --rlimit-as ignored (sanitizer build reserves "
+                         "shadow address space)\n");
+  }
   c.config.stop = &g_stop;
   c.grid = cli.profiles.empty()
                ? fuzz::make_table1_grid({*workload}, c.mutants, seed)
@@ -426,6 +469,10 @@ int cmd_reduce(const Cli& cli) {
                 "completion\n",
                 report.poison_records, report.overridden_poisons);
   }
+  if (report.reprobe_records > 0) {
+    std::printf("re-probe records: %zu read, %zu rehabilitated\n",
+                report.reprobe_records, report.rehabilitated);
+  }
   std::printf("\n");
   print_result(report.result, false);
   print_poisoned(report.result);
@@ -488,6 +535,10 @@ int cmd_shard(const Cli& cli, Campaign& c) {
                 lease.lost_leases);
   }
   print_poisoned(result);
+  if (result.cells_reprobed > 0) {
+    std::printf("re-probed %zu poisoned cell(s): %zu rehabilitated\n",
+                result.cells_reprobed, result.cells_rehabilitated);
+  }
   std::printf("journal: %s\nrun `%s reduce %s ...` once all shards are done\n",
               run.value().journal_path.c_str(), "fuzz_campaign",
               shard.lease_dir.c_str());
@@ -555,9 +606,20 @@ int main(int argc, char** argv) {
                 c.config.import_mutants);
   }
   if (c.config.sandbox_cells) {
-    std::printf("sandbox: forked cells, %.0fs deadline, %zu retr%s\n",
+    std::string limits;
+    if (c.config.rlimit_cpu_seconds != 0) {
+      limits += ", cpu<=" + std::to_string(c.config.rlimit_cpu_seconds) + "s";
+    }
+    if (c.config.rlimit_as_mb != 0 && fuzz::rlimit_as_supported()) {
+      limits += ", as<=" + std::to_string(c.config.rlimit_as_mb) + "MiB";
+    }
+    if (c.config.rlimit_core_mb >= 0) {
+      limits += ", core<=" + std::to_string(c.config.rlimit_core_mb) + "MiB";
+    }
+    std::printf("sandbox: forked cells, %.0fs deadline, %zu retr%s%s%s\n",
                 c.config.cell_deadline_seconds, c.config.cell_retries,
-                c.config.cell_retries == 1 ? "y" : "ies");
+                c.config.cell_retries == 1 ? "y" : "ies", limits.c_str(),
+                c.config.reprobe_poisoned ? ", re-probe on" : "");
   }
   std::printf("\n");
 
@@ -587,8 +649,14 @@ int main(int argc, char** argv) {
   print_result(campaign, !c.config.crash_archive_dir.empty());
   print_poisoned(campaign);
   if (campaign.harness_faults > 0) {
-    std::printf("harness faults: %zu (retried or quarantined)\n",
-                campaign.harness_faults);
+    std::printf("harness faults: %zu (retried or quarantined; %zu rlimit "
+                "kills, %zu model faults)\n",
+                campaign.harness_faults, campaign.rlimit_kills,
+                campaign.model_faults);
+  }
+  if (campaign.cells_reprobed > 0) {
+    std::printf("re-probed %zu poisoned cell(s): %zu rehabilitated\n",
+                campaign.cells_reprobed, campaign.cells_rehabilitated);
   }
   if (all_accounted && !campaign.interrupted) {
     print_result_hash(campaign);

@@ -33,14 +33,21 @@ constexpr std::uint32_t kJournalMagic = 0x4952434B;  // "IRCK"
 // explicit message. v4 subsumes v3 — the spec wire is self-describing —
 // so sandbox + profile matrix is still just v4, and observers
 // (open_readonly) accept v4 regardless of their own declared mode.
+// v5 (PR 9): re-probing campaigns may journal re-probe records — the
+// outcome of re-executing a quarantined cell on a degraded profile at
+// end of run. Gated exactly like v4 (written iff sandbox + --reprobe,
+// exact match demanded from writers) and subsumes it; observers accept
+// v4 or v5 regardless of mode.
 constexpr std::uint16_t kJournalVersionLegacy = 2;
 constexpr std::uint16_t kJournalVersionProfiled = 3;
 constexpr std::uint16_t kJournalVersionFaultContained = 4;
+constexpr std::uint16_t kJournalVersionReprobe = 5;
 constexpr std::size_t kHeaderBytes = 4 + 2 + 8;
 
 constexpr std::uint8_t kRecordCell = 0;
 constexpr std::uint8_t kRecordSyncEpoch = 1;
 constexpr std::uint8_t kRecordPoison = 2;
+constexpr std::uint8_t kRecordReprobe = 3;
 
 /// Append retries: shared policy for every journal write. Transient
 /// errnos (EINTR/ESTALE/EAGAIN/EBUSY) get a few jittered-backoff
@@ -386,7 +393,7 @@ Result<PoisonRecord> deserialize_poison(ByteReader& in) {
     return Error{82, "truncated poison record"};
   }
   if (fault_kind.value() >
-      static_cast<std::uint8_t>(fuzz::HarnessFault::Kind::kProtocol)) {
+      static_cast<std::uint8_t>(fuzz::HarnessFault::Kind::kModelFault)) {
     return Error{83, "bad fault kind in poison record"};
   }
   PoisonRecord record;
@@ -394,6 +401,44 @@ Result<PoisonRecord> deserialize_poison(ByteReader& in) {
   record.attempts = attempts.value();
   record.fault_kind = fault_kind.value();
   record.detail = std::bit_cast<std::int32_t>(detail.value());
+  record.message = std::move(message).take();
+  return record;
+}
+
+void serialize_reprobe(const ReprobeRecord& record, ByteWriter& out) {
+  out.u64(record.index);
+  out.u32(record.round);
+  out.u8(record.outcome);
+  out.u8(record.fault_kind);
+  out.u32(std::bit_cast<std::uint32_t>(record.detail));
+  out.u32(record.attempts_total);
+  out.str(record.message);
+}
+
+Result<ReprobeRecord> deserialize_reprobe(ByteReader& in) {
+  auto index = in.u64();
+  auto round = in.u32();
+  auto outcome = in.u8();
+  auto fault_kind = in.u8();
+  auto detail = in.u32();
+  auto attempts_total = in.u32();
+  auto message = in.str();
+  if (!index.ok() || !round.ok() || !outcome.ok() || !fault_kind.ok() ||
+      !detail.ok() || !attempts_total.ok() || !message.ok()) {
+    return Error{86, "truncated reprobe record"};
+  }
+  if (outcome.value() > kReprobeRepoisoned ||
+      fault_kind.value() >
+          static_cast<std::uint8_t>(fuzz::HarnessFault::Kind::kModelFault)) {
+    return Error{87, "bad outcome or fault kind in reprobe record"};
+  }
+  ReprobeRecord record;
+  record.index = index.value();
+  record.round = round.value();
+  record.outcome = outcome.value();
+  record.fault_kind = fault_kind.value();
+  record.detail = std::bit_cast<std::int32_t>(detail.value());
+  record.attempts_total = attempts_total.value();
   record.message = std::move(message).take();
   return record;
 }
@@ -408,27 +453,30 @@ bool grid_uses_profiles(const std::vector<fuzz::TestCaseSpec>& grid) {
 Result<CampaignCheckpoint> CampaignCheckpoint::open(const std::string& path,
                                                     std::uint64_t fingerprint,
                                                     bool profile_matrix,
-                                                    bool fault_contained) {
+                                                    bool fault_contained,
+                                                    bool reprobe) {
   return open_impl(path, fingerprint, /*read_only=*/false, profile_matrix,
-                   fault_contained);
+                   fault_contained, reprobe);
 }
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open_readonly(
     const std::string& path, std::uint64_t fingerprint, bool profile_matrix) {
   return open_impl(path, fingerprint, /*read_only=*/true, profile_matrix,
-                   /*fault_contained=*/false);
+                   /*fault_contained=*/false, /*reprobe=*/false);
 }
 
 Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
     const std::string& path, std::uint64_t fingerprint, bool read_only,
-    bool profile_matrix, bool fault_contained) {
+    bool profile_matrix, bool fault_contained, bool reprobe) {
   namespace fs = std::filesystem;
-  // v4 subsumes v3: a sandboxed campaign always writes v4, whether or
-  // not its grid also uses the profile matrix.
+  // v4 subsumes v3 and v5 subsumes v4: a sandboxed campaign always
+  // writes v4, whether or not its grid also uses the profile matrix,
+  // and a re-probing one always writes v5.
   const std::uint16_t required =
-      fault_contained ? kJournalVersionFaultContained
-                      : (profile_matrix ? kJournalVersionProfiled
-                                        : kJournalVersionLegacy);
+      reprobe ? kJournalVersionReprobe
+      : fault_contained
+          ? kJournalVersionFaultContained
+          : (profile_matrix ? kJournalVersionProfiled : kJournalVersionLegacy);
   std::error_code ec;
   const bool exists = fs::exists(path, ec);
   const auto file_size = exists ? fs::file_size(path, ec) : 0;
@@ -468,7 +516,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
         !status.ok()) {
       return status.error();
     }
-    return CampaignCheckpoint(path, {}, {}, {});
+    return CampaignCheckpoint(path, {}, {}, {}, {});
   }
 
   if (auto injected = support::failpoints::fs_error("checkpoint_open")) {
@@ -486,7 +534,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
     return Error{57, path + " is not a campaign checkpoint"};
   }
   if (version.value() < kJournalVersionLegacy ||
-      version.value() > kJournalVersionFaultContained) {
+      version.value() > kJournalVersionReprobe) {
     return Error{64, path + " uses unsupported checkpoint version " +
                          std::to_string(version.value())};
   }
@@ -496,12 +544,26 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   // error where the real problem is the journal version. Writers demand
   // an exact version match (a resumed campaign must keep writing the
   // wire it started with); observers accept their declared version OR
-  // v4, since reducing a fault-contained campaign must not require
+  // v4/v5, since reducing a fault-contained campaign must not require
   // re-declaring how its shards executed their cells.
   const bool acceptable =
       version.value() == required ||
-      (read_only && version.value() == kJournalVersionFaultContained);
+      (read_only && (version.value() == kJournalVersionFaultContained ||
+                     version.value() == kJournalVersionReprobe));
   if (!acceptable) {
+    if (version.value() == kJournalVersionReprobe) {
+      return Error{84, path + " uses journal version 5 (poison re-probe) but "
+                           "this campaign does not enable --reprobe (with "
+                           "--sandbox); remove the journal or rerun with "
+                           "--sandbox --reprobe"};
+    }
+    if (reprobe) {
+      return Error{84, path + " uses journal version " +
+                           std::to_string(version.value()) +
+                           " but this campaign re-probes poisoned cells "
+                           "(journal version 5); remove the journal or rerun "
+                           "without --reprobe"};
+    }
     if (version.value() == kJournalVersionFaultContained) {
       return Error{81, path + " uses journal version 4 (fault-contained "
                            "sandboxed cells) but this campaign does not "
@@ -533,6 +595,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
   std::vector<CheckpointCell> cells;
   std::vector<SyncEpochRecord> epochs;
   std::vector<PoisonRecord> poisons;
+  std::vector<ReprobeRecord> reprobes;
   std::size_t offset = kHeaderBytes;
   while (offset + 12 <= data.size()) {
     ByteReader frame{std::span(data).subspan(offset, 12)};
@@ -554,10 +617,15 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
       if (!epoch.ok() || !pr.exhausted()) break;
       epochs.push_back(std::move(epoch).take());
     } else if (type.value() == kRecordPoison &&
-               version.value() == kJournalVersionFaultContained) {
+               version.value() >= kJournalVersionFaultContained) {
       auto poison = deserialize_poison(pr);
       if (!poison.ok() || !pr.exhausted()) break;
       poisons.push_back(std::move(poison).take());
+    } else if (type.value() == kRecordReprobe &&
+               version.value() == kJournalVersionReprobe) {
+      auto record = deserialize_reprobe(pr);
+      if (!record.ok() || !pr.exhausted()) break;
+      reprobes.push_back(std::move(record).take());
     } else {
       break;  // unknown record type: treat as a corrupt tail
     }
@@ -570,7 +638,7 @@ Result<CampaignCheckpoint> CampaignCheckpoint::open_impl(
     if (ec) return Error{59, "cannot truncate torn checkpoint tail: " + path};
   }
   return CampaignCheckpoint(path, std::move(cells), std::move(epochs),
-                            std::move(poisons));
+                            std::move(poisons), std::move(reprobes));
 }
 
 Status CampaignCheckpoint::append_record(std::uint8_t type,
@@ -638,6 +706,16 @@ Status CampaignCheckpoint::append_poison(const PoisonRecord& record) {
     return status;
   }
   poisons_.push_back(record);
+  return {};
+}
+
+Status CampaignCheckpoint::append_reprobe(const ReprobeRecord& record) {
+  ByteWriter payload;
+  serialize_reprobe(record, payload);
+  if (auto status = append_record(kRecordReprobe, payload); !status.ok()) {
+    return status;
+  }
+  reprobes_.push_back(record);
   return {};
 }
 

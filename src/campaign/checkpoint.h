@@ -13,7 +13,8 @@
 //   header:  magic "IRCK" (u32), version (u16), fingerprint (u64)
 //   record*: payload_len (u32), fnv1a(payload) (u64), payload
 //   payload: type (u8) + body — type 0 = completed cell, type 1 = sync
-//            epoch (the frozen corpus-import set of a synced campaign)
+//            epoch (the frozen corpus-import set of a synced campaign),
+//            type 2 = poisoned cell (v4+), type 3 = re-probe (v5)
 // The fingerprint hashes the spec grid and every config field that
 // feeds cell results, so a checkpoint can never be resumed against a
 // different campaign. Records are checksummed individually: a process
@@ -113,6 +114,29 @@ struct PoisonRecord {
 void serialize_poison(const PoisonRecord& record, ByteWriter& out);
 Result<PoisonRecord> deserialize_poison(ByteReader& in);
 
+/// One end-of-run re-probe of a quarantined cell (v5 journals). A
+/// rehabilitated re-probe is immediately followed by the cell's clean
+/// record, so resume and reduce recover the result through the ordinary
+/// clean-cell-wins path — this record only carries the *history*: how
+/// often the cell was re-probed and what the last failure looked like.
+/// A re-poisoned re-probe updates the quarantine's attempt count and
+/// fault without appending a second poison record.
+struct ReprobeRecord {
+  std::uint64_t index = 0;
+  std::uint32_t round = 1;        ///< 1-based re-probe round for this cell
+  std::uint8_t outcome = 0;       ///< 0 = rehabilitated, 1 = re-poisoned
+  std::uint8_t fault_kind = 0;    ///< failing fault (outcome 1); 0 otherwise
+  std::int32_t detail = 0;
+  std::uint32_t attempts_total = 0;  ///< cumulative attempts incl. this round
+  std::string message;               ///< failing fault summary (outcome 1)
+};
+
+inline constexpr std::uint8_t kReprobeRehabilitated = 0;
+inline constexpr std::uint8_t kReprobeRepoisoned = 1;
+
+void serialize_reprobe(const ReprobeRecord& record, ByteWriter& out);
+Result<ReprobeRecord> deserialize_reprobe(ByteReader& in);
+
 class CampaignCheckpoint {
  public:
   /// Open (or create) the journal at `path` for the campaign identified
@@ -127,20 +151,23 @@ class CampaignCheckpoint {
   /// opaquely). `fault_contained` declares sandboxed-cell execution —
   /// the only mode that can journal poison records — and gates version 4
   /// the same way (v4 subsumes v3: the spec wire is self-describing, so
-  /// a sandboxed profile-matrix campaign is still just v4).
+  /// a sandboxed profile-matrix campaign is still just v4). `reprobe`
+  /// declares poison-aware re-probing on top of fault containment and
+  /// gates version 5 (which subsumes v4) identically.
   static Result<CampaignCheckpoint> open(const std::string& path,
                                          std::uint64_t fingerprint,
                                          bool profile_matrix = false,
-                                         bool fault_contained = false);
+                                         bool fault_contained = false,
+                                         bool reprobe = false);
 
   /// Observer variant for journals another (live) process may still be
   /// appending to — e.g. the reducer probing shard journals mid-run.
   /// Identical validation, but nothing is created or written: a missing
   /// journal is an error, and a torn tail (possibly just a record the
   /// writer has not finished flushing) is ignored, never truncated.
-  /// Observers additionally accept v4 journals whatever their own mode:
-  /// reducing a sandboxed campaign must not require re-declaring how the
-  /// shards executed their cells.
+  /// Observers additionally accept v4 and v5 journals whatever their own
+  /// mode: reducing a sandboxed campaign must not require re-declaring
+  /// how the shards executed their cells.
   static Result<CampaignCheckpoint> open_readonly(const std::string& path,
                                                   std::uint64_t fingerprint,
                                                   bool profile_matrix = false);
@@ -157,9 +184,15 @@ class CampaignCheckpoint {
   }
 
   /// Poison records recovered from the journal at open(), in journal
-  /// order (only ever present in v4 journals).
+  /// order (only ever present in v4+ journals).
   [[nodiscard]] const std::vector<PoisonRecord>& poisons() const noexcept {
     return poisons_;
+  }
+
+  /// Re-probe records recovered from the journal at open(), in journal
+  /// order (only ever present in v5 journals).
+  [[nodiscard]] const std::vector<ReprobeRecord>& reprobes() const noexcept {
+    return reprobes_;
   }
 
   /// Append one completed cell and flush it to disk. Transient-errno
@@ -173,22 +206,28 @@ class CampaignCheckpoint {
   /// Append one poisoned-cell record and flush it to disk.
   Status append_poison(const PoisonRecord& record);
 
+  /// Append one re-probe record and flush it to disk.
+  Status append_reprobe(const ReprobeRecord& record);
+
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
  private:
   CampaignCheckpoint(std::string path, std::vector<CheckpointCell> cells,
                      std::vector<SyncEpochRecord> epochs,
-                     std::vector<PoisonRecord> poisons)
+                     std::vector<PoisonRecord> poisons,
+                     std::vector<ReprobeRecord> reprobes)
       : path_(std::move(path)),
         cells_(std::move(cells)),
         epochs_(std::move(epochs)),
-        poisons_(std::move(poisons)) {}
+        poisons_(std::move(poisons)),
+        reprobes_(std::move(reprobes)) {}
 
   static Result<CampaignCheckpoint> open_impl(const std::string& path,
                                               std::uint64_t fingerprint,
                                               bool read_only,
                                               bool profile_matrix,
-                                              bool fault_contained);
+                                              bool fault_contained,
+                                              bool reprobe);
 
   Status append_record(std::uint8_t type, const ByteWriter& payload);
 
@@ -196,6 +235,7 @@ class CampaignCheckpoint {
   std::vector<CheckpointCell> cells_;
   std::vector<SyncEpochRecord> epochs_;
   std::vector<PoisonRecord> poisons_;
+  std::vector<ReprobeRecord> reprobes_;
 };
 
 }  // namespace iris::campaign

@@ -226,6 +226,10 @@ Result<FleetView> aggregate_fleet(const std::string& dir,
     fleet.executed += status.executed;
     fleet.lost_leases += status.counter("lease.lost");
     fleet.lease_reclaims += status.counter("lease.reclaims");
+    fleet.rlimit_kills += status.counter("cell.rlimit_kills");
+    fleet.model_faults += status.counter("fuzz.model_faults");
+    fleet.reprobes += status.counter("poison.reprobes");
+    fleet.rehabilitated += status.counter("poison.rehabilitated");
   }
 
   if (fleet.ranges_total > 0) {
@@ -273,6 +277,14 @@ std::string render_fleet_json(const FleetView& fleet) {
          fmt_num(static_cast<double>(fleet.cells_poisoned)) + ",\n";
   out += "  \"harness_faults\": " +
          fmt_num(static_cast<double>(fleet.harness_faults)) + ",\n";
+  out += "  \"rlimit_kills\": " +
+         fmt_num(static_cast<double>(fleet.rlimit_kills)) + ",\n";
+  out += "  \"model_faults\": " +
+         fmt_num(static_cast<double>(fleet.model_faults)) + ",\n";
+  out += "  \"reprobes\": " + fmt_num(static_cast<double>(fleet.reprobes)) +
+         ",\n";
+  out += "  \"rehabilitated\": " +
+         fmt_num(static_cast<double>(fleet.rehabilitated)) + ",\n";
   out += "  \"lost_leases\": " + fmt_num(static_cast<double>(fleet.lost_leases)) +
          ",\n";
   out += "  \"lease_reclaims\": " +
@@ -299,6 +311,14 @@ std::string render_fleet_json(const FleetView& fleet) {
            fmt_num(static_cast<double>(s.harness_faults)) +
            ", \"cells_poisoned\": " +
            fmt_num(static_cast<double>(s.cells_poisoned)) +
+           ", \"rlimit_kills\": " +
+           fmt_num(static_cast<double>(s.counter("cell.rlimit_kills"))) +
+           ", \"model_faults\": " +
+           fmt_num(static_cast<double>(s.counter("fuzz.model_faults"))) +
+           ", \"reprobes\": " +
+           fmt_num(static_cast<double>(s.counter("poison.reprobes"))) +
+           ", \"rehabilitated\": " +
+           fmt_num(static_cast<double>(s.counter("poison.rehabilitated"))) +
            ", \"lost_leases\": " +
            fmt_num(static_cast<double>(s.counter("lease.lost"))) +
            ", \"in_flight\": [";

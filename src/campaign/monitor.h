@@ -103,6 +103,14 @@ struct FleetView {
   std::size_t executed = 0;
   std::uint64_t lost_leases = 0;
   std::uint64_t lease_reclaims = 0;
+  // PR 9 fault-taxonomy breakdowns, folded from the shards' metric
+  // counters: rlimit kills and model faults are *kinds* of harness
+  // fault a triager treats differently, and re-probe traffic says
+  // whether quarantines are sticking.
+  std::uint64_t rlimit_kills = 0;
+  std::uint64_t model_faults = 0;
+  std::uint64_t reprobes = 0;
+  std::uint64_t rehabilitated = 0;
   double mutants_per_second = 0.0;  ///< live shards only
   std::size_t live_shards = 0;
   std::size_t stale_shards = 0;

@@ -103,8 +103,33 @@ Result<ReduceReport> reduce_journals(
       fuzz::HarnessFault fault;
       fault.kind = static_cast<fuzz::HarnessFault::Kind>(poison.fault_kind);
       fault.detail = poison.detail;
+      fault.message = poison.message;
       report.poisoned.push_back(
           fuzz::PoisonedCell{poison.index, poison.attempts, fault});
+    }
+
+    // Re-probe history (v5 journals). A rehabilitated round is followed
+    // by the cell's clean record, which the clean-beats-poison pass
+    // below already honors; a re-poisoned round updates the surviving
+    // quarantine's attempt count and fault in place.
+    for (const ReprobeRecord& rp : journal.value().reprobes()) {
+      if (rp.index >= grid.size()) {
+        return Error{76, path + " journals cell " + std::to_string(rp.index) +
+                             " outside the " + std::to_string(grid.size()) +
+                             "-cell grid"};
+      }
+      ++report.reprobe_records;
+      if (rp.outcome == kReprobeRehabilitated) {
+        ++report.rehabilitated;
+        continue;
+      }
+      for (auto& cell : report.poisoned) {
+        if (cell.index != rp.index) continue;
+        cell.attempts = std::max(cell.attempts, rp.attempts_total);
+        cell.fault.kind = static_cast<fuzz::HarnessFault::Kind>(rp.fault_kind);
+        cell.fault.detail = rp.detail;
+        cell.fault.message = rp.message;
+      }
     }
   }
 

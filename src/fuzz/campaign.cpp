@@ -10,11 +10,13 @@
 #include <limits>
 #include <map>
 #include <mutex>
+#include <new>
 #include <optional>
 #include <span>
 #include <thread>
 
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -24,6 +26,7 @@
 #include "campaign/monitor.h"
 #include "fuzz/vm_pool.h"
 #include "support/failpoints.h"
+#include "support/model_fault.h"
 #include "support/retry.h"
 #include "support/telemetry.h"
 
@@ -79,11 +82,54 @@ struct CampaignMetrics {
   support::MetricId cells_poisoned = reg.counter_id("campaign.cells_poisoned");
   support::MetricId harness_faults = reg.counter_id("campaign.harness_faults");
   support::MetricId cell_retries = reg.counter_id("campaign.cell_retries");
+  support::MetricId rlimit_kills = reg.counter_id("cell.rlimit_kills");
+  support::MetricId model_faults = reg.counter_id("fuzz.model_faults");
+  support::MetricId reprobes = reg.counter_id("poison.reprobes");
+  support::MetricId rehabilitated = reg.counter_id("poison.rehabilitated");
   support::MetricId mutants = reg.counter_id("campaign.mutants");
   support::MetricId pool_rebuilds = reg.counter_id("pool.rebuilds");
   support::MetricId sandbox_cell_us = reg.histogram_id("sandbox.cell_us");
   support::MetricId cell_us = reg.histogram_id("campaign.cell_us");
 };
+
+/// Resource limits one forked sandbox child runs under. The watchdog
+/// deadline rides along so the re-probe pass can degrade all of them
+/// coherently (a probe gets half the deadline, half the CPU budget).
+struct SandboxLimits {
+  double deadline_seconds = 0.0;
+  std::uint64_t cpu_seconds = 0;  ///< RLIMIT_CPU; 0 = off
+  std::uint64_t as_mb = 0;        ///< RLIMIT_AS; 0 = off
+  std::int64_t core_mb = -1;      ///< RLIMIT_CORE; -1 = inherit
+};
+
+/// Child-side rlimit installation, between fork() and the cell body.
+/// Failures are deliberately ignored (a host that refuses a tighter
+/// limit leaves the child exactly as contained as before this PR); the
+/// CPU hard limit sits one second above the soft one so the kill is a
+/// classifiable SIGXCPU, not a blunt SIGKILL.
+void apply_child_rlimits(const SandboxLimits& limits) {
+  if (limits.cpu_seconds > 0) {
+    const ::rlimit r{static_cast<rlim_t>(limits.cpu_seconds),
+                     static_cast<rlim_t>(limits.cpu_seconds + 1)};
+    (void)::setrlimit(RLIMIT_CPU, &r);
+  }
+  if (limits.as_mb > 0 && rlimit_as_supported()) {
+    const auto bytes = static_cast<rlim_t>(limits.as_mb) << 20;
+    const ::rlimit r{bytes, bytes};
+    (void)::setrlimit(RLIMIT_AS, &r);
+    // Under RLIMIT_AS a clean allocation path dies as bad_alloc ->
+    // std::terminate -> SIGABRT, indistinguishable from a model crash.
+    // Exit through the dedicated code instead so the parent classifies
+    // kResourceExhausted.
+    std::set_new_handler(
+        [] { ::_exit(support::failpoints::kResourceExhaustedExit); });
+  }
+  if (limits.core_mb >= 0) {
+    const auto bytes = static_cast<rlim_t>(limits.core_mb) << 20;
+    const ::rlimit r{bytes, bytes};
+    (void)::setrlimit(RLIMIT_CORE, &r);
+  }
+}
 
 /// Live status publication (CampaignConfig::status_path / on_progress).
 /// A pure observer: it reads counters the work loop maintains anyway
@@ -201,8 +247,29 @@ std::string HarnessFault::describe() const {
       return "harness overran the cell deadline (SIGKILLed)";
     case Kind::kProtocol:
       return "harness result pipe torn or corrupt";
+    case Kind::kResourceExhausted:
+      return detail == SIGXCPU
+                 ? "harness exceeded its CPU resource limit (SIGXCPU)"
+                 : "harness exceeded its memory resource limit (exit " +
+                       std::to_string(detail) + ")";
+    case Kind::kModelFault:
+      return message.empty() ? "model-layer invariant violation" : message;
   }
   return "unknown harness fault";
+}
+
+bool rlimit_as_supported() noexcept {
+#if defined(__SANITIZE_ADDRESS__)
+  return false;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  return false;
+#else
+  return true;
+#endif
+#else
+  return true;
+#endif
 }
 
 void finalize_campaign_result(
@@ -278,7 +345,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   if (!config_.checkpoint_path.empty()) {
     auto opened = campaign::CampaignCheckpoint::open(
         config_.checkpoint_path, campaign::campaign_fingerprint(grid, config_),
-        campaign::grid_uses_profiles(grid), config_.sandbox_cells);
+        campaign::grid_uses_profiles(grid), config_.sandbox_cells,
+        config_.sandbox_cells && config_.reprobe_poisoned);
     if (opened.ok()) {
       checkpoint = std::move(opened).take();
       for (const auto& cell : checkpoint->cells()) {
@@ -301,8 +369,27 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         HarnessFault fault;
         fault.kind = static_cast<HarnessFault::Kind>(poison.fault_kind);
         fault.detail = poison.detail;
+        fault.message = poison.message;
         out.poisoned_cells.push_back(
             PoisonedCell{poison.index, poison.attempts, fault});
+      }
+      // Re-probe history (v5): a re-poisoned round updated the
+      // quarantine's attempt count and fault without a second poison
+      // record; fold that in. Rehabilitated rounds need nothing — the
+      // clean cell record that follows them already marked the cell
+      // done, so the poison loop above skipped it.
+      for (const auto& rp : checkpoint->reprobes()) {
+        if (rp.index >= grid.size() || done[rp.index] != 0) continue;
+        for (auto& cell : out.poisoned_cells) {
+          if (cell.index != rp.index ||
+              rp.outcome != campaign::kReprobeRepoisoned) {
+            continue;
+          }
+          cell.attempts = std::max(cell.attempts, rp.attempts_total);
+          cell.fault.kind = static_cast<HarnessFault::Kind>(rp.fault_kind);
+          cell.fault.detail = rp.detail;
+          cell.fault.message = rp.message;
+        }
       }
     } else {
       out.persistence_error = opened.error().message;
@@ -505,7 +592,47 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   }
 
   std::atomic<std::size_t> fault_count{0};
+  std::atomic<std::size_t> rlimit_kill_count{0};
+  std::atomic<std::size_t> model_fault_count{0};
   std::atomic<bool> saw_stop{false};
+
+  // Limits every ordinary sandboxed attempt runs under; the re-probe
+  // pass derives its degraded variant from this.
+  const SandboxLimits base_limits{config_.cell_deadline_seconds,
+                                  config_.rlimit_cpu_seconds,
+                                  config_.rlimit_as_mb, config_.rlimit_core_mb};
+
+  // Shared fault accounting for the retry loop and the re-probe pass:
+  // the global counters, the rlimit-kill / model-fault breakdowns, and
+  // the trace events.
+  auto account_fault = [&](std::size_t i, std::size_t attempt,
+                           const HarnessFault& fault) {
+    fault_count.fetch_add(1, std::memory_order_relaxed);
+    board.faults.fetch_add(1, std::memory_order_relaxed);
+    mm.reg.add(mm.harness_faults);
+    if (fault.kind == HarnessFault::Kind::kResourceExhausted) {
+      rlimit_kill_count.fetch_add(1, std::memory_order_relaxed);
+      mm.reg.add(mm.rlimit_kills);
+    } else if (fault.kind == HarnessFault::Kind::kModelFault) {
+      model_fault_count.fetch_add(1, std::memory_order_relaxed);
+      mm.reg.add(mm.model_faults);
+      if (support::trace_active()) {
+        support::TraceEvent event("model_fault");
+        event.num("cell", static_cast<double>(i))
+            .num("code", static_cast<double>(fault.detail))
+            .str("fault", fault.describe());
+        support::trace(std::move(event));
+      }
+    }
+    if (support::trace_active()) {
+      support::TraceEvent event("harness_fault");
+      event.num("cell", static_cast<double>(i))
+          .num("attempt", static_cast<double>(attempt))
+          .num("kind", static_cast<double>(fault.kind))
+          .str("fault", fault.describe());
+      support::trace(std::move(event));
+    }
+  };
 
   // One cell body, two stack sources: a reset pooled slot or a
   // throwaway CellVm (provably equivalent — see PooledVm::reset).
@@ -513,11 +640,10 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   // the in-process path and the sandboxed child, which is what makes
   // "clean sandboxed cell ≡ in-process cell" a serialization round-trip
   // property rather than a hope.
-  auto run_cell_body = [&](std::size_t i, std::size_t worker_index,
+  auto run_cell_body = [&](const TestCaseSpec& spec, std::size_t worker_index,
                            const VmBehavior& behavior)
       -> std::pair<TestCaseResult,
                    std::vector<std::pair<hv::BlockKey, std::uint8_t>>> {
-    const TestCaseSpec& spec = grid[i];
     const vtx::VmxCapabilityProfile& profile = vtx::profile_by_id(spec.profile);
     std::optional<CellVm> throwaway;
     hv::Hypervisor* cell_hv = nullptr;
@@ -542,14 +668,20 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
 
   // Sandboxed execution: fork, run the cell body in the child, pipe the
   // serialized CheckpointCell back, supervise with a watchdog deadline.
-  // Returns nullopt on success (result stored), or the fault.
+  // Returns nullopt on success (result stored iff store_result — the
+  // re-probe pass runs discarded canary probes through here), or the
+  // fault.
   //
   // Fork safety: the behavior was recorded (and any cell_exec failpoint
   // evaluated) in the parent BEFORE forking, so the child never takes
-  // behaviors_mutex, journal_mutex, or the failpoint table mutex —
-  // another worker could be holding any of them at fork time.
-  auto run_cell_sandboxed = [&](std::size_t i, std::size_t worker_index,
-                                const VmBehavior& behavior)
+  // behaviors_mutex, journal_mutex, or a metrics-registry lock — another
+  // worker could be holding any of them at fork time.
+  // note_forked_child() suppresses child-side metric registration for
+  // the same reason, and the failpoint table itself is read lock-free.
+  auto run_cell_sandboxed = [&](std::size_t i, const TestCaseSpec& spec,
+                                std::size_t worker_index,
+                                const VmBehavior& behavior,
+                                const SandboxLimits& limits, bool store_result)
       -> std::optional<HarnessFault> {
     std::optional<support::failpoints::Hit> injected;
     if (support::failpoints::active()) {
@@ -557,19 +689,27 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     }
     int fds[2];
     if (::pipe(fds) != 0) {
-      return HarnessFault{HarnessFault::Kind::kProtocol, errno};
+      return HarnessFault{HarnessFault::Kind::kProtocol, errno, {}};
     }
     const ::pid_t pid = ::fork();
     if (pid < 0) {
       ::close(fds[0]);
       ::close(fds[1]);
-      return HarnessFault{HarnessFault::Kind::kProtocol, errno};
+      return HarnessFault{HarnessFault::Kind::kProtocol, errno, {}};
     }
     if (pid == 0) {
       // --- Child: run the cell, deliver the framed result, _exit.
       ::close(fds[0]);
+      support::failpoints::note_forked_child();
+      support::modelfault::set_sink_fd(fds[1]);
+      apply_child_rlimits(limits);
+      // A cell_exec alloc= hit returns from execute_fatal and runs the
+      // cell under the injected memory pressure — the rlimit kill (or
+      // survival) is the behavior under test. Every other action dies
+      // here.
       if (injected) support::failpoints::execute_fatal(*injected);
-      auto [result, cov] = run_cell_body(i, worker_index, behavior);
+      const support::modelfault::CellScope cell_scope(i);
+      auto [result, cov] = run_cell_body(spec, worker_index, behavior);
       campaign::CheckpointCell cell;
       cell.index = i;
       cell.sync_epoch = sync_epoch;
@@ -602,10 +742,10 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     const auto deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(config_.cell_deadline_seconds));
+            std::chrono::duration<double>(limits.deadline_seconds));
     for (;;) {
       int timeout_ms = -1;
-      if (config_.cell_deadline_seconds > 0 && !deadline_hit) {
+      if (limits.deadline_seconds > 0 && !deadline_hit) {
         const auto remaining_ms =
             std::chrono::duration_cast<std::chrono::milliseconds>(
                 deadline - std::chrono::steady_clock::now())
@@ -642,37 +782,65 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
     }
     if (deadline_hit) {
-      return HarnessFault{HarnessFault::Kind::kDeadline, SIGKILL};
+      return HarnessFault{HarnessFault::Kind::kDeadline, SIGKILL, {}};
     }
     if (WIFSIGNALED(status)) {
-      return HarnessFault{HarnessFault::Kind::kSignal, WTERMSIG(status)};
+      const int sig = WTERMSIG(status);
+      // RLIMIT_CPU kills with SIGXCPU at the soft limit — a resource
+      // classification, not a crash.
+      if (sig == SIGXCPU) {
+        return HarnessFault{HarnessFault::Kind::kResourceExhausted, sig, {}};
+      }
+      return HarnessFault{HarnessFault::Kind::kSignal, sig, {}};
     }
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-      return HarnessFault{HarnessFault::Kind::kExit,
-                          WIFEXITED(status) ? WEXITSTATUS(status) : -1};
+      const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+      // The RLIMIT_AS new-handler and failpoints::execute_alloc both
+      // exit through the dedicated resource-exhaustion code.
+      if (code == support::failpoints::kResourceExhaustedExit) {
+        return HarnessFault{HarnessFault::Kind::kResourceExhausted, code, {}};
+      }
+      return HarnessFault{HarnessFault::Kind::kExit, code, {}};
     }
-    // Exit 0: the frame must parse, checksum, and name this cell.
+    // Exit 0: the frame must parse, checksum, and name this cell. Two
+    // frames share the pipe shape: a result ("IRSB") or a structured
+    // model fault ("IRMF"), told apart by the magic alone.
     ByteReader r(buf);
     auto magic = r.u32();
     auto len = r.u32();
     auto checksum = r.u64();
-    if (!magic.ok() || magic.value() != kSandboxFrameMagic || !len.ok() ||
-        !checksum.ok() || len.value() != r.remaining()) {
-      return HarnessFault{HarnessFault::Kind::kProtocol, 0};
+    if (!magic.ok() ||
+        (magic.value() != kSandboxFrameMagic &&
+         magic.value() != support::modelfault::kModelFaultFrameMagic) ||
+        !len.ok() || !checksum.ok() || len.value() != r.remaining()) {
+      return HarnessFault{HarnessFault::Kind::kProtocol, 0, {}};
     }
     const std::span<const std::uint8_t> payload =
         std::span(buf).subspan(16);
     if (fnv1a(payload) != checksum.value()) {
-      return HarnessFault{HarnessFault::Kind::kProtocol, 1};
+      return HarnessFault{HarnessFault::Kind::kProtocol, 1, {}};
     }
     ByteReader pr(payload);
+    if (magic.value() == support::modelfault::kModelFaultFrameMagic) {
+      auto fault = support::modelfault::deserialize_model_fault(pr);
+      if (!fault.ok() || !pr.exhausted()) {
+        return HarnessFault{HarnessFault::Kind::kProtocol, 2, {}};
+      }
+      HarnessFault out_fault;
+      out_fault.kind = HarnessFault::Kind::kModelFault;
+      out_fault.detail = fault.value().code;
+      out_fault.message = fault.value().describe();
+      return out_fault;
+    }
     auto cell = campaign::deserialize_checkpoint_cell(pr);
     if (!cell.ok() || !pr.exhausted() || cell.value().index != i) {
-      return HarnessFault{HarnessFault::Kind::kProtocol, 2};
+      return HarnessFault{HarnessFault::Kind::kProtocol, 2, {}};
     }
-    auto taken = std::move(cell).take();
-    out.results[i] = std::move(taken.result);
-    cell_cov[i] = std::move(taken.coverage);
+    if (store_result) {
+      auto taken = std::move(cell).take();
+      out.results[i] = std::move(taken.result);
+      cell_cov[i] = std::move(taken.coverage);
+    }
     return std::nullopt;
   };
 
@@ -709,7 +877,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         std::optional<HarnessFault> fault;
         for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
           const auto attempt_started = std::chrono::steady_clock::now();
-          fault = run_cell_sandboxed(i, worker_index, behavior);
+          fault = run_cell_sandboxed(i, spec, worker_index, behavior,
+                                     base_limits, /*store_result=*/true);
           // Per-attempt fork + pipe + reap latency, faulted or not.
           mm.reg.observe(
               mm.sandbox_cell_us,
@@ -717,17 +886,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                   std::chrono::steady_clock::now() - attempt_started)
                   .count());
           if (!fault) break;
-          fault_count.fetch_add(1, std::memory_order_relaxed);
-          board.faults.fetch_add(1, std::memory_order_relaxed);
-          mm.reg.add(mm.harness_faults);
-          if (support::trace_active()) {
-            support::TraceEvent event("harness_fault");
-            event.num("cell", static_cast<double>(i))
-                .num("attempt", static_cast<double>(attempt))
-                .num("kind", static_cast<double>(fault->kind))
-                .str("fault", fault->describe());
-            support::trace(std::move(event));
-          }
+          account_fault(i, attempt, *fault);
           // Defensive: re-establish the worker's pooled stack from
           // scratch after reaping a dead harness.
           if (pool) {
@@ -777,7 +936,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
           continue;
         }
       } else {
-        auto [result, cov] = run_cell_body(i, worker_index, behavior);
+        auto [result, cov] = run_cell_body(spec, worker_index, behavior);
         out.results[i] = std::move(result);
         cell_cov[i] = std::move(cov);
       }
@@ -821,6 +980,144 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     for (auto& t : threads) t.join();
   }
 
+  // --- Poison-aware re-probe: after the grid pass, each still-poisoned
+  // cell (fresh quarantine or resumed) gets one more chance on a
+  // degraded profile — a freshly rebuilt pool slot, a reduced mutant
+  // budget, half the deadline and CPU budget. The probe result is
+  // DISCARDED: a clean probe only earns a full-fidelity re-execution,
+  // because journaling a reduced-budget result would hand the reducer
+  // two conflicting records for one index. A clean full run
+  // rehabilitates the cell (journaled like any clean cell —
+  // clean-cell-wins does the rest on resume and reduce); a failed one
+  // re-poisons with the updated attempt history. Main thread only, so
+  // it borrows worker slot 0.
+  std::size_t reprobe_rounds = 0;
+  std::size_t rehabilitated_count = 0;
+  if (config_.sandbox_cells && config_.reprobe_poisoned &&
+      !out.poisoned_cells.empty() &&
+      !(config_.stop != nullptr &&
+        config_.stop->load(std::memory_order_relaxed))) {
+    std::sort(out.poisoned_cells.begin(), out.poisoned_cells.end(),
+              [](const PoisonedCell& a, const PoisonedCell& b) {
+                return a.index < b.index;
+              });
+    std::vector<PoisonedCell> still_poisoned;
+    auto journal_reprobe = [&](const campaign::ReprobeRecord& record) {
+      const std::lock_guard<std::mutex> lock(journal_mutex);
+      if (!checkpoint || journal_degraded) return;
+      if (const auto status = checkpoint->append_reprobe(record);
+          !status.ok()) {
+        if (out.persistence_error.empty()) {
+          out.persistence_error = status.error().message;
+        }
+        journal_degraded = true;
+      }
+    };
+    for (PoisonedCell poison : out.poisoned_cells) {
+      const std::size_t i = poison.index;
+      if (i >= grid.size() || done[i] != 0) continue;
+      ++reprobe_rounds;
+      mm.reg.add(mm.reprobes);
+      const TestCaseSpec& spec = grid[i];
+      const VmBehavior& behavior = ensure_behavior(spec.workload, 0);
+      // Round number is per-journal history: earlier runs' re-probes of
+      // this cell (loaded at open) come first.
+      std::uint32_t round = 1;
+      if (checkpoint) {
+        for (const auto& rp : checkpoint->reprobes()) {
+          if (rp.index == i) ++round;
+        }
+      }
+      // Degraded canary probe on a fresh slot.
+      if (pool) {
+        pool->rebuild(0);
+        mm.reg.add(mm.pool_rebuilds);
+      }
+      TestCaseSpec probe_spec = spec;
+      probe_spec.mutants = std::min(spec.mutants, config_.reprobe_probe_mutants);
+      SandboxLimits probe_limits = base_limits;
+      if (probe_limits.deadline_seconds > 0) {
+        probe_limits.deadline_seconds =
+            std::max(1.0, probe_limits.deadline_seconds / 2);
+      }
+      if (probe_limits.cpu_seconds > 0) {
+        probe_limits.cpu_seconds =
+            std::max<std::uint64_t>(1, probe_limits.cpu_seconds / 2);
+      }
+      std::uint32_t attempts_spent = 1;
+      auto fault = run_cell_sandboxed(i, probe_spec, 0, behavior, probe_limits,
+                                      /*store_result=*/false);
+      if (!fault) {
+        // Clean probe: full-fidelity re-execution, again on a fresh
+        // slot, under the ordinary limits.
+        if (pool) {
+          pool->rebuild(0);
+          mm.reg.add(mm.pool_rebuilds);
+        }
+        ++attempts_spent;
+        fault = run_cell_sandboxed(i, spec, 0, behavior, base_limits,
+                                   /*store_result=*/true);
+      }
+      const std::uint32_t attempts_total = poison.attempts + attempts_spent;
+      campaign::ReprobeRecord record;
+      record.index = i;
+      record.round = round;
+      record.attempts_total = attempts_total;
+      if (!fault) {
+        record.outcome = campaign::kReprobeRehabilitated;
+        journal_reprobe(record);
+        done[i] = 1;
+        poisoned[i] = 0;
+        ++rehabilitated_count;
+        mm.reg.add(mm.rehabilitated);
+        mm.reg.add(mm.cells_done);
+        mm.reg.add(mm.mutants, out.results[i].executed);
+        board.done.fetch_add(1, std::memory_order_relaxed);
+        board.executed.fetch_add(out.results[i].executed,
+                                 std::memory_order_relaxed);
+        // Resumed poisons never bumped this run's board counter; only
+        // un-count quarantines it actually counted. (Single-threaded
+        // here — the workers joined.)
+        if (const auto cur = board.poisoned.load(std::memory_order_relaxed);
+            cur > 0) {
+          board.poisoned.store(cur - 1, std::memory_order_relaxed);
+        }
+        std::fprintf(stderr,
+                     "campaign: cell %zu rehabilitated by re-probe round %u\n",
+                     i, round);
+        journal_cell(i);
+      } else {
+        account_fault(i, attempts_spent, *fault);
+        if (pool) {
+          pool->rebuild(0);
+          mm.reg.add(mm.pool_rebuilds);
+        }
+        poison.attempts = attempts_total;
+        poison.fault = *fault;
+        record.outcome = campaign::kReprobeRepoisoned;
+        record.fault_kind = static_cast<std::uint8_t>(fault->kind);
+        record.detail = fault->detail;
+        record.message = fault->describe();
+        journal_reprobe(record);
+        std::fprintf(stderr,
+                     "campaign: cell %zu re-poisoned by re-probe round %u: %s\n",
+                     i, round, fault->describe().c_str());
+        still_poisoned.push_back(poison);
+      }
+      if (support::trace_active()) {
+        support::TraceEvent event("reprobe");
+        event.num("cell", static_cast<double>(i))
+            .num("round", static_cast<double>(round))
+            .num("attempts", static_cast<double>(attempts_total))
+            .str("outcome", fault ? "repoisoned" : "rehabilitated");
+        if (fault) event.str("fault", fault->describe());
+        support::trace(std::move(event));
+      }
+    }
+    out.poisoned_cells = std::move(still_poisoned);
+    board.publish_now();
+  }
+
   out.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
           .count();
@@ -831,6 +1128,10 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       std::all_of(done.begin(), done.end(), [](char d) { return d != 0; });
   out.cells_completed.assign(done.begin(), done.end());
   out.harness_faults = fault_count.load(std::memory_order_relaxed);
+  out.rlimit_kills = rlimit_kill_count.load(std::memory_order_relaxed);
+  out.model_faults = model_fault_count.load(std::memory_order_relaxed);
+  out.cells_reprobed = reprobe_rounds;
+  out.cells_rehabilitated = rehabilitated_count;
   out.interrupted = saw_stop.load(std::memory_order_relaxed);
   std::sort(out.poisoned_cells.begin(), out.poisoned_cells.end(),
             [](const PoisonedCell& a, const PoisonedCell& b) {

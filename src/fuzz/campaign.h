@@ -47,10 +47,23 @@ struct HarnessFault {
     kExit = 1,      ///< child exited nonzero without delivering a result
     kDeadline = 2,  ///< watchdog deadline overran; child was SIGKILLed
     kProtocol = 3,  ///< child exited 0 but the result pipe was torn/corrupt
+    /// Child hit a per-cell rlimit: SIGXCPU past RLIMIT_CPU, or the
+    /// RLIMIT_AS new-handler / failpoints::execute_alloc exit
+    /// (kResourceExhaustedExit). Distinct from kSignal/kExit so triage
+    /// and telemetry can tell a memory bomb from a segfault.
+    kResourceExhausted = 4,
+    /// Child raised a structured support::modelfault::ModelFault — an
+    /// invariant violation inside the VM/emulator model (or an injected
+    /// model-site failpoint), delivered over the result pipe.
+    kModelFault = 5,
   };
   Kind kind = Kind::kSignal;
-  /// Signal number (kSignal/kDeadline) or exit code (kExit).
+  /// Signal number (kSignal/kDeadline/kResourceExhausted), exit code
+  /// (kExit/kResourceExhausted), or ModelFault code (kModelFault).
   int detail = 0;
+  /// Structured description where one exists (kModelFault carries the
+  /// ModelFault::describe() text); empty otherwise.
+  std::string message;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -185,6 +198,43 @@ struct CampaignConfig {
   /// Base backoff before the first retry; doubles per attempt, jittered.
   double retry_base_backoff_ms = 10.0;
 
+  // --- Per-cell resource limits (PR 9). Applied inside the forked
+  // sandbox child *before* the cell body runs, so a memory-runaway or
+  // CPU-spinning model bug kills the child, not the shard host. A limit
+  // kill is classified HarnessFault::Kind::kResourceExhausted. Like
+  // every containment knob, excluded from the campaign fingerprint.
+
+  /// RLIMIT_CPU per sandboxed cell attempt, in seconds (soft = limit so
+  /// the kill signal is SIGXCPU; hard = limit + 1). 0 = off.
+  std::uint64_t rlimit_cpu_seconds = 0;
+  /// RLIMIT_AS per sandboxed cell attempt, in MiB. 0 = off. Silently
+  /// skipped when rlimit_as_supported() is false (ASan builds reserve
+  /// terabytes of VA; capping it would kill every clean cell).
+  std::uint64_t rlimit_as_mb = 0;
+  /// RLIMIT_CORE per sandboxed cell attempt, in MiB (0 disables core
+  /// dumps — a fuzzing fleet does not want a disk full of cores from
+  /// faults it already classifies). -1 = leave the inherited limit.
+  std::int64_t rlimit_core_mb = -1;
+
+  // --- Poison-aware re-probe (PR 9). A quarantined cell is not final:
+  // after the grid pass, cells still poisoned (fresh or resumed) are
+  // re-probed once on a degraded profile — a freshly rebuilt pool slot,
+  // a reduced mutant budget, a halved deadline and CPU budget — and a
+  // clean probe earns a full-fidelity re-execution journaled like any
+  // clean cell (which is what rehabilitates the cell: clean-cell-wins
+  // already governs resume and reduce). A failed probe re-poisons with
+  // the attempt history. Requires sandbox_cells; campaigns with a
+  // checkpoint write a v5 journal (reprobe records are version-gated
+  // exactly like v4 poison records).
+
+  /// Re-probe still-poisoned cells at the end of the run.
+  bool reprobe_poisoned = false;
+  /// Mutant budget of the degraded probe run (capped by the cell's own
+  /// budget). The probe result is always discarded — only a
+  /// full-fidelity re-execution may be journaled, or the reducer would
+  /// see two different "results" for one cell.
+  std::size_t reprobe_probe_mutants = 16;
+
   /// Cooperative stop flag (not owned; may be null). Set by a signal
   /// handler: workers finish their in-flight cell, journal it, and stop
   /// claiming new ones. The run returns incomplete, resumable as usual.
@@ -264,9 +314,24 @@ struct CampaignResult {
   /// Total harness faults observed (including ones later retried into
   /// clean results).
   std::size_t harness_faults = 0;
+  /// Faults classified kResourceExhausted (rlimit kills), a subset of
+  /// harness_faults.
+  std::size_t rlimit_kills = 0;
+  /// Faults classified kModelFault, a subset of harness_faults.
+  std::size_t model_faults = 0;
+  /// Poisoned cells re-probed at end of run (each counts one round).
+  std::size_t cells_reprobed = 0;
+  /// Re-probed cells whose probe and full re-execution both came back
+  /// clean — removed from poisoned_cells, their results journaled.
+  std::size_t cells_rehabilitated = 0;
   /// True when the run stopped early because config.stop was raised.
   bool interrupted = false;
 };
+
+/// False under AddressSanitizer (the shadow mapping reserves terabytes
+/// of address space, so any useful RLIMIT_AS cap would kill every clean
+/// cell); true elsewhere. Gates CampaignConfig::rlimit_as_mb.
+bool rlimit_as_supported() noexcept;
 
 /// Merge phase shared by CampaignRunner and campaign::reduce_journals:
 /// folds the per-cell coverage lists (grid order) into merged_coverage /

@@ -1,8 +1,8 @@
 #include "fuzz/vm_pool.h"
 
-#include <cassert>
 #include <chrono>
 
+#include "support/model_fault.h"
 #include "support/telemetry.h"
 
 namespace iris::fuzz {
@@ -35,12 +35,25 @@ void PooledVm::reset(const vtx::VmxCapabilityProfile& profile) {
                     std::chrono::steady_clock::now() - reset_started)
                     .count());
   }
+  // Model-fault site (fires before the digest so an injected fault is
+  // classified as a pooled-reset break, not a fidelity mismatch).
+  support::modelfault::check_site("model_pooled_reset",
+                                  support::modelfault::Layer::kPooledReset);
   // The determinism proof: a reset stack is indistinguishable from a
   // fresh one built for the same profile, so a cell cannot observe
   // which it ran on. state_digest hashes the profile itself, so a
   // stale-profile reset cannot slip through on a mask coincidence.
-  assert(hv::state_digest(hv_) == fresh_digest(profile) &&
-         "PooledVm::reset left residual hypervisor state");
+  // Routed through modelfault::raise rather than assert: inside a
+  // sandboxed cell a genuine fidelity break becomes a contained,
+  // classified kModelFault instead of an opaque SIGABRT. Debug-only,
+  // like the assert it replaces — the digest is not free.
+#ifndef NDEBUG
+  if (hv::state_digest(hv_) != fresh_digest(profile)) {
+    support::modelfault::raise(support::modelfault::ModelFault{
+        support::modelfault::Layer::kPooledReset, 1,
+        "PooledVm::reset left residual hypervisor state"});
+  }
+#endif
 }
 
 std::uint64_t PooledVm::fresh_digest(const vtx::VmxCapabilityProfile& profile) {

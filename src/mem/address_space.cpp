@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "support/model_fault.h"
+
 namespace iris::mem {
 
 AddressSpace::Page* AddressSpace::page_for_write(std::uint64_t gfn) {
@@ -122,6 +124,11 @@ AddressSpace::Snapshot AddressSpace::snapshot_pages() const {
 }
 
 void AddressSpace::restore_pages(const Snapshot& snap) {
+  // Model-fault site: restore fidelity is the foundation the mutant
+  // loop's determinism stands on, so its breakage is a model fault.
+  support::modelfault::check_site(
+      "model_snapshot_restore",
+      support::modelfault::Layer::kSnapshotRestore);
   // Pages with dirty_gen <= capture_gen cannot have changed since the
   // capture (dirty_gen is monotonic and bumped on every content change),
   // so only dirtied pages are compared and reverted.

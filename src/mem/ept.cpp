@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "support/model_fault.h"
+
 namespace iris::mem {
 namespace {
 
@@ -81,6 +83,10 @@ void Ept::protect(std::uint64_t gfn, EptPerms perms) {
 }
 
 EptWalkResult Ept::translate(std::uint64_t gpa, EptAccess access) const {
+  // Model-fault site: a fault here models the walker breaking, as
+  // opposed to a violation/misconfig, which are normal walk outcomes.
+  support::modelfault::check_site("model_ept_walk",
+                                  support::modelfault::Layer::kEptWalk);
   const std::uint64_t gfn = gpa >> 12;
   EptWalkResult result;
 

@@ -6,6 +6,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <span>
 #include <thread>
@@ -31,7 +32,9 @@ struct Rule {
 constexpr std::size_t kMaxRules = 64;
 
 /// Hit counters shared across fork() so child retries observe the
-/// counts their dead siblings accumulated. One page, mapped once.
+/// counts their dead siblings accumulated — and so model-layer sites
+/// evaluated *inside* a child leave their counts visible to the parent
+/// and to every later child. One page, mapped once.
 struct SharedCounters {
   std::uint64_t slots[kMaxRules];
 };
@@ -52,19 +55,39 @@ SharedCounters* shared_counters() {
   return page;
 }
 
+/// Immutable once published. Readers chase table_ptr() lock-free, so a
+/// child forked while some other thread held table_mutex() can still
+/// evaluate sites; writers serialize on the mutex and retire the old
+/// table into a graveyard instead of freeing it (a reader may still be
+/// walking it — the leak is bounded by the number of configure calls
+/// and keeps LeakSanitizer quiet because the graveyard stays reachable).
+struct RuleTable {
+  std::vector<Rule> rules;
+};
+
 std::mutex& table_mutex() {
   static std::mutex m;
   return m;
 }
 
-std::vector<Rule>& rules() {
-  static std::vector<Rule> r;
-  return r;
+std::atomic<const RuleTable*>& table_ptr() {
+  static std::atomic<const RuleTable*> ptr{nullptr};
+  return ptr;
+}
+
+std::vector<const RuleTable*>& graveyard() {
+  static std::vector<const RuleTable*> retired;
+  return retired;
 }
 
 std::atomic<bool>& armed_flag() {
   static std::atomic<bool> armed{false};
   return armed;
+}
+
+std::atomic<bool>& forked_child_flag() {
+  static std::atomic<bool> forked{false};
+  return forked;
 }
 
 struct NamedInt {
@@ -138,7 +161,7 @@ Result<Rule> parse_rule(std::string_view text) {
                              "' (supported: ENOSPC EINTR ESTALE EIO EAGAIN "
                              "EACCES EROFS EBUSY)"};
       }
-      rule.hit = Hit{Hit::Action::kErrno, *err};
+      rule.hit = Hit{Hit::Action::kErrno, *err, 0};
       have_action = true;
     } else if (key == "signal") {
       const auto sig = lookup(kSignals, value);
@@ -146,15 +169,23 @@ Result<Rule> parse_rule(std::string_view text) {
         return Error{91, "failpoints: unknown signal '" + std::string(value) +
                              "' (supported: SEGV ABRT BUS KILL ILL TERM)"};
       }
-      rule.hit = Hit{Hit::Action::kSignal, *sig};
+      rule.hit = Hit{Hit::Action::kSignal, *sig, 0};
       have_action = true;
     } else if (key == "hang") {
-      rule.hit = Hit{Hit::Action::kHang, 0};
+      rule.hit = Hit{Hit::Action::kHang, 0, 0};
       have_action = true;
     } else if (key == "exit") {
       auto code = parse_u64(value);
       if (!code.ok()) return code.error();
-      rule.hit = Hit{Hit::Action::kExit, static_cast<int>(code.value())};
+      rule.hit = Hit{Hit::Action::kExit, static_cast<int>(code.value()), 0};
+      have_action = true;
+    } else if (key == "alloc") {
+      auto bytes = parse_u64(value);
+      if (!bytes.ok()) return bytes.error();
+      rule.hit = Hit{Hit::Action::kAlloc, 0, bytes.value()};
+      have_action = true;
+    } else if (key == "modelfault") {
+      rule.hit = Hit{Hit::Action::kModelFault, 0, 0};
       have_action = true;
     } else if (key == "cell") {
       auto cell = parse_u64(value);
@@ -176,7 +207,8 @@ Result<Rule> parse_rule(std::string_view text) {
   if (rule.site.empty()) return Error{91, "failpoints: rule without a site"};
   if (!have_action) {
     return Error{91, "failpoints: rule for site '" + rule.site +
-                         "' has no action (errno=/signal=/hang/exit=)"};
+                         "' has no action (errno=/signal=/hang/exit=/alloc=/"
+                         "modelfault)"};
   }
   return rule;
 }
@@ -201,12 +233,19 @@ Status configure(std::string_view spec) {
   }
   const std::lock_guard<std::mutex> lock(table_mutex());
   SharedCounters* counters = shared_counters();
+  bool model_sites = false;
   for (std::size_t i = 0; i < parsed.size(); ++i) {
     parsed[i].counter_slot = i;
     counters->slots[i] = 0;
+    if (parsed[i].site.starts_with("model_")) model_sites = true;
   }
-  rules() = std::move(parsed);
-  armed_flag().store(!rules().empty(), std::memory_order_release);
+  auto* fresh = new RuleTable{std::move(parsed)};
+  if (const RuleTable* old =
+          table_ptr().exchange(fresh, std::memory_order_acq_rel)) {
+    graveyard().push_back(old);  // a reader may still hold it
+  }
+  g_model_sites_armed.store(model_sites, std::memory_order_relaxed);
+  armed_flag().store(!fresh->rules.empty(), std::memory_order_release);
   return {};
 }
 
@@ -219,23 +258,31 @@ void configure_from_env() {
   }
 }
 
-void clear() {
-  const std::lock_guard<std::mutex> lock(table_mutex());
-  rules().clear();
-  armed_flag().store(false, std::memory_order_release);
-}
+void clear() { (void)configure({}); }
 
 bool active() noexcept {
-  static std::once_flag env_once;
-  std::call_once(env_once, configure_from_env);
+  // A function-local static guard, not std::call_once: the guard's
+  // done-path is one acquire load, and active() sits ahead of every
+  // model-site evaluation.
+  [[maybe_unused]] static const bool env_loaded =
+      (configure_from_env(), true);
   return armed_flag().load(std::memory_order_acquire);
+}
+
+void note_forked_child() noexcept {
+  forked_child_flag().store(true, std::memory_order_relaxed);
+}
+
+bool in_forked_child() noexcept {
+  return forked_child_flag().load(std::memory_order_relaxed);
 }
 
 std::optional<Hit> evaluate(std::string_view site, std::uint64_t index) {
   if (!active()) return std::nullopt;
-  const std::lock_guard<std::mutex> lock(table_mutex());
+  const RuleTable* table = table_ptr().load(std::memory_order_acquire);
+  if (table == nullptr) return std::nullopt;
   SharedCounters* counters = shared_counters();
-  for (const Rule& rule : rules()) {
+  for (const Rule& rule : table->rules) {
     if (rule.site != site) continue;
     if (rule.cell != kAnyIndex && rule.cell != index) continue;
     // One shared counter per rule: hit number h fires iff
@@ -247,7 +294,11 @@ std::optional<Hit> evaluate(std::string_view site, std::uint64_t index) {
     // Subtract-compare, not after+count: the unbounded default count
     // (~0) must not wrap the window shut.
     if (hit - rule.after > rule.count) continue;
-    {
+    // Metrics only in the parent: a forked child's registry dies with
+    // it, and its cold registration path takes a mutex some parent
+    // thread may have held at fork time. The shared hit counter above
+    // already recorded the fact that matters.
+    if (!in_forked_child()) {
       auto& reg = metrics();
       static const MetricId hits = reg.counter_id("failpoints.hits");
       reg.add(hits);
@@ -267,6 +318,9 @@ std::optional<Error> fs_error(std::string_view site, std::uint64_t index) {
                  hit->detail};
   }
   execute_fatal(*hit);
+  // Only kAlloc returns from execute_fatal: the helper proceeds (under
+  // memory pressure) as if the site had not fired.
+  return std::nullopt;
 }
 
 void execute_fatal(const Hit& hit) {
@@ -281,10 +335,34 @@ void execute_fatal(const Hit& hit) {
       ::_exit(hit.detail);
     case Hit::Action::kHang:
       for (;;) std::this_thread::sleep_for(std::chrono::seconds(1));
+    case Hit::Action::kAlloc:
+      execute_alloc(hit.amount);
+      return;  // survived the runaway: the cell proceeds
+    case Hit::Action::kModelFault:
+      // A modelfault action outside a model site (e.g. armed on
+      // cell_exec) has no structured fault to raise; treat it as a
+      // protocol-visible death so the rule still kills the child.
+      ::_exit(125);
     case Hit::Action::kErrno:
       break;
   }
   ::_exit(125);  // unreachable for well-formed hits
+}
+
+void execute_alloc(std::uint64_t bytes) {
+  // Chunks stay reachable via a static keeper: the "runaway" is real
+  // resident growth, not an optimizable leak, and LeakSanitizer sees
+  // reachable memory, not a report.
+  static std::vector<void*>& keeper = *new std::vector<void*>();
+  constexpr std::uint64_t kChunk = 1ULL << 20;
+  std::uint64_t total = 0;
+  while (total < bytes) {
+    void* chunk = std::malloc(static_cast<std::size_t>(kChunk));
+    if (chunk == nullptr) ::_exit(kResourceExhaustedExit);
+    std::memset(chunk, 0xA5, static_cast<std::size_t>(kChunk));
+    keeper.push_back(chunk);
+    total += kChunk;
+  }
 }
 
 }  // namespace iris::support::failpoints

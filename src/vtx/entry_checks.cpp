@@ -3,6 +3,7 @@
 #include <sstream>
 #include <string>
 
+#include "support/model_fault.h"
 #include "vtx/vmx.h"
 
 namespace iris::vtx {
@@ -47,6 +48,11 @@ bool is_canonical(std::uint64_t addr) {
 
 std::vector<EntryCheckViolation> check_guest_state(const Vmcs& vmcs,
                                                    const VmxCapabilityProfile& profile) {
+  // Model-fault site: an injected fault here models the entry-check
+  // walker itself breaking (not a guest-state violation, which is a
+  // normal, reported outcome).
+  support::modelfault::check_site("model_vmentry",
+                                  support::modelfault::Layer::kVmEntry);
   std::vector<EntryCheckViolation> v;
 
   const std::uint64_t cr0 = vmcs.hw_read(VmcsField::kGuestCr0);

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "support/model_fault.h"
 #include "vtx/vmcs_fields.h"
 
 namespace iris::vtx {
@@ -80,6 +81,10 @@ class Vmcs {
   /// read-only to software (SDM 27.2). Inline: the guest-state sync
   /// runs dozens of these per exit.
   void hw_write(VmcsField field, std::uint64_t value) noexcept {
+    // Model-fault site. Unarmed this is one relaxed load — this latch
+    // runs dozens of times per exit, millions of times per second.
+    support::modelfault::check_site("model_vmcs_write",
+                                    support::modelfault::Layer::kVmcsWrite);
     const int idx = compact_from_encoding(static_cast<std::uint16_t>(field));
     if (idx < 0) return;  // unmodeled encoding: hardware drops the write
     fields_[static_cast<std::size_t>(idx)] = value & width_mask(field);

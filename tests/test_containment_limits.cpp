@@ -1,0 +1,475 @@
+// Tests for containment beyond the cell boundary (PR 9): per-cell
+// resource limits (rlimit kills classified as ResourceExhausted, never
+// shard death), structured model-layer faults delivered over the
+// sandbox result pipe, and the poison-aware re-probe scheduler with its
+// v5 journal records — all proven deterministic across kill/resume and
+// multi-journal reduce.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/checkpoint.h"
+#include "campaign/reducer.h"
+#include "fuzz/campaign.h"
+#include "support/failpoints.h"
+#include "support/model_fault.h"
+
+namespace iris::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+namespace failpoints = support::failpoints;
+namespace modelfault = support::modelfault;
+using fuzz::CampaignConfig;
+using fuzz::CampaignRunner;
+using fuzz::HarnessFault;
+using guest::Workload;
+
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("iris-" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+struct FailpointGuard {
+  explicit FailpointGuard(const std::string& spec) {
+    const auto status = failpoints::configure(spec);
+    EXPECT_TRUE(status.ok()) << status.error().message;
+  }
+  ~FailpointGuard() { failpoints::clear(); }
+};
+
+CampaignConfig small_config(std::size_t workers) {
+  CampaignConfig config;
+  config.workers = workers;
+  config.hv_seed = 17;
+  config.record_exits = 150;
+  config.record_seed = 3;
+  return config;
+}
+
+CampaignConfig sandbox_config(std::size_t workers) {
+  CampaignConfig config = small_config(workers);
+  config.sandbox_cells = true;
+  config.cell_retries = 1;
+  config.retry_base_backoff_ms = 0.1;
+  return config;
+}
+
+std::vector<fuzz::TestCaseSpec> small_grid(std::size_t mutants = 40) {
+  return fuzz::make_table1_grid({Workload::kCpuBound}, mutants, 7);
+}
+
+// --- New failpoint actions ---
+
+TEST(FailpointActions, AllocActionCarriesTheByteAmount) {
+  const FailpointGuard guard("probe:alloc=268435456");
+  const auto hit = failpoints::evaluate("probe");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->action, failpoints::Hit::Action::kAlloc);
+  EXPECT_EQ(hit->amount, 268435456u);
+}
+
+TEST(FailpointActions, ModelSitesArmOnlyForModelPrefixedRules) {
+  EXPECT_FALSE(failpoints::model_sites_armed());
+  {
+    const FailpointGuard guard("cell_exec:signal=KILL");
+    EXPECT_FALSE(failpoints::model_sites_armed());
+  }
+  {
+    const FailpointGuard guard("model_vmentry:modelfault:cell=3");
+    EXPECT_TRUE(failpoints::model_sites_armed());
+    const auto miss = failpoints::evaluate("model_vmentry", 2);
+    EXPECT_FALSE(miss.has_value());
+    const auto hit = failpoints::evaluate("model_vmentry", 3);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->action, failpoints::Hit::Action::kModelFault);
+  }
+  EXPECT_FALSE(failpoints::model_sites_armed());
+}
+
+TEST(FailpointActions, MalformedAllocAmountIsRejected) {
+  const auto status = failpoints::configure("probe:alloc=lots");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, 91);
+  EXPECT_FALSE(failpoints::active());
+}
+
+// --- RLIMIT_AS support gate ---
+
+TEST(RlimitSupport, MatchesTheSanitizerBuildConfiguration) {
+  // ASan/UBSan builds reserve terabytes of shadow address space; an
+  // RLIMIT_AS cap would kill every cell at startup, so the runner must
+  // report the cap unusable there and usable everywhere else.
+#if defined(__SANITIZE_ADDRESS__)
+  EXPECT_FALSE(fuzz::rlimit_as_supported());
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  EXPECT_FALSE(fuzz::rlimit_as_supported());
+#else
+  EXPECT_TRUE(fuzz::rlimit_as_supported());
+#endif
+#else
+  EXPECT_TRUE(fuzz::rlimit_as_supported());
+#endif
+}
+
+// --- Model fault wire format ---
+
+TEST(ModelFaultRecord, RoundTripsThroughTheWireFormat) {
+  modelfault::ModelFault fault;
+  fault.layer = modelfault::Layer::kEptWalk;
+  fault.code = 42;
+  fault.message = "EPT walk reached an unmapped PML4 slot";
+
+  ByteWriter w;
+  modelfault::serialize_model_fault(fault, w);
+  ByteReader r(w.data());
+  auto parsed = modelfault::deserialize_model_fault(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(parsed.value().layer, fault.layer);
+  EXPECT_EQ(parsed.value().code, fault.code);
+  EXPECT_EQ(parsed.value().message, fault.message);
+  EXPECT_NE(parsed.value().describe().find("ept_walk"), std::string::npos);
+}
+
+TEST(ModelFaultRecord, RejectsTruncationAndBadLayers) {
+  modelfault::ModelFault fault;
+  fault.message = "x";
+  ByteWriter w;
+  modelfault::serialize_model_fault(fault, w);
+
+  auto bytes = w.data();
+  bytes.pop_back();
+  ByteReader truncated(bytes);
+  auto short_parse = modelfault::deserialize_model_fault(truncated);
+  ASSERT_FALSE(short_parse.ok());
+  EXPECT_EQ(short_parse.error().code, 88);
+
+  ByteWriter w2;
+  w2.u8(modelfault::kNumLayers);  // first invalid layer value
+  w2.u32(0);
+  w2.str("");
+  ByteReader r2(w2.data());
+  auto bad_parse = modelfault::deserialize_model_fault(r2);
+  ASSERT_FALSE(bad_parse.ok());
+  EXPECT_EQ(bad_parse.error().code, 89);
+}
+
+// --- Re-probe record wire format ---
+
+TEST(ReprobeRecord, RoundTripsThroughTheWireFormat) {
+  ReprobeRecord record;
+  record.index = 11;
+  record.round = 2;
+  record.outcome = kReprobeRepoisoned;
+  record.fault_kind =
+      static_cast<std::uint8_t>(HarnessFault::Kind::kResourceExhausted);
+  record.detail = failpoints::kResourceExhaustedExit;
+  record.attempts_total = 5;
+  record.message = "harness exceeded its memory resource limit (exit 9)";
+
+  ByteWriter w;
+  serialize_reprobe(record, w);
+  ByteReader r(w.data());
+  auto parsed = deserialize_reprobe(r);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(parsed.value().index, record.index);
+  EXPECT_EQ(parsed.value().round, record.round);
+  EXPECT_EQ(parsed.value().outcome, record.outcome);
+  EXPECT_EQ(parsed.value().fault_kind, record.fault_kind);
+  EXPECT_EQ(parsed.value().detail, record.detail);
+  EXPECT_EQ(parsed.value().attempts_total, record.attempts_total);
+  EXPECT_EQ(parsed.value().message, record.message);
+}
+
+TEST(ReprobeRecord, RejectsTruncationAndBadFields) {
+  ReprobeRecord record;
+  record.outcome = kReprobeRehabilitated;
+  record.message = "x";
+  ByteWriter w;
+  serialize_reprobe(record, w);
+
+  auto bytes = w.data();
+  bytes.pop_back();
+  ByteReader truncated(bytes);
+  auto short_parse = deserialize_reprobe(truncated);
+  ASSERT_FALSE(short_parse.ok());
+  EXPECT_EQ(short_parse.error().code, 86);
+
+  ReprobeRecord bad_outcome = record;
+  bad_outcome.outcome = 7;
+  ByteWriter w2;
+  serialize_reprobe(bad_outcome, w2);
+  ByteReader r2(w2.data());
+  auto bad_parse = deserialize_reprobe(r2);
+  ASSERT_FALSE(bad_parse.ok());
+  EXPECT_EQ(bad_parse.error().code, 87);
+
+  ReprobeRecord bad_kind = record;
+  bad_kind.fault_kind = 200;
+  ByteWriter w3;
+  serialize_reprobe(bad_kind, w3);
+  ByteReader r3(w3.data());
+  auto kind_parse = deserialize_reprobe(r3);
+  ASSERT_FALSE(kind_parse.ok());
+  EXPECT_EQ(kind_parse.error().code, 87);
+}
+
+// --- Journal version 5 gating ---
+
+TEST(CampaignCheckpoint, ReprobeJournalsAreVersionGated) {
+  const auto dir = scratch_dir("ckpt-v5-gate");
+  const std::string v4 = (dir / "v4.ckpt").string();
+  const std::string v5 = (dir / "v5.ckpt").string();
+
+  // A re-probe campaign writes v5; a plain fault-contained writer must
+  // refuse it, and vice versa, both with the version error.
+  ASSERT_TRUE(CampaignCheckpoint::open(v4, 0xF00D, false, true).ok());
+  const auto v4_as_v5 = CampaignCheckpoint::open(v4, 0xF00D, false, true, true);
+  ASSERT_FALSE(v4_as_v5.ok());
+  EXPECT_EQ(v4_as_v5.error().code, 84);
+
+  ASSERT_TRUE(CampaignCheckpoint::open(v5, 0xF00D, false, true, true).ok());
+  const auto v5_as_v4 = CampaignCheckpoint::open(v5, 0xF00D, false, true);
+  ASSERT_FALSE(v5_as_v4.ok());
+  EXPECT_EQ(v5_as_v4.error().code, 84);
+
+  // Observers accept v5 whatever their own mode — the reducer must not
+  // re-declare whether a shard ran with --reprobe.
+  EXPECT_TRUE(CampaignCheckpoint::open_readonly(v5, 0xF00D).ok());
+  EXPECT_TRUE(CampaignCheckpoint::open_readonly(v5, 0xF00D, true).ok());
+}
+
+TEST(CampaignCheckpoint, ReprobeRecordsSurviveReopen) {
+  const auto dir = scratch_dir("ckpt-reprobe-reopen");
+  const std::string path = (dir / "campaign.ckpt").string();
+
+  ReprobeRecord record;
+  record.index = 4;
+  record.round = 1;
+  record.outcome = kReprobeRepoisoned;
+  record.fault_kind = static_cast<std::uint8_t>(HarnessFault::Kind::kSignal);
+  record.detail = SIGKILL;
+  record.attempts_total = 3;
+  record.message = "harness killed by signal 9";
+  {
+    auto ckpt = CampaignCheckpoint::open(path, 0xBEEF, false, true, true);
+    ASSERT_TRUE(ckpt.ok());
+    ASSERT_TRUE(ckpt.value().append_reprobe(record).ok());
+  }
+  auto reopened = CampaignCheckpoint::open(path, 0xBEEF, false, true, true);
+  ASSERT_TRUE(reopened.ok());
+  ASSERT_EQ(reopened.value().reprobes().size(), 1u);
+  EXPECT_EQ(reopened.value().reprobes()[0].index, 4u);
+  EXPECT_EQ(reopened.value().reprobes()[0].attempts_total, 3u);
+  EXPECT_EQ(reopened.value().reprobes()[0].message, record.message);
+}
+
+// --- Per-cell resource limits ---
+
+TEST(ResourceLimits, MemoryBombIsKilledByRlimitAndQuarantined) {
+  if (!fuzz::rlimit_as_supported()) {
+    GTEST_SKIP() << "RLIMIT_AS unusable under a sanitizer build";
+  }
+  const auto grid = small_grid();
+  const std::size_t victim = grid.size() / 2;
+  const auto reference = CampaignRunner(small_config(1)).run(grid);
+
+  // The victim cell allocates 8 GiB under a 2 GiB address-space cap:
+  // the kernel (or the new-handler) kills the child, the fault is
+  // classified as resource exhaustion, and the shard itself survives.
+  const FailpointGuard guard("cell_exec:alloc=8589934592:cell=" +
+                             std::to_string(victim));
+  CampaignConfig config = sandbox_config(1);
+  config.rlimit_as_mb = 2048;
+  const auto result = CampaignRunner(config).run(grid);
+
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.harness_faults, 2u);  // initial attempt + one retry
+  EXPECT_EQ(result.rlimit_kills, 2u);
+  ASSERT_EQ(result.poisoned_cells.size(), 1u);
+  EXPECT_EQ(result.poisoned_cells[0].index, victim);
+  EXPECT_EQ(result.poisoned_cells[0].fault.kind,
+            HarnessFault::Kind::kResourceExhausted);
+  EXPECT_EQ(result.poisoned_cells[0].fault.detail,
+            failpoints::kResourceExhaustedExit);
+  EXPECT_NE(result.poisoned_cells[0].fault.describe().find("resource limit"),
+            std::string::npos);
+  // Every other cell is byte-identical to the fault-free run.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    if (i == victim) continue;
+    EXPECT_EQ(result.results[i].ran, reference.results[i].ran) << i;
+  }
+}
+
+TEST(ResourceLimits, GenerousLimitsKeepCleanCellsByteIdentical) {
+  const auto grid = small_grid();
+  const auto reference = CampaignRunner(small_config(1)).run(grid);
+  ASSERT_TRUE(reference.complete);
+
+  // Limits generous enough to never fire must be invisible: identical
+  // bytes, zero faults — the knobs sit outside the fingerprint.
+  CampaignConfig config = sandbox_config(1);
+  config.rlimit_cpu_seconds = 300;
+  if (fuzz::rlimit_as_supported()) config.rlimit_as_mb = 8192;
+  config.rlimit_core_mb = 0;
+  const auto limited = CampaignRunner(config).run(grid);
+  ASSERT_TRUE(limited.complete);
+  EXPECT_EQ(limited.harness_faults, 0u);
+  EXPECT_EQ(limited.rlimit_kills, 0u);
+  EXPECT_EQ(canonical_result_bytes(limited),
+            canonical_result_bytes(reference));
+}
+
+// --- Model-layer fault injection ---
+
+TEST(ModelFaults, RoundTripOverTheSandboxPipeQuarantinesTheCell) {
+  const auto grid = small_grid();
+  const std::size_t victim = grid.size() / 3;
+
+  // A model-site failpoint fires inside the forked child on every
+  // attempt; the structured fault must arrive in the parent with layer
+  // and site intact, classified apart from harness deaths.
+  const FailpointGuard guard("model_vmentry:modelfault:cell=" +
+                             std::to_string(victim));
+  const auto result = CampaignRunner(sandbox_config(1)).run(grid);
+
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.harness_faults, 2u);
+  EXPECT_EQ(result.model_faults, 2u);
+  EXPECT_EQ(result.rlimit_kills, 0u);
+  ASSERT_EQ(result.poisoned_cells.size(), 1u);
+  EXPECT_EQ(result.poisoned_cells[0].index, victim);
+  const HarnessFault& fault = result.poisoned_cells[0].fault;
+  EXPECT_EQ(fault.kind, HarnessFault::Kind::kModelFault);
+  EXPECT_NE(fault.describe().find("vmentry"), std::string::npos);
+  EXPECT_NE(fault.describe().find("model_vmentry"), std::string::npos);
+}
+
+// --- Poison-aware re-probe scheduling ---
+
+TEST(Reprobe, TransientPoisonIsRehabilitatedToIdenticalBytes) {
+  const auto dir = scratch_dir("reprobe-rehab");
+  const std::string journal = (dir / "campaign.ckpt").string();
+  const std::string clean = (dir / "clean.ckpt").string();
+  const auto grid = small_grid();
+  const std::size_t victim = grid.size() / 2;
+  const auto reference = CampaignRunner(small_config(1)).run(grid);
+  ASSERT_TRUE(reference.complete);
+
+  CampaignConfig config = sandbox_config(1);
+  config.checkpoint_path = journal;
+  config.reprobe_poisoned = true;
+
+  // Both quarantine attempts are killed; the count-limited rule is then
+  // spent, so the end-of-run re-probe's canary succeeds, the cell is
+  // re-run at full fidelity, and the campaign completes byte-identical
+  // to a fault-free run.
+  {
+    const FailpointGuard guard("cell_exec:signal=KILL:cell=" +
+                               std::to_string(victim) + ":count=2");
+    const auto result = CampaignRunner(config).run(grid);
+    EXPECT_TRUE(result.complete);
+    EXPECT_TRUE(result.poisoned_cells.empty());
+    EXPECT_EQ(result.harness_faults, 2u);
+    EXPECT_EQ(result.cells_reprobed, 1u);
+    EXPECT_EQ(result.cells_rehabilitated, 1u);
+    EXPECT_EQ(canonical_result_bytes(result),
+              canonical_result_bytes(reference));
+  }
+
+  // Kill/resume determinism: a resumed run adopts the rehabilitated
+  // cell from the journal like any clean cell.
+  const auto resumed = CampaignRunner(config).run(grid);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.cells_resumed, grid.size());
+  EXPECT_EQ(resumed.harness_faults, 0u);
+  EXPECT_EQ(canonical_result_bytes(resumed),
+            canonical_result_bytes(reference));
+
+  // Reduce determinism: the rehabilitated journal alone, and alongside
+  // an independent clean shard (exercising duplicate-cell checksums
+  // against the full-fidelity re-run), both reduce byte-identical.
+  auto report = reduce_journals({journal}, grid, config);
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report.value().result.complete);
+  EXPECT_EQ(report.value().reprobe_records, 1u);
+  EXPECT_EQ(report.value().rehabilitated, 1u);
+  EXPECT_TRUE(report.value().poisoned.empty());
+  EXPECT_EQ(canonical_result_bytes(report.value().result),
+            canonical_result_bytes(reference));
+
+  CampaignConfig clean_config = sandbox_config(1);
+  clean_config.checkpoint_path = clean;
+  const auto clean_run = CampaignRunner(clean_config).run(grid);
+  ASSERT_TRUE(clean_run.complete);
+  auto merged = reduce_journals({journal, clean}, grid, config);
+  ASSERT_TRUE(merged.ok()) << merged.error().message;
+  EXPECT_TRUE(merged.value().result.complete);
+  EXPECT_EQ(merged.value().duplicate_cells, grid.size());
+  EXPECT_EQ(canonical_result_bytes(merged.value().result),
+            canonical_result_bytes(reference));
+}
+
+TEST(Reprobe, PersistentPoisonIsRepoisonedWithAttemptHistory) {
+  const auto dir = scratch_dir("reprobe-repoison");
+  const std::string journal = (dir / "campaign.ckpt").string();
+  const auto grid = small_grid();
+  const std::size_t victim = grid.size() / 2;
+  const auto reference = CampaignRunner(small_config(1)).run(grid);
+
+  CampaignConfig config = sandbox_config(1);
+  config.checkpoint_path = journal;
+  config.reprobe_poisoned = true;
+
+  // The fault never clears: quarantine (2 attempts), then a failed
+  // re-probe canary re-poisons with the cumulative attempt count.
+  {
+    const FailpointGuard guard("cell_exec:signal=KILL:cell=" +
+                               std::to_string(victim));
+    const auto result = CampaignRunner(config).run(grid);
+    EXPECT_FALSE(result.complete);
+    EXPECT_EQ(result.cells_reprobed, 1u);
+    EXPECT_EQ(result.cells_rehabilitated, 0u);
+    ASSERT_EQ(result.poisoned_cells.size(), 1u);
+    EXPECT_EQ(result.poisoned_cells[0].index, victim);
+    EXPECT_EQ(result.poisoned_cells[0].attempts, 3u);
+
+    // A resumed run under the same fault re-probes again (round 2) and
+    // extends the journaled history.
+    const auto again = CampaignRunner(config).run(grid);
+    EXPECT_FALSE(again.complete);
+    EXPECT_EQ(again.cells_reprobed, 1u);
+    ASSERT_EQ(again.poisoned_cells.size(), 1u);
+    EXPECT_EQ(again.poisoned_cells[0].attempts, 4u);
+
+    // The reducer folds the re-probe history into the surviving
+    // quarantine instead of resurrecting the original attempt count.
+    auto report = reduce_journals({journal}, grid, config);
+    ASSERT_TRUE(report.ok()) << report.error().message;
+    EXPECT_EQ(report.value().reprobe_records, 2u);
+    EXPECT_EQ(report.value().rehabilitated, 0u);
+    ASSERT_EQ(report.value().poisoned.size(), 1u);
+    EXPECT_EQ(report.value().poisoned[0].attempts, 4u);
+  }
+
+  // Once the fault clears, the next resume's re-probe rehabilitates and
+  // the campaign converges on the fault-free bytes.
+  const auto healed = CampaignRunner(config).run(grid);
+  EXPECT_TRUE(healed.complete);
+  EXPECT_EQ(healed.cells_reprobed, 1u);
+  EXPECT_EQ(healed.cells_rehabilitated, 1u);
+  EXPECT_TRUE(healed.poisoned_cells.empty());
+  EXPECT_EQ(canonical_result_bytes(healed),
+            canonical_result_bytes(reference));
+}
+
+}  // namespace
+}  // namespace iris::campaign

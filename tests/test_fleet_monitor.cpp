@@ -172,7 +172,9 @@ TEST(FleetMonitor, ClassifiesThreeShardFleetWithStaleAndQuarantine) {
   live.cells_poisoned = 2;
   live.harness_faults = 5;
   live.in_flight = {9};
-  live.counters = {{"lease.lost", 1}, {"lease.reclaims", 2}};
+  live.counters = {{"lease.lost", 1},         {"lease.reclaims", 2},
+                   {"cell.rlimit_kills", 3},  {"fuzz.model_faults", 4},
+                   {"poison.reprobes", 2},    {"poison.rehabilitated", 1}};
   for (const auto* status : {&done, &dead, &live}) {
     ASSERT_TRUE(write_status_file(
                     (dir / status_file_name(status->shard_id)).string(),
@@ -208,6 +210,11 @@ TEST(FleetMonitor, ClassifiesThreeShardFleetWithStaleAndQuarantine) {
   EXPECT_EQ(view.harness_faults, 5u);  // only the live shard faulted
   EXPECT_EQ(view.lost_leases, 1u);
   EXPECT_EQ(view.lease_reclaims, 2u);
+  // PR 9 fault-taxonomy counters fold the same way lease counters do.
+  EXPECT_EQ(view.rlimit_kills, 3u);
+  EXPECT_EQ(view.model_faults, 4u);
+  EXPECT_EQ(view.reprobes, 2u);
+  EXPECT_EQ(view.rehabilitated, 1u);
   // Throughput counts live shards only: a dead shard's last-reported
   // rate must not inflate the fleet.
   EXPECT_DOUBLE_EQ(view.mutants_per_second, 1000.0);
@@ -222,6 +229,11 @@ TEST(FleetMonitor, ClassifiesThreeShardFleetWithStaleAndQuarantine) {
             std::string::npos);
   EXPECT_NE(json.find("{\"shard\": \"2-of-3\", \"state\": \"live\""),
             std::string::npos);
+  // Fleet-level fault-taxonomy keys are present for scripted monitors.
+  EXPECT_NE(json.find("\"rlimit_kills\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"model_faults\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"reprobes\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"rehabilitated\": 1"), std::string::npos);
 }
 
 TEST(FleetMonitor, EmptyDirIsAnEmptyFleetAndMissingDirAnError) {
