@@ -109,6 +109,16 @@ void print_human(const FleetView& fleet, const Cli& cli) {
       static_cast<unsigned long long>(fleet.model_faults),
       static_cast<unsigned long long>(fleet.reprobes),
       static_cast<unsigned long long>(fleet.rehabilitated));
+  if (fleet.forensics > 0) {
+    std::printf("forensics: %zu record(s); newest: cell %llu — %s\n",
+                fleet.forensics,
+                static_cast<unsigned long long>(fleet.last_fault_cell),
+                fleet.last_fault.c_str());
+  }
+  if (fleet.trace_gaps > 0) {
+    std::printf("trace: %llu event(s) provably lost (seq gaps)\n",
+                static_cast<unsigned long long>(fleet.trace_gaps));
+  }
   for (const ShardView& shard : fleet.shards) {
     const auto& s = shard.status;
     std::printf(

@@ -15,10 +15,15 @@
 //
 // Each replay's wall time is reported per reproducer plus a total
 // summary, and (with --trace <path>) emitted as triage_replay /
-// triage_summary trace events for tooling.
+// triage_summary trace events for tooling. With --forensics, replays
+// additionally print the breadcrumb tail of any forensic record the
+// campaign attached to the reproducer (the forensics-<cell>.json the
+// archive carries beside the .bin) — the postmortem view of what the
+// faulting attempt was executing.
 //
 //   $ ./crash_triage [mutants] [seed]
 //   $ ./crash_triage replay <crash-archive-dir> [--trace <path>]
+//                    [--forensics]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -26,12 +31,54 @@
 #include <map>
 
 #include "campaign/crash_archive.h"
+#include "campaign/forensics.h"
 #include "fuzz/fuzzer.h"
 #include "support/telemetry.h"
 
 namespace {
 
-int cmd_replay_archive(const char* dir) {
+/// Newest crumbs shown per record; the file may carry more.
+constexpr std::size_t kTriageCrumbTail = 16;
+
+void print_forensics(const iris::campaign::ForensicRecord& record) {
+  using namespace iris;
+  const support::FlightHarvest& h = record.harvest;
+  std::printf("      forensics: attempt %u faulted — %s\n", record.attempt,
+              record.fault.c_str());
+  std::printf(
+      "      crumbs: %llu written, %llu lost to wrap, %llu torn, "
+      "%zu decoded\n",
+      static_cast<unsigned long long>(h.total),
+      static_cast<unsigned long long>(h.overwritten),
+      static_cast<unsigned long long>(h.torn), h.crumbs.size());
+  for (const support::SpanRecord& span : h.spans) {
+    if (span.closed) {
+      std::printf("      span %-8s %llu us\n", support::to_string(span.phase),
+                  static_cast<unsigned long long>(span.end_us - span.begin_us));
+    } else {
+      // The span the fault interrupted — usually the interesting one.
+      std::printf("      span %-8s OPEN at fault\n",
+                  support::to_string(span.phase));
+    }
+  }
+  const std::size_t first =
+      h.crumbs.size() > kTriageCrumbTail ? h.crumbs.size() - kTriageCrumbTail
+                                         : 0;
+  if (first > 0) std::printf("      ... %zu older crumb(s)\n", first);
+  for (std::size_t i = first; i < h.crumbs.size(); ++i) {
+    const support::Crumb& c = h.crumbs[i];
+    std::printf("      #%-6llu %-16s a=0x%llx b=0x%llx\n",
+                static_cast<unsigned long long>(c.ordinal),
+                support::to_string(c.type),
+                static_cast<unsigned long long>(c.a),
+                static_cast<unsigned long long>(c.b));
+  }
+  for (const std::string& line : h.log_tail) {
+    std::printf("      log %s\n", line.c_str());
+  }
+}
+
+int cmd_replay_archive(const char* dir, bool show_forensics) {
   using namespace iris;
   campaign::CrashArchive archive(dir);
   const auto names = archive.list();
@@ -70,6 +117,19 @@ int cmd_replay_archive(const char* dir) {
                 std::string(hv::to_string(repro.value().key.kind)).c_str(),
                 std::string(hv::to_string(verdict.observed)).c_str(),
                 replay_seconds * 1000.0);
+    if (show_forensics) {
+      const std::string& fname = repro.value().forensics_name;
+      if (fname.empty()) {
+        std::printf("      no forensic record attached\n");
+      } else if (auto record =
+                     campaign::read_forensics(std::string(dir) + "/" + fname);
+                 record.ok()) {
+        print_forensics(record.value());
+      } else {
+        std::printf("      forensics %s unreadable: %s\n", fname.c_str(),
+                    record.error().message.c_str());
+      }
+    }
     if (support::trace_active()) {
       support::TraceEvent event("triage_replay");
       event.str("reproducer", name)
@@ -115,18 +175,27 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "replay") == 0) {
     if (argc < 3) {
       std::fprintf(stderr, "usage: %s replay <crash-archive-dir> "
-                           "[--trace <path>]\n", argv[0]);
+                           "[--trace <path>] [--forensics]\n", argv[0]);
       return 1;
     }
-    if (argc >= 5 && std::strcmp(argv[3], "--trace") == 0) {
-      if (const auto status = support::set_trace_path(argv[4], "triage");
-          !status.ok()) {
-        std::fprintf(stderr, "cannot open trace stream: %s\n",
-                     status.error().message.c_str());
+    bool show_forensics = false;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--forensics") == 0) {
+        show_forensics = true;
+      } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+        if (const auto status = support::set_trace_path(argv[++i], "triage");
+            !status.ok()) {
+          std::fprintf(stderr, "cannot open trace stream: %s\n",
+                       status.error().message.c_str());
+          return 1;
+        }
+      } else {
+        std::fprintf(stderr, "usage: %s replay <crash-archive-dir> "
+                             "[--trace <path>] [--forensics]\n", argv[0]);
         return 1;
       }
     }
-    return cmd_replay_archive(argv[2]);
+    return cmd_replay_archive(argv[2], show_forensics);
   }
 
   const std::size_t mutants = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;

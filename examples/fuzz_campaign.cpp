@@ -57,6 +57,13 @@
 // (silenced by --quiet). Distributed shards always publish
 // status-<shard>.json into the lease dir for campaign_monitor.
 //
+// Postmortem forensics (--forensics-dir <dir|auto>, sandbox only): each
+// forked cell runs with an armed crash-surviving flight recorder; on
+// any harness fault the parent decodes the dead child's breadcrumb
+// ring and publishes forensics-<cell>.json (see campaign/forensics.h)
+// for crash_triage --forensics and the fleet monitor. `auto` puts the
+// records in the lease dir (or the working directory).
+//
 //   $ ./fuzz_campaign [workload] [mutants] [seed] [workers]
 //                     [checkpoint-file] [cell-budget] [crash-archive-dir]
 //                     [--corpus <dir>] [--profiles <name,...>]
@@ -66,6 +73,7 @@
 //                     [--cell-retries <n>] [--failpoints <spec>]
 //                     [--rlimit-cpu <sec>] [--rlimit-as <MiB>]
 //                     [--rlimit-core <MiB>] [--reprobe]
+//                     [--forensics-dir <dir|auto>]
 //                     [--trace <path|auto>] [--status-interval <sec>]
 //                     [--quiet]
 //   $ ./fuzz_campaign reduce <lease-dir> [workload] [mutants] [seed]
@@ -200,6 +208,7 @@ struct Cli {
   std::uint64_t rlimit_as = 0;    // MiB; 0 = no address-space cap
   std::int64_t rlimit_core = -1;  // MiB; -1 = inherit the process limit
   bool reprobe = false;           // re-probe quarantined cells at end of run
+  std::string forensics_dir;      // "auto" = lease dir (or "."); empty = off
   std::string trace_path;       // "auto" = trace-<shard>.jsonl
   double status_interval = 0.0; // 0 = keep the config default
   bool quiet = false;           // silence the periodic progress line
@@ -276,6 +285,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.rlimit_core = std::strtoll(value(), nullptr, 10);
     } else if (arg == "--reprobe") {
       cli.reprobe = true;
+    } else if (arg == "--forensics-dir") {
+      cli.forensics_dir = value();
     } else if (arg == "--trace") {
       cli.trace_path = value();
     } else if (arg == "--status-interval") {
@@ -346,6 +357,18 @@ Campaign build_campaign(const std::vector<std::string>& args, std::size_t base,
     std::fprintf(stderr, "--rlimit-* and --reprobe need --sandbox: resource "
                          "limits and re-probes apply to forked cells only\n");
     return c;
+  }
+  if (!cli.forensics_dir.empty()) {
+    if (!cli.sandbox) {
+      std::fprintf(stderr, "--forensics-dir needs --sandbox: forensic records "
+                           "are harvested from dead forked cells\n");
+      return c;
+    }
+    std::string dir = cli.forensics_dir;
+    if (dir == "auto") dir = cli.lease_dir.empty() ? "." : cli.lease_dir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    c.config.forensics_dir = dir;
   }
   if (cli.rlimit_as != 0 && !fuzz::rlimit_as_supported()) {
     // Sanitizer builds reserve terabytes of shadow address space; an
@@ -539,6 +562,10 @@ int cmd_shard(const Cli& cli, Campaign& c) {
     std::printf("re-probed %zu poisoned cell(s): %zu rehabilitated\n",
                 result.cells_reprobed, result.cells_rehabilitated);
   }
+  if (result.forensics_written > 0) {
+    std::printf("forensic dumps: %zu written to %s\n",
+                result.forensics_written, c.config.forensics_dir.c_str());
+  }
   std::printf("journal: %s\nrun `%s reduce %s ...` once all shards are done\n",
               run.value().journal_path.c_str(), "fuzz_campaign",
               shard.lease_dir.c_str());
@@ -620,6 +647,10 @@ int main(int argc, char** argv) {
                 c.config.cell_deadline_seconds, c.config.cell_retries,
                 c.config.cell_retries == 1 ? "y" : "ies", limits.c_str(),
                 c.config.reprobe_poisoned ? ", re-probe on" : "");
+    if (!c.config.forensics_dir.empty()) {
+      std::printf("forensics: flight recorder armed, records to %s\n",
+                  c.config.forensics_dir.c_str());
+    }
   }
   std::printf("\n");
 
@@ -657,6 +688,10 @@ int main(int argc, char** argv) {
   if (campaign.cells_reprobed > 0) {
     std::printf("re-probed %zu poisoned cell(s): %zu rehabilitated\n",
                 campaign.cells_reprobed, campaign.cells_rehabilitated);
+  }
+  if (campaign.forensics_written > 0) {
+    std::printf("forensic dumps: %zu written to %s\n",
+                campaign.forensics_written, c.config.forensics_dir.c_str());
   }
   if (all_accounted && !campaign.interrupted) {
     print_result_hash(campaign);

@@ -86,6 +86,10 @@ void CrashArchive::serialize_reproducer(const CrashReproducer& repro,
   out.u32(static_cast<std::uint32_t>(repro.prefix.size()));
   for (const auto& seed : repro.prefix) seed.serialize(out);
   repro.mutant.serialize(out);
+  // Optional trailer (PR 10): the attached forensic file name. Written
+  // only when present so archives without forensics stay byte-identical
+  // to the pre-forensics format.
+  if (!repro.forensics_name.empty()) out.str(repro.forensics_name);
 }
 
 Result<CrashReproducer> CrashArchive::deserialize_reproducer(ByteReader& in) {
@@ -136,7 +140,14 @@ Result<CrashReproducer> CrashArchive::deserialize_reproducer(ByteReader& in) {
   auto mutant = VmSeed::deserialize(in);
   if (!mutant.ok()) return mutant.error();
   repro.mutant = std::move(mutant).take();
-  if (!in.exhausted()) return Error{78, "trailing bytes in crash reproducer"};
+  // Remaining bytes must be exactly the optional forensics trailer.
+  if (!in.exhausted()) {
+    auto forensics = in.str();
+    if (!forensics.ok() || !in.exhausted()) {
+      return Error{78, "trailing bytes in crash reproducer"};
+    }
+    repro.forensics_name = std::move(forensics).take();
+  }
   return repro;
 }
 

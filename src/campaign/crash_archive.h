@@ -36,6 +36,12 @@ struct CrashReproducer {
   /// plus the baseline VMseed_R submission the fuzzer performs.
   std::vector<VmSeed> prefix;
   VmSeed mutant;                   ///< the crashing mutated seed
+  /// Forensic record for this cell ("forensics-<cell>.json", copied
+  /// into the archive directory), when some attempt of the cell faulted
+  /// before the clean run that archived the crash. Empty = none. The
+  /// wire appends it only when non-empty, so pre-forensics archives
+  /// load unchanged and old tools merely reject the new trailing field.
+  std::string forensics_name;
 };
 
 /// Outcome of re-executing a reproducer.

@@ -1,0 +1,165 @@
+#include "campaign/forensics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/fs_atomic.h"
+#include "support/retry.h"
+#include "support/telemetry.h"
+
+namespace iris::campaign {
+namespace {
+
+void append_kv_u64(std::string& out, const char* key, std::uint64_t value,
+                   bool comma = true) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", comma ? ", " : "", key,
+                static_cast<unsigned long long>(value));
+  out += buf;
+}
+
+std::uint64_t u64_of(const support::FlatJson& json, const std::string& key) {
+  const auto* scalar = json.find(key);
+  if (scalar == nullptr || scalar->is_string) return 0;
+  // The scalar keeps the number's literal text, so 64-bit values (guest
+  // rips, VMCS values) round-trip without double precision loss.
+  return std::strtoull(scalar->text.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::string forensic_file_name(std::uint64_t cell) {
+  return "forensics-" + std::to_string(cell) + ".json";
+}
+
+bool is_forensic_file_name(std::string_view name) {
+  return name.starts_with("forensics-") && name.ends_with(".json");
+}
+
+std::string render_forensics(const ForensicRecord& record) {
+  const support::FlightHarvest& h = record.harvest;
+  const std::size_t first =
+      h.crumbs.size() > kForensicCrumbTail ? h.crumbs.size() - kForensicCrumbTail
+                                           : 0;
+  std::string out = "{\"forensics_version\": 1";
+  append_kv_u64(out, "cell", record.cell);
+  append_kv_u64(out, "attempt", record.attempt);
+  out += ", \"shard\": \"" + support::json_escape(record.shard) + "\"";
+  out += ", \"fault\": \"" + support::json_escape(record.fault) + "\"";
+  append_kv_u64(out, "written_unix", record.written_unix);
+  out += ", \"crumbs\": {";
+  append_kv_u64(out, "total", h.total, false);
+  append_kv_u64(out, "overwritten", h.overwritten);
+  append_kv_u64(out, "torn", h.torn);
+  append_kv_u64(out, "decoded", h.crumbs.size());
+  append_kv_u64(out, "persisted", h.crumbs.size() - first);
+  out += "}";
+  for (std::size_t i = first; i < h.crumbs.size(); ++i) {
+    const support::Crumb& c = h.crumbs[i];
+    char key[24];
+    std::snprintf(key, sizeof(key), "c%zu", i - first);
+    out += ", \"";
+    out += key;
+    out += "\": {";
+    append_kv_u64(out, "ord", c.ordinal, false);
+    append_kv_u64(out, "type", static_cast<std::uint64_t>(c.type));
+    out += ", \"what\": \"";
+    out += support::to_string(c.type);
+    out += "\"";
+    append_kv_u64(out, "a", c.a);
+    append_kv_u64(out, "b", c.b);
+    out += "}";
+  }
+  for (std::size_t i = 0; i < h.spans.size(); ++i) {
+    const support::SpanRecord& s = h.spans[i];
+    char key[24];
+    std::snprintf(key, sizeof(key), "s%zu", i);
+    out += ", \"";
+    out += key;
+    out += "\": {";
+    append_kv_u64(out, "phase", static_cast<std::uint64_t>(s.phase), false);
+    out += ", \"what\": \"";
+    out += support::to_string(s.phase);
+    out += "\"";
+    append_kv_u64(out, "begin_us", s.begin_us);
+    append_kv_u64(out, "end_us", s.end_us);
+    append_kv_u64(out, "closed", s.closed ? 1 : 0);
+    out += "}";
+  }
+  for (std::size_t i = 0; i < h.log_tail.size(); ++i) {
+    out += ", \"log" + std::to_string(i) + "\": \"" +
+           support::json_escape(h.log_tail[i]) + "\"";
+  }
+  out += "}\n";
+  return out;
+}
+
+Result<ForensicRecord> parse_forensics(std::string_view json) {
+  auto parsed = support::FlatJson::parse(json);
+  if (!parsed.ok()) {
+    return Error{101, "unparseable forensic record: " +
+                          parsed.error().message};
+  }
+  const support::FlatJson& flat = parsed.value();
+  if (u64_of(flat, "forensics_version") != 1) {
+    return Error{102, "unknown forensics version"};
+  }
+  ForensicRecord record;
+  record.cell = u64_of(flat, "cell");
+  record.attempt = static_cast<std::uint32_t>(u64_of(flat, "attempt"));
+  record.shard = std::string(flat.str("shard").value_or(""));
+  record.fault = std::string(flat.str("fault").value_or(""));
+  record.written_unix = u64_of(flat, "written_unix");
+  record.harvest.total = u64_of(flat, "crumbs/total");
+  record.harvest.overwritten = u64_of(flat, "crumbs/overwritten");
+  record.harvest.torn = u64_of(flat, "crumbs/torn");
+  for (std::size_t i = 0;; ++i) {
+    std::string prefix = std::to_string(i);
+    prefix.insert(0, 1, 'c');
+    if (flat.find(prefix + "/ord") == nullptr) break;
+    support::Crumb c;
+    c.ordinal = u64_of(flat, prefix + "/ord");
+    c.type = static_cast<support::CrumbType>(u64_of(flat, prefix + "/type"));
+    c.a = u64_of(flat, prefix + "/a");
+    c.b = u64_of(flat, prefix + "/b");
+    record.harvest.crumbs.push_back(c);
+  }
+  for (std::size_t i = 0;; ++i) {
+    std::string prefix = std::to_string(i);
+    prefix.insert(0, 1, 's');
+    if (flat.find(prefix + "/phase") == nullptr) break;
+    support::SpanRecord s;
+    s.phase = static_cast<support::Phase>(u64_of(flat, prefix + "/phase") & 3);
+    s.begin_us = u64_of(flat, prefix + "/begin_us");
+    s.end_us = u64_of(flat, prefix + "/end_us");
+    s.closed = u64_of(flat, prefix + "/closed") != 0;
+    record.harvest.spans.push_back(s);
+  }
+  for (std::size_t i = 0;; ++i) {
+    const auto line = flat.str("log" + std::to_string(i));
+    if (!line) break;
+    record.harvest.log_tail.emplace_back(*line);
+  }
+  return record;
+}
+
+Status write_forensics(const std::string& dir, const ForensicRecord& record) {
+  const std::string text = render_forensics(record);
+  return support::retry_io(support::RetryPolicy{}, [&] {
+    return write_file_atomic(
+        dir, forensic_file_name(record.cell),
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+  });
+}
+
+Result<ForensicRecord> read_forensics(const std::string& path) {
+  auto bytes = read_file_bytes(path);
+  if (!bytes.ok()) return bytes.error();
+  return parse_forensics(std::string_view(
+      reinterpret_cast<const char*>(bytes.value().data()),
+      bytes.value().size()));
+}
+
+}  // namespace iris::campaign

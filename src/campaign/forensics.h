@@ -1,0 +1,61 @@
+// Postmortem forensic records for faulted cells.
+//
+// When a sandboxed cell dies — SIGKILL, rlimit kill, watchdog deadline,
+// model fault — the campaign parent harvests the child's crash-surviving
+// FlightRecorder ring and persists the decoded tail as a structured
+// forensic record: the breadcrumb tail, the phase spans (including the
+// span the fault interrupted), and the last mirrored RingLog lines.
+//
+// File layout: one `forensics-<cell>.json` per faulted cell, written
+// atomically (temp + rename, retried under the shared RetryPolicy)
+// beside the journal — the lease directory for distributed campaigns,
+// or wherever --forensics-dir points. Repeated faults of the same cell
+// overwrite: the newest fault wins, `attempt` records how many tries it
+// took. The JSON stays within the FlatJson subset (flat scalars, one
+// level of nesting) so the fleet monitor and crash_triage can parse it
+// with the same minimal parser the status files use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/flight_recorder.h"
+#include "support/result.h"
+
+namespace iris::campaign {
+
+/// Newest crumbs persisted per record; older decoded crumbs are counted
+/// in crumbs/decoded but dropped from the file.
+constexpr std::size_t kForensicCrumbTail = 64;
+
+struct ForensicRecord {
+  std::uint64_t cell = 0;
+  std::uint32_t attempt = 0;  ///< cell attempts made when harvested
+  std::string shard;          ///< shard label; empty for single-process
+  std::string fault;          ///< HarnessFault::describe() text
+  std::uint64_t written_unix = 0;  ///< wall clock at write (monitor recency)
+  support::FlightHarvest harvest;
+};
+
+/// "forensics-<cell>.json" — the naming scheme the monitor scans for.
+[[nodiscard]] std::string forensic_file_name(std::uint64_t cell);
+[[nodiscard]] bool is_forensic_file_name(std::string_view name);
+
+/// Render to the FlatJson-parseable schema (see README "Postmortem
+/// forensics"). Persists at most kForensicCrumbTail newest crumbs.
+[[nodiscard]] std::string render_forensics(const ForensicRecord& record);
+
+/// Parse a rendered record. A truncated or corrupt file is a clean
+/// error value, never a crash — forensics outlive their writers.
+[[nodiscard]] Result<ForensicRecord> parse_forensics(std::string_view json);
+
+/// Atomic temp+rename publish of `forensic_file_name(record.cell)` into
+/// `dir`, retried under the shared transient-errno policy.
+[[nodiscard]] Status write_forensics(const std::string& dir,
+                                     const ForensicRecord& record);
+
+/// Slurp + parse one forensic file.
+[[nodiscard]] Result<ForensicRecord> read_forensics(const std::string& path);
+
+}  // namespace iris::campaign

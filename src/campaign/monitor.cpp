@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <system_error>
 
+#include "campaign/forensics.h"
 #include "campaign/grid_lease.h"
 #include "support/fs_atomic.h"
 #include "support/retry.h"
@@ -177,6 +178,7 @@ Result<FleetView> aggregate_fleet(const std::string& dir,
 
   FleetView fleet;
   std::vector<std::string> trace_files;
+  std::vector<std::string> forensic_files;
   std::size_t done_markers = 0;
   for (const auto& dirent : it) {
     const std::string name = dirent.path().filename().string();
@@ -188,8 +190,24 @@ Result<FleetView> aggregate_fleet(const std::string& dir,
       fleet.shards.push_back(std::move(view));
     } else if (name.starts_with("trace-") && name.ends_with(".jsonl")) {
       trace_files.push_back(dirent.path().string());
+    } else if (is_forensic_file_name(name)) {
+      forensic_files.push_back(dirent.path().string());
     } else if (name.starts_with("done-")) {
       ++done_markers;
+    }
+  }
+
+  // Forensic records: count the parseable ones and keep the newest
+  // fault's summary (torn/corrupt files are skipped like torn statuses).
+  std::sort(forensic_files.begin(), forensic_files.end());
+  for (const std::string& path : forensic_files) {
+    auto record = read_forensics(path);
+    if (!record.ok()) continue;
+    ++fleet.forensics;
+    if (record.value().written_unix >= fleet.last_fault_unix) {
+      fleet.last_fault_unix = record.value().written_unix;
+      fleet.last_fault_cell = record.value().cell;
+      fleet.last_fault = record.value().fault;
     }
   }
   std::sort(fleet.shards.begin(), fleet.shards.end(),
@@ -249,6 +267,7 @@ Result<FleetView> aggregate_fleet(const std::string& dir,
   for (const std::string& path : trace_files) {
     auto trace = support::read_trace(path);
     if (!trace.ok()) continue;
+    fleet.trace_gaps += trace.value().seq_gaps;
     auto& events = trace.value().events;
     const std::size_t take = std::min(trace_tail, events.size());
     for (std::size_t i = events.size() - take; i < events.size(); ++i) {
@@ -285,6 +304,13 @@ std::string render_fleet_json(const FleetView& fleet) {
          ",\n";
   out += "  \"rehabilitated\": " +
          fmt_num(static_cast<double>(fleet.rehabilitated)) + ",\n";
+  out += "  \"forensics\": " + fmt_num(static_cast<double>(fleet.forensics)) +
+         ",\n";
+  out += "  \"last_fault_cell\": " +
+         fmt_num(static_cast<double>(fleet.last_fault_cell)) + ",\n";
+  out += "  \"last_fault\": " + jquote(fleet.last_fault) + ",\n";
+  out += "  \"trace_gaps\": " + fmt_num(static_cast<double>(fleet.trace_gaps)) +
+         ",\n";
   out += "  \"lost_leases\": " + fmt_num(static_cast<double>(fleet.lost_leases)) +
          ",\n";
   out += "  \"lease_reclaims\": " +

@@ -111,6 +111,16 @@ struct FleetView {
   std::uint64_t model_faults = 0;
   std::uint64_t reprobes = 0;
   std::uint64_t rehabilitated = 0;
+  // PR 10 postmortem forensics: parseable forensics-<cell>.json records
+  // found beside the statuses, plus the newest record's summary so a
+  // triager sees the most recent fault without opening files.
+  std::size_t forensics = 0;
+  std::uint64_t last_fault_cell = 0;
+  std::uint64_t last_fault_unix = 0;   ///< newest record's written_unix
+  std::string last_fault;              ///< its fault text; empty = none
+  /// Trace events provably lost across every stream in the directory
+  /// (forward seq jumps, per support::TraceFile::seq_gaps).
+  std::uint64_t trace_gaps = 0;
   double mutants_per_second = 0.0;  ///< live shards only
   std::size_t live_shards = 0;
   std::size_t stale_shards = 0;

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <limits>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <new>
 #include <optional>
@@ -23,9 +24,12 @@
 #include "campaign/checkpoint.h"
 #include "campaign/corpus_store.h"
 #include "campaign/crash_archive.h"
+#include "campaign/forensics.h"
 #include "campaign/monitor.h"
 #include "fuzz/vm_pool.h"
 #include "support/failpoints.h"
+#include "support/flight_recorder.h"
+#include "support/fs_atomic.h"
 #include "support/model_fault.h"
 #include "support/retry.h"
 #include "support/telemetry.h"
@@ -86,6 +90,7 @@ struct CampaignMetrics {
   support::MetricId model_faults = reg.counter_id("fuzz.model_faults");
   support::MetricId reprobes = reg.counter_id("poison.reprobes");
   support::MetricId rehabilitated = reg.counter_id("poison.rehabilitated");
+  support::MetricId forensics = reg.counter_id("forensics.written");
   support::MetricId mutants = reg.counter_id("campaign.mutants");
   support::MetricId pool_rebuilds = reg.counter_id("pool.rebuilds");
   support::MetricId sandbox_cell_us = reg.histogram_id("sandbox.cell_us");
@@ -530,6 +535,66 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   // memory without hammering a hopeless filesystem once per cell, and
   // the recorded persistence_error surfaces at campaign end.
   bool journal_degraded = false;
+
+  // --- Postmortem flight recorders (PR 10). One crash-surviving ring
+  // per worker, created BEFORE any fork so every sandbox child inherits
+  // its worker's MAP_SHARED mapping; the parent resets it per attempt
+  // and harvests it after any harness fault. In-process (non-sandbox)
+  // mode arms the same per-worker ring around the cell body — that path
+  // is what the byte-identity matrix and the armed-overhead bench leg
+  // exercise.
+  const bool recorder_enabled =
+      config_.flight_recorder || !config_.forensics_dir.empty();
+  std::vector<std::unique_ptr<support::FlightRecorder>> recorders;
+  if (recorder_enabled) {
+    recorders.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      recorders.push_back(std::make_unique<support::FlightRecorder>());
+    }
+  }
+  std::atomic<std::size_t> forensics_count{0};
+  // Cells with a published forensic record. No synchronization needed:
+  // cell i is touched only by the worker that owns it (fixed stride),
+  // and the post-join phases read it from the main thread.
+  std::vector<char> forensic_written(grid.size(), 0);
+  /// Decode the (dead) child's ring and publish forensics-<cell>.json.
+  /// Best-effort by the same contract as the status file: a sick
+  /// forensic write surfaces in persistence_error but never fails or
+  /// perturbs the campaign.
+  auto publish_forensics = [&](std::size_t i, std::size_t attempt,
+                               const HarnessFault& fault,
+                               support::FlightRecorder* recorder) {
+    if (recorder == nullptr || config_.forensics_dir.empty()) return;
+    campaign::ForensicRecord record;
+    record.cell = i;
+    record.attempt = static_cast<std::uint32_t>(attempt);
+    record.shard = config_.shard_label;
+    record.fault = fault.describe();
+    record.written_unix =
+        static_cast<std::uint64_t>(campaign::wall_clock_unix());
+    record.harvest = recorder->harvest();
+    if (const auto status =
+            campaign::write_forensics(config_.forensics_dir, record);
+        !status.ok()) {
+      const std::lock_guard<std::mutex> lock(journal_mutex);
+      if (out.persistence_error.empty()) {
+        out.persistence_error = status.error().message;
+      }
+      return;
+    }
+    forensic_written[i] = 1;
+    forensics_count.fetch_add(1, std::memory_order_relaxed);
+    mm.reg.add(mm.forensics);
+    if (support::trace_active()) {
+      support::TraceEvent event("forensics");
+      event.num("cell", static_cast<double>(i))
+          .num("attempt", static_cast<double>(attempt))
+          .num("crumbs", static_cast<double>(record.harvest.crumbs.size()))
+          .str("file", campaign::forensic_file_name(i));
+      support::trace(std::move(event));
+    }
+  };
+
   /// True iff the cell's record reached this shard's journal.
   auto journal_cell = [&](std::size_t index) -> bool {
     if (!checkpoint) return false;
@@ -566,6 +631,13 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
     record.fault_kind = static_cast<std::uint8_t>(poison.fault.kind);
     record.detail = poison.fault.detail;
     record.message = poison.fault.describe();
+    // Point triage at the quarantined cell's breadcrumbs. Free text by
+    // design: no journal version bump, old readers show it verbatim.
+    if (poison.index < forensic_written.size() &&
+        forensic_written[poison.index] != 0) {
+      record.message +=
+          " forensics=" + campaign::forensic_file_name(poison.index);
+    }
     if (const auto status = checkpoint->append_poison(record); !status.ok()) {
       if (out.persistence_error.empty()) {
         out.persistence_error = status.error().message;
@@ -603,10 +675,11 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                                   config_.rlimit_as_mb, config_.rlimit_core_mb};
 
   // Shared fault accounting for the retry loop and the re-probe pass:
-  // the global counters, the rlimit-kill / model-fault breakdowns, and
-  // the trace events.
+  // the global counters, the rlimit-kill / model-fault breakdowns, the
+  // trace events, and the forensic harvest of the dead child's ring.
   auto account_fault = [&](std::size_t i, std::size_t attempt,
-                           const HarnessFault& fault) {
+                           const HarnessFault& fault,
+                           support::FlightRecorder* recorder) {
     fault_count.fetch_add(1, std::memory_order_relaxed);
     board.faults.fetch_add(1, std::memory_order_relaxed);
     mm.reg.add(mm.harness_faults);
@@ -632,6 +705,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
           .str("fault", fault.describe());
       support::trace(std::move(event));
     }
+    publish_forensics(i, attempt, fault, recorder);
   };
 
   // One cell body, two stack sources: a reset pooled slot or a
@@ -681,12 +755,17 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   auto run_cell_sandboxed = [&](std::size_t i, const TestCaseSpec& spec,
                                 std::size_t worker_index,
                                 const VmBehavior& behavior,
-                                const SandboxLimits& limits, bool store_result)
+                                const SandboxLimits& limits, bool store_result,
+                                support::FlightRecorder* recorder)
       -> std::optional<HarnessFault> {
     std::optional<support::failpoints::Hit> injected;
     if (support::failpoints::active()) {
       injected = support::failpoints::evaluate("cell_exec", i);
     }
+    // Fresh ring per attempt, cleared in the parent BEFORE the fork so
+    // a harvest after this attempt's death never shows a predecessor's
+    // crumbs.
+    if (recorder != nullptr) recorder->reset();
     int fds[2];
     if (::pipe(fds) != 0) {
       return HarnessFault{HarnessFault::Kind::kProtocol, errno, {}};
@@ -703,6 +782,10 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       support::failpoints::note_forked_child();
       support::modelfault::set_sink_fd(fds[1]);
       apply_child_rlimits(limits);
+      // Arm the inherited MAP_SHARED ring: from here every breadcrumb
+      // the child drops is visible to the parent with no flush, however
+      // the child dies.
+      if (recorder != nullptr) recorder->arm();
       // A cell_exec alloc= hit returns from execute_fatal and runs the
       // cell under the injected memory pressure — the rlimit kill (or
       // survival) is the behavior under test. Every other action dies
@@ -845,6 +928,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   };
 
   auto work = [&](std::size_t worker_index) {
+    support::FlightRecorder* const recorder =
+        recorder_enabled ? recorders[worker_index].get() : nullptr;
     for (std::size_t i = worker_index; i < grid.size(); i += workers) {
       if (done[i] != 0 || poisoned[i] != 0) continue;  // journaled already
       if (config_.stop != nullptr &&
@@ -878,7 +963,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
           const auto attempt_started = std::chrono::steady_clock::now();
           fault = run_cell_sandboxed(i, spec, worker_index, behavior,
-                                     base_limits, /*store_result=*/true);
+                                     base_limits, /*store_result=*/true,
+                                     recorder);
           // Per-attempt fork + pipe + reap latency, faulted or not.
           mm.reg.observe(
               mm.sandbox_cell_us,
@@ -886,7 +972,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                   std::chrono::steady_clock::now() - attempt_started)
                   .count());
           if (!fault) break;
-          account_fault(i, attempt, *fault);
+          account_fault(i, attempt, *fault, recorder);
           // Defensive: re-establish the worker's pooled stack from
           // scratch after reaping a dead harness.
           if (pool) {
@@ -936,7 +1022,18 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
           continue;
         }
       } else {
+        // In-process mode: arm this worker's private ring around the
+        // cell body. There is no fault path here (a dying cell takes the
+        // process with it), so the ring is never harvested — this path
+        // exists to prove the armed hooks leave results byte-identical
+        // and to carry the armed-overhead bench leg.
+        std::optional<support::ArmedFlightRecorder> armed;
+        if (recorder != nullptr) {
+          recorder->reset();
+          armed.emplace(*recorder);
+        }
         auto [result, cov] = run_cell_body(spec, worker_index, behavior);
+        armed.reset();
         out.results[i] = std::move(result);
         cell_cov[i] = std::move(cov);
       }
@@ -1002,6 +1099,10 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                 return a.index < b.index;
               });
     std::vector<PoisonedCell> still_poisoned;
+    // Main thread only (workers joined) — borrow worker 0's recorder
+    // like it borrows worker slot 0.
+    support::FlightRecorder* const reprobe_recorder =
+        recorder_enabled ? recorders[0].get() : nullptr;
     auto journal_reprobe = [&](const campaign::ReprobeRecord& record) {
       const std::lock_guard<std::mutex> lock(journal_mutex);
       if (!checkpoint || journal_degraded) return;
@@ -1046,7 +1147,8 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
       }
       std::uint32_t attempts_spent = 1;
       auto fault = run_cell_sandboxed(i, probe_spec, 0, behavior, probe_limits,
-                                      /*store_result=*/false);
+                                      /*store_result=*/false,
+                                      reprobe_recorder);
       if (!fault) {
         // Clean probe: full-fidelity re-execution, again on a fresh
         // slot, under the ordinary limits.
@@ -1056,7 +1158,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         }
         ++attempts_spent;
         fault = run_cell_sandboxed(i, spec, 0, behavior, base_limits,
-                                   /*store_result=*/true);
+                                   /*store_result=*/true, reprobe_recorder);
       }
       const std::uint32_t attempts_total = poison.attempts + attempts_spent;
       campaign::ReprobeRecord record;
@@ -1087,7 +1189,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
                      i, round);
         journal_cell(i);
       } else {
-        account_fault(i, attempts_spent, *fault);
+        account_fault(i, attempts_spent, *fault, reprobe_recorder);
         if (pool) {
           pool->rebuild(0);
           mm.reg.add(mm.pool_rebuilds);
@@ -1098,6 +1200,9 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         record.fault_kind = static_cast<std::uint8_t>(fault->kind);
         record.detail = fault->detail;
         record.message = fault->describe();
+        if (forensic_written[i] != 0) {
+          record.message += " forensics=" + campaign::forensic_file_name(i);
+        }
         journal_reprobe(record);
         std::fprintf(stderr,
                      "campaign: cell %zu re-poisoned by re-probe round %u: %s\n",
@@ -1130,6 +1235,7 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
   out.harness_faults = fault_count.load(std::memory_order_relaxed);
   out.rlimit_kills = rlimit_kill_count.load(std::memory_order_relaxed);
   out.model_faults = model_fault_count.load(std::memory_order_relaxed);
+  out.forensics_written = forensics_count.load(std::memory_order_relaxed);
   out.cells_reprobed = reprobe_rounds;
   out.cells_rehabilitated = rehabilitated_count;
   out.interrupted = saw_stop.load(std::memory_order_relaxed);
@@ -1169,6 +1275,23 @@ CampaignResult CampaignRunner::run(const std::vector<TestCaseSpec>& grid) {
         repro.prefix.push_back(behavior[s].seed);
       }
       repro.mutant = bucket.first.mutant;
+      // If a forensic record exists for this bucket's cell (some attempt
+      // faulted before the clean run that found the crash), attach its
+      // name and copy the file beside the reproducer — the archive stays
+      // self-contained for triage on another machine.
+      if (!config_.forensics_dir.empty() &&
+          bucket.spec_index < forensic_written.size() &&
+          forensic_written[bucket.spec_index] != 0) {
+        repro.forensics_name =
+            campaign::forensic_file_name(bucket.spec_index);
+        auto bytes = read_file_bytes(config_.forensics_dir + "/" +
+                                     repro.forensics_name);
+        if (bytes.ok()) {
+          record_error(write_file_atomic(config_.crash_archive_dir,
+                                         repro.forensics_name,
+                                         bytes.value()));
+        }
+      }
       record_error(archive.write(repro));
     }
   }

@@ -261,6 +261,23 @@ struct CampaignConfig {
   /// status_path, either enables publishing). Drives fuzz_campaign's
   /// one-line progress reports. Runs on a worker thread; keep it cheap.
   std::function<void(const campaign::ShardStatus&)> on_progress;
+
+  // --- Postmortem forensics (PR 10). Excluded from the campaign
+  // fingerprint like every containment and telemetry knob: the flight
+  // recorder observes a cell, it never feeds anything back, so armed
+  // and dark runs are byte-identical (asserted in tests and CI).
+
+  /// Arm a per-cell support::FlightRecorder around cell execution. In
+  /// sandbox mode the forked child arms a recorder whose ring lives in
+  /// a MAP_SHARED mapping, so the parent can harvest breadcrumbs from
+  /// a child that died by SIGKILL; in-process workers arm a private
+  /// ring (the armed-overhead bench leg and byte-identity matrix).
+  /// Implied by a non-empty forensics_dir.
+  bool flight_recorder = false;
+  /// On any HarnessFault, decode the dead child's ring and publish the
+  /// forensic record atomically as forensics-<cell>.json here (see
+  /// campaign/forensics.h). Requires sandbox_cells. Empty = off.
+  std::string forensics_dir;
 };
 
 struct CampaignResult {
@@ -319,6 +336,9 @@ struct CampaignResult {
   std::size_t rlimit_kills = 0;
   /// Faults classified kModelFault, a subset of harness_faults.
   std::size_t model_faults = 0;
+  /// Forensic records published to CampaignConfig::forensics_dir (one
+  /// per faulted cell attempt; same-cell rewrites counted each time).
+  std::size_t forensics_written = 0;
   /// Poisoned cells re-probed at end of run (each counts one round).
   std::size_t cells_reprobed = 0;
   /// Re-probed cells whose probe and full re-execution both came back

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/flight_recorder.h"
 #include "support/telemetry.h"
 
 namespace iris::fuzz {
@@ -44,7 +45,10 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
   const VmSeed& target_seed = w[result.target_index].seed;
 
   // --- Reach the linked VM state s1 via IRIS replay (Fig 11).
-  if (!walk_to_target(w, result.target_index)) return result;
+  {
+    const support::FlightSpan replay_span(support::Phase::kReplay);
+    if (!walk_to_target(w, result.target_index)) return result;
+  }
   result.ran = true;
 
   // Baseline: the coverage of the unmutated VMseed_R from s1.
@@ -79,6 +83,9 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
       }
       ++result.executed;
       const std::size_t index = mutant_index++;
+      if (support::flight_recorder_armed()) [[unlikely]] {
+        support::crumb_mutant(index);
+      }
 
       manager_->submit_seed_into(mutant, outcome);
       result.new_loc += covered.add(outcome.coverage);
@@ -107,16 +114,22 @@ TestCaseResult Fuzzer::run_test_case(const TestCaseSpec& spec, const VmBehavior&
       // Recover: clear failure state and restore the dummy VM to s1
       // (delta restore: only pages dirtied since s1 are touched).
       manager_->hv().failures().reset();
+      if (support::flight_recorder_armed()) [[unlikely]] {
+        support::crumb_snapshot_restore(index);
+      }
       dummy.restore(s1);
       if (!manager_->rearm_replay(config_.replay)) return TargetOutcome::kAbort;
     }
     return TargetOutcome::kDone;
   };
 
-  if (fuzz_target(target_seed, spec.mutants) != TargetOutcome::kAbort) {
-    for (const VmSeed& import : imports) {
-      if (import.reason != spec.reason) continue;
-      if (fuzz_target(import, import_mutants) == TargetOutcome::kAbort) break;
+  {
+    const support::FlightSpan mutate_span(support::Phase::kMutate);
+    if (fuzz_target(target_seed, spec.mutants) != TargetOutcome::kAbort) {
+      for (const VmSeed& import : imports) {
+        if (import.reason != spec.reason) continue;
+        if (fuzz_target(import, import_mutants) == TargetOutcome::kAbort) break;
+      }
     }
   }
 

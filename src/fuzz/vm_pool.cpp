@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "support/flight_recorder.h"
 #include "support/model_fault.h"
 #include "support/telemetry.h"
 
@@ -17,6 +18,7 @@ PooledVm::PooledVm(std::uint64_t hv_seed, double async_noise_prob)
 void PooledVm::reset() { reset(vtx::baseline_profile()); }
 
 void PooledVm::reset(const vtx::VmxCapabilityProfile& profile) {
+  const support::FlightSpan reset_span(support::Phase::kReset);
   const auto reset_started = std::chrono::steady_clock::now();
   // Manager first: tearing down the replayer restores the hook chain it
   // saved, keeping teardown leak-free even though the hypervisor reset

@@ -4,6 +4,7 @@
 
 #include "hv/devices.h"
 #include "hv/handlers.h"
+#include "support/flight_recorder.h"
 #include "vcpu/vmcs_sync.h"
 #include "vtx/entry_checks.h"
 
@@ -249,6 +250,10 @@ void Hypervisor::process_exit_into(Domain& dom, HvVcpu& vcpu,
   const std::uint64_t raw_reason = ctx.vmread(VmcsField::kVmExitReason);
   const bool entry_failure = (raw_reason >> 31) & 1;
   const std::uint16_t basic = raw_reason & 0xFFFF;
+
+  if (support::flight_recorder_armed()) [[unlikely]] {
+    support::crumb_vm_exit(basic, vcpu.vmcs.hw_read(VmcsField::kGuestRip));
+  }
 
   if (!validate_guest_context(ctx)) {
     // Guest context inconsistent with the cached mode: domain is killed

@@ -153,7 +153,7 @@ std::uint64_t state_digest(const Hypervisor& hv) {
   }
 
   m.mix(hv.log().size());
-  for (const LogEntry& entry : hv.log().entries()) {
+  for (const LogEntry& entry : hv.log()) {
     m.mix(static_cast<std::uint64_t>(entry.level));
     m.mix(entry.tsc);
     m.mix_str(entry.text);

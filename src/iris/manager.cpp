@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "support/flight_recorder.h"
+
 namespace iris {
 
 Manager::Manager(hv::Hypervisor& hv) : hv_(&hv) { register_hypercall(); }
@@ -52,6 +54,7 @@ const VmBehavior& Manager::record_workload(guest::Workload workload, std::uint64
                                            std::uint64_t seed,
                                            Recorder::Config config) {
   mode_ = Mode::kRecord;
+  const support::FlightSpan record_span(support::Phase::kRecord);
   hv::Domain& dom = test_vm();
   guest::GuestProgram program(workload, seed, n);
   VmBehavior behavior =

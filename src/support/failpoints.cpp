@@ -15,6 +15,8 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include "support/flight_recorder.h"
+#include "support/serialize.h"
 #include "support/telemetry.h"
 
 namespace iris::support::failpoints {
@@ -302,6 +304,14 @@ std::optional<Hit> evaluate(std::string_view site, std::uint64_t index) {
       auto& reg = metrics();
       static const MetricId hits = reg.counter_id("failpoints.hits");
       reg.add(hits);
+    }
+    if (flight_recorder_armed()) [[unlikely]] {
+      // Breadcrumb the firing site: the hash keys it, and a mirrored
+      // log line keeps the name human-readable in the forensic dump.
+      crumb_failpoint_hit(
+          fnv1a(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(site.data()), site.size())),
+          static_cast<std::uint64_t>(rule.hit.action));
     }
     return rule.hit;
   }

@@ -1,6 +1,8 @@
 #include "support/model_fault.h"
 
 #include <atomic>
+
+#include "support/flight_recorder.h"
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -79,6 +81,12 @@ void set_sink_fd(int fd) noexcept {
 }
 
 void raise(const ModelFault& fault) {
+  if (flight_recorder_armed()) [[unlikely]] {
+    // Last breadcrumb before delivery: the structured fault itself,
+    // harvestable by the parent even though _exit follows immediately.
+    crumb_model_fault(static_cast<std::uint64_t>(fault.layer),
+                      static_cast<std::uint64_t>(fault.code));
+  }
   const int fd = g_sink_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
     // Contained: frame the fault onto the sandbox result pipe and exit

@@ -1,5 +1,11 @@
 #include "support/ring_log.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "support/flight_recorder.h"
+
 namespace iris {
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -18,14 +24,47 @@ std::string_view to_string(LogLevel level) noexcept {
   return "?";
 }
 
-void RingLog::append(LogLevel level, std::uint64_t tsc, std::string text) {
+void RingLog::append(LogLevel level, std::uint64_t tsc, std::string_view text) {
   if (capacity_ == 0) return;
-  if (entries_.size() == capacity_) entries_.pop_front();
-  entries_.push_back(LogEntry{level, tsc, std::move(text)});
+  std::size_t slot;
+  if (size_ < capacity_) {
+    slot = (head_ + size_) % capacity_;
+    ++size_;
+  } else {
+    slot = head_;
+    head_ = (head_ + 1) % capacity_;
+  }
+  LogEntry& e = ring_[slot];
+  e.level = level;
+  e.tsc = tsc;
+  e.text.assign(text);  // reuses the recycled slot's capacity
+
+  if (level >= LogLevel::kWarn && support::flight_recorder_armed())
+      [[unlikely]] {
+    // Mirror warnings and worse into the crash-surviving forensic tail
+    // — failure-path lines are the ones a postmortem needs, and debug
+    // chatter is hot enough to blow the armed-overhead budget. The
+    // recorder slot truncates, so a fixed stack buffer is enough.
+    // Assembled by hand: snprintf here costs more than the entire
+    // armed budget.
+    char line[support::FlightRecorder::kLogLineBytes];
+    const std::string_view lvl = to_string(level);
+    std::size_t n = 0;
+    line[n++] = '[';
+    const std::size_t lv = std::min(lvl.size(), sizeof(line) - 4);
+    std::memcpy(line + n, lvl.data(), lv);
+    n += lv;
+    line[n++] = ']';
+    line[n++] = ' ';
+    const std::size_t tv = std::min(text.size(), sizeof(line) - 1 - n);
+    std::memcpy(line + n, text.data(), tv);
+    n += tv;
+    support::flight_log_line(line, n);
+  }
 }
 
 bool RingLog::contains(std::string_view needle, LogLevel min_level) const noexcept {
-  for (const auto& e : entries_) {
+  for (const auto& e : *this) {
     if (e.level >= min_level && e.text.find(needle) != std::string::npos) return true;
   }
   return false;
@@ -33,7 +72,7 @@ bool RingLog::contains(std::string_view needle, LogLevel min_level) const noexce
 
 std::vector<LogEntry> RingLog::grep(std::string_view needle) const {
   std::vector<LogEntry> out;
-  for (const auto& e : entries_) {
+  for (const auto& e : *this) {
     if (e.text.find(needle) != std::string::npos) out.push_back(e);
   }
   return out;

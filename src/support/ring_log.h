@@ -1,12 +1,21 @@
 // Fixed-capacity in-memory log, modeling the Xen console ring.
 //
 // The PoC fuzzer classifies failures by scraping hypervisor logs
-// (paper §VII-3); this ring buffer is what it scrapes. Bounded so a
-// crash-looping test cannot exhaust host memory.
+// (paper §VII-3); this ring buffer is what it scrapes. The ring is
+// preallocated at construction and appends recycle slots in place
+// (the slot string's capacity is reused), so steady-state logging is
+// allocation-free and the memory bound really is fixed by the
+// capacity — a crash-looping test cannot exhaust host memory.
+//
+// When a support::FlightRecorder is armed on the logging thread, every
+// appended line is also mirrored (truncated) into the recorder's
+// crash-surviving tail, so postmortem forensics can show the last log
+// lines of a child that died by SIGKILL.
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,13 +34,55 @@ struct LogEntry {
 
 class RingLog {
  public:
-  explicit RingLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+  explicit RingLog(std::size_t capacity = 4096)
+      : capacity_(capacity), ring_(capacity) {}
 
-  void append(LogLevel level, std::uint64_t tsc, std::string text);
-  void clear() noexcept { entries_.clear(); }
+  void append(LogLevel level, std::uint64_t tsc, std::string_view text);
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
 
-  [[nodiscard]] const std::deque<LogEntry>& entries() const noexcept { return entries_; }
-  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// i = 0 is the oldest retained entry.
+  [[nodiscard]] const LogEntry& entry(std::size_t i) const noexcept {
+    return ring_[(head_ + i) % capacity_];
+  }
+
+  /// Forward iteration, oldest -> newest (the order state digests mix).
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = LogEntry;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const LogEntry*;
+    using reference = const LogEntry&;
+
+    const_iterator() = default;
+    const_iterator(const RingLog* log, std::size_t index)
+        : log_(log), index_(index) {}
+    reference operator*() const noexcept { return log_->entry(index_); }
+    pointer operator->() const noexcept { return &log_->entry(index_); }
+    const_iterator& operator++() noexcept {
+      ++index_;
+      return *this;
+    }
+    const_iterator operator++(int) noexcept {
+      const_iterator old = *this;
+      ++index_;
+      return old;
+    }
+    bool operator==(const const_iterator&) const = default;
+
+   private:
+    const RingLog* log_ = nullptr;
+    std::size_t index_ = 0;
+  };
+
+  [[nodiscard]] const_iterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const noexcept { return {this, size_}; }
 
   /// True if any entry at/above `min_level` contains `needle`.
   [[nodiscard]] bool contains(std::string_view needle,
@@ -42,7 +93,9 @@ class RingLog {
 
  private:
   std::size_t capacity_;
-  std::deque<LogEntry> entries_;
+  std::size_t head_ = 0;  ///< slot of the oldest retained entry
+  std::size_t size_ = 0;
+  std::vector<LogEntry> ring_;  ///< preallocated, recycled in place
 };
 
 }  // namespace iris

@@ -408,7 +408,10 @@ TraceEvent& TraceEvent::num(std::string_view key, double value) {
 }
 
 TraceEvent& TraceEvent::str(std::string_view key, std::string_view value) {
-  fields_.emplace_back(std::string(key), "\"" + json_escape(value) + "\"");
+  std::string quoted = json_escape(value);
+  quoted.insert(0, 1, '"');
+  quoted += '"';
+  fields_.emplace_back(std::string(key), std::move(quoted));
   return *this;
 }
 
@@ -579,8 +582,13 @@ bool parse_scalar(JsonCursor& cur, FlatJson::Scalar& out) {
   }
   // true/false/null appear in no file this layer writes; reject them.
   out.is_string = false;
+  const std::size_t start = cur.pos;
   if (!parse_json_number(cur, out.value)) return false;
-  out.text = format_number(out.value);
+  // Keep the number's literal text (as the header documents), not a
+  // re-render through double: full 64-bit values (guest rips, VMCS
+  // writes in forensic records) must survive for consumers that
+  // re-parse the text with strtoull.
+  out.text = std::string(cur.text.substr(start, cur.pos - start));
   return true;
 }
 
@@ -691,6 +699,7 @@ Result<TraceFile> read_trace(const std::string& path) {
                    std::istreambuf_iterator<char>());
   TraceFile out;
   std::size_t start = 0;
+  std::uint64_t last_seq = 0;
   while (start < data.size()) {
     const std::size_t nl = data.find('\n', start);
     if (nl == std::string::npos) {
@@ -719,6 +728,17 @@ Result<TraceFile> read_trace(const std::string& path) {
     event.ts_us = json.num("ts_us").value_or(0.0);
     for (const auto& [key, scalar] : json.scalars) {
       event.fields.emplace_back(key, scalar.text);
+    }
+    // Gap accounting: each sink numbers its events 1,2,3,..., so a
+    // forward jump means lines this stream lost (a skipped corrupt line
+    // also leaves a gap — both are real losses to a consumer). A seq
+    // that moves backwards is a sink reinstall (shard relaunch appending
+    // to the same file), which restarts the numbering, not a loss.
+    if (event.seq != 0) {
+      if (last_seq != 0 && event.seq > last_seq + 1) {
+        out.seq_gaps += event.seq - last_seq - 1;
+      }
+      last_seq = event.seq;
     }
     out.events.push_back(std::move(event));
   }

@@ -165,6 +165,10 @@ struct ParsedTraceEvent {
 struct TraceFile {
   std::vector<ParsedTraceEvent> events;
   std::size_t skipped_lines = 0;  ///< unparseable complete lines
+  /// Events provably missing from the stream: forward jumps in the
+  /// per-sink seq numbering (corrupt-skipped lines leave gaps too). A
+  /// backwards seq is a sink reinstall and resets the expectation.
+  std::uint64_t seq_gaps = 0;
   bool torn_tail = false;         ///< file ended mid-line (live/killed writer)
 };
 

@@ -1,5 +1,7 @@
 #include "vtx/vmcs.h"
 
+#include "support/flight_recorder.h"
+
 namespace iris::vtx {
 
 std::string_view to_string(VmcsLaunchState s) noexcept {
@@ -38,6 +40,12 @@ VmxOutcome Vmcs::vmwrite(VmcsField field, std::uint64_t value) {
     return VmxOutcome::fail(last_error_);
   }
   const std::uint64_t masked = value & width_mask(field);
+  // Software VMWRITEs are rare enough to crumb unconditionally — this
+  // is the path the fuzzer's injected mutation takes, so the ring's
+  // newest kVmcsWrite is usually the exact write under test at fault.
+  if (support::flight_recorder_armed()) [[unlikely]] {
+    support::crumb_vmcs_write(static_cast<std::uint64_t>(field), masked);
+  }
   fields_[static_cast<std::size_t>(
       compact_from_encoding(static_cast<std::uint16_t>(field)))] = masked;
   if (write_hook_) {

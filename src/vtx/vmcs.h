@@ -83,6 +83,9 @@ class Vmcs {
   void hw_write(VmcsField field, std::uint64_t value) noexcept {
     // Model-fault site. Unarmed this is one relaxed load — this latch
     // runs dozens of times per exit, millions of times per second.
+    // (Deliberately NOT a flight-recorder crumb site: even an armed
+    // no-op check here costs ~20% of campaign throughput. VMCS write
+    // crumbs come from the software vmwrite path instead.)
     support::modelfault::check_site("model_vmcs_write",
                                     support::modelfault::Layer::kVmcsWrite);
     const int idx = compact_from_encoding(static_cast<std::uint16_t>(field));
